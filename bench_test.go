@@ -1,0 +1,338 @@
+// Package qserve_test hosts the paper-reproduction benchmark harness:
+// one testing.B benchmark per table and figure of the IPPS 2004 paper's
+// evaluation. Each benchmark runs the corresponding experiment on the
+// simulated machine with a short virtual duration and reports the
+// headline quantities as custom metrics (b.ReportMetric), so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the full result set in one command. cmd/qbench produces
+// the long-form tables (and paper-length two-minute runs with -dur 120).
+package qserve_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"qserve/internal/botclient"
+	"qserve/internal/experiments"
+	"qserve/internal/game"
+	"qserve/internal/locking"
+	"qserve/internal/metrics"
+	"qserve/internal/server"
+	"qserve/internal/simserver"
+	"qserve/internal/transport"
+	"qserve/internal/worldmap"
+)
+
+// benchDuration is the virtual seconds simulated per configuration per
+// iteration. The statistics are stationary, so short runs preserve the
+// paper's shapes; raise it for tighter numbers.
+const benchDuration = 2.0
+
+func benchOpts() experiments.Options {
+	return experiments.Options{DurationS: benchDuration, Seed: 1}
+}
+
+func benchCfg(players, threads int, sequential bool, strat locking.Strategy) simserver.Config {
+	return simserver.Config{
+		MapConfig:  experiments.PaperMapConfig(1),
+		Players:    players,
+		Threads:    threads,
+		Sequential: sequential,
+		Strategy:   strat,
+		DurationS:  benchDuration,
+		Seed:       1,
+	}
+}
+
+func mustRun(b *testing.B, cfg simserver.Config) *simserver.Result {
+	b.Helper()
+	res, err := simserver.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkTable1MachineConfig reports the simulated testbed (Table 1).
+func BenchmarkTable1MachineConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Table1(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig1SequentialFrame measures the sequential frame structure
+// (Figure 1): stage shares of the S→P→Rx/E→T/Tx loop.
+func BenchmarkFig1SequentialFrame(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, benchCfg(64, 1, true, nil))
+		b.ReportMetric(res.Avg.Percent(metrics.CompReply), "reply_%")
+		b.ReportMetric(res.Avg.Percent(metrics.CompWorld), "world_%")
+	}
+}
+
+// BenchmarkFig2AreanodeTree measures areanode construction and linking
+// (Figure 2) through a populated run on the default 31-node tree.
+func BenchmarkFig2AreanodeTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, benchCfg(32, 1, true, nil))
+		if res.NumLeaves != 16 {
+			b.Fatalf("leaves = %d", res.NumLeaves)
+		}
+	}
+}
+
+// BenchmarkFig3FrameOrchestration measures the parallel frame protocol
+// (Figure 3): average participants per frame at 4 threads.
+func BenchmarkFig3FrameOrchestration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, benchCfg(96, 4, false, locking.Conservative{}))
+		parts := 0
+		for _, f := range res.FrameLog.Frames {
+			parts += f.Participants
+		}
+		if n := len(res.FrameLog.Frames); n > 0 {
+			b.ReportMetric(float64(parts)/float64(n), "participants/frame")
+		}
+	}
+}
+
+// BenchmarkFig4SingleThreadOverhead reproduces Figure 4: the overhead of
+// the single-thread parallel server over the sequential baseline.
+func BenchmarkFig4SingleThreadOverhead(b *testing.B) {
+	for _, players := range []int{64, 96, 128} {
+		b.Run(fmt.Sprintf("players=%d", players), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				seq := mustRun(b, benchCfg(players, 1, true, nil))
+				par := mustRun(b, benchCfg(players, 1, false, locking.Conservative{}))
+				b.ReportMetric(experiments.RequestOverhead(seq, par), "overhead_%")
+				b.ReportMetric(seq.ResponseRate(), "seq_rate")
+				b.ReportMetric(par.ResponseRate(), "par_rate")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5MultiThread reproduces Figure 5: response rate, response
+// time, and lock/wait shares per thread count with conservative locking.
+func BenchmarkFig5MultiThread(b *testing.B) {
+	for _, threads := range []int{2, 4, 8} {
+		for _, players := range []int{64, 128, 160} {
+			b.Run(fmt.Sprintf("threads=%d/players=%d", threads, players), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := mustRun(b, benchCfg(players, threads, false, locking.Conservative{}))
+					b.ReportMetric(res.ResponseRate(), "rate")
+					b.ReportMetric(res.ResponseTimeMs(), "resp_ms")
+					b.ReportMetric(res.Avg.Percent(metrics.CompLock), "lock_%")
+					b.ReportMetric(res.Avg.Percent(metrics.CompIntraWait)+
+						res.Avg.Percent(metrics.CompInterWait), "wait_%")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6OptimizedLocking reproduces Figure 6: the same sweep with
+// expanded/directional locking.
+func BenchmarkFig6OptimizedLocking(b *testing.B) {
+	for _, threads := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, benchCfg(160, threads, false, locking.Optimized{}))
+				b.ReportMetric(res.ResponseRate(), "rate")
+				b.ReportMetric(res.ResponseTimeMs(), "resp_ms")
+				b.ReportMetric(res.Avg.Percent(metrics.CompLock), "lock_%")
+			}
+		})
+	}
+}
+
+// BenchmarkFig7aLeafParentSplit reproduces Figure 7(a): the share of
+// lock time due to leaf versus parent areanode locking.
+func BenchmarkFig7aLeafParentSplit(b *testing.B) {
+	for _, threads := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, benchCfg(128, threads, false, locking.Conservative{}))
+				total := res.Avg.LeafLockNs + res.Avg.ParentLockNs
+				if total > 0 {
+					b.ReportMetric(100*float64(res.Avg.LeafLockNs)/float64(total), "leaf_%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7bTreeSizeSweep reproduces Figure 7(b): distinct leaves
+// locked per request as the areanode count grows from 3 to 63.
+func BenchmarkFig7bTreeSizeSweep(b *testing.B) {
+	for _, depth := range []int{1, 2, 3, 4, 5} {
+		b.Run(fmt.Sprintf("areanodes=%d", 1<<(depth+1)-1), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(128, 4, false, locking.Optimized{})
+				cfg.AreanodeDepth = depth
+				res := mustRun(b, cfg)
+				distinct := res.Locks.AvgDistinctLeavesPerRequest()
+				b.ReportMetric(100*distinct/float64(res.NumLeaves), "world_locked_%")
+				b.ReportMetric(100*res.Locks.RelockFraction(), "relocked_%")
+			}
+		})
+	}
+}
+
+// BenchmarkFig7cLeafSharing reproduces Figure 7(c): the fraction of
+// leaves locked by two or more threads in the same frame.
+func BenchmarkFig7cLeafSharing(b *testing.B) {
+	for _, players := range []int{64, 128, 160} {
+		b.Run(fmt.Sprintf("players=%d", players), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, benchCfg(players, 4, false, locking.Conservative{}))
+				b.ReportMetric(100*res.FrameLog.SharedLeafFraction(), "shared_%")
+			}
+		})
+	}
+}
+
+// BenchmarkSec52Imbalance reproduces the §4.2/§5.2 balance statistics:
+// requests per thread per frame and the per-frame spread.
+func BenchmarkSec52Imbalance(b *testing.B) {
+	for _, threads := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, benchCfg(128, threads, false, locking.Conservative{}))
+				mean, sd := res.FrameLog.ImbalanceStats()
+				b.ReportMetric(res.FrameLog.RequestsPerThreadPerFrame(), "req/thread/frame")
+				b.ReportMetric(mean, "spread_mean")
+				b.ReportMetric(sd, "spread_sd")
+			}
+		})
+	}
+}
+
+// BenchmarkSec51Coverage reproduces §5.1's map-activity measurements.
+func BenchmarkSec51Coverage(b *testing.B) {
+	for _, players := range []int{64, 128, 160} {
+		b.Run(fmt.Sprintf("players=%d", players), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, benchCfg(players, 2, false, locking.Conservative{}))
+				b.ReportMetric(100*res.FrameLog.TouchedLeafFraction(), "touched_%")
+				b.ReportMetric(res.FrameLog.LockOpsPerLeafPerFrame(), "lockops/leaf/frame")
+			}
+		})
+	}
+}
+
+// BenchmarkHeadlineSupportedPlayers measures the paper's top-line claim:
+// the 8-thread optimized server versus the sequential baseline at the
+// sequential saturation point.
+func BenchmarkHeadlineSupportedPlayers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		seq := mustRun(b, benchCfg(128, 1, true, nil))
+		opt := mustRun(b, benchCfg(160, 8, false, locking.Optimized{}))
+		b.ReportMetric(seq.ResponseTimeMs(), "seq128_resp_ms")
+		b.ReportMetric(opt.ResponseTimeMs(), "opt8T160_resp_ms")
+		b.ReportMetric(float64(opt.Resp.Replies)/float64(opt.Requests)*100, "opt8T160_replied_%")
+	}
+}
+
+// BenchmarkAblationAssignment measures the paper's §5.1 future-work
+// proposal: dynamic region-based player assignment versus static block
+// assignment, under optimized locking.
+func BenchmarkAblationAssignment(b *testing.B) {
+	for _, policy := range []simserver.AssignPolicy{simserver.AssignBlock, simserver.AssignRegion} {
+		b.Run(policy.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(144, 4, false, locking.Optimized{})
+				cfg.Assign = policy
+				res := mustRun(b, cfg)
+				b.ReportMetric(100*res.FrameLog.SharedLeafFraction(), "shared_%")
+				b.ReportMetric(res.ResponseTimeMs(), "resp_ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBatching measures the §5.2 future-work proposal:
+// master-side request batching.
+func BenchmarkAblationBatching(b *testing.B) {
+	for _, batchUs := range []int64{0, 500, 2000} {
+		b.Run(fmt.Sprintf("batch=%dus", batchUs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(128, 4, false, locking.Conservative{})
+				cfg.BatchDelayNs = batchUs * 1000
+				res := mustRun(b, cfg)
+				b.ReportMetric(res.FrameLog.RequestsPerThreadPerFrame(), "req/thread/frame")
+				b.ReportMetric(res.ResponseTimeMs(), "resp_ms")
+			}
+		})
+	}
+}
+
+// BenchmarkLiveParallelServer exercises the real goroutine engine over
+// the in-memory network: it measures wall-clock request/reply throughput
+// of the deployable server rather than the simulated one. On a multicore
+// host the thread counts separate; on one core they collapse, which is
+// exactly why the figure-generating benchmarks above use virtual time.
+func BenchmarkLiveParallelServer(b *testing.B) {
+	for _, threads := range []int{1, 4} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			m := worldmap.MustGenerate(experiments.PaperMapConfig(1))
+			world, err := game.NewWorld(game.Config{Map: m, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			net := transport.NewNetwork(transport.NetworkConfig{QueueLen: 4096})
+			conns := make([]transport.Conn, threads)
+			for i := range conns {
+				conns[i], _ = net.Listen(fmt.Sprintf("srv:%d", i))
+			}
+			srv, err := server.NewParallel(server.Config{
+				World: world, Conns: conns, Threads: threads,
+				Strategy: locking.Optimized{}, MaxClients: 64,
+				SelectTimeout: time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv.Start()
+			defer srv.Stop()
+
+			bots := make([]*botclient.Bot, 16)
+			for i := range bots {
+				bc, _ := net.Listen("")
+				bots[i], err = botclient.New(botclient.Config{
+					Name: fmt.Sprintf("b%d", i), Conn: bc,
+					Server: transport.MemAddr("srv:0"), Map: m, Seed: int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := bots[i].Connect(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, bot := range bots {
+					bot.Step()
+				}
+				// Give the server a beat to form replies, as a paced
+				// client frame would.
+				time.Sleep(500 * time.Microsecond)
+			}
+			b.StopTimer()
+			deadline := time.Now().Add(200 * time.Millisecond)
+			for srv.Replies() < int64(b.N*len(bots)/2) && time.Now().Before(deadline) {
+				time.Sleep(5 * time.Millisecond)
+			}
+			elapsed := srv.Duration().Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(srv.Replies())/elapsed, "replies/s")
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+// qmap generates, inspects, and renders game maps.
+//
+// Usage:
+//
+//	qmap -rows 6 -cols 6 -seed 3 -o map.json   # generate and save
+//	qmap -in map.json -render                  # load and draw
+//	qmap -render                               # generate default, draw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qserve/internal/worldmap"
+)
+
+func main() {
+	rows := flag.Int("rows", 6, "room grid rows")
+	cols := flag.Int("cols", 6, "room grid columns")
+	seed := flag.Int64("seed", 1, "generator seed")
+	items := flag.Float64("items", 3, "mean items per room")
+	teles := flag.Int("teleporters", 2, "teleporter pairs")
+	in := flag.String("in", "", "load this map file instead of generating")
+	out := flag.String("o", "", "save the map to this file")
+	render := flag.Bool("render", false, "draw an ASCII schematic")
+	flag.Parse()
+
+	var m *worldmap.Map
+	var err error
+	if *in != "" {
+		m, err = worldmap.LoadFile(*in)
+	} else {
+		cfg := worldmap.DefaultConfig()
+		cfg.Rows, cfg.Cols = *rows, *cols
+		cfg.Seed = *seed
+		cfg.ItemsPerRoom = *items
+		cfg.TeleporterPairs = *teles
+		cfg.Name = fmt.Sprintf("gen-dm%d", *rows**cols)
+		m, err = worldmap.Generate(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qmap:", err)
+		os.Exit(1)
+	}
+
+	s := m.ComputeStats()
+	fmt.Printf("map %q: %d rooms, %d portals, %d brushes, %d items, %d spawns, %d teleporters\n",
+		m.Name, s.Rooms, s.Portals, s.Brushes, s.Items, s.Spawns, s.Teleporters)
+	fmt.Printf("waypoints: %d (%d links), avg visible rooms: %.1f\n",
+		s.Waypoints, s.WaypointLinks, s.AvgVisibleRooms)
+	fmt.Printf("bounds: %v\n", m.Bounds)
+
+	if *render {
+		fmt.Println()
+		fmt.Print(m.RenderASCII())
+	}
+	if *out != "" {
+		if err := m.SaveFile(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "qmap:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved to %s\n", *out)
+	}
+}

@@ -1,0 +1,168 @@
+// qserved is the live game server daemon. It hosts a deathmatch session
+// over real UDP sockets using either the sequential engine or the
+// multithreaded engine with region locking — the deployable counterpart
+// of the simulated experiments.
+//
+// Usage:
+//
+//	qserved -addr 127.0.0.1:27500 -threads 4 -locking optimized
+//
+// A server with N threads listens on N consecutive UDP ports starting at
+// the given address: "a server appears to clients as one IP address and
+// a range of UDP ports". Clients connect to the base port and are told
+// their assigned port in the Accept reply. Stop with SIGINT/SIGTERM; the
+// server prints its execution-time breakdown on exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"qserve/internal/game"
+	"qserve/internal/locking"
+	"qserve/internal/metrics"
+	"qserve/internal/server"
+	"qserve/internal/transport"
+	"qserve/internal/worldmap"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:27500", "base UDP address")
+	threads := flag.Int("threads", 1, "server threads (0 = sequential engine)")
+	lockMode := flag.String("locking", "conservative", "locking strategy: conservative or optimized")
+	maxClients := flag.Int("maxclients", 128, "maximum simultaneous players")
+	mapPath := flag.String("map", "", "map file (JSON, from qmap); empty generates the default map")
+	mapSeed := flag.Int64("mapseed", 1, "seed for the generated map")
+	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	flag.Parse()
+
+	m, err := loadMap(*mapPath, *mapSeed)
+	if err != nil {
+		fatal(err)
+	}
+	world, err := game.NewWorld(game.Config{Map: m, Seed: *mapSeed})
+	if err != nil {
+		fatal(err)
+	}
+
+	var strat locking.Strategy = locking.Conservative{}
+	if *lockMode == "optimized" {
+		strat = locking.Optimized{}
+	}
+
+	numConns := *threads
+	if numConns < 1 {
+		numConns = 1
+	}
+	conns, err := openPorts(*addr, numConns)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := server.Config{
+		World:      world,
+		Conns:      conns,
+		Threads:    *threads,
+		Strategy:   strat,
+		MaxClients: *maxClients,
+	}
+
+	var eng server.Engine
+	mode := "sequential"
+	if *threads <= 0 {
+		eng, err = server.NewSequential(cfg)
+	} else {
+		eng, err = server.NewParallel(cfg)
+		mode = fmt.Sprintf("parallel x%d (%s locking)", *threads, strat.Name())
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("qserved: map %q (%d rooms), %s engine, base addr %s\n",
+		m.Name, len(m.Rooms), mode, conns[0].LocalAddr())
+	for i, c := range conns {
+		fmt.Printf("  thread %d port: %s\n", i, c.LocalAddr())
+	}
+	eng.Start()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	var ticker *time.Ticker
+	if *statsEvery > 0 {
+		ticker = time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+	} else {
+		ticker = time.NewTicker(time.Hour)
+		ticker.Stop()
+	}
+	for {
+		select {
+		case <-sig:
+			fmt.Println("\nshutting down ...")
+			eng.Stop()
+			printBreakdowns(eng)
+			return
+		case <-ticker.C:
+			fmt.Printf("clients=%d frames=%d replies=%d rate=%.1f/s in=%dKB out=%dKB\n",
+				eng.NumClients(), eng.Frames(), eng.Replies(),
+				float64(eng.Replies())/eng.Duration().Seconds(),
+				eng.BytesIn()/1024, eng.BytesOut()/1024)
+		}
+	}
+}
+
+func loadMap(path string, seed int64) (*worldmap.Map, error) {
+	if path != "" {
+		return worldmap.LoadFile(path)
+	}
+	cfg := worldmap.DefaultConfig()
+	cfg.Seed = seed
+	return worldmap.Generate(cfg)
+}
+
+// openPorts opens n consecutive UDP ports starting at addr (when addr
+// has port 0 the extra ports are also ephemeral).
+func openPorts(addr string, n int) ([]transport.Conn, error) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("bad address %q: %w", addr, err)
+	}
+	base, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad port %q: %w", portStr, err)
+	}
+	conns := make([]transport.Conn, n)
+	for i := 0; i < n; i++ {
+		port := 0
+		if base != 0 {
+			port = base + i
+		}
+		c, err := transport.ListenUDP(net.JoinHostPort(host, strconv.Itoa(port)))
+		if err != nil {
+			return nil, err
+		}
+		conns[i] = c
+	}
+	return conns, nil
+}
+
+func printBreakdowns(eng server.Engine) {
+	for i, bd := range eng.Breakdowns() {
+		fmt.Printf("thread %d: %s\n", i, bd.String())
+		_ = metrics.Dur(bd.Total())
+	}
+	fmt.Printf("total: frames=%d replies=%d duration=%s in=%dKB out=%dKB\n",
+		eng.Frames(), eng.Replies(), eng.Duration().Truncate(time.Millisecond),
+		eng.BytesIn()/1024, eng.BytesOut()/1024)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qserved:", err)
+	os.Exit(1)
+}

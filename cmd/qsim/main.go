@@ -1,0 +1,97 @@
+// qsim runs one simulated-server experiment and prints its measurements.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qserve/internal/experiments"
+	"qserve/internal/locking"
+	"qserve/internal/metrics"
+	"qserve/internal/simserver"
+	"qserve/internal/worldmap"
+)
+
+func main() {
+	players := flag.Int("players", 128, "number of automatic players")
+	threads := flag.Int("threads", 4, "server threads")
+	seq := flag.Bool("seq", false, "run the sequential (lock-free) server")
+	opt := flag.Bool("opt", false, "use optimized locking")
+	dur := flag.Float64("dur", 10, "virtual seconds to simulate")
+	depth := flag.Int("depth", 0, "areanode tree depth (0 = default 4)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	rows := flag.Int("rows", 0, "map room rows (0 = default)")
+	cols := flag.Int("cols", 0, "map room cols (0 = default)")
+	assign := flag.String("assign", "block", "player assignment: block, roundrobin, region")
+	batch := flag.Int64("batch", 0, "request batching delay in microseconds (0 = off)")
+	trace := flag.Int("trace", 0, "render an execution timeline of the first N frames")
+	flag.Parse()
+
+	cfg := simserver.Config{
+		Players:       *players,
+		Threads:       *threads,
+		Sequential:    *seq,
+		DurationS:     *dur,
+		AreanodeDepth: *depth,
+		Seed:          *seed,
+	}
+	if *rows > 0 && *cols > 0 {
+		mc := worldmap.DefaultConfig()
+		mc.Rows, mc.Cols = *rows, *cols
+		mc.Seed = *seed + 1
+		cfg.MapConfig = mc
+	}
+	if *opt {
+		cfg.Strategy = locking.Optimized{}
+	}
+	switch *assign {
+	case "roundrobin":
+		cfg.Assign = simserver.AssignRoundRobin
+	case "region":
+		cfg.Assign = simserver.AssignRegion
+	}
+	cfg.BatchDelayNs = *batch * 1000
+	cfg.TraceFrames = *trace
+	res, err := simserver.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("players=%d threads=%d seq=%v strategy=%s leaves=%d\n",
+		res.Players, res.Threads, res.Sequential, res.Strategy, res.NumLeaves)
+	fmt.Printf("frames=%d requests=%d replies=%d rate=%.1f/s resp=%.1fms\n",
+		res.Frames, res.Requests, res.Resp.Replies, res.ResponseRate(), res.ResponseTimeMs())
+	bd := res.Avg
+	for c := metrics.Component(0); c < metrics.NumComponents; c++ {
+		fmt.Printf("  %-11s %6.1f%%  (%s)\n", c.String(), bd.Percent(c), metrics.Dur(bd.Ns[c]))
+	}
+	fmt.Printf("  leaf-lock %.1f%% of lock, parent-lock %.1f%%\n",
+		pct(bd.LeafLockNs, bd.Ns[metrics.CompLock]), pct(bd.ParentLockNs, bd.Ns[metrics.CompLock]))
+	fmt.Printf("  req/thread/frame=%.2f sharedleaf=%.2f touched=%.2f lockops/leaf/frame=%.2f\n",
+		res.FrameLog.RequestsPerThreadPerFrame(), res.FrameLog.SharedLeafFraction(),
+		res.FrameLog.TouchedLeafFraction(), res.FrameLog.LockOpsPerLeafPerFrame())
+	parts := 0.0
+	for _, f := range res.FrameLog.Frames {
+		parts += float64(f.Participants)
+	}
+	if n := len(res.FrameLog.Frames); n > 0 {
+		parts /= float64(n)
+	}
+	fmt.Printf("  avg participants/frame=%.2f\n", parts)
+	im, sd := res.FrameLog.ImbalanceStats()
+	fmt.Printf("  imbalance mean=%.2f sd=%.2f distinctleaves/req=%.2f relock=%.2f\n",
+		im, sd, res.Locks.AvgDistinctLeavesPerRequest(), res.Locks.RelockFraction())
+	if *trace > 0 {
+		fmt.Println()
+		fmt.Print(experiments.RenderTimeline(res.Trace, res.Threads, 96))
+		fmt.Println("W=world r=requests b=barrier R=reply o=wait-open e=wait-end .=idle")
+	}
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,3 @@
+module qserve
+
+go 1.22

@@ -1,0 +1,47 @@
+package areanode_test
+
+import (
+	"fmt"
+
+	"qserve/internal/areanode"
+	"qserve/internal/geom"
+)
+
+// Example demonstrates the tree's role in move execution: link objects,
+// then collect everything a move's bounding box may interact with.
+func Example() {
+	world := geom.Box(geom.V(0, 0, 0), geom.V(1024, 1024, 256))
+	tree := areanode.NewTree(world, areanode.DefaultDepth)
+	fmt.Printf("%d areanodes, %d leaves\n", tree.NumNodes(), tree.NumLeaves())
+
+	// Link two objects: one inside a leaf, one crossing the root plane.
+	var inLeaf, crossing areanode.Item
+	inLeaf.ID = 1
+	tree.Link(&inLeaf, geom.BoxAt(geom.V(100, 100, 50), geom.V(16, 16, 28)))
+	crossing.ID = 2
+	tree.Link(&crossing, geom.BoxAt(geom.V(512, 300, 50), geom.V(16, 16, 28)))
+
+	fmt.Printf("object 1 at node %d (leaf: %v)\n",
+		inLeaf.NodeIndex(), tree.Node(inLeaf.NodeIndex()).IsLeaf())
+	fmt.Printf("object 2 at node %d (leaf: %v)\n",
+		crossing.NodeIndex(), tree.Node(crossing.NodeIndex()).IsLeaf())
+
+	// A move near object 1 collects it (and only it).
+	moveBox := geom.BoxAt(geom.V(120, 110, 50), geom.V(60, 60, 60))
+	tree.CollectBox(moveBox, nil, func(it *areanode.Item) bool {
+		fmt.Printf("move may interact with object %d\n", it.ID)
+		return true
+	}, nil)
+
+	// The leaves to lock for that move, in deadlock-free order.
+	leaves := tree.LeavesTouching(moveBox, nil)
+	fmt.Printf("leaves to lock: %d\n", len(leaves))
+
+	// Output:
+	// 31 areanodes, 16 leaves
+	// object 1 at node 30 (leaf: true)
+	// object 2 at node 0 (leaf: false)
+	// move may interact with object 1
+	// leaves to lock: 1
+	_ = leaves
+}

@@ -1,0 +1,125 @@
+package botclient
+
+import (
+	"math/rand"
+
+	"qserve/internal/geom"
+	"qserve/internal/worldmap"
+)
+
+// navigator steers a bot along the map's waypoint graph: pick a random
+// goal waypoint, BFS a path to it, walk the path node by node, pick a new
+// goal on arrival. This keeps bots moving through doors and rooms the way
+// human deathmatch players roam a map.
+type Navigator struct {
+	m    *worldmap.Map
+	rng  *rand.Rand
+	path []int // waypoint indices, consumed from the front
+	goal int
+
+	// stuck detection: if the bot makes no progress toward the next
+	// waypoint for several decisions, re-plan.
+	lastDist  float64
+	noProgess int
+}
+
+func NewNavigator(m *worldmap.Map, rng *rand.Rand) *Navigator {
+	return &Navigator{m: m, rng: rng, goal: -1, lastDist: 1e18}
+}
+
+// steer returns the world position the bot should move toward from pos.
+func (n *Navigator) Steer(pos geom.Vec3) geom.Vec3 {
+	const arrive = 56.0
+	if len(n.path) == 0 {
+		n.plan(pos)
+	}
+	if len(n.path) == 0 {
+		return pos.Add(geom.V(1, 0, 0)) // degenerate graph: just walk
+	}
+	next := n.m.Waypoints[n.path[0]].Pos
+	d := pos.Flat().Dist(next.Flat())
+	if d < arrive {
+		n.path = n.path[1:]
+		n.lastDist = 1e18
+		n.noProgess = 0
+		if len(n.path) == 0 {
+			n.plan(pos)
+			if len(n.path) == 0 {
+				return pos.Add(geom.V(1, 0, 0))
+			}
+		}
+		next = n.m.Waypoints[n.path[0]].Pos
+	}
+	// Stuck detection.
+	if d >= n.lastDist-0.5 {
+		n.noProgess++
+		if n.noProgess > 45 { // ~1.5s of client frames
+			n.plan(pos)
+			n.noProgess = 0
+			n.lastDist = 1e18
+			if len(n.path) > 0 {
+				next = n.m.Waypoints[n.path[0]].Pos
+			}
+		}
+	} else {
+		n.noProgess = 0
+	}
+	n.lastDist = d
+	return next
+}
+
+// plan BFSes from the waypoint nearest pos to a random goal.
+func (n *Navigator) plan(pos geom.Vec3) {
+	if len(n.m.Waypoints) == 0 {
+		n.path = nil
+		return
+	}
+	start := n.nearestWaypoint(pos)
+	goal := n.rng.Intn(len(n.m.Waypoints))
+	if goal == start {
+		goal = (goal + 1) % len(n.m.Waypoints)
+	}
+	n.goal = goal
+
+	prev := make([]int, len(n.m.Waypoints))
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[start] = start
+	queue := []int{start}
+	for len(queue) > 0 && prev[goal] == -1 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range n.m.Waypoints[cur].Links {
+			if prev[nb] == -1 {
+				prev[nb] = cur
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if prev[goal] == -1 {
+		// Unreachable (should not happen on generated maps): wander to a
+		// random neighbor.
+		n.path = append(n.path[:0], n.m.Waypoints[start].Links...)
+		return
+	}
+	// Reconstruct.
+	var rev []int
+	for at := goal; at != start; at = prev[at] {
+		rev = append(rev, at)
+	}
+	n.path = n.path[:0]
+	for i := len(rev) - 1; i >= 0; i-- {
+		n.path = append(n.path, rev[i])
+	}
+}
+
+func (n *Navigator) nearestWaypoint(pos geom.Vec3) int {
+	best, bestD := 0, 1e18
+	for i := range n.m.Waypoints {
+		if d := pos.Flat().DistSq(n.m.Waypoints[i].Pos.Flat()); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,157 @@
+package botclient
+
+import (
+	"math/rand"
+	"testing"
+
+	"qserve/internal/geom"
+	"qserve/internal/protocol"
+	"qserve/internal/transport"
+	"qserve/internal/worldmap"
+)
+
+func testMap() *worldmap.Map {
+	return worldmap.MustGenerate(worldmap.DefaultConfig())
+}
+
+func TestNavigatorProducesReachableTargets(t *testing.T) {
+	m := testMap()
+	nav := NewNavigator(m, rand.New(rand.NewSource(3)))
+	pos := m.Waypoints[0].Pos
+	for i := 0; i < 500; i++ {
+		target := nav.Steer(pos)
+		if !m.Bounds.Contains(target) {
+			t.Fatalf("step %d: target %v outside world", i, target)
+		}
+		// Walk 40 units toward the target, as a moving bot would.
+		d := target.Sub(pos)
+		if d.Flat().Len() > 1 {
+			pos = pos.Add(d.Flat().Norm().Scale(40))
+		}
+	}
+}
+
+func TestNavigatorPathFollowsLinks(t *testing.T) {
+	m := testMap()
+	nav := NewNavigator(m, rand.New(rand.NewSource(5)))
+	nav.plan(m.Waypoints[0].Pos)
+	if len(nav.path) == 0 {
+		t.Fatal("no path planned")
+	}
+	prev := nav.nearestWaypoint(m.Waypoints[0].Pos)
+	for _, wp := range nav.path {
+		linked := false
+		for _, l := range m.Waypoints[prev].Links {
+			if l == wp {
+				linked = true
+				break
+			}
+		}
+		if !linked {
+			t.Fatalf("path hop %d -> %d not a graph edge", prev, wp)
+		}
+		prev = wp
+	}
+	// Path ends at the goal.
+	if prev != nav.goal {
+		t.Errorf("path ends at %d, goal %d", prev, nav.goal)
+	}
+}
+
+func TestNavigatorStuckReplans(t *testing.T) {
+	m := testMap()
+	nav := NewNavigator(m, rand.New(rand.NewSource(7)))
+	pos := m.Waypoints[0].Pos
+	first := nav.Steer(pos)
+	// Never move: after enough no-progress decisions the plan changes.
+	changed := false
+	for i := 0; i < 200; i++ {
+		if got := nav.Steer(pos); got != first {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("stuck bot never re-planned")
+	}
+}
+
+func TestNearestWaypoint(t *testing.T) {
+	m := testMap()
+	nav := NewNavigator(m, rand.New(rand.NewSource(9)))
+	for i := 0; i < 20; i++ {
+		wp := m.Waypoints[i%len(m.Waypoints)]
+		got := nav.nearestWaypoint(wp.Pos.Add(geom.V(3, -2, 0)))
+		if m.Waypoints[got].Pos.Flat().Dist(wp.Pos.Flat()) > 1e-6 &&
+			got != wp.ID {
+			// Another waypoint may legitimately be equally close only if
+			// it shares the position; otherwise this is a bug.
+			t.Fatalf("nearest to wp %d = %d", wp.ID, got)
+		}
+	}
+}
+
+func TestBotConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	m := testMap()
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	c, _ := net.Listen("")
+	b, err := New(Config{Name: "x", Conn: c, Server: transport.MemAddr("srv"), Map: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.cfg.FrameMs != 33 || b.cfg.FireProb != 0.15 {
+		t.Errorf("defaults not applied: %+v", b.cfg)
+	}
+}
+
+func TestBotConnectTimeoutAgainstSilentServer(t *testing.T) {
+	m := testMap()
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	c, _ := net.Listen("")
+	// A listener that never answers.
+	silent, _ := net.Listen("silent")
+	_ = silent
+	b, _ := New(Config{
+		Name: "x", Conn: c, Server: transport.MemAddr("silent"), Map: m,
+		ConnectTimeout: 150 * 1e6, // 150ms
+	})
+	if err := b.Connect(); err == nil {
+		t.Error("connect to silent server succeeded")
+	}
+}
+
+func TestBotDecideMoveBasics(t *testing.T) {
+	m := testMap()
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	c, _ := net.Listen("")
+	b, _ := New(Config{Name: "x", Conn: c, Server: transport.MemAddr("s"), Map: m, Seed: 3})
+	b.pos = m.Waypoints[0].Pos
+
+	cmd := b.decideMove()
+	if cmd.Forward == 0 {
+		t.Error("bot does not move forward")
+	}
+	if cmd.Msec != 33 {
+		t.Errorf("msec = %d", cmd.Msec)
+	}
+
+	// With a nearby enemy the bot eventually fires.
+	var enemy protocol.EntityState
+	enemy.ID = 99
+	enemy.Class = 1
+	enemy.SetOrigin(b.pos.Add(geom.V(100, 0, 0)))
+	b.enemies = []protocol.EntityState{enemy}
+	fired := false
+	for i := 0; i < 200; i++ {
+		if b.decideMove().Buttons&protocol.BtnFire != 0 {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Error("bot never fires at a visible enemy")
+	}
+}

@@ -1,0 +1,158 @@
+package collide
+
+import (
+	"math"
+
+	"qserve/internal/geom"
+)
+
+// Trace is the result of sweeping a point or box through the world. The
+// semantics mirror the engine's trace structure: Fraction is how far the
+// motion got before hitting something (1 = full distance), End is the
+// final position, Normal is the surface normal at the hit, and StartSolid
+// flags a sweep that began inside solid geometry.
+type Trace struct {
+	Fraction   float64
+	End        geom.Vec3
+	Normal     geom.Vec3
+	Brush      int // index of the brush hit, -1 if none
+	Hit        bool
+	StartSolid bool
+}
+
+// surfaceEpsilon keeps trace endpoints a hair in front of surfaces so
+// successive traces never start embedded in the wall they just hit. The
+// value matches Quake's DIST_EPSILON.
+const surfaceEpsilon = 0.03125
+
+// TraceSegment sweeps the point a to b and returns the first hit.
+func (t *Tree) TraceSegment(a, b geom.Vec3, w *Work) Trace {
+	return t.TraceBox(a, b, geom.Vec3{}, w)
+}
+
+// TraceBox sweeps a box with the given half extents from a to b (the box
+// is centered on these points) and returns the first hit. The sweep is
+// performed as a segment trace against brushes expanded by the half
+// extents (the Minkowski-sum reduction).
+func (t *Tree) TraceBox(a, b geom.Vec3, halfExt geom.Vec3, w *Work) Trace {
+	tr := Trace{Fraction: 1, End: b, Brush: -1}
+	sweep := geom.Box(a, b).ExpandVec(halfExt).Expand(surfaceEpsilon)
+
+	bestT := math.Inf(1)
+	t.walkBox(0, sweep, w, func(bi int32) bool {
+		eb := t.brushes[bi].ExpandVec(halfExt)
+		hit, tt, n, startSolid := traceExpandedBrush(eb, a, b)
+		if startSolid {
+			tr.StartSolid = true
+			tr.Hit = true
+			tr.Fraction = 0
+			tr.End = a
+			tr.Normal = geom.Vec3{}
+			tr.Brush = int(bi)
+			bestT = 0
+			return true // keep scanning: other brushes may also be solid, but result stands
+		}
+		if hit && tt < bestT {
+			bestT = tt
+			tr.Hit = true
+			tr.Normal = n
+			tr.Brush = int(bi)
+		}
+		return true
+	})
+
+	if tr.StartSolid {
+		return tr
+	}
+	if tr.Hit {
+		dir := b.Sub(a)
+		length := dir.Len()
+		frac := bestT
+		if length > 0 {
+			// Pull the endpoint back by surfaceEpsilon along the motion.
+			frac = bestT - surfaceEpsilon/length
+			if frac < 0 {
+				frac = 0
+			}
+		}
+		tr.Fraction = frac
+		tr.End = a.Lerp(b, frac)
+	}
+	return tr
+}
+
+// TraceBoxAgainst sweeps a box with half extents he from a to b against a
+// single obstacle box, with the same boundary semantics as tree traces.
+// The game layer uses it to clip player motion against other entities
+// collected from the areanode tree.
+func TraceBoxAgainst(obstacle geom.AABB, a, b, he geom.Vec3) Trace {
+	tr := Trace{Fraction: 1, End: b, Brush: -1}
+	eb := obstacle.ExpandVec(he)
+	hit, tt, n, startSolid := traceExpandedBrush(eb, a, b)
+	if startSolid {
+		return Trace{Fraction: 0, End: a, Brush: -1, Hit: true, StartSolid: true}
+	}
+	if !hit {
+		return tr
+	}
+	dir := b.Sub(a)
+	length := dir.Len()
+	frac := tt
+	if length > 0 {
+		frac = tt - surfaceEpsilon/length
+		if frac < 0 {
+			frac = 0
+		}
+	}
+	return Trace{Fraction: frac, End: a.Lerp(b, frac), Normal: n, Brush: -1, Hit: true}
+}
+
+// traceExpandedBrush slab-tests the segment a→b against box eb.
+//
+// Boundary rules matter for movement quality:
+//   - a strictly inside eb: start solid;
+//   - a touching a face while moving away or parallel: no hit (lets
+//     entities slide along and leave surfaces they rest on);
+//   - a touching a face while moving in: hit at t=0 (walls block).
+func traceExpandedBrush(eb geom.AABB, a, b geom.Vec3) (hit bool, t float64, normal geom.Vec3, startSolid bool) {
+	if eb.ContainsStrict(a) {
+		return true, 0, geom.Vec3{}, true
+	}
+	d := b.Sub(a)
+	tEnter, tExit := math.Inf(-1), math.Inf(1)
+	enterAxis, enterSign := -1, 0.0
+	for i := 0; i < 3; i++ {
+		av, dv := a.Axis(i), d.Axis(i)
+		mn, mx := eb.Min.Axis(i), eb.Max.Axis(i)
+		if dv == 0 {
+			if av <= mn || av >= mx {
+				// Outside or exactly on this slab with no motion along
+				// it: can only touch, never penetrate.
+				return false, 0, geom.Vec3{}, false
+			}
+			continue
+		}
+		inv := 1 / dv
+		t0 := (mn - av) * inv
+		t1 := (mx - av) * inv
+		sign := -1.0
+		if t0 > t1 {
+			t0, t1 = t1, t0
+			sign = 1.0
+		}
+		if t0 > tEnter {
+			tEnter = t0
+			enterAxis, enterSign = i, sign
+		}
+		if t1 < tExit {
+			tExit = t1
+		}
+	}
+	// Positive-measure overlap with the motion interval is required:
+	// touching at a single parameter value is not a hit.
+	if enterAxis < 0 || tEnter >= tExit || tEnter > 1 || tExit <= 0 || tEnter < 0 {
+		return false, 0, geom.Vec3{}, false
+	}
+	normal = geom.Vec3{}.SetAxis(enterAxis, enterSign)
+	return true, tEnter, normal, false
+}

@@ -1,0 +1,319 @@
+package collide
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qserve/internal/geom"
+	"qserve/internal/worldmap"
+)
+
+func testTree(t testing.TB) (*Tree, *worldmap.Map) {
+	t.Helper()
+	m := worldmap.MustGenerate(worldmap.DefaultConfig())
+	boxes := make([]geom.AABB, len(m.Brushes))
+	for i, b := range m.Brushes {
+		boxes[i] = b.Box
+	}
+	return NewTree(boxes, m.Bounds), m
+}
+
+func TestTreeBuild(t *testing.T) {
+	tr, m := testTree(t)
+	if tr.NumBrushes() != len(m.Brushes) {
+		t.Errorf("NumBrushes = %d, want %d", tr.NumBrushes(), len(m.Brushes))
+	}
+	if tr.NumNodes() < 2 {
+		t.Errorf("tree did not split: %d nodes", tr.NumNodes())
+	}
+	if tr.Bounds() != m.Bounds {
+		t.Errorf("Bounds = %v", tr.Bounds())
+	}
+}
+
+func TestPointSolid(t *testing.T) {
+	tr, m := testTree(t)
+	var w Work
+
+	// Below the floor is solid.
+	if !tr.PointSolid(geom.V(100, 100, -8), &w) {
+		t.Error("point inside floor not solid")
+	}
+	// Room centers are open space.
+	for _, r := range m.Rooms {
+		if tr.PointSolid(r.Bounds.Center(), &w) {
+			t.Errorf("room %d center reported solid", r.ID)
+		}
+	}
+	// Exactly on the floor surface is not solid (resting rule).
+	if tr.PointSolid(geom.V(100, 100, 0), &w) {
+		t.Error("point on floor surface reported solid")
+	}
+	if w.Nodes == 0 || w.BrushTests == 0 {
+		t.Error("work counters not accumulated")
+	}
+	// Nil work pointer must be accepted.
+	_ = tr.PointSolid(geom.V(1, 1, 1), nil)
+}
+
+func TestBoxSolid(t *testing.T) {
+	tr, m := testTree(t)
+	room := m.Rooms[0].Bounds
+	openBox := geom.BoxAt(room.Center(), geom.V(16, 16, 28))
+	if tr.BoxSolid(openBox, nil) {
+		t.Error("box in open room reported solid")
+	}
+	wallBox := geom.BoxAt(geom.V(100, 100, -8), geom.V(4, 4, 4))
+	if !tr.BoxSolid(wallBox, nil) {
+		t.Error("box in floor not reported solid")
+	}
+	// Touching the floor from above is not solid overlap.
+	touching := geom.Box(geom.V(90, 90, 0), geom.V(110, 110, 20))
+	if tr.BoxSolid(touching, nil) {
+		t.Error("box resting on floor reported solid")
+	}
+}
+
+func TestTraceSegmentHitsWalls(t *testing.T) {
+	tr, m := testTree(t)
+	c := m.Rooms[0].Bounds.Center()
+
+	// Straight down into the floor.
+	res := tr.TraceSegment(c, geom.V(c.X, c.Y, -100), nil)
+	if !res.Hit {
+		t.Fatal("downward trace missed the floor")
+	}
+	if res.Normal != geom.V(0, 0, 1) {
+		t.Errorf("floor normal = %v", res.Normal)
+	}
+	if math.Abs(res.End.Z-0) > 2*surfaceEpsilon+1e-9 {
+		t.Errorf("trace stopped at z=%v, want ~0", res.End.Z)
+	}
+	if res.Fraction <= 0 || res.Fraction >= 1 {
+		t.Errorf("fraction = %v", res.Fraction)
+	}
+
+	// Within the open room: no hit.
+	res = tr.TraceSegment(c, c.Add(geom.V(20, 20, 20)), nil)
+	if res.Hit {
+		t.Errorf("open-space trace hit brush %d", res.Brush)
+	}
+	if res.Fraction != 1 || res.End != c.Add(geom.V(20, 20, 20)) {
+		t.Errorf("open-space trace end = %v fraction = %v", res.End, res.Fraction)
+	}
+
+	// Far beyond the outer wall: must stop inside the world.
+	res = tr.TraceSegment(c, c.Add(geom.V(1e6, 0, 0)), nil)
+	if !res.Hit {
+		t.Fatal("horizontal trace escaped the world")
+	}
+	if !m.Bounds.Contains(res.End) {
+		t.Errorf("trace end %v outside world", res.End)
+	}
+}
+
+func TestTraceConsecutiveNotStartSolid(t *testing.T) {
+	tr, m := testTree(t)
+	c := m.Rooms[0].Bounds.Center()
+	res := tr.TraceSegment(c, geom.V(c.X, c.Y, -100), nil)
+	if !res.Hit || res.StartSolid {
+		t.Fatalf("setup trace: %+v", res)
+	}
+	// Trace again from the stop point: the epsilon pullback must keep us
+	// out of the floor.
+	res2 := tr.TraceSegment(res.End, geom.V(res.End.X, res.End.Y, -100), nil)
+	if res2.StartSolid {
+		t.Error("second trace started solid — epsilon pullback failed")
+	}
+	if !res2.Hit {
+		t.Error("second trace should still hit the floor")
+	}
+	// And tracing away from the surface must be free.
+	res3 := tr.TraceSegment(res.End, res.End.Add(geom.V(0, 0, 50)), nil)
+	if res3.Hit {
+		t.Errorf("trace away from floor hit: %+v", res3)
+	}
+}
+
+func TestTraceBoxDoorway(t *testing.T) {
+	tr, m := testTree(t)
+	if len(m.Portals) == 0 {
+		t.Skip("no portals")
+	}
+	p := m.Portals[0]
+	a := m.Rooms[p.RoomA].Bounds.Center()
+	b := m.Rooms[p.RoomB].Bounds.Center()
+	// Trace at standing height: box top must clear the 112-unit doorway.
+	a.Z = 53
+	b.Z = 53
+	door := p.Bounds.Center()
+
+	// A player-sized box fits through the 64-unit doorway.
+	playerHE := geom.V(16, 16, 24)
+	t1 := tr.TraceBox(a, geom.V(door.X, door.Y, a.Z), playerHE, nil)
+	if t1.Hit {
+		t.Errorf("player box blocked reaching doorway: %+v", t1)
+	}
+	// A box wider than the doorway cannot pass the wall plane.
+	fatHE := geom.V(40, 40, 24)
+	t2 := tr.TraceBox(a, b, fatHE, nil)
+	if !t2.Hit {
+		t.Error("oversized box passed through doorway")
+	}
+}
+
+func TestTraceBoxStartSolid(t *testing.T) {
+	tr, _ := testTree(t)
+	inWall := geom.V(100, 100, -8)
+	res := tr.TraceBox(inWall, inWall.Add(geom.V(10, 0, 0)), geom.V(4, 4, 4), nil)
+	if !res.StartSolid || !res.Hit || res.Fraction != 0 {
+		t.Errorf("start-solid trace = %+v", res)
+	}
+	if res.End != inWall {
+		t.Errorf("start-solid end = %v, want start", res.End)
+	}
+}
+
+func TestTraceZeroLength(t *testing.T) {
+	tr, m := testTree(t)
+	c := m.Rooms[0].Bounds.Center()
+	res := tr.TraceSegment(c, c, nil)
+	if res.Hit || res.Fraction != 1 {
+		t.Errorf("zero-length open trace = %+v", res)
+	}
+}
+
+// TestTraceMatchesBruteForce cross-validates the tree traversal against a
+// linear scan over all brushes with the same per-brush test.
+func TestTraceMatchesBruteForce(t *testing.T) {
+	tr, m := testTree(t)
+	boxes := make([]geom.AABB, len(m.Brushes))
+	for i, b := range m.Brushes {
+		boxes[i] = b.Box
+	}
+
+	brute := func(a, b geom.Vec3, he geom.Vec3) (bool, float64, bool) {
+		hit := false
+		best := math.Inf(1)
+		for _, bb := range boxes {
+			eb := bb.ExpandVec(he)
+			h, tt, _, ss := traceExpandedBrush(eb, a, b)
+			if ss {
+				return true, 0, true
+			}
+			if h && tt < best {
+				best = tt
+				hit = true
+			}
+		}
+		return hit, best, false
+	}
+
+	r := rand.New(rand.NewSource(11))
+	randPt := func() geom.Vec3 {
+		return geom.V(
+			m.Bounds.Min.X+r.Float64()*(m.Bounds.Max.X-m.Bounds.Min.X),
+			m.Bounds.Min.Y+r.Float64()*(m.Bounds.Max.Y-m.Bounds.Min.Y),
+			m.Bounds.Min.Z+r.Float64()*(m.Bounds.Max.Z-m.Bounds.Min.Z),
+		)
+	}
+	hes := []geom.Vec3{{}, {X: 16, Y: 16, Z: 24}, {X: 2, Y: 2, Z: 2}}
+	for i := 0; i < 3000; i++ {
+		a, b := randPt(), randPt()
+		he := hes[i%len(hes)]
+		want, wantT, wantSS := brute(a, b, he)
+		got := tr.TraceBox(a, b, he, nil)
+		if wantSS {
+			if !got.StartSolid {
+				t.Fatalf("case %d: brute start-solid, tree %+v (a=%v b=%v he=%v)", i, got, a, b, he)
+			}
+			continue
+		}
+		if got.StartSolid {
+			t.Fatalf("case %d: tree start-solid, brute not (a=%v b=%v he=%v)", i, a, b, he)
+		}
+		if got.Hit != want {
+			t.Fatalf("case %d: tree hit=%v brute hit=%v (a=%v b=%v he=%v)", i, got.Hit, want, a, b, he)
+		}
+		if want {
+			// Compare raw hit parameter: reconstruct from fraction+epsilon,
+			// tolerating the clamp to zero for hits closer than the pullback.
+			dir := b.Sub(a)
+			length := dir.Len()
+			rawT := got.Fraction
+			if length > 0 {
+				rawT = got.Fraction + surfaceEpsilon/length
+			}
+			clampedZero := got.Fraction == 0 && length > 0 && wantT <= surfaceEpsilon/length
+			if !clampedZero && math.Abs(rawT-wantT) > 1e-6 && math.Abs(got.Fraction-wantT) > 1e-6 {
+				t.Fatalf("case %d: tree t=%v brute t=%v", i, rawT, wantT)
+			}
+		}
+	}
+}
+
+func TestWorkCountersInTraces(t *testing.T) {
+	tr, m := testTree(t)
+	var w Work
+	c := m.Rooms[0].Bounds.Center()
+	tr.TraceSegment(c, c.Add(geom.V(500, 0, 0)), &w)
+	if w.Nodes == 0 {
+		t.Error("trace visited no nodes")
+	}
+	before := w
+	tr.TraceSegment(c, c.Add(geom.V(500, 0, 0)), &w)
+	if w.Nodes <= before.Nodes {
+		t.Error("work counters should accumulate across calls")
+	}
+	var sum Work
+	sum.Add(w)
+	sum.Add(before)
+	if sum.Nodes != w.Nodes+before.Nodes || sum.BrushTests != w.BrushTests+before.BrushTests {
+		t.Error("Work.Add arithmetic wrong")
+	}
+}
+
+func TestDegenerateTreeSingleBrush(t *testing.T) {
+	b := geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 10))
+	tr := NewTree([]geom.AABB{b}, b.Expand(100))
+	if !tr.PointSolid(geom.V(5, 5, 5), nil) {
+		t.Error("point in single brush not solid")
+	}
+	res := tr.TraceSegment(geom.V(-50, 5, 5), geom.V(50, 5, 5), nil)
+	if !res.Hit || res.Normal != geom.V(-1, 0, 0) {
+		t.Errorf("single brush trace = %+v", res)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := NewTree(nil, geom.Box(geom.V(-100, -100, -100), geom.V(100, 100, 100)))
+	if tr.PointSolid(geom.V(0, 0, 0), nil) {
+		t.Error("empty tree reports solid")
+	}
+	res := tr.TraceSegment(geom.V(-50, 0, 0), geom.V(50, 0, 0), nil)
+	if res.Hit {
+		t.Error("empty tree trace hit something")
+	}
+}
+
+func BenchmarkTraceBox(b *testing.B) {
+	tr, m := testTree(b)
+	c := m.Rooms[0].Bounds.Center()
+	he := geom.V(16, 16, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.TraceBox(c, c.Add(geom.V(300, 120, 0)), he, nil)
+	}
+}
+
+func BenchmarkPointSolid(b *testing.B) {
+	tr, m := testTree(b)
+	c := m.Rooms[3].Bounds.Center()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.PointSolid(c, nil)
+	}
+}

@@ -1,0 +1,171 @@
+// Package costmodel converts the work counters reported by the game
+// layer into virtual nanoseconds for the simulated machine. The constants
+// are calibrated so the *sequential* engine reproduces the published
+// sequential behaviour of the original server on the paper's testbed
+// (a 1.4 GHz Xeon): saturation near 128 players on a large map, reply
+// processing roughly twice the request processing time, world physics
+// under 5% of the total. Everything the parallel experiments measure
+// then follows from the protocol and the machine model rather than from
+// fitting.
+package costmodel
+
+import "qserve/internal/game"
+
+// Model holds per-operation virtual costs in nanoseconds.
+type Model struct {
+	// Request processing.
+	RecvPacket int64 // receive + parse one datagram
+	MoveBase   int64 // fixed per-move-command cost
+	TreeNode   int64 // per areanode visited in a traversal
+	TreeCheck  int64 // per object intersection test in a node list
+	Candidate  int64 // per obstacle entity gathered
+	CollideOp  int64 // per collide-tree node visited
+	BrushTest  int64 // per brush slab test
+	PhysTrace  int64 // per hull sweep (integration overhead)
+	Clip       int64 // per velocity clip
+	Touch      int64 // per pickup/teleport executed
+	Hitscan    int64 // per entity tested along a hitscan ray
+	Spawn      int64 // per entity spawned
+
+	// Parallel-version overheads (§4.1: "locking is performed in
+	// recursive procedures that traverse the areanode tree and the
+	// server needs to determine which regions to lock").
+	RegionCalc  int64 // per lock-region determination
+	LockAcquire int64 // per lock/unlock pair, excluding queueing delay
+
+	// Reply processing.
+	SnapshotBase int64 // fixed per-reply cost
+	SnapConsider int64 // per entity considered for visibility
+	SnapVisible  int64 // per entity delta-encoded into the reply
+	SnapEvent    int64 // per broadcast event copied into the reply
+	ReplySend    int64 // sendto cost
+
+	// World processing. Every frame pays the preamble (frame setup plus
+	// an entity-table scan); the physics tick (thinks, projectile
+	// flight) is rate-limited like QuakeWorld's sv_mintic and costs
+	// TickBase plus the per-entity work.
+	WorldBase int64 // per-frame preamble
+	TickBase  int64 // per physics tick
+	Think     int64 // per entity advanced in a tick
+	Scan      int64 // per entity scanned, preamble and tick alike
+
+	// Misc.
+	SelectReturn int64 // cost of returning from select with a packet
+	GlobalBuffer int64 // per access to the global state buffer
+}
+
+// Default returns the calibrated model. See EXPERIMENTS.md §Calibration
+// for the resulting sequential breakdown.
+func Default() Model {
+	return Model{
+		RecvPacket: 6_000,
+		MoveBase:   29_000,
+		TreeNode:   400,
+		TreeCheck:  200,
+		Candidate:  600,
+		CollideOp:  250,
+		BrushTest:  300,
+		PhysTrace:  5_000,
+		Clip:       1_200,
+		Touch:      8_000,
+		Hitscan:    2_000,
+		Spawn:      10_000,
+
+		RegionCalc:  4_000,
+		LockAcquire: 1_200,
+
+		SnapshotBase: 12_000,
+		SnapConsider: 120,
+		SnapVisible:  1_850,
+		SnapEvent:    500,
+		ReplySend:    9_000,
+
+		WorldBase: 15_000,
+		TickBase:  40_000,
+		Think:     2_000,
+		Scan:      80,
+
+		SelectReturn: 3_000,
+		GlobalBuffer: 900,
+	}
+}
+
+// WorkCost prices the variable work counters of a move or sub-move; it
+// is what the engine charges while a region lock is held.
+func (m *Model) WorkCost(w game.Work) int64 {
+	return int64(w.TreeNodes)*m.TreeNode +
+		int64(w.TreeChecks)*m.TreeCheck +
+		int64(w.Candidates)*m.Candidate +
+		int64(w.Collide.Nodes)*m.CollideOp +
+		int64(w.Collide.BrushTests)*m.BrushTest +
+		int64(w.PhysTraces)*m.PhysTrace +
+		int64(w.Clips)*m.Clip +
+		int64(w.Touches)*m.Touch +
+		int64(w.Hitscan)*m.Hitscan +
+		int64(w.Spawns)*m.Spawn
+}
+
+// MoveCost returns the total execution cost of a move, excluding lock
+// overheads and queueing (charged separately by the engine).
+func (m *Model) MoveCost(w game.Work) int64 {
+	return m.MoveBase + m.WorkCost(w)
+}
+
+// RegionOverhead returns the parallel-only cost of lock-region
+// bookkeeping for a move.
+func (m *Model) RegionOverhead(w game.Work) int64 {
+	return int64(w.RegionCalc) * m.RegionCalc
+}
+
+// SnapshotCost returns the reply-formation cost for one client.
+func (m *Model) SnapshotCost(sw game.SnapshotWork, events int) int64 {
+	return m.SnapshotBase +
+		int64(sw.Considered)*m.SnapConsider +
+		int64(sw.Visible)*m.SnapVisible +
+		int64(events)*m.SnapEvent +
+		m.ReplySend
+}
+
+// FramePreamble returns the always-paid per-frame world-phase cost for a
+// table with the given entity high-water mark.
+func (m *Model) FramePreamble(entities int) int64 {
+	return m.WorldBase + int64(entities)*m.Scan
+}
+
+// WorldCost returns the rate-limited physics tick's cost.
+func (m *Model) WorldCost(w game.Work) int64 {
+	return m.TickBase +
+		int64(w.Thinks)*m.Think +
+		int64(w.Scans)*m.Scan +
+		int64(w.Collide.Nodes)*m.CollideOp +
+		int64(w.Collide.BrushTests)*m.BrushTest +
+		int64(w.PhysTraces)*m.PhysTrace +
+		int64(w.TreeNodes)*m.TreeNode +
+		int64(w.TreeChecks)*m.TreeCheck
+}
+
+// MachineConfig describes the simulated testbed — Table 1 of the paper,
+// expressed as simulator parameters.
+type MachineConfig struct {
+	Name       string
+	Cores      int     // physical CPUs
+	SMTWays    int     // hardware threads per core
+	SMTPenalty float64 // per-context slowdown when a sibling is busy
+	// MemContention inflates compute by 1 + MemContention × (other busy
+	// cores): the shared 400 MHz front-side bus of Table 1.
+	MemContention float64
+}
+
+// PaperMachine returns the simulated analogue of the paper's server:
+// 4 × Intel Xeon 1.4 GHz with 2-way hyper-threading (Table 1). The SMT
+// penalty reflects the published observation that 8 hardware threads
+// barely outperform 4.
+func PaperMachine() MachineConfig {
+	return MachineConfig{
+		Name:          "4 x Intel Xeon 1.4 GHz, 2-way HT (simulated)",
+		Cores:         4,
+		SMTWays:       2,
+		SMTPenalty:    1.6,
+		MemContention: 0.28,
+	}
+}

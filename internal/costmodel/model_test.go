@@ -1,0 +1,126 @@
+package costmodel
+
+import (
+	"testing"
+
+	"qserve/internal/collide"
+	"qserve/internal/game"
+)
+
+func TestDefaultModelPositive(t *testing.T) {
+	m := Default()
+	checks := map[string]int64{
+		"RecvPacket": m.RecvPacket, "MoveBase": m.MoveBase, "TreeNode": m.TreeNode,
+		"TreeCheck": m.TreeCheck, "Candidate": m.Candidate, "CollideOp": m.CollideOp,
+		"BrushTest": m.BrushTest, "PhysTrace": m.PhysTrace, "Clip": m.Clip,
+		"Touch": m.Touch, "Hitscan": m.Hitscan, "Spawn": m.Spawn,
+		"RegionCalc": m.RegionCalc, "LockAcquire": m.LockAcquire,
+		"SnapshotBase": m.SnapshotBase, "SnapConsider": m.SnapConsider,
+		"SnapVisible": m.SnapVisible, "SnapEvent": m.SnapEvent, "ReplySend": m.ReplySend,
+		"WorldBase": m.WorldBase, "TickBase": m.TickBase, "Think": m.Think, "Scan": m.Scan,
+		"SelectReturn": m.SelectReturn, "GlobalBuffer": m.GlobalBuffer,
+	}
+	for name, v := range checks {
+		if v <= 0 {
+			t.Errorf("%s = %d, must be positive", name, v)
+		}
+	}
+}
+
+func TestMoveCostComposition(t *testing.T) {
+	m := Default()
+	var zero game.Work
+	if got := m.MoveCost(zero); got != m.MoveBase {
+		t.Errorf("zero-work move cost = %d, want base %d", got, m.MoveBase)
+	}
+	w := game.Work{
+		TreeNodes:  3,
+		TreeChecks: 5,
+		Collide:    collide.Work{Nodes: 7, BrushTests: 11},
+		PhysTraces: 2,
+		Clips:      1,
+		Touches:    1,
+		Hitscan:    4,
+		Spawns:     1,
+	}
+	want := 3*m.TreeNode + 5*m.TreeCheck + 7*m.CollideOp + 11*m.BrushTest +
+		2*m.PhysTrace + 1*m.Clip + 1*m.Touch + 4*m.Hitscan + 1*m.Spawn
+	if got := m.WorkCost(w); got != want {
+		t.Errorf("WorkCost = %d, want %d", got, want)
+	}
+	if got := m.MoveCost(w); got != m.MoveBase+want {
+		t.Errorf("MoveCost = %d, want %d", got, m.MoveBase+want)
+	}
+}
+
+func TestWorkCostAdditive(t *testing.T) {
+	m := Default()
+	a := game.Work{TreeNodes: 2, PhysTraces: 3}
+	b := game.Work{TreeChecks: 4, Clips: 1}
+	sum := a
+	sum.Add(b)
+	if m.WorkCost(sum) != m.WorkCost(a)+m.WorkCost(b) {
+		t.Error("WorkCost not additive over Work.Add")
+	}
+	// Sub inverts Add.
+	diff := sum.Sub(b)
+	if m.WorkCost(diff) != m.WorkCost(a) {
+		t.Error("WorkCost not consistent over Work.Sub")
+	}
+}
+
+func TestRegionOverhead(t *testing.T) {
+	m := Default()
+	w := game.Work{RegionCalc: 3}
+	if got := m.RegionOverhead(w); got != 3*m.RegionCalc {
+		t.Errorf("RegionOverhead = %d", got)
+	}
+	// Region bookkeeping must not leak into MoveCost (it is a
+	// parallel-only overhead the sequential server never pays).
+	if m.MoveCost(w) != m.MoveBase {
+		t.Error("RegionCalc charged inside MoveCost")
+	}
+}
+
+func TestSnapshotCostScalesWithVisibility(t *testing.T) {
+	m := Default()
+	small := m.SnapshotCost(game.SnapshotWork{Considered: 10, Visible: 2}, 0)
+	big := m.SnapshotCost(game.SnapshotWork{Considered: 200, Visible: 60}, 10)
+	if big <= small {
+		t.Error("snapshot cost not increasing with visibility")
+	}
+	base := m.SnapshotCost(game.SnapshotWork{}, 0)
+	if base != m.SnapshotBase+m.ReplySend {
+		t.Errorf("empty snapshot cost = %d", base)
+	}
+}
+
+func TestFramePreambleAndWorldCost(t *testing.T) {
+	m := Default()
+	if m.FramePreamble(0) != m.WorldBase {
+		t.Error("empty preamble != WorldBase")
+	}
+	if m.FramePreamble(100)-m.FramePreamble(0) != 100*m.Scan {
+		t.Error("preamble not linear in entity count")
+	}
+	w := game.Work{Thinks: 5, Scans: 100}
+	if got := m.WorldCost(w); got != m.TickBase+5*m.Think+100*m.Scan {
+		t.Errorf("WorldCost = %d", got)
+	}
+}
+
+func TestPaperMachine(t *testing.T) {
+	mc := PaperMachine()
+	if mc.Cores != 4 || mc.SMTWays != 2 {
+		t.Errorf("machine = %+v", mc)
+	}
+	if mc.SMTPenalty <= 1 {
+		t.Error("SMT penalty must exceed 1")
+	}
+	if mc.MemContention <= 0 || mc.MemContention >= 1 {
+		t.Errorf("memory contention %v out of plausible range", mc.MemContention)
+	}
+	if mc.Name == "" {
+		t.Error("machine unnamed")
+	}
+}

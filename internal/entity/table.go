@@ -1,0 +1,119 @@
+package entity
+
+import "fmt"
+
+// Table is a fixed-capacity entity arena with free-list reuse, mirroring
+// the engine's edict array. Pointers returned by Get and Alloc remain
+// valid for the table's lifetime (the backing array never reallocates).
+//
+// The table itself is not synchronized: allocation and freeing happen in
+// phases where the executing thread has exclusive access (world physics
+// runs on the master thread; spawning during request processing happens
+// under the region locks covering the affected area, with ID allocation
+// serialized by the caller).
+type Table struct {
+	ents   []Entity
+	free   []ID
+	active int
+	// highWater is one past the largest ID ever allocated, bounding scans.
+	highWater int
+}
+
+// NewTable creates a table with the given capacity.
+func NewTable(capacity int) *Table {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("entity: capacity %d must be positive", capacity))
+	}
+	return &Table{ents: make([]Entity, capacity)}
+}
+
+// Capacity returns the table's fixed capacity.
+func (t *Table) Capacity() int { return len(t.ents) }
+
+// Active returns the number of live entities.
+func (t *Table) Active() int { return t.active }
+
+// HighWater returns one past the largest ID ever allocated.
+func (t *Table) HighWater() int { return t.highWater }
+
+// Alloc returns a fresh entity of the given class, reusing freed slots
+// first. It returns nil when the table is full.
+func (t *Table) Alloc(class Class) *Entity {
+	var id ID
+	if n := len(t.free); n > 0 {
+		id = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		if t.highWater >= len(t.ents) {
+			return nil
+		}
+		id = ID(t.highWater)
+		t.highWater++
+	}
+	e := &t.ents[id]
+	*e = Entity{
+		ID:        id,
+		Class:     class,
+		Active:    true,
+		ItemSpawn: -1,
+		RoomID:    -1,
+		Owner:     None,
+	}
+	t.active++
+	return e
+}
+
+// Free returns an entity slot to the free list. The caller must have
+// unlinked it from the areanode tree first; Free panics on a still-linked
+// entity because a dangling spatial link is unrecoverable corruption.
+func (t *Table) Free(id ID) {
+	e := t.Get(id)
+	if e == nil || !e.Active {
+		return
+	}
+	if e.Link.Linked() {
+		panic(fmt.Sprintf("entity: freeing linked entity %d (%v)", id, e.Class))
+	}
+	e.Active = false
+	e.Class = ClassNone
+	t.free = append(t.free, id)
+	t.active--
+}
+
+// Get returns the entity with the given ID, or nil for out-of-range IDs.
+// The result may be inactive; callers check Active when it matters.
+func (t *Table) Get(id ID) *Entity {
+	if id < 0 || int(id) >= len(t.ents) {
+		return nil
+	}
+	return &t.ents[id]
+}
+
+// ForEach calls fn for every active entity in ID order.
+func (t *Table) ForEach(fn func(*Entity)) {
+	for i := 0; i < t.highWater; i++ {
+		if e := &t.ents[i]; e.Active {
+			fn(e)
+		}
+	}
+}
+
+// ForEachClass calls fn for every active entity of the given class.
+func (t *Table) ForEachClass(class Class, fn func(*Entity)) {
+	for i := 0; i < t.highWater; i++ {
+		if e := &t.ents[i]; e.Active && e.Class == class {
+			fn(e)
+		}
+	}
+}
+
+// CountClass returns the number of active entities of the given class.
+func (t *Table) CountClass(class Class) int {
+	n := 0
+	for i := 0; i < t.highWater; i++ {
+		if e := &t.ents[i]; e.Active && e.Class == class {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qserve/internal/locking"
+	"qserve/internal/metrics"
+	"qserve/internal/simserver"
+)
+
+// AblationAssignment evaluates the paper's §5.1 future-work proposal:
+// "dynamically assigning threads to players taking into account the
+// region they are located may reduce contention". It compares the static
+// block policy, static round-robin, and periodic region-based
+// repartitioning under the optimized locking scheme (whole-map
+// conservative locks make player placement irrelevant).
+func AblationAssignment(o Options) (string, error) {
+	o.fill()
+	t := metrics.Table{
+		Title: "Ablation (paper §5.1 future work): player→thread assignment policy",
+		Header: []string{
+			"policy", "players", "lock%", "leaf-shared", "intra-wait", "resp ms",
+		},
+	}
+	for _, policy := range []simserver.AssignPolicy{
+		simserver.AssignBlock, simserver.AssignRoundRobin, simserver.AssignRegion,
+	} {
+		for _, players := range []int{128, 144} {
+			o.Progress("ablation-assign: %v players=%d", policy, players)
+			cfg := baseConfig(o, players, 4, false, locking.Optimized{})
+			cfg.Assign = policy
+			res, err := run(cfg)
+			if err != nil {
+				return "", err
+			}
+			t.AddRow(
+				policy.String(),
+				fmt.Sprint(players),
+				metrics.Pct(res.Avg.Percent(metrics.CompLock)),
+				metrics.Pct(100*res.FrameLog.SharedLeafFraction()),
+				metrics.Pct(res.Avg.Percent(metrics.CompIntraWait)),
+				metrics.F1(res.ResponseTimeMs()),
+			)
+		}
+	}
+	return t.Render(), nil
+}
+
+// AblationBatching evaluates the §5.2 future-work proposal: "the frame
+// master thread can wait for a period of time before starting the
+// frame". Batching thickens frames (more requests and participants per
+// frame) at the cost of added response latency.
+func AblationBatching(o Options) (string, error) {
+	o.fill()
+	t := metrics.Table{
+		Title: "Ablation (paper §5.2 future work): request batching delay",
+		Header: []string{
+			"batch", "frames", "req/thread/frame", "intra-wait", "inter-wait", "resp ms",
+		},
+	}
+	for _, batchUs := range []int64{0, 250, 500, 1000, 2000} {
+		o.Progress("ablation-batch: %dus", batchUs)
+		cfg := baseConfig(o, 128, 4, false, locking.Conservative{})
+		cfg.BatchDelayNs = batchUs * 1000
+		res, err := run(cfg)
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(
+			fmt.Sprintf("%dus", batchUs),
+			fmt.Sprint(res.Frames),
+			metrics.F2(res.FrameLog.RequestsPerThreadPerFrame()),
+			metrics.Pct(res.Avg.Percent(metrics.CompIntraWait)),
+			metrics.Pct(res.Avg.Percent(metrics.CompInterWait)),
+			metrics.F1(res.ResponseTimeMs()),
+		)
+	}
+	return t.Render(), nil
+}
+
+// AblationSMT isolates the machine model: the same 8-thread workload on
+// the paper's 4-core SMT machine versus a hypothetical 8 true cores and
+// a contention-free memory system, quantifying how much of the "8
+// threads do not improve performance" result each hardware limit
+// contributes.
+func AblationSMT(o Options) (string, error) {
+	o.fill()
+	t := metrics.Table{
+		Title:  "Ablation: machine model at 8 threads, 160 players",
+		Header: []string{"machine", "rate", "resp ms", "lock%", "wait%"},
+	}
+	type variant struct {
+		name  string
+		cores int
+		smt   float64
+		mem   float64
+	}
+	for _, v := range []variant{
+		{"paper: 4 cores, SMT 1.6, bus 0.28", 4, 1.6, 0.28},
+		{"no SMT penalty", 4, 1.0, 0.28},
+		{"no bus contention", 4, 1.6, 0},
+		{"ideal: 8 true cores, free memory", 8, 1.0, 0},
+	} {
+		o.Progress("ablation-smt: %s", v.name)
+		cfg := baseConfig(o, 160, 8, false, locking.Conservative{})
+		cfg.Machine.Cores = v.cores
+		cfg.Machine.SMTPenalty = v.smt
+		cfg.Machine.MemContention = v.mem
+		res, err := run(cfg)
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(
+			v.name,
+			metrics.F1(res.ResponseRate()),
+			metrics.F1(res.ResponseTimeMs()),
+			metrics.Pct(res.Avg.Percent(metrics.CompLock)),
+			metrics.Pct(res.Avg.Percent(metrics.CompIntraWait)+res.Avg.Percent(metrics.CompInterWait)),
+		)
+	}
+	return t.Render(), nil
+}
+
+// AblationLockGranularity measures lock overhead versus areanode tree
+// depth under contention — the experiment behind the paper's §5.1
+// remark that growing the tree beyond 31 areanodes "does not seem to
+// have an impact on the lock overhead".
+func AblationLockGranularity(o Options) (string, error) {
+	o.fill()
+	t := metrics.Table{
+		Title:  "Ablation: lock overhead vs areanode tree size (4T, 144 players, optimized)",
+		Header: []string{"areanodes", "lock%", "leaf-shared", "resp ms"},
+	}
+	for _, depth := range []int{1, 2, 3, 4, 5} {
+		o.Progress("ablation-granularity: depth=%d", depth)
+		cfg := baseConfig(o, 144, 4, false, locking.Optimized{})
+		cfg.AreanodeDepth = depth
+		res, err := run(cfg)
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(
+			fmt.Sprint(1<<(depth+1)-1),
+			metrics.Pct(res.Avg.Percent(metrics.CompLock)),
+			metrics.Pct(100*res.FrameLog.SharedLeafFraction()),
+			metrics.F1(res.ResponseTimeMs()),
+		)
+	}
+	return t.Render(), nil
+}
+
+// Ablations runs every ablation experiment.
+func Ablations(o Options) (string, error) {
+	o.fill()
+	var out string
+	for _, fn := range []func(Options) (string, error){
+		AblationAssignment, AblationBatching, AblationSMT, AblationLockGranularity,
+	} {
+		s, err := fn(o)
+		if err != nil {
+			return out, err
+		}
+		out += s + "\n"
+	}
+	return out, nil
+}

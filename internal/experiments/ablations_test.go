@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"qserve/internal/locking"
+	"qserve/internal/metrics"
+	"qserve/internal/simserver"
+)
+
+func TestAblationTablesRender(t *testing.T) {
+	o := quickOpts()
+	for name, fn := range map[string]func(Options) (string, error){
+		"assignment":  AblationAssignment,
+		"batching":    AblationBatching,
+		"smt":         AblationSMT,
+		"granularity": AblationLockGranularity,
+	} {
+		out, err := fn(o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(out, "Ablation") || strings.Count(out, "\n") < 5 {
+			t.Errorf("%s table malformed:\n%s", name, out)
+		}
+	}
+}
+
+func TestRegionAssignmentReducesSharing(t *testing.T) {
+	o := quickOpts()
+	o.DurationS = 3
+	share := func(policy simserver.AssignPolicy) float64 {
+		cfg := baseConfig(o, 144, 4, false, locking.Optimized{})
+		cfg.Assign = policy
+		res, err := run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FrameLog.SharedLeafFraction()
+	}
+	block := share(simserver.AssignBlock)
+	region := share(simserver.AssignRegion)
+	// Spatially clustered assignment must not increase cross-thread leaf
+	// sharing, and typically reduces it.
+	if region > block*1.1 {
+		t.Errorf("region policy increased sharing: block=%.3f region=%.3f", block, region)
+	}
+}
+
+func TestBatchingThickensFrames(t *testing.T) {
+	o := quickOpts()
+	runBatch := func(batchNs int64) *simserver.Result {
+		cfg := baseConfig(o, 128, 4, false, locking.Conservative{})
+		cfg.BatchDelayNs = batchNs
+		res, err := run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := runBatch(0)
+	batched := runBatch(1_000_000)
+	if batched.Frames >= plain.Frames {
+		t.Errorf("batching did not reduce frame count: %d vs %d", batched.Frames, plain.Frames)
+	}
+	if batched.FrameLog.RequestsPerThreadPerFrame() <= plain.FrameLog.RequestsPerThreadPerFrame() {
+		t.Error("batching did not thicken frames")
+	}
+	// The latency cost is real: batched response time is higher.
+	if batched.ResponseTimeMs() <= plain.ResponseTimeMs() {
+		t.Errorf("batching should cost latency: %.1f vs %.1f",
+			batched.ResponseTimeMs(), plain.ResponseTimeMs())
+	}
+}
+
+func TestIdealMachineOutperformsPaperMachine(t *testing.T) {
+	o := quickOpts()
+	mk := func(cores int, smt, mem float64) *simserver.Result {
+		cfg := baseConfig(o, 160, 8, false, locking.Optimized{})
+		cfg.Machine.Cores = cores
+		cfg.Machine.SMTPenalty = smt
+		cfg.Machine.MemContention = mem
+		res, err := run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	paper := mk(4, 1.6, 0.28)
+	ideal := mk(8, 1.0, 0)
+	if ideal.ResponseTimeMs() > paper.ResponseTimeMs() {
+		t.Errorf("ideal machine slower than paper machine: %.1f vs %.1f",
+			ideal.ResponseTimeMs(), paper.ResponseTimeMs())
+	}
+	// The busy time per thread must drop without contention inflation.
+	if ideal.Avg.Busy() >= paper.Avg.Busy() {
+		t.Errorf("ideal machine busy %.0f >= paper %.0f",
+			float64(ideal.Avg.Busy()), float64(paper.Avg.Busy()))
+	}
+}
+
+func TestAssignPolicyString(t *testing.T) {
+	for _, p := range []simserver.AssignPolicy{
+		simserver.AssignBlock, simserver.AssignRoundRobin, simserver.AssignRegion,
+	} {
+		if p.String() == "unknown" || p.String() == "" {
+			t.Errorf("policy %d stringer broken", p)
+		}
+	}
+	if simserver.AssignPolicy(99).String() != "unknown" {
+		t.Error("unknown policy stringer")
+	}
+}
+
+func TestAblationsAggregate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aggregate ablations are slow")
+	}
+	o := quickOpts()
+	o.DurationS = 1
+	out, err := Ablations(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "Ablation") < 4 {
+		t.Errorf("missing ablation sections:\n%s", out)
+	}
+	_ = metrics.CompLock
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qserve/internal/metrics"
+	"qserve/internal/simserver"
+	"qserve/internal/worldmap"
+)
+
+// MapStudy reproduces the paper's map-choice discussion (§4, §4.1): "we
+// notice that the request processing time does not vary considerably,
+// whereas the reply processing time may vary between maps by as much as
+// 15% of total execution time at server saturation. We believe that this
+// is due to different levels of visibility in different maps, with maps
+// exhibiting higher visibility incurring higher reply processing times."
+//
+// It runs the sequential server at a fixed saturating load on three maps
+// spanning the visibility spectrum: a large low-visibility maze, the
+// standard experiment maze, and an open arena where everyone sees
+// everyone.
+func MapStudy(o Options) (string, error) {
+	o.fill()
+	type variant struct {
+		label string
+		build func() (*worldmap.Map, error)
+	}
+	variants := []variant{
+		{"maze 6x6 (low visibility)", func() (*worldmap.Map, error) {
+			cfg := worldmap.DefaultConfig()
+			cfg.Seed = o.Seed + 1
+			return worldmap.Generate(cfg)
+		}},
+		{"maze 4x4 (paper map)", func() (*worldmap.Map, error) {
+			cfg := PaperMapConfig(o.Seed)
+			return worldmap.Generate(cfg)
+		}},
+		{"arena (full visibility)", func() (*worldmap.Map, error) {
+			cfg := worldmap.DefaultArenaConfig()
+			cfg.Seed = o.Seed + 1
+			return worldmap.GenerateArena(cfg)
+		}},
+	}
+
+	t := metrics.Table{
+		Title: "Map study (§4/§4.1): visibility drives reply processing time",
+		Header: []string{
+			"map", "avg visible rooms", "exec%", "reply%", "rate", "resp ms",
+		},
+	}
+	for _, v := range variants {
+		o.Progress("mapstudy: %s", v.label)
+		m, err := v.build()
+		if err != nil {
+			return "", err
+		}
+		stats := m.ComputeStats()
+		res, err := run(simserver.Config{
+			Map:        m,
+			Players:    128,
+			Threads:    1,
+			Sequential: true,
+			DurationS:  o.DurationS,
+			Seed:       o.Seed,
+		})
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(
+			v.label,
+			fmt.Sprintf("%.1f/%d", stats.AvgVisibleRooms, stats.Rooms),
+			metrics.Pct(res.Avg.Percent(metrics.CompExec)),
+			metrics.Pct(res.Avg.Percent(metrics.CompReply)),
+			metrics.F1(res.ResponseRate()),
+			metrics.F1(res.ResponseTimeMs()),
+		)
+	}
+	return t.Render(), nil
+}

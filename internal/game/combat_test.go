@@ -1,0 +1,290 @@
+package game
+
+import (
+	"testing"
+
+	"qserve/internal/entity"
+	"qserve/internal/geom"
+	"qserve/internal/locking"
+	"qserve/internal/protocol"
+)
+
+func TestCorpseSpawnsOnKillAndExpires(t *testing.T) {
+	w := newTestWorld(t)
+	attacker, _ := w.SpawnPlayer()
+	victim, _ := w.SpawnPlayer()
+	w.Time = 2
+
+	var res MoveResult
+	w.damage(victim, attacker, 500, &res)
+	if got := w.Ents.CountClass(entity.ClassCorpse); got != 1 {
+		t.Fatalf("corpses after kill = %d", got)
+	}
+	var corpse *entity.Entity
+	w.Ents.ForEachClass(entity.ClassCorpse, func(e *entity.Entity) { corpse = e })
+	if corpse.Origin != victim.Origin {
+		t.Errorf("corpse at %v, victim died at %v", corpse.Origin, victim.Origin)
+	}
+	if !corpse.Link.Linked() {
+		t.Error("corpse not linked into the areanode tree")
+	}
+	if res.Work.Spawns == 0 {
+		t.Error("corpse spawn not counted as work")
+	}
+
+	// The corpse expires after its linger time via world frames.
+	w.Time = corpse.DieAt - 0.001
+	w.RunWorldFrame(0.05)
+	if w.Ents.CountClass(entity.ClassCorpse) != 0 {
+		t.Error("corpse did not decay")
+	}
+}
+
+func TestCorpseVisibleInSnapshots(t *testing.T) {
+	w := newTestWorld(t)
+	viewer, _ := w.SpawnPlayer()
+	victim, _ := w.SpawnPlayer()
+	// Kill the victim right next to the viewer.
+	w.unlink(victim)
+	victim.Origin = viewer.Origin.Add(geom.V(60, 0, 0))
+	w.link(victim)
+	var res MoveResult
+	w.damage(victim, viewer, 500, &res)
+
+	states, _ := w.BuildSnapshot(viewer, nil)
+	foundCorpse := false
+	for _, s := range states {
+		if s.Class == uint8(entity.ClassCorpse) {
+			foundCorpse = true
+		}
+	}
+	if !foundCorpse {
+		t.Error("corpse missing from snapshot")
+	}
+}
+
+func TestPowerupDoublesDamage(t *testing.T) {
+	w := newTestWorld(t)
+	attacker, _ := w.SpawnPlayer()
+	v1, _ := w.SpawnPlayer()
+	v2, _ := w.SpawnPlayer()
+	var res MoveResult
+
+	w.damage(v1, attacker, 30, &res)
+	plain := 100 - v1.Health
+
+	attacker.HasPowerup = true
+	w.damage(v2, attacker, 30, &res)
+	boosted := 100 - v2.Health
+
+	if boosted != 2*plain {
+		t.Errorf("powerup damage %d, plain %d", boosted, plain)
+	}
+}
+
+func TestArmorAbsorbsAThird(t *testing.T) {
+	w := newTestWorld(t)
+	_, _ = w.SpawnPlayer()
+	victim, _ := w.SpawnPlayer()
+	victim.Armor = 100
+	var res MoveResult
+	w.damage(victim, nil, 30, &res)
+	if victim.Armor != 90 {
+		t.Errorf("armor = %d, want 90", victim.Armor)
+	}
+	if victim.Health != 100-20 {
+		t.Errorf("health = %d, want 80", victim.Health)
+	}
+}
+
+func TestAmmoExhaustionStopsFiring(t *testing.T) {
+	w := newTestWorld(t)
+	p, _ := w.SpawnPlayer()
+	p.Ammo = 1
+	w.Time = 5
+	lc, _ := lockCtx(w, locking.Optimized{})
+	cmd := moveCmd(0, 0, protocol.BtnFire, 30)
+
+	res := w.ExecuteMove(p, &cmd, lc)
+	if res.Work.Spawns != 1 || p.Ammo != 0 {
+		t.Fatalf("first shot: spawns=%d ammo=%d", res.Work.Spawns, p.Ammo)
+	}
+	w.Time += 10 // well past refire
+	res = w.ExecuteMove(p, &cmd, lc)
+	if res.Work.Spawns != 0 {
+		t.Error("fired with no ammo")
+	}
+}
+
+func TestWeaponSwitchViaImpulse(t *testing.T) {
+	w := newTestWorld(t)
+	p, _ := w.SpawnPlayer()
+	lc, _ := lockCtx(w, locking.Conservative{})
+	cmd := moveCmd(0, 0, 0, 30)
+	cmd.Impulse = 2
+	w.ExecuteMove(p, &cmd, lc)
+	if p.Weapon != WeaponRail {
+		t.Errorf("weapon = %d after impulse 2", p.Weapon)
+	}
+	cmd.Impulse = 1
+	w.ExecuteMove(p, &cmd, lc)
+	if p.Weapon != WeaponRocket {
+		t.Errorf("weapon = %d after impulse 1", p.Weapon)
+	}
+	cmd.Impulse = 9 // invalid: ignored
+	w.ExecuteMove(p, &cmd, lc)
+	if p.Weapon != WeaponRocket {
+		t.Error("invalid impulse changed weapon")
+	}
+}
+
+func TestWeaponFrameRunsOnIdleMoves(t *testing.T) {
+	w := newTestWorld(t)
+	p, _ := w.SpawnPlayer()
+	lc, stats := lockCtx(w, locking.Conservative{})
+	cmd := moveCmd(0, 0, 0, 30) // no fire button
+	res := w.ExecuteMove(p, &cmd, lc)
+	// The per-command weapon logic must have acquired its long-range
+	// region: under conservative locking that is the whole map, so the
+	// request locked at least leaves(short) + all leaves(long).
+	if stats.LeafLockOps < w.Tree.NumLeaves() {
+		t.Errorf("idle move locked only %d leaves; weapon frame missing", stats.LeafLockOps)
+	}
+	if res.Work.RegionCalc < 2 {
+		t.Errorf("region calcs = %d, want short+long", res.Work.RegionCalc)
+	}
+}
+
+func TestRocketAgainstWallIsSuppressed(t *testing.T) {
+	w := newTestWorld(t)
+	p, _ := w.SpawnPlayer()
+	// Press the player's face against the west outer wall and fire into it.
+	w.unlink(p)
+	p.Origin = geom.V(17, 128, 49) // hull min.x = 1, wall at x<=0
+	p.Angles = geom.V(0, 180, 0)   // facing -x
+	w.link(p)
+	w.Time = 3
+	lc, _ := lockCtx(w, locking.Optimized{})
+	cmd := moveCmd(180, 0, protocol.BtnFire, 30)
+	res := w.ExecuteMove(p, &cmd, lc)
+	if res.Work.Spawns != 0 {
+		t.Error("rocket spawned inside the wall")
+	}
+	if p.RefireAt <= w.Time {
+		t.Error("suppressed shot should still consume the trigger (refire set)")
+	}
+	if w.Ents.CountClass(entity.ClassProjectile) != 0 {
+		t.Error("projectile exists after suppressed shot")
+	}
+}
+
+func TestSplashDamageFallsOffWithDistance(t *testing.T) {
+	w := newTestWorld(t)
+	shooter, _ := w.SpawnPlayer()
+	near, _ := w.SpawnPlayer()
+	far, _ := w.SpawnPlayer()
+
+	room := w.Map.Rooms[5].Bounds
+	base := room.Center()
+	base.Z = 49
+	place := func(e *entity.Entity, d geom.Vec3) {
+		w.unlink(e)
+		e.Origin = base.Add(d)
+		w.link(e)
+	}
+	place(near, geom.V(40, 0, 0))
+	place(far, geom.V(100, 0, 0))
+
+	// Synthesize a projectile detonating at base.
+	proj := w.Ents.Alloc(entity.ClassProjectile)
+	proj.Origin = base
+	proj.Mins, proj.Maxs = entity.ProjectileMins, entity.ProjectileMaxs
+	proj.Owner = shooter.ID
+	proj.Damage = 60
+	w.link(proj)
+
+	var res MoveResult
+	w.explodeProjectile(proj, &res)
+	nearDmg := 100 - near.Health
+	farDmg := 100 - far.Health
+	if nearDmg <= 0 {
+		t.Fatal("near player undamaged by splash")
+	}
+	if farDmg >= nearDmg {
+		t.Errorf("splash did not fall off: near %d, far %d", nearDmg, farDmg)
+	}
+	if !proj.Active == false && w.Ents.Get(proj.ID).Active {
+		t.Error("projectile not freed after explosion")
+	}
+}
+
+func TestProjectileExpiresByLifetime(t *testing.T) {
+	w := newTestWorld(t)
+	shooter, _ := w.SpawnPlayer()
+	// Fire into open space along the room diagonal; clamp life.
+	w.Time = 1
+	lc, _ := lockCtx(w, locking.Optimized{})
+	cmd := moveCmd(45, 0, protocol.BtnFire, 30)
+	w.ExecuteMove(shooter, &cmd, lc)
+	if w.Ents.CountClass(entity.ClassProjectile) == 0 {
+		t.Skip("shot suppressed by geometry")
+	}
+	// Jump time past the lifetime; the world frame reaps it even if it
+	// never hit anything.
+	w.Time += rocketLife + 1
+	w.RunWorldFrame(0.03)
+	if w.Ents.CountClass(entity.ClassProjectile) != 0 {
+		t.Error("projectile survived its lifetime")
+	}
+}
+
+func TestPowerupExpires(t *testing.T) {
+	w := newTestWorld(t)
+	p, _ := w.SpawnPlayer()
+	p.HasPowerup = true
+	p.PowerupUntil = w.Time + 5
+	w.RunWorldFrame(0.03)
+	if !p.HasPowerup {
+		t.Fatal("powerup expired early")
+	}
+	w.Time = p.PowerupUntil
+	w.RunWorldFrame(0.03)
+	if p.HasPowerup {
+		t.Error("powerup did not expire")
+	}
+}
+
+func TestFallingDamage(t *testing.T) {
+	w := newTestWorld(t)
+	p, _ := w.SpawnPlayer()
+	lc, _ := lockCtx(w, locking.Conservative{})
+
+	// Drop the player from high up with a big downward velocity, as if
+	// at the end of a long fall, just above the floor.
+	w.unlink(p)
+	p.Origin = geom.V(p.Origin.X, p.Origin.Y, 40)
+	p.Velocity = geom.V(0, 0, -900)
+	p.OnGround = false
+	w.link(p)
+
+	cmd := moveCmd(0, 0, 0, 50)
+	w.ExecuteMove(p, &cmd, lc)
+	if !p.OnGround {
+		t.Skip("did not land this tick")
+	}
+	if p.Health >= 100 {
+		t.Errorf("hard landing dealt no damage (health %d)", p.Health)
+	}
+
+	// A gentle landing is free.
+	q, _ := w.SpawnPlayer()
+	w.unlink(q)
+	q.Origin = geom.V(q.Origin.X, q.Origin.Y, 40)
+	q.Velocity = geom.V(0, 0, -200)
+	q.OnGround = false
+	w.link(q)
+	w.ExecuteMove(q, &cmd, lc)
+	if q.OnGround && q.Health != 100 {
+		t.Errorf("soft landing dealt damage (health %d)", q.Health)
+	}
+}

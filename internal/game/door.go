@@ -1,0 +1,128 @@
+package game
+
+import (
+	"qserve/internal/areanode"
+	"qserve/internal/entity"
+)
+
+// Door behaviour: a solid panel that slides upward when a player is near
+// and back down when the area clears — the engine's func_door. Doors are
+// simulated entirely in the world-physics phase (the master thread's
+// exclusive stage), so they need no region locking of their own; players
+// collide with them through the ordinary areanode candidate collection.
+
+const (
+	doorSpeed = 240.0 // units/s of vertical travel
+)
+
+// doorState is packed into the entity's Damage field (unused for doors):
+// 0 closed, 1 opening, 2 open, 3 closing.
+const (
+	doorClosed = iota
+	doorOpening
+	doorOpen
+	doorClosing
+)
+
+// spawnDoor creates the entity for one map door spec. ItemSpawn holds the
+// spec index; Origin starts at the closed panel's center.
+func (w *World) spawnDoor(idx int) error {
+	spec := w.Map.Doors[idx]
+	e := w.Ents.Alloc(entity.ClassDoor)
+	if e == nil {
+		return errTableFull
+	}
+	c := spec.Panel.Center()
+	e.Origin = c
+	e.Mins = spec.Panel.Min.Sub(c)
+	e.Maxs = spec.Panel.Max.Sub(c)
+	e.ItemSpawn = idx
+	e.RoomID = spec.RoomID
+	e.Damage = doorClosed
+	w.link(e)
+	return nil
+}
+
+// thinkDoor advances one door: trigger detection, then motion.
+func (w *World) thinkDoor(e *entity.Entity, dt float64, res *MoveResult) bool {
+	spec := w.Map.Doors[e.ItemSpawn]
+	closedZ := spec.Panel.Center().Z
+	openZ := closedZ + spec.Travel
+
+	// Is a live player near the doorway?
+	trigger := spec.Panel.Expand(spec.TriggerRadius)
+	playerNear := false
+	var st areanode.TraversalStats
+	w.Tree.CollectBox(trigger, nil, func(it *areanode.Item) bool {
+		other := it.Owner.(*entity.Entity)
+		if other.Class == entity.ClassPlayer && other.Health > 0 {
+			playerNear = true
+			return false
+		}
+		return true
+	}, &st)
+	res.Work.TreeNodes += st.NodesVisited
+	res.Work.TreeChecks += st.ItemsChecked
+
+	target := closedZ
+	if playerNear {
+		target = openZ
+	}
+	if e.Origin.Z == target {
+		if playerNear {
+			e.Damage = doorOpen
+		} else {
+			e.Damage = doorClosed
+		}
+		return false // at rest: nothing simulated this tick
+	}
+
+	step := doorSpeed * dt
+	if e.Origin.Z < target {
+		e.Damage = doorOpening
+		e.Origin.Z += step
+		if e.Origin.Z >= target {
+			e.Origin.Z = target
+			e.Damage = doorOpen
+		}
+	} else {
+		e.Damage = doorClosing
+		e.Origin.Z -= step
+		if e.Origin.Z <= target {
+			e.Origin.Z = target
+			e.Damage = doorClosed
+		}
+		// Don't crush: if a player overlaps the panel while closing,
+		// reopen instead (the engine's door blocker behaviour).
+		if w.doorBlocked(e) {
+			e.Origin.Z += step
+			e.Damage = doorOpening
+		}
+	}
+	w.link(e)
+	e.ModelFrame++
+	return true
+}
+
+// doorBlocked reports whether a live player overlaps the door panel.
+func (w *World) doorBlocked(e *entity.Entity) bool {
+	blocked := false
+	w.Tree.CollectBox(e.AbsBox(), nil, func(it *areanode.Item) bool {
+		other := it.Owner.(*entity.Entity)
+		if other.Class == entity.ClassPlayer && other.Health > 0 &&
+			other.AbsBox().IntersectsStrict(e.AbsBox()) {
+			blocked = true
+			return false
+		}
+		return true
+	}, nil)
+	return blocked
+}
+
+// errTableFull is returned when the entity table cannot hold the map's
+// static population.
+var errTableFull = &tableFullError{}
+
+type tableFullError struct{}
+
+func (*tableFullError) Error() string { return "game: entity table full" }

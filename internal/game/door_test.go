@@ -1,0 +1,170 @@
+package game
+
+import (
+	"testing"
+
+	"qserve/internal/entity"
+	"qserve/internal/geom"
+	"qserve/internal/locking"
+	"qserve/internal/worldmap"
+)
+
+func dooredWorld(t *testing.T) *World {
+	t.Helper()
+	cfg := worldmap.DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.DoorProb = 1.0 // every doorway gets a door
+	m, err := worldmap.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Doors) == 0 {
+		t.Fatal("no doors generated at probability 1")
+	}
+	w, err := NewWorld(Config{Map: m, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestDoorsSpawnClosed(t *testing.T) {
+	w := dooredWorld(t)
+	if got := w.Ents.CountClass(entity.ClassDoor); got != len(w.Map.Doors) {
+		t.Fatalf("door entities = %d, want %d", got, len(w.Map.Doors))
+	}
+	w.Ents.ForEachClass(entity.ClassDoor, func(e *entity.Entity) {
+		spec := w.Map.Doors[e.ItemSpawn]
+		if !e.AbsBox().Intersects(spec.Panel) {
+			t.Errorf("door %d not at its closed panel", e.ItemSpawn)
+		}
+		if !e.Link.Linked() {
+			t.Errorf("door %d not linked", e.ItemSpawn)
+		}
+		if !e.IsSolidToMovement() {
+			t.Errorf("door %d not solid", e.ItemSpawn)
+		}
+	})
+}
+
+func TestDoorOpensForNearbyPlayerAndCloses(t *testing.T) {
+	w := dooredWorld(t)
+	var door *entity.Entity
+	w.Ents.ForEachClass(entity.ClassDoor, func(e *entity.Entity) {
+		if door == nil {
+			door = e
+		}
+	})
+	spec := w.Map.Doors[door.ItemSpawn]
+	closedZ := spec.Panel.Center().Z
+
+	// Park a player near the doorway.
+	p, _ := w.SpawnPlayer()
+	w.unlink(p)
+	pos := spec.Panel.Center()
+	pos.Z = 49
+	pos.X -= spec.TriggerRadius * 0.5
+	p.Origin = pos
+	w.link(p)
+
+	for i := 0; i < 200 && door.Origin.Z < closedZ+spec.Travel; i++ {
+		w.RunWorldFrame(0.03)
+	}
+	if door.Origin.Z != closedZ+spec.Travel {
+		t.Fatalf("door never opened: z=%v", door.Origin.Z)
+	}
+	if door.Damage != doorOpen {
+		t.Errorf("door state = %d, want open", door.Damage)
+	}
+
+	// Remove the player: the door closes again.
+	w.RemovePlayer(p.ID)
+	for i := 0; i < 200 && door.Origin.Z > closedZ; i++ {
+		w.RunWorldFrame(0.03)
+	}
+	if door.Origin.Z != closedZ {
+		t.Fatalf("door never closed: z=%v", door.Origin.Z)
+	}
+}
+
+func TestClosedDoorBlocksMovement(t *testing.T) {
+	w := dooredWorld(t)
+	var door *entity.Entity
+	w.Ents.ForEachClass(entity.ClassDoor, func(e *entity.Entity) {
+		if door == nil {
+			door = e
+		}
+	})
+	spec := w.Map.Doors[door.ItemSpawn]
+
+	// Put a player right in front of the closed panel, outside the
+	// trigger radius logic (we do not run world frames, so the door
+	// stays shut), and march them into it.
+	p, _ := w.SpawnPlayer()
+	w.unlink(p)
+	horiz := spec.Panel.Size()
+	start := spec.Panel.Center()
+	start.Z = 49
+	var dir geom.Vec3
+	if horiz.X < horiz.Y {
+		dir = geom.V(1, 0, 0) // door faces east/west
+	} else {
+		dir = geom.V(0, 1, 0)
+	}
+	p.Origin = start.Sub(dir.Scale(60))
+	w.link(p)
+
+	lc, _ := lockCtx(w, locking.Conservative{})
+	yaw := geom.VecToAngles(dir).Y
+	for i := 0; i < 40; i++ {
+		cmd := moveCmd(yaw, 320, 0, 30)
+		w.ExecuteMove(p, &cmd, lc)
+	}
+	// The player's hull must not have crossed the panel plane.
+	panelCoord := spec.Panel.Center().Dot(dir)
+	playerLead := p.Origin.Dot(dir) + 16
+	if playerLead > panelCoord+8 {
+		t.Errorf("player passed through a closed door: lead %.1f vs panel %.1f",
+			playerLead, panelCoord)
+	}
+}
+
+func TestDoorDoesNotCrushPlayer(t *testing.T) {
+	w := dooredWorld(t)
+	var door *entity.Entity
+	w.Ents.ForEachClass(entity.ClassDoor, func(e *entity.Entity) {
+		if door == nil {
+			door = e
+		}
+	})
+	spec := w.Map.Doors[door.ItemSpawn]
+
+	// Open the door fully by hand, then stand a player in the doorway
+	// and take away their trigger presence by health trickery is not
+	// possible — instead we let the door try to close on a player
+	// standing *in* the panel volume but dead-center, with no other
+	// players near. Dead players do not hold doors open, so kill them:
+	// the door should close (corpses are not solid and not crushable).
+	p, _ := w.SpawnPlayer()
+	w.unlink(p)
+	c := spec.Panel.Center()
+	c.Z = 49
+	p.Origin = c
+	w.link(p)
+
+	// Door opens for the live player.
+	for i := 0; i < 200 && door.Damage != doorOpen; i++ {
+		w.RunWorldFrame(0.03)
+	}
+	if door.Damage != doorOpen {
+		t.Fatal("door did not open for player in doorway")
+	}
+	// While the player stands in the panel volume alive, the door must
+	// never descend into them: run frames and check for overlap.
+	for i := 0; i < 100; i++ {
+		w.RunWorldFrame(0.03)
+		if door.AbsBox().IntersectsStrict(p.AbsBox()) {
+			t.Fatalf("door crushed the player at frame %d", i)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package game
+
+import (
+	"qserve/internal/areanode"
+	"qserve/internal/collide"
+	"qserve/internal/entity"
+	"qserve/internal/geom"
+	"qserve/internal/physics"
+)
+
+// RunWorldFrame executes the world-physics phase (the "P" stage of
+// Figure 1): advances the clock, flies projectiles, respawns items and
+// players, and expires corpses. It runs on a single thread — the frame
+// master — with the phase barriers guaranteeing exclusive world access,
+// so it takes no locks (§3.3: "there is no need for intra-phase
+// synchronization in the first stage").
+func (w *World) RunWorldFrame(dt float64) MoveResult {
+	var res MoveResult
+	if dt <= 0 {
+		dt = 0.001
+	}
+	if dt > 0.25 {
+		dt = 0.25
+	}
+	w.Time += dt
+
+	// Snapshot the ID range first: explosions free entities and respawns
+	// re-link them, and we must visit each exactly once. Only entities
+	// with due work "think" — inert items and live players are skipped
+	// after a cheap scan, as in the engine's SV_RunThinks.
+	high := w.Ents.HighWater()
+	for i := 0; i < high; i++ {
+		e := w.Ents.Get(entity.ID(i))
+		res.Work.Scans++
+		if e == nil || !e.Active {
+			continue
+		}
+		thought := false
+		switch e.Class {
+		case entity.ClassProjectile:
+			w.thinkProjectile(e, dt, &res)
+			thought = true
+		case entity.ClassItem:
+			thought = w.thinkItem(e, &res)
+		case entity.ClassPlayer:
+			thought = w.thinkPlayer(e, &res)
+		case entity.ClassCorpse:
+			if w.Time >= e.DieAt {
+				w.unlink(e)
+				w.Ents.Free(e.ID)
+				thought = true
+			}
+		case entity.ClassDoor:
+			thought = w.thinkDoor(e, dt, &res)
+		}
+		if thought {
+			res.Work.Thinks++
+		}
+	}
+	return res
+}
+
+func (w *World) thinkProjectile(p *entity.Entity, dt float64, res *MoveResult) {
+	if w.Time >= p.DieAt {
+		w.unlink(p)
+		w.entMu.Lock()
+		w.Ents.Free(p.ID)
+		w.entMu.Unlock()
+		return
+	}
+	he := p.HalfExtents()
+	trace := func(a, b geom.Vec3) collide.Trace {
+		var cw collide.Work
+		tr := w.Collide.TraceBox(a, b, he, &cw)
+		res.Work.Collide.Add(cw)
+		return tr
+	}
+	st := physics.State{Origin: p.Origin, Velocity: p.Velocity}
+	fr := physics.ProjectileMove(0, trace, &st, dt)
+	res.Work.PhysTraces += fr.Traces
+	p.Origin = st.Origin
+	p.Velocity = st.Velocity
+
+	// Direct hits: check players overlapping the projectile's new box.
+	hitPlayer := w.firstPlayerTouching(p)
+	if fr.Trace.Hit || hitPlayer != nil {
+		if hitPlayer != nil {
+			w.damage(hitPlayer, w.projOwner(p), p.Damage, res)
+		}
+		w.explodeProjectile(p, res)
+		return
+	}
+	w.link(p)
+}
+
+func (w *World) projOwner(p *entity.Entity) *entity.Entity {
+	o := w.Ents.Get(p.Owner)
+	if o == nil || !o.Active || o.Class != entity.ClassPlayer {
+		return nil
+	}
+	return o
+}
+
+func (w *World) firstPlayerTouching(p *entity.Entity) *entity.Entity {
+	box := p.AbsBox()
+	var hit *entity.Entity
+	w.Tree.CollectBox(box, nil, func(it *areanode.Item) bool {
+		other := it.Owner.(*entity.Entity)
+		if other.Class == entity.ClassPlayer && other.Health > 0 && other.ID != p.Owner {
+			hit = other
+			return false
+		}
+		return true
+	}, nil)
+	return hit
+}
+
+func (w *World) thinkItem(e *entity.Entity, res *MoveResult) bool {
+	if e.Link.Linked() || e.RespawnAt == 0 || w.Time < e.RespawnAt {
+		return false
+	}
+	e.RespawnAt = 0
+	w.link(e)
+	res.Events = append(res.Events, Event{Kind: EvRespawn, Subject: e.ID, Pos: e.Origin})
+	return true
+}
+
+func (w *World) thinkPlayer(e *entity.Entity, res *MoveResult) bool {
+	// Powerups wear off.
+	if e.HasPowerup && w.Time >= e.PowerupUntil {
+		e.HasPowerup = false
+	}
+	if e.Health > 0 || e.RespawnTime == 0 || w.Time < e.RespawnTime {
+		return false
+	}
+	w.placeAtSpawn(e)
+	res.Events = append(res.Events, Event{Kind: EvRespawn, Actor: e.ID, Pos: e.Origin})
+	return true
+}

@@ -1,0 +1,260 @@
+// Package game implements the rules of the first-person action game the
+// server hosts: the move-command execution pipeline of the paper's §2.3
+// (motion bounding boxes, areanode traversal, short- and long-range
+// interactions), the world-physics phase, combat, pickups, respawns, and
+// per-client snapshot construction with visibility filtering.
+//
+// The package is engine-neutral. It performs no timing and no real
+// locking of its own: an engine passes a LockContext whose provider is a
+// mutex array (live server), a virtual-time lock set (simulated machine),
+// or a no-op (sequential server). Every operation reports work counters
+// from which the simulated machine charges virtual time.
+package game
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"qserve/internal/areanode"
+	"qserve/internal/collide"
+	"qserve/internal/entity"
+	"qserve/internal/geom"
+	"qserve/internal/locking"
+	"qserve/internal/physics"
+	"qserve/internal/worldmap"
+)
+
+// Config parameterizes a game world.
+type Config struct {
+	Map           *worldmap.Map
+	AreanodeDepth int // leaf depth; areanode.DefaultDepth when zero
+	MaxEntities   int // entity table capacity; derived when zero
+	Physics       physics.Params
+	Seed          int64
+}
+
+// World owns all mutable game state: the entity table, the areanode tree,
+// and the clock. The static map and collision tree are shared and
+// immutable.
+type World struct {
+	Map     *worldmap.Map
+	Collide *collide.Tree
+	Tree    *areanode.Tree
+	Ents    *entity.Table
+	Phys    physics.Params
+
+	// Time is the server clock in seconds, advanced by the world-physics
+	// phase at the start of each frame.
+	Time float64
+
+	rng *rand.Rand
+
+	// spawnCursor rotates through spawn points.
+	spawnCursor int
+
+	// entMu serializes entity-table allocation when request-processing
+	// threads spawn projectiles concurrently. All other table mutation
+	// happens in single-threaded phases (connection handling, world
+	// physics) and under the phase barriers.
+	entMu sync.Mutex
+}
+
+// NewWorld builds a world over the map: collision tree, areanode tree,
+// and the initial entity population (items and teleporter triggers).
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.Map == nil {
+		return nil, fmt.Errorf("game: config has no map")
+	}
+	depth := cfg.AreanodeDepth
+	if depth == 0 {
+		depth = areanode.DefaultDepth
+	}
+	maxEnts := cfg.MaxEntities
+	if maxEnts == 0 {
+		maxEnts = 2048
+	}
+	if cfg.Physics == (physics.Params{}) {
+		cfg.Physics = physics.DefaultParams()
+	}
+
+	boxes := make([]geom.AABB, len(cfg.Map.Brushes))
+	for i, b := range cfg.Map.Brushes {
+		boxes[i] = b.Box
+	}
+	w := &World{
+		Map:     cfg.Map,
+		Collide: collide.NewTree(boxes, cfg.Map.Bounds),
+		Tree:    areanode.NewTree(cfg.Map.Bounds, depth),
+		Ents:    entity.NewTable(maxEnts),
+		Phys:    cfg.Physics,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+
+	for i, it := range cfg.Map.Items {
+		e := w.Ents.Alloc(entity.ClassItem)
+		if e == nil {
+			return nil, fmt.Errorf("game: entity table too small for map items")
+		}
+		e.Origin = it.Pos
+		e.Mins, e.Maxs = entity.ItemMins, entity.ItemMaxs
+		e.ItemClass = it.Class
+		e.ItemSpawn = i
+		e.RoomID = it.RoomID
+		w.link(e)
+	}
+	for i := range cfg.Map.Doors {
+		if err := w.spawnDoor(i); err != nil {
+			return nil, err
+		}
+	}
+	for _, tp := range cfg.Map.Teleporters {
+		e := w.Ents.Alloc(entity.ClassTeleporter)
+		if e == nil {
+			return nil, fmt.Errorf("game: entity table too small for teleporters")
+		}
+		c := tp.Trigger.Center()
+		e.Origin = c
+		e.Mins = tp.Trigger.Min.Sub(c)
+		e.Maxs = tp.Trigger.Max.Sub(c)
+		e.RoomID = cfg.Map.RoomAt(c)
+		// Destination is recovered through the map by trigger identity;
+		// store the teleporter index in ItemSpawn for O(1) lookup.
+		e.ItemSpawn = teleIndex(cfg.Map, tp)
+		w.link(e)
+	}
+	return w, nil
+}
+
+func teleIndex(m *worldmap.Map, tp worldmap.Teleporter) int {
+	for i := range m.Teleporters {
+		if m.Teleporters[i].Trigger == tp.Trigger {
+			return i
+		}
+	}
+	return -1
+}
+
+// link (re)links an entity into the areanode tree and refreshes its room.
+// Callers must hold whatever region lock the engine requires for the
+// entity's old and new positions.
+func (w *World) link(e *entity.Entity) {
+	e.Link.ID = int32(e.ID)
+	e.Link.Owner = e
+	w.Tree.Link(&e.Link, e.AbsBox())
+	if room := w.Map.RoomAt(e.Origin); room >= 0 {
+		e.RoomID = room
+	}
+}
+
+// unlink removes an entity from the areanode tree.
+func (w *World) unlink(e *entity.Entity) { w.Tree.Unlink(&e.Link) }
+
+// SpawnPlayer creates a player entity at the next spawn point. It is
+// called during connection handling, which both engines serialize.
+func (w *World) SpawnPlayer() (*entity.Entity, error) {
+	e := w.Ents.Alloc(entity.ClassPlayer)
+	if e == nil {
+		return nil, fmt.Errorf("game: entity table full")
+	}
+	w.placeAtSpawn(e)
+	return e, nil
+}
+
+// placeAtSpawn (re)initializes a player at a spawn point, cycling through
+// the map's spawns to spread players out.
+func (w *World) placeAtSpawn(e *entity.Entity) {
+	sp := w.Map.Spawns[w.spawnCursor%len(w.Map.Spawns)]
+	w.spawnCursor++
+	if e.Link.Linked() {
+		w.unlink(e)
+	}
+	e.Origin = geom.V(sp.Pos.X, sp.Pos.Y, sp.Pos.Z+24) // origin is 24 above feet
+	e.Velocity = geom.Vec3{}
+	e.Angles = geom.V(0, sp.Yaw, 0)
+	e.Mins, e.Maxs = entity.PlayerMins, entity.PlayerMaxs
+	e.Health = 100
+	e.Armor = 0
+	e.Weapon = WeaponRocket
+	e.Weapons = 1<<WeaponRocket | 1<<WeaponRail
+	e.Ammo = 100
+	e.OnGround = false
+	e.RespawnTime = 0
+	e.RefireAt = 0
+	e.HasPowerup = false
+	e.RoomID = sp.RoomID
+	w.link(e)
+}
+
+// RemovePlayer unlinks and frees a player entity (disconnect).
+func (w *World) RemovePlayer(id entity.ID) {
+	e := w.Ents.Get(id)
+	if e == nil || !e.Active {
+		return
+	}
+	w.unlink(e)
+	w.Ents.Free(id)
+}
+
+// LockContext carries the engine's synchronization machinery into move
+// execution. A zero-value context (nil Locker) runs lock-free, which is
+// the sequential server's mode.
+type LockContext struct {
+	// Locker acquires region locks over the areanode tree; nil disables
+	// locking entirely.
+	Locker *locking.RegionLocker
+	// Strategy sizes lock regions (conservative or optimized).
+	Strategy locking.Strategy
+	// Stats accumulates lock-protocol counts for this request.
+	Stats *locking.AcquireStats
+	// LeafMask, when non-nil, accumulates the leaf *ordinals* locked
+	// during this request as a bitmask — the Fig. 7(c) instrumentation.
+	LeafMask *uint64
+	// OnWork, when non-nil, is invoked with the work performed inside a
+	// held region just before that region is released. The simulated
+	// machine uses it to advance virtual time while locks are held, so
+	// lock hold durations reflect execution cost; the live engine leaves
+	// it nil because real time passes on its own.
+	OnWork func(Work)
+}
+
+// chargeHeld reports held-region work to the engine, if it listens.
+func (lc *LockContext) chargeHeld(delta Work) {
+	if lc.OnWork != nil {
+		lc.OnWork(delta)
+	}
+}
+
+func (lc *LockContext) strategy() locking.Strategy {
+	if lc.Strategy != nil {
+		return lc.Strategy
+	}
+	return locking.Conservative{}
+}
+
+// acquire locks the strategy's region for (req, kind) and returns the
+// guard; it returns an empty guard when locking is disabled.
+func (lc *LockContext) acquire(w *World, req locking.Request, kind locking.Kind) locking.Guard {
+	if lc.Locker == nil {
+		return locking.Guard{}
+	}
+	region := lc.strategy().Region(w.Map.Bounds, req, kind)
+	g := lc.Locker.Acquire(region, lc.Stats)
+	if lc.LeafMask != nil {
+		for _, ni := range g.Leaves() {
+			if ord := w.Tree.Node(ni).LeafOrdinal; ord >= 0 && ord < 64 {
+				*lc.LeafMask |= 1 << uint(ord)
+			}
+		}
+	}
+	return g
+}
+
+// parentGuard returns the transient interior-node guard, or nil when
+// locking is disabled.
+func (lc *LockContext) parentGuard() areanode.NodeGuard {
+	if lc.Locker == nil {
+		return nil
+	}
+	return lc.Locker.ParentGuard(lc.Stats)
+}

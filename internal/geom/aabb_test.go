@@ -1,0 +1,243 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBoxNormalizesCorners(t *testing.T) {
+	b := Box(V(5, -1, 3), V(-2, 4, 0))
+	if !b.IsValid() {
+		t.Fatalf("Box produced invalid AABB: %v", b)
+	}
+	if b.Min != V(-2, -1, 0) || b.Max != V(5, 4, 3) {
+		t.Errorf("Box = %v", b)
+	}
+}
+
+func TestBoxAtAndHull(t *testing.T) {
+	b := BoxAt(V(10, 10, 10), V(2, 3, 4))
+	if b.Min != V(8, 7, 6) || b.Max != V(12, 13, 14) {
+		t.Errorf("BoxAt = %v", b)
+	}
+	h := BoxHull(V(100, 0, 0), V(-16, -16, -24), V(16, 16, 32))
+	if h.Min != V(84, -16, -24) || h.Max != V(116, 16, 32) {
+		t.Errorf("BoxHull = %v", h)
+	}
+}
+
+func TestContainsAndIntersects(t *testing.T) {
+	b := Box(V(0, 0, 0), V(10, 10, 10))
+	if !b.Contains(V(5, 5, 5)) || !b.Contains(V(0, 0, 0)) || !b.Contains(V(10, 10, 10)) {
+		t.Error("Contains failed on interior/boundary points")
+	}
+	if b.Contains(V(11, 5, 5)) {
+		t.Error("Contains accepted outside point")
+	}
+	if b.ContainsStrict(V(0, 5, 5)) {
+		t.Error("ContainsStrict accepted boundary point")
+	}
+	o := Box(V(10, 10, 10), V(20, 20, 20)) // touches at a corner
+	if !b.Intersects(o) {
+		t.Error("Intersects should include touching boxes")
+	}
+	if b.IntersectsStrict(o) {
+		t.Error("IntersectsStrict should exclude touching boxes")
+	}
+	far := Box(V(50, 50, 50), V(60, 60, 60))
+	if b.Intersects(far) {
+		t.Error("Intersects accepted disjoint boxes")
+	}
+}
+
+func TestUnionProperties(t *testing.T) {
+	quickCheck(t, func(a, b AABB) bool {
+		u := a.Union(b)
+		return u.ContainsBox(a) && u.ContainsBox(b) && u.IsValid()
+	})
+}
+
+func TestIntersectionProperties(t *testing.T) {
+	quickCheck(t, func(a, b AABB) bool {
+		x := a.Intersection(b)
+		if !a.Intersects(b) {
+			return !x.IsValid() || x.Volume() == 0
+		}
+		// Every point of the intersection is in both boxes: check corners.
+		for i := 0; i < 8; i++ {
+			p := x.Corner(i)
+			if !a.Contains(p) || !b.Contains(p) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestExpandTranslate(t *testing.T) {
+	b := Box(V(0, 0, 0), V(10, 10, 10))
+	e := b.Expand(2)
+	if e.Min != V(-2, -2, -2) || e.Max != V(12, 12, 12) {
+		t.Errorf("Expand = %v", e)
+	}
+	tr := b.Translate(V(1, 2, 3))
+	if tr.Min != V(1, 2, 3) || tr.Max != V(11, 12, 13) {
+		t.Errorf("Translate = %v", tr)
+	}
+	ev := b.ExpandVec(V(1, 0, 2))
+	if ev.Min != V(-1, 0, -2) || ev.Max != V(11, 10, 12) {
+		t.Errorf("ExpandVec = %v", ev)
+	}
+}
+
+func TestSweepBounds(t *testing.T) {
+	b := Box(V(0, 0, 0), V(2, 2, 2))
+	s := b.SweepBounds(V(10, 0, -5))
+	if s.Min != V(0, 0, -5) || s.Max != V(12, 2, 2) {
+		t.Errorf("SweepBounds = %v", s)
+	}
+	quickCheck(t, func(b AABB, d Vec3) bool {
+		s := b.SweepBounds(d)
+		return s.ContainsBox(b) && s.ContainsBox(b.Translate(d))
+	})
+}
+
+func TestClampPoint(t *testing.T) {
+	b := Box(V(0, 0, 0), V(10, 10, 10))
+	if got := b.ClampPoint(V(-5, 5, 20)); got != V(0, 5, 10) {
+		t.Errorf("ClampPoint = %v", got)
+	}
+	quickCheck(t, func(b AABB, p Vec3) bool {
+		c := b.ClampPoint(p)
+		return b.Contains(c)
+	})
+}
+
+func TestDistSqToPoint(t *testing.T) {
+	b := Box(V(0, 0, 0), V(10, 10, 10))
+	if got := b.DistSqToPoint(V(5, 5, 5)); got != 0 {
+		t.Errorf("inside point dist = %v", got)
+	}
+	if got := b.DistSqToPoint(V(13, 14, 10)); got != 9+16 {
+		t.Errorf("outside point dist = %v", got)
+	}
+}
+
+func TestIntersectSegmentBasic(t *testing.T) {
+	b := Box(V(0, 0, 0), V(10, 10, 10))
+
+	hit, tt, n := b.IntersectSegment(V(-5, 5, 5), V(15, 5, 5))
+	if !hit || math.Abs(tt-0.25) > eps || n != V(-1, 0, 0) {
+		t.Errorf("x-crossing: hit=%v t=%v n=%v", hit, tt, n)
+	}
+
+	hit, tt, _ = b.IntersectSegment(V(5, 5, 5), V(20, 5, 5))
+	if !hit || tt != 0 {
+		t.Errorf("start-inside: hit=%v t=%v", hit, tt)
+	}
+
+	hit, _, _ = b.IntersectSegment(V(-5, 20, 5), V(15, 20, 5))
+	if hit {
+		t.Error("miss reported as hit")
+	}
+
+	// Segment ending before the box.
+	hit, _, _ = b.IntersectSegment(V(-10, 5, 5), V(-2, 5, 5))
+	if hit {
+		t.Error("short segment reported as hit")
+	}
+
+	// Entry through the top face.
+	hit, _, n = b.IntersectSegment(V(5, 5, 20), V(5, 5, 5))
+	if !hit || n != V(0, 0, 1) {
+		t.Errorf("top entry normal = %v", n)
+	}
+}
+
+// TestIntersectSegmentMatchesSampling cross-validates the slab test
+// against dense point sampling along random segments.
+func TestIntersectSegmentMatchesSampling(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		b := randomBox(r)
+		a, c := randomVec(r), randomVec(r)
+		hit, tt, _ := b.IntersectSegment(a, c)
+
+		sampledHit := false
+		sampledT := 1.0
+		const steps = 400
+		for s := 0; s <= steps; s++ {
+			f := float64(s) / steps
+			if b.Contains(a.Lerp(c, f)) {
+				sampledHit = true
+				sampledT = f
+				break
+			}
+		}
+		if hit != sampledHit {
+			// Tolerate grazing hits the sampler can miss on box faces.
+			if hit && tt > 0 {
+				p := a.Lerp(c, tt)
+				if b.Expand(1e-6).Contains(p) {
+					continue
+				}
+			}
+			t.Fatalf("case %d: slab hit=%v sampling hit=%v box=%v seg=%v->%v", i, hit, sampledHit, b, a, c)
+		}
+		if hit && math.Abs(tt-sampledT) > 2.0/steps+1e-9 {
+			t.Fatalf("case %d: slab t=%v sampled t=%v", i, tt, sampledT)
+		}
+	}
+}
+
+func TestCorner(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 2, 3))
+	want := []Vec3{
+		{0, 0, 0}, {1, 0, 0}, {0, 2, 0}, {1, 2, 0},
+		{0, 0, 3}, {1, 0, 3}, {0, 2, 3}, {1, 2, 3},
+	}
+	for i, w := range want {
+		if got := b.Corner(i); got != w {
+			t.Errorf("Corner(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestLongestAxis(t *testing.T) {
+	if got := Box(V(0, 0, 0), V(10, 5, 5)).LongestAxis(); got != 0 {
+		t.Errorf("LongestAxis x = %d", got)
+	}
+	if got := Box(V(0, 0, 0), V(5, 10, 5)).LongestAxis(); got != 1 {
+		t.Errorf("LongestAxis y = %d", got)
+	}
+	if got := Box(V(0, 0, 0), V(5, 5, 10)).LongestAxis(); got != 2 {
+		t.Errorf("LongestAxis z = %d", got)
+	}
+}
+
+func TestInfEmptyIdentities(t *testing.T) {
+	b := Box(V(-3, 2, 1), V(9, 4, 7))
+	if got := Empty().Union(b); got != b {
+		t.Errorf("Empty is not a Union identity: %v", got)
+	}
+	if got := Inf().Intersection(b); got != b {
+		t.Errorf("Inf is not an Intersection identity: %v", got)
+	}
+	if !Inf().ContainsBox(b) {
+		t.Error("Inf does not contain arbitrary boxes")
+	}
+}
+
+func TestVolumeAndCenter(t *testing.T) {
+	b := Box(V(0, 0, 0), V(2, 3, 4))
+	if b.Volume() != 24 {
+		t.Errorf("Volume = %v", b.Volume())
+	}
+	if b.Center() != V(1, 1.5, 2) {
+		t.Errorf("Center = %v", b.Center())
+	}
+	if b.HalfExtents() != V(1, 1.5, 2) {
+		t.Errorf("HalfExtents = %v", b.HalfExtents())
+	}
+}

@@ -1,0 +1,87 @@
+package geom
+
+import "math"
+
+// Angles follow the Quake convention: a Vec3 holding degrees with
+// X = pitch (negative looks up), Y = yaw (counter-clockwise around +Z,
+// 0 along +X), Z = roll. The protocol transmits them as 16-bit fixed
+// point; see package protocol.
+
+// Deg2Rad converts degrees to radians.
+func Deg2Rad(d float64) float64 { return d * math.Pi / 180 }
+
+// Rad2Deg converts radians to degrees.
+func Rad2Deg(r float64) float64 { return r * 180 / math.Pi }
+
+// AngleVectors derives the forward, right, and up unit vectors from view
+// angles, mirroring the engine routine of the same name. The server uses
+// the forward vector to orient move commands and weapon fire.
+func AngleVectors(angles Vec3) (forward, right, up Vec3) {
+	yaw := Deg2Rad(angles.Y)
+	pitch := Deg2Rad(angles.X)
+	roll := Deg2Rad(angles.Z)
+
+	sy, cy := math.Sincos(yaw)
+	sp, cp := math.Sincos(pitch)
+	sr, cr := math.Sincos(roll)
+
+	forward = Vec3{cp * cy, cp * sy, -sp}
+	right = Vec3{
+		-sr*sp*cy + cr*sy,
+		-sr*sp*sy - cr*cy,
+		-sr * cp,
+	}
+	right = right.Neg()
+	up = Vec3{
+		cr*sp*cy + sr*sy,
+		cr*sp*sy - sr*cy,
+		cr * cp,
+	}
+	return forward, right, up
+}
+
+// Forward returns just the forward vector for the given view angles.
+func Forward(angles Vec3) Vec3 {
+	f, _, _ := AngleVectors(angles)
+	return f
+}
+
+// VecToAngles converts a direction vector to view angles (pitch and yaw;
+// roll is always zero), the inverse of AngleVectors' forward output.
+func VecToAngles(dir Vec3) Vec3 {
+	if dir.X == 0 && dir.Y == 0 {
+		if dir.Z > 0 {
+			return Vec3{-90, 0, 0}
+		}
+		if dir.Z < 0 {
+			return Vec3{90, 0, 0}
+		}
+		return Vec3{}
+	}
+	yaw := Rad2Deg(math.Atan2(dir.Y, dir.X))
+	flat := math.Hypot(dir.X, dir.Y)
+	pitch := -Rad2Deg(math.Atan2(dir.Z, flat))
+	return Vec3{pitch, NormalizeAngle(yaw), 0}
+}
+
+// NormalizeAngle wraps a degree angle into [0, 360).
+func NormalizeAngle(a float64) float64 {
+	a = math.Mod(a, 360)
+	if a < 0 {
+		a += 360
+	}
+	return a
+}
+
+// AngleDelta returns the shortest signed difference b-a in degrees,
+// in (-180, 180].
+func AngleDelta(a, b float64) float64 {
+	d := math.Mod(b-a, 360)
+	if d > 180 {
+		d -= 360
+	}
+	if d <= -180 {
+		d += 360
+	}
+	return d
+}

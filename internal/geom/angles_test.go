@@ -1,0 +1,102 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAngleVectorsCardinal(t *testing.T) {
+	cases := []struct {
+		angles  Vec3
+		forward Vec3
+	}{
+		{V(0, 0, 0), V(1, 0, 0)},
+		{V(0, 90, 0), V(0, 1, 0)},
+		{V(0, 180, 0), V(-1, 0, 0)},
+		{V(0, 270, 0), V(0, -1, 0)},
+		{V(-90, 0, 0), V(0, 0, 1)}, // looking straight up
+		{V(90, 0, 0), V(0, 0, -1)}, // looking straight down
+	}
+	for _, c := range cases {
+		f, _, _ := AngleVectors(c.angles)
+		if !f.NearEq(c.forward, 1e-9) {
+			t.Errorf("AngleVectors(%v) forward = %v, want %v", c.angles, f, c.forward)
+		}
+	}
+}
+
+func TestAngleVectorsOrthonormal(t *testing.T) {
+	for yaw := 0.0; yaw < 360; yaw += 15 {
+		for pitch := -85.0; pitch <= 85; pitch += 17 {
+			f, r, u := AngleVectors(V(pitch, yaw, 0))
+			for name, v := range map[string]Vec3{"forward": f, "right": r, "up": u} {
+				if math.Abs(v.Len()-1) > 1e-9 {
+					t.Fatalf("%s not unit at pitch=%v yaw=%v: len=%v", name, pitch, yaw, v.Len())
+				}
+			}
+			if math.Abs(f.Dot(r)) > 1e-9 || math.Abs(f.Dot(u)) > 1e-9 || math.Abs(r.Dot(u)) > 1e-9 {
+				t.Fatalf("basis not orthogonal at pitch=%v yaw=%v", pitch, yaw)
+			}
+		}
+	}
+}
+
+func TestVecToAnglesRoundTrip(t *testing.T) {
+	for yaw := 0.0; yaw < 360; yaw += 30 {
+		for pitch := -80.0; pitch <= 80; pitch += 20 {
+			f := Forward(V(pitch, yaw, 0))
+			a := VecToAngles(f)
+			f2 := Forward(a)
+			if !f.NearEq(f2, 1e-9) {
+				t.Errorf("round trip failed: pitch=%v yaw=%v -> %v -> %v", pitch, yaw, a, f2)
+			}
+		}
+	}
+}
+
+func TestVecToAnglesVertical(t *testing.T) {
+	if got := VecToAngles(V(0, 0, 5)); got != V(-90, 0, 0) {
+		t.Errorf("straight up = %v", got)
+	}
+	if got := VecToAngles(V(0, 0, -5)); got != V(90, 0, 0) {
+		t.Errorf("straight down = %v", got)
+	}
+	if got := VecToAngles(Vec3{}); got != (Vec3{}) {
+		t.Errorf("zero vector = %v", got)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := map[float64]float64{
+		0: 0, 360: 0, 370: 10, -10: 350, 720: 0, -350: 10,
+	}
+	for in, want := range cases {
+		if got := NormalizeAngle(in); math.Abs(got-want) > eps {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestAngleDelta(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 10, 10},
+		{10, 0, -10},
+		{350, 10, 20},
+		{10, 350, -20},
+		{0, 180, 180},
+		{90, 270, 180},
+	}
+	for _, c := range cases {
+		if got := AngleDelta(c.a, c.b); math.Abs(got-c.want) > eps {
+			t.Errorf("AngleDelta(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDegRadRoundTrip(t *testing.T) {
+	for d := -360.0; d <= 360; d += 7.5 {
+		if got := Rad2Deg(Deg2Rad(d)); math.Abs(got-d) > 1e-9 {
+			t.Errorf("deg->rad->deg %v = %v", d, got)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package geom
+
+// AxisPlane is an axis-aligned splitting plane: all points p with
+// p.Axis(Axis) == Dist. The areanode tree (and the collide tree's interior
+// nodes) partition space exclusively with planes of this form, as in the
+// engine the paper studies, where areanode splits alternate between the
+// x and y axes.
+type AxisPlane struct {
+	Axis int     // 0 = x, 1 = y, 2 = z
+	Dist float64 // plane position along Axis
+}
+
+// Side classification results for SideBox.
+const (
+	SideFront = 1 << iota // entirely on the >= Dist side
+	SideBack              // entirely on the <= Dist side
+	SideCross = SideFront | SideBack
+)
+
+// SidePoint returns SideFront if p is on or beyond the plane in the
+// positive axis direction, SideBack otherwise.
+func (pl AxisPlane) SidePoint(p Vec3) int {
+	if p.Axis(pl.Axis) >= pl.Dist {
+		return SideFront
+	}
+	return SideBack
+}
+
+// SideBox classifies box b against the plane: SideFront when entirely in
+// front, SideBack when entirely behind, SideCross when it straddles the
+// plane. Boxes touching the plane from one side are not considered
+// crossing — this matches the engine's areanode link rule, where an object
+// is pushed to a child if it fits entirely within the child's closed
+// half-space.
+func (pl AxisPlane) SideBox(b AABB) int {
+	if b.Min.Axis(pl.Axis) >= pl.Dist {
+		return SideFront
+	}
+	if b.Max.Axis(pl.Axis) <= pl.Dist {
+		return SideBack
+	}
+	return SideCross
+}
+
+// SplitBox cuts box b along the plane, returning the front and back
+// pieces. When b does not straddle the plane one result equals b and the
+// other is the degenerate sliver at the plane.
+func (pl AxisPlane) SplitBox(b AABB) (front, back AABB) {
+	front, back = b, b
+	front.Min = front.Min.SetAxis(pl.Axis, clamp(pl.Dist, b.Min.Axis(pl.Axis), b.Max.Axis(pl.Axis)))
+	back.Max = back.Max.SetAxis(pl.Axis, clamp(pl.Dist, b.Min.Axis(pl.Axis), b.Max.Axis(pl.Axis)))
+	return front, back
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,80 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSidePoint(t *testing.T) {
+	pl := AxisPlane{Axis: 0, Dist: 5}
+	if pl.SidePoint(V(6, 0, 0)) != SideFront {
+		t.Error("point in front misclassified")
+	}
+	if pl.SidePoint(V(4, 0, 0)) != SideBack {
+		t.Error("point behind misclassified")
+	}
+	if pl.SidePoint(V(5, 0, 0)) != SideFront {
+		t.Error("on-plane point should classify front (>= rule)")
+	}
+}
+
+func TestSideBox(t *testing.T) {
+	pl := AxisPlane{Axis: 1, Dist: 0}
+	if got := pl.SideBox(Box(V(0, 1, 0), V(1, 5, 1))); got != SideFront {
+		t.Errorf("front box = %d", got)
+	}
+	if got := pl.SideBox(Box(V(0, -5, 0), V(1, -1, 1))); got != SideBack {
+		t.Errorf("back box = %d", got)
+	}
+	if got := pl.SideBox(Box(V(0, -1, 0), V(1, 1, 1))); got != SideCross {
+		t.Errorf("crossing box = %d", got)
+	}
+	// Touching the plane from the front is front, not crossing: this is
+	// the areanode link rule.
+	if got := pl.SideBox(Box(V(0, 0, 0), V(1, 5, 1))); got != SideFront {
+		t.Errorf("touching-front box = %d", got)
+	}
+	if got := pl.SideBox(Box(V(0, -5, 0), V(1, 0, 1))); got != SideBack {
+		t.Errorf("touching-back box = %d", got)
+	}
+}
+
+func TestSideBoxConsistentWithCorners(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		b := randomBox(r)
+		pl := AxisPlane{Axis: r.Intn(3), Dist: (r.Float64() - 0.5) * 2000}
+		got := pl.SideBox(b)
+		allFront := b.Min.Axis(pl.Axis) >= pl.Dist
+		allBack := b.Max.Axis(pl.Axis) <= pl.Dist
+		switch {
+		case allFront && got != SideFront:
+			t.Fatalf("case %d: want front", i)
+		case allBack && !allFront && got != SideBack:
+			t.Fatalf("case %d: want back", i)
+		case !allFront && !allBack && got != SideCross:
+			t.Fatalf("case %d: want cross", i)
+		}
+	}
+}
+
+func TestSplitBox(t *testing.T) {
+	b := Box(V(0, 0, 0), V(10, 10, 10))
+	pl := AxisPlane{Axis: 0, Dist: 4}
+	front, back := pl.SplitBox(b)
+	if front.Min != V(4, 0, 0) || front.Max != V(10, 10, 10) {
+		t.Errorf("front = %v", front)
+	}
+	if back.Min != V(0, 0, 0) || back.Max != V(4, 10, 10) {
+		t.Errorf("back = %v", back)
+	}
+	// Plane outside the box clamps to a face.
+	pl = AxisPlane{Axis: 0, Dist: 20}
+	front, back = pl.SplitBox(b)
+	if back != b {
+		t.Errorf("back should equal original box, got %v", back)
+	}
+	if front.Volume() != 0 {
+		t.Errorf("front should be degenerate, got %v", front)
+	}
+}

@@ -1,0 +1,64 @@
+package geom
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func randomVec(r *rand.Rand) Vec3 {
+	return Vec3{
+		(r.Float64() - 0.5) * 2000,
+		(r.Float64() - 0.5) * 2000,
+		(r.Float64() - 0.5) * 2000,
+	}
+}
+
+func randomBox(r *rand.Rand) AABB {
+	return Box(randomVec(r), randomVec(r))
+}
+
+var (
+	vecType = reflect.TypeOf(Vec3{})
+	boxType = reflect.TypeOf(AABB{})
+)
+
+// quickCheck runs testing/quick on a property function whose parameters
+// may be Vec3, AABB, or float64, generating moderate-magnitude values so
+// floating-point comparisons stay well-conditioned.
+func quickCheck(t *testing.T, f any) {
+	t.Helper()
+	ft := reflect.TypeOf(f)
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				switch ft.In(i) {
+				case vecType:
+					vals[i] = reflect.ValueOf(randomVec(r))
+				case boxType:
+					vals[i] = reflect.ValueOf(randomBox(r))
+				default:
+					vals[i] = reflect.ValueOf((r.Float64() - 0.5) * 2000)
+				}
+			}
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// quickVecCfg is retained for tests that call quick.Check directly with
+// all-Vec3 signatures.
+func quickVecCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randomVec(r))
+			}
+		},
+	}
+}

@@ -1,0 +1,157 @@
+// Package geom provides the small 3-D math kernel used throughout qserve:
+// vectors, axis-aligned boxes, planes, view angles, and the
+// segment/box intersection primitives the collision and areanode layers
+// are built on.
+//
+// Conventions follow the Quake engine that the reproduced paper studies:
+// x and y span the ground plane, z is up, angles are degrees with
+// (pitch, yaw, roll) ordering, and distances are world units
+// (a player is 32 units wide and 56 units tall).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point or direction in world space.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns v + o.
+func (v Vec3) Add(o Vec3) Vec3 { return Vec3{v.X + o.X, v.Y + o.Y, v.Z + o.Z} }
+
+// Sub returns v - o.
+func (v Vec3) Sub(o Vec3) Vec3 { return Vec3{v.X - o.X, v.Y - o.Y, v.Z - o.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Mul returns the component-wise product of v and o.
+func (v Vec3) Mul(o Vec3) Vec3 { return Vec3{v.X * o.X, v.Y * o.Y, v.Z * o.Z} }
+
+// Neg returns -v.
+func (v Vec3) Neg() Vec3 { return Vec3{-v.X, -v.Y, -v.Z} }
+
+// Dot returns the dot product of v and o.
+func (v Vec3) Dot(o Vec3) float64 { return v.X*o.X + v.Y*o.Y + v.Z*o.Z }
+
+// Cross returns the cross product v × o.
+func (v Vec3) Cross(o Vec3) Vec3 {
+	return Vec3{
+		v.Y*o.Z - v.Z*o.Y,
+		v.Z*o.X - v.X*o.Z,
+		v.X*o.Y - v.Y*o.X,
+	}
+}
+
+// Len returns the Euclidean length of v.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// LenSq returns the squared length of v; cheaper than Len for comparisons.
+func (v Vec3) LenSq() float64 { return v.Dot(v) }
+
+// Dist returns the distance between v and o.
+func (v Vec3) Dist(o Vec3) float64 { return v.Sub(o).Len() }
+
+// DistSq returns the squared distance between v and o.
+func (v Vec3) DistSq(o Vec3) float64 { return v.Sub(o).LenSq() }
+
+// Norm returns v scaled to unit length, or the zero vector if v is zero.
+func (v Vec3) Norm() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return Vec3{}
+	}
+	return v.Scale(1 / l)
+}
+
+// Lerp linearly interpolates from v to o by t in [0,1].
+func (v Vec3) Lerp(o Vec3, t float64) Vec3 {
+	return Vec3{
+		v.X + (o.X-v.X)*t,
+		v.Y + (o.Y-v.Y)*t,
+		v.Z + (o.Z-v.Z)*t,
+	}
+}
+
+// MA returns v + dir*scale ("multiply-add"), the Quake VectorMA idiom.
+func (v Vec3) MA(scale float64, dir Vec3) Vec3 {
+	return Vec3{v.X + scale*dir.X, v.Y + scale*dir.Y, v.Z + scale*dir.Z}
+}
+
+// Min returns the component-wise minimum of v and o.
+func (v Vec3) Min(o Vec3) Vec3 {
+	return Vec3{math.Min(v.X, o.X), math.Min(v.Y, o.Y), math.Min(v.Z, o.Z)}
+}
+
+// Max returns the component-wise maximum of v and o.
+func (v Vec3) Max(o Vec3) Vec3 {
+	return Vec3{math.Max(v.X, o.X), math.Max(v.Y, o.Y), math.Max(v.Z, o.Z)}
+}
+
+// Abs returns the component-wise absolute value of v.
+func (v Vec3) Abs() Vec3 {
+	return Vec3{math.Abs(v.X), math.Abs(v.Y), math.Abs(v.Z)}
+}
+
+// Axis returns component i of v (0=X, 1=Y, 2=Z).
+func (v Vec3) Axis(i int) float64 {
+	switch i {
+	case 0:
+		return v.X
+	case 1:
+		return v.Y
+	default:
+		return v.Z
+	}
+}
+
+// SetAxis returns a copy of v with component i replaced by val.
+func (v Vec3) SetAxis(i int, val float64) Vec3 {
+	switch i {
+	case 0:
+		v.X = val
+	case 1:
+		v.Y = val
+	default:
+		v.Z = val
+	}
+	return v
+}
+
+// Flat returns v with its Z component zeroed, projecting it onto the
+// ground plane.
+func (v Vec3) Flat() Vec3 { return Vec3{v.X, v.Y, 0} }
+
+// IsZero reports whether all components are exactly zero.
+func (v Vec3) IsZero() bool { return v.X == 0 && v.Y == 0 && v.Z == 0 }
+
+// IsFinite reports whether all components are finite numbers.
+func (v Vec3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+// NearEq reports whether v and o differ by at most eps in every component.
+func (v Vec3) NearEq(o Vec3, eps float64) bool {
+	return math.Abs(v.X-o.X) <= eps && math.Abs(v.Y-o.Y) <= eps && math.Abs(v.Z-o.Z) <= eps
+}
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string { return fmt.Sprintf("(%.2f %.2f %.2f)", v.X, v.Y, v.Z) }
+
+// ClampLen returns v truncated to at most maxLen without changing its
+// direction.
+func (v Vec3) ClampLen(maxLen float64) Vec3 {
+	l := v.Len()
+	if l <= maxLen || l == 0 {
+		return v
+	}
+	return v.Scale(maxLen / l)
+}

@@ -1,0 +1,169 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func TestVecBasicOps(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(4, -5, 6)
+	if got := a.Add(b); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Mul(b); got != V(4, -10, 18) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Neg(); got != V(-1, -2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := V(3, 4, 0).Len(); got != 5 {
+		t.Errorf("Len = %v", got)
+	}
+	if got := V(3, 4, 0).LenSq(); got != 25 {
+		t.Errorf("LenSq = %v", got)
+	}
+}
+
+func TestVecAxisAccess(t *testing.T) {
+	v := V(7, 8, 9)
+	for i, want := range []float64{7, 8, 9} {
+		if got := v.Axis(i); got != want {
+			t.Errorf("Axis(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if got := v.SetAxis(1, 42); got != V(7, 42, 9) {
+		t.Errorf("SetAxis = %v", got)
+	}
+	// SetAxis must not mutate the receiver (value semantics).
+	if v != V(7, 8, 9) {
+		t.Errorf("SetAxis mutated receiver: %v", v)
+	}
+}
+
+func TestCrossProperties(t *testing.T) {
+	f := func(a, b Vec3) bool {
+		c := a.Cross(b)
+		// Cross product is orthogonal to both operands.
+		return math.Abs(c.Dot(a)) < 1e-4 && math.Abs(c.Dot(b)) < 1e-4
+	}
+	if err := quick.Check(f, quickVecCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDotCommutative(t *testing.T) {
+	f := func(a, b Vec3) bool { return a.Dot(b) == b.Dot(a) }
+	if err := quick.Check(f, quickVecCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(a, b Vec3) bool { return a.Add(b).Sub(b).NearEq(a, 1e-6) }
+	if err := quick.Check(f, quickVecCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormLength(t *testing.T) {
+	f := func(a Vec3) bool {
+		n := a.Norm()
+		if a.IsZero() {
+			return n.IsZero()
+		}
+		return math.Abs(n.Len()-1) < 1e-9
+	}
+	if err := quick.Check(f, quickVecCfg()); err != nil {
+		t.Error(err)
+	}
+	if !V(0, 0, 0).Norm().IsZero() {
+		t.Error("Norm of zero vector should be zero")
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	f := func(a, b Vec3) bool {
+		return a.Lerp(b, 0).NearEq(a, eps) && a.Lerp(b, 1).NearEq(b, 1e-6)
+	}
+	if err := quick.Check(f, quickVecCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMA(t *testing.T) {
+	got := V(1, 1, 1).MA(3, V(0, 2, 0))
+	if got != V(1, 7, 1) {
+		t.Errorf("MA = %v", got)
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	a, b := V(1, -5, 3), V(-2, 4, 3)
+	if got := a.Min(b); got != V(-2, -5, 3) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != V(1, 4, 3) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := V(-1, 2, -3).Abs(); got != V(1, 2, 3) {
+		t.Errorf("Abs = %v", got)
+	}
+}
+
+func TestClampLen(t *testing.T) {
+	v := V(30, 40, 0) // length 50
+	c := v.ClampLen(5)
+	if math.Abs(c.Len()-5) > eps {
+		t.Errorf("ClampLen length = %v", c.Len())
+	}
+	if !c.Norm().NearEq(v.Norm(), eps) {
+		t.Error("ClampLen changed direction")
+	}
+	if got := V(1, 0, 0).ClampLen(5); got != V(1, 0, 0) {
+		t.Errorf("ClampLen should not grow short vectors, got %v", got)
+	}
+	if got := (Vec3{}).ClampLen(5); !got.IsZero() {
+		t.Errorf("ClampLen of zero = %v", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if V(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestFlat(t *testing.T) {
+	if got := V(1, 2, 3).Flat(); got != V(1, 2, 0) {
+		t.Errorf("Flat = %v", got)
+	}
+}
+
+func TestDistSymmetry(t *testing.T) {
+	f := func(a, b Vec3) bool {
+		return math.Abs(a.Dist(b)-b.Dist(a)) < eps &&
+			math.Abs(a.DistSq(b)-a.Dist(b)*a.Dist(b)) < 1e-3
+	}
+	if err := quick.Check(f, quickVecCfg()); err != nil {
+		t.Error(err)
+	}
+}

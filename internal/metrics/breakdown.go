@@ -1,0 +1,173 @@
+// Package metrics defines the measurement vocabulary of the reproduction:
+// the per-thread execution-time breakdown from the paper's §4 ("Exec",
+// "Lock", "Receive", "Reply", "Intra-frame wait", "Inter-frame wait",
+// "Idle", plus the world-update component), lock-time attribution to leaf
+// versus parent areanodes, per-frame activity records, and the response
+// rate/time summaries used to compare server configurations. Both
+// execution engines — the live goroutine server and the virtual-time
+// simulator — emit these structures, so every experiment renders through
+// the same reporting code.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Component indexes the execution-time breakdown, matching the paper's
+// definitions verbatim (§4, "Our execution time breakdowns ...").
+type Component int
+
+const (
+	// CompExec is time spent processing requests (move execution), net of
+	// lock overhead.
+	CompExec Component = iota
+	// CompLock is lock synchronization overhead during request
+	// processing (areanode locking; all other lock overheads are <2% and
+	// folded into their phases, as in the paper).
+	CompLock
+	// CompRecv is time receiving and parsing requests.
+	CompRecv
+	// CompReply is the full reply processing phase: forming and sending
+	// replies.
+	CompReply
+	// CompIntraWait is time waiting at the barrier between request and
+	// reply phases for other threads to drain their queues.
+	CompIntraWait
+	// CompInterWait is time waiting between frames: for the master's
+	// world update, or for the current frame to end after missing it.
+	CompInterWait
+	// CompIdle is time blocked in select with no work.
+	CompIdle
+	// CompWorld is the world physics update (master thread only).
+	CompWorld
+
+	// NumComponents is the breakdown arity.
+	NumComponents
+)
+
+// String implements fmt.Stringer.
+func (c Component) String() string {
+	switch c {
+	case CompExec:
+		return "exec"
+	case CompLock:
+		return "lock"
+	case CompRecv:
+		return "receive"
+	case CompReply:
+		return "reply"
+	case CompIntraWait:
+		return "intra-wait"
+	case CompInterWait:
+		return "inter-wait"
+	case CompIdle:
+		return "idle"
+	case CompWorld:
+		return "world"
+	default:
+		return fmt.Sprintf("component(%d)", int(c))
+	}
+}
+
+// Breakdown accumulates nanoseconds per component for one thread.
+type Breakdown struct {
+	Ns [NumComponents]int64
+
+	// Lock time attribution for Fig. 7(a).
+	LeafLockNs   int64
+	ParentLockNs int64
+}
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o *Breakdown) {
+	for i := range b.Ns {
+		b.Ns[i] += o.Ns[i]
+	}
+	b.LeafLockNs += o.LeafLockNs
+	b.ParentLockNs += o.ParentLockNs
+}
+
+// Charge adds ns to a component.
+func (b *Breakdown) Charge(c Component, ns int64) { b.Ns[c] += ns }
+
+// ChargeLock adds lock wait+overhead time, attributed to leaf or parent
+// areanode locking.
+func (b *Breakdown) ChargeLock(ns int64, leaf bool) {
+	b.Ns[CompLock] += ns
+	if leaf {
+		b.LeafLockNs += ns
+	} else {
+		b.ParentLockNs += ns
+	}
+}
+
+// Total returns the sum over all components.
+func (b *Breakdown) Total() int64 {
+	var t int64
+	for _, v := range b.Ns {
+		t += v
+	}
+	return t
+}
+
+// NonIdle returns the total excluding idle time.
+func (b *Breakdown) NonIdle() int64 { return b.Total() - b.Ns[CompIdle] }
+
+// Busy returns time doing useful or overhead work: total minus idle and
+// both wait components — the paper's "workload" for balance analysis
+// ("including all components of execution time except for idle and wait
+// times").
+func (b *Breakdown) Busy() int64 {
+	return b.Total() - b.Ns[CompIdle] - b.Ns[CompIntraWait] - b.Ns[CompInterWait]
+}
+
+// Percent returns component c as a percentage of the total (0 when the
+// total is zero).
+func (b *Breakdown) Percent(c Component) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(b.Ns[c]) / float64(t)
+}
+
+// String renders a compact single-line summary.
+func (b *Breakdown) String() string {
+	var parts []string
+	for c := Component(0); c < NumComponents; c++ {
+		if b.Ns[c] != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%.1f%%", c, b.Percent(c)))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Scale multiplies every component by f (used to normalize runs of
+// different durations).
+func (b *Breakdown) Scale(f float64) {
+	for i := range b.Ns {
+		b.Ns[i] = int64(float64(b.Ns[i]) * f)
+	}
+	b.LeafLockNs = int64(float64(b.LeafLockNs) * f)
+	b.ParentLockNs = int64(float64(b.ParentLockNs) * f)
+}
+
+// MergeThreads averages per-thread breakdowns into the "average execution
+// time breakdown" the paper's figures plot.
+func MergeThreads(threads []Breakdown) Breakdown {
+	var avg Breakdown
+	if len(threads) == 0 {
+		return avg
+	}
+	for i := range threads {
+		avg.Add(&threads[i])
+	}
+	n := float64(len(threads))
+	avg.Scale(1 / n)
+	return avg
+}
+
+// Dur formats nanoseconds as a duration string for reports.
+func Dur(ns int64) string { return time.Duration(ns).Truncate(time.Microsecond).String() }

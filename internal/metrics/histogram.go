@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// LatencyHist is a fixed-size logarithmic histogram of latencies, used
+// for percentile reporting (mean response time hides the tail that
+// players actually feel as lag). Bins span 0.1ms to ~100s with ~12% bin
+// width; memory is constant and recording is allocation-free.
+type LatencyHist struct {
+	counts [128]int64
+	total  int64
+}
+
+const (
+	histMinSeconds = 1e-4 // 0.1ms
+	histBinsPerDec = 21   // bins per decade (~12% resolution)
+)
+
+func histBin(seconds float64) int {
+	if seconds <= histMinSeconds {
+		return 0
+	}
+	b := int(math.Log10(seconds/histMinSeconds) * histBinsPerDec)
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(LatencyHist{}.counts) {
+		b = len(LatencyHist{}.counts) - 1
+	}
+	return b
+}
+
+// binLow returns the lower bound of bin b in seconds.
+func histBinLow(b int) float64 {
+	return histMinSeconds * math.Pow(10, float64(b)/histBinsPerDec)
+}
+
+// Record adds one latency sample in seconds.
+func (h *LatencyHist) Record(seconds float64) {
+	h.counts[histBin(seconds)]++
+	h.total++
+}
+
+// N returns the sample count.
+func (h *LatencyHist) N() int64 { return h.total }
+
+// Quantile returns the approximate q-quantile (0..1) in seconds, using
+// the geometric midpoint of the containing bin.
+func (h *LatencyHist) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank definition: the smallest sample with at least q of the
+	// mass at or below it, so small-n tails resolve to the max sample.
+	rank := int64(math.Ceil(q*float64(h.total))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum > rank {
+			lo := histBinLow(b)
+			hi := histBinLow(b + 1)
+			return math.Sqrt(lo * hi)
+		}
+	}
+	return histBinLow(len(h.counts) - 1)
+}
+
+// P50, P95, and P99 return common percentiles in milliseconds.
+func (h *LatencyHist) P50() float64 { return h.Quantile(0.50) * 1000 }
+
+// P95 returns the 95th percentile in milliseconds.
+func (h *LatencyHist) P95() float64 { return h.Quantile(0.95) * 1000 }
+
+// P99 returns the 99th percentile in milliseconds.
+func (h *LatencyHist) P99() float64 { return h.Quantile(0.99) * 1000 }
+
+// Merge combines another histogram into this one.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.total += o.total
+}
+
+// String renders a compact summary.
+func (h *LatencyHist) String() string {
+	if h.total == 0 {
+		return "latency: no samples"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "latency p50=%.1fms p95=%.1fms p99=%.1fms (n=%d)",
+		h.P50(), h.P95(), h.P99(), h.total)
+	return b.String()
+}

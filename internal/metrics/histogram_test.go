@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantilesMatchSorting(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var h LatencyHist
+	var samples []float64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform latencies from 0.5ms to 500ms.
+		s := 0.0005 * math.Pow(1000, r.Float64())
+		samples = append(samples, s)
+		h.Record(s)
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := samples[int(q*float64(len(samples)-1))]
+		approx := h.Quantile(q)
+		// Log-binned: within one bin width (~12%) of the exact value.
+		if approx < exact*0.85 || approx > exact*1.18 {
+			t.Errorf("q%.2f: approx %.4f vs exact %.4f", q, approx, exact)
+		}
+	}
+	if h.N() != 20000 {
+		t.Errorf("N = %d", h.N())
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.5) != 0 || h.P95() != 0 {
+		t.Error("empty histogram quantile not zero")
+	}
+	h.Record(0)   // below range: clamps to first bin
+	h.Record(1e6) // absurd: clamps to last bin
+	h.Record(-1)  // negative: clamps to first bin
+	if h.N() != 3 {
+		t.Errorf("N = %d", h.N())
+	}
+	if q := h.Quantile(0); q <= 0 {
+		t.Errorf("q0 = %v", q)
+	}
+	if h.Quantile(1.5) < h.Quantile(-0.5) {
+		t.Error("clamped quantile args inverted")
+	}
+	if !strings.Contains(h.String(), "p95") {
+		t.Errorf("String() = %q", h.String())
+	}
+	var empty LatencyHist
+	if empty.String() != "latency: no samples" {
+		t.Errorf("empty String() = %q", empty.String())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole LatencyHist
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		s := 0.001 + r.Float64()*0.1
+		whole.Record(s)
+		if i%2 == 0 {
+			a.Record(s)
+		} else {
+			b.Record(s)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q%.2f differs after merge", q)
+		}
+	}
+}
+
+func TestResponseStatsRecordFeedsBothViews(t *testing.T) {
+	var r ResponseStats
+	for _, s := range []float64{0.010, 0.020, 0.030, 0.200} {
+		r.Record(s)
+	}
+	if r.Latency.N() != 4 || r.Hist.N() != 4 {
+		t.Fatalf("views out of sync: %d vs %d", r.Latency.N(), r.Hist.N())
+	}
+	if r.P95Ms() < r.MeanLatencyMs() {
+		t.Errorf("p95 %.1f below mean %.1f for tailed data", r.P95Ms(), r.MeanLatencyMs())
+	}
+}

@@ -1,0 +1,327 @@
+// Package physics simulates entity motion: the player movement model
+// (friction, acceleration, gravity, jumping, and the clip-and-slide
+// collision response of the engine's SV_FlyMove/PM_* family) and
+// projectile flight. It is deliberately independent of entities and game
+// rules — callers supply a TraceFunc that sweeps the moving hull against
+// whatever should block it (world brushes plus solid entities), which is
+// how the game layer injects areanode-collected obstacles.
+package physics
+
+import (
+	"math"
+
+	"qserve/internal/collide"
+	"qserve/internal/geom"
+)
+
+// Params are the movement tuning constants. Defaults mirror QuakeWorld's
+// server settings.
+type Params struct {
+	Gravity       float64 // units/s²
+	MaxSpeed      float64 // ground speed cap, units/s
+	Accelerate    float64 // ground acceleration gain, 1/s
+	AirAccelerate float64 // air acceleration gain, 1/s
+	Friction      float64 // ground friction, 1/s
+	StopSpeed     float64 // friction's low-speed rounding floor
+	JumpSpeed     float64 // upward velocity applied by a jump
+	StepHeight    float64 // max ledge height walked up automatically
+	MaxVelocity   float64 // hard component clamp
+}
+
+// DefaultParams returns the QuakeWorld-flavoured defaults.
+func DefaultParams() Params {
+	return Params{
+		Gravity:       800,
+		MaxSpeed:      320,
+		Accelerate:    10,
+		AirAccelerate: 0.7,
+		Friction:      6,
+		StopSpeed:     100,
+		JumpSpeed:     270,
+		StepHeight:    18,
+		MaxVelocity:   2000,
+	}
+}
+
+// TraceFunc sweeps the moving entity's hull from origin a to origin b and
+// reports the first blocking contact. Implementations must apply the same
+// boundary semantics as collide.Tree.TraceBox.
+type TraceFunc func(a, b geom.Vec3) collide.Trace
+
+// State is the mutable kinematic state threaded through a move.
+type State struct {
+	Origin   geom.Vec3
+	Velocity geom.Vec3
+	OnGround bool
+}
+
+// Cmd is the movement intent extracted from a client move command:
+// the wish direction in world space (already rotated by the view angles),
+// the wish speed, and the jump flag.
+type Cmd struct {
+	WishDir   geom.Vec3 // unit vector, z component ignored for ground moves
+	WishSpeed float64
+	Jump      bool
+}
+
+// Result reports what a move did, including the work counters the cost
+// model charges for.
+type Result struct {
+	Traces     int  // hull sweeps performed
+	ClipPlanes int  // velocity clips applied
+	Jumped     bool // a jump was initiated
+	Blocked    bool // motion ended against geometry
+	Stepped    bool // the step-up path was taken
+}
+
+const (
+	maxClipPlanes  = 5
+	overClip       = 1.001 // slight overbounce, as in the engine
+	groundProbe    = 2.0   // downward distance checked for ground support
+	minWalkNormalZ = 0.7   // steepest slope that counts as ground
+)
+
+// PlayerMove advances a player hull by dt seconds under the given command.
+// It mutates st in place and returns the move's work summary. The trace
+// function must sweep this player's hull and skip the player itself.
+func PlayerMove(p Params, trace TraceFunc, st *State, cmd Cmd, dt float64) Result {
+	var res Result
+	if dt <= 0 {
+		return res
+	}
+
+	if st.OnGround {
+		applyFriction(p, st, dt)
+	}
+	accelerate(p, st, cmd, dt)
+
+	if cmd.Jump && st.OnGround {
+		st.Velocity.Z = p.JumpSpeed
+		st.OnGround = false
+		res.Jumped = true
+	}
+	if !st.OnGround {
+		st.Velocity.Z -= p.Gravity * dt
+	}
+	clampVelocity(p, st)
+
+	slideMove(p, trace, st, dt, &res)
+	categorizePosition(trace, st, &res)
+	return res
+}
+
+// applyFriction decays horizontal velocity as in SV_Friction.
+func applyFriction(p Params, st *State, dt float64) {
+	speed := st.Velocity.Flat().Len()
+	if speed < 1 {
+		st.Velocity.X = 0
+		st.Velocity.Y = 0
+		return
+	}
+	control := speed
+	if control < p.StopSpeed {
+		control = p.StopSpeed
+	}
+	newSpeed := speed - control*p.Friction*dt
+	if newSpeed < 0 {
+		newSpeed = 0
+	}
+	scale := newSpeed / speed
+	st.Velocity.X *= scale
+	st.Velocity.Y *= scale
+}
+
+// accelerate adds velocity toward the wish direction, capped by the
+// projection test that gives Quake movement its feel.
+func accelerate(p Params, st *State, cmd Cmd, dt float64) {
+	wish := cmd.WishDir.Flat().Norm()
+	if wish.IsZero() || cmd.WishSpeed <= 0 {
+		return
+	}
+	wishSpeed := math.Min(cmd.WishSpeed, p.MaxSpeed)
+	gain := p.Accelerate
+	if !st.OnGround {
+		gain = p.AirAccelerate
+		// Air control caps the projected speed much lower.
+		if wishSpeed > 30 {
+			wishSpeed = 30
+		}
+	}
+	current := st.Velocity.Dot(wish)
+	add := wishSpeed - current
+	if add <= 0 {
+		return
+	}
+	accel := gain * p.MaxSpeed * dt
+	if accel > add {
+		accel = add
+	}
+	st.Velocity = st.Velocity.MA(accel, wish)
+}
+
+func clampVelocity(p Params, st *State) {
+	v := &st.Velocity
+	for i := 0; i < 3; i++ {
+		c := v.Axis(i)
+		if c > p.MaxVelocity {
+			*v = v.SetAxis(i, p.MaxVelocity)
+		} else if c < -p.MaxVelocity {
+			*v = v.SetAxis(i, -p.MaxVelocity)
+		}
+	}
+}
+
+// slideMove advances the origin, clipping velocity against each plane hit
+// (SV_FlyMove), with one step-up attempt when ground motion is blocked.
+func slideMove(p Params, trace TraceFunc, st *State, dt float64, res *Result) {
+	timeLeft := dt
+	planes := make([]geom.Vec3, 0, maxClipPlanes)
+	startedOnGround := st.OnGround
+
+	for bump := 0; bump < maxClipPlanes && timeLeft > 1e-9; bump++ {
+		if st.Velocity.IsZero() {
+			break
+		}
+		end := st.Origin.MA(timeLeft, st.Velocity)
+		tr := trace(st.Origin, end)
+		res.Traces++
+
+		if tr.StartSolid {
+			// Stuck: zero velocity and give up; categorize will sort out
+			// ground state. This matches the engine's conservative
+			// handling of emergency cases.
+			st.Velocity = geom.Vec3{}
+			res.Blocked = true
+			return
+		}
+		st.Origin = tr.End
+		if !tr.Hit {
+			return // moved the full distance
+		}
+		res.Blocked = true
+		timeLeft *= 1 - tr.Fraction
+
+		// Try stepping over low obstacles when walking into a wall.
+		if startedOnGround && tr.Normal.Z < minWalkNormalZ && tr.Normal.Z > -0.1 && !res.Stepped {
+			if tryStep(p, trace, st, timeLeft, res) {
+				res.Stepped = true
+				continue
+			}
+		}
+
+		planes = append(planes, tr.Normal)
+		clipped := clipAgainstPlanes(st.Velocity, planes)
+		st.Velocity = clipped
+		res.ClipPlanes++
+	}
+}
+
+// tryStep attempts the classic step-up: nudge up by StepHeight, move
+// forward for the remaining time, then settle back down. Returns true
+// when the step made forward progress.
+func tryStep(p Params, trace TraceFunc, st *State, timeLeft float64, res *Result) bool {
+	saved := *st
+
+	up := trace(st.Origin, st.Origin.Add(geom.V(0, 0, p.StepHeight)))
+	res.Traces++
+	if up.Hit {
+		return false
+	}
+	fwdEnd := up.End.MA(timeLeft, geom.V(st.Velocity.X, st.Velocity.Y, 0).Norm().Scale(st.Velocity.Flat().Len()))
+	fwd := trace(up.End, fwdEnd)
+	res.Traces++
+	down := trace(fwd.End, fwd.End.Sub(geom.V(0, 0, p.StepHeight+groundProbe)))
+	res.Traces++
+
+	if down.Hit && down.Normal.Z >= minWalkNormalZ {
+		movedSq := fwd.End.Flat().Sub(saved.Origin.Flat()).LenSq()
+		if movedSq > 1e-6 {
+			st.Origin = down.End
+			return true
+		}
+	}
+	*st = saved
+	return false
+}
+
+// clipAgainstPlanes removes the velocity components pointing into any of
+// the accumulated clip planes. With two non-parallel planes it slides
+// along their crease; with more it stops, as in the engine.
+func clipAgainstPlanes(vel geom.Vec3, planes []geom.Vec3) geom.Vec3 {
+	for i := range planes {
+		v := clipVelocity(vel, planes[i])
+		ok := true
+		for j := range planes {
+			if j != i && v.Dot(planes[j]) < 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return v
+		}
+	}
+	if len(planes) == 2 {
+		crease := planes[0].Cross(planes[1]).Norm()
+		return crease.Scale(vel.Dot(crease))
+	}
+	return geom.Vec3{}
+}
+
+// clipVelocity projects out the component of v into the plane normal with
+// a slight overbounce.
+func clipVelocity(v, normal geom.Vec3) geom.Vec3 {
+	backoff := v.Dot(normal) * overClip
+	return v.Sub(normal.Scale(backoff))
+}
+
+// categorizePosition probes downward to set the on-ground flag, the
+// PM_CategorizePosition step.
+func categorizePosition(trace TraceFunc, st *State, res *Result) {
+	if st.Velocity.Z > 180 {
+		// Moving up fast (jump launch): definitely airborne.
+		st.OnGround = false
+		return
+	}
+	tr := trace(st.Origin, st.Origin.Sub(geom.V(0, 0, groundProbe)))
+	res.Traces++
+	if tr.Hit && !tr.StartSolid && tr.Normal.Z >= minWalkNormalZ {
+		st.OnGround = true
+		// Snap to the ground and cancel vertical velocity, including the
+		// small upward residue the overclip bounce leaves after landing.
+		st.Origin = tr.End
+		if st.Velocity.Z < 1 {
+			st.Velocity.Z = 0
+		}
+	} else {
+		st.OnGround = false
+	}
+}
+
+// FlyResult reports a projectile integration step.
+type FlyResult struct {
+	Trace  collide.Trace
+	Traces int
+}
+
+// ProjectileMove advances a projectile by dt with optional gravity and
+// returns the first impact, if any. Projectiles do not slide: they stop
+// (and the game layer detonates them) at the first contact.
+func ProjectileMove(gravity float64, trace TraceFunc, st *State, dt float64) FlyResult {
+	st.Velocity.Z -= gravity * dt
+	end := st.Origin.MA(dt, st.Velocity)
+	tr := trace(st.Origin, end)
+	st.Origin = tr.End
+	return FlyResult{Trace: tr, Traces: 1}
+}
+
+// MaxMoveDistance returns the farthest a player can travel in one move
+// command of duration msec, used to size move bounding boxes (§2.3: "the
+// maximum possible distance a player can travel in a single move").
+// Vertical travel is bounded by jump impulse plus gravity fall.
+func MaxMoveDistance(p Params, msec float64) float64 {
+	dt := msec / 1000
+	horizontal := p.MaxSpeed * dt
+	vertical := math.Max(p.JumpSpeed*dt, 0.5*p.Gravity*dt*dt+p.MaxVelocity*dt*0.25)
+	return math.Max(horizontal, vertical)
+}

@@ -1,0 +1,303 @@
+package physics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qserve/internal/collide"
+	"qserve/internal/geom"
+	"qserve/internal/worldmap"
+)
+
+// testEnv builds a collision world and a hull trace function for the
+// standard player hull.
+func testEnv(t testing.TB) (*collide.Tree, *worldmap.Map, TraceFunc) {
+	t.Helper()
+	m := worldmap.MustGenerate(worldmap.DefaultConfig())
+	boxes := make([]geom.AABB, len(m.Brushes))
+	for i, b := range m.Brushes {
+		boxes[i] = b.Box
+	}
+	tree := collide.NewTree(boxes, m.Bounds)
+	he := geom.V(16, 16, 28)
+	off := geom.V(0, 0, 4) // hull center offset for mins(-24)/maxs(+32)
+	trace := func(a, b geom.Vec3) collide.Trace {
+		tr := tree.TraceBox(a.Add(off), b.Add(off), he, nil)
+		tr.End = tr.End.Sub(off)
+		return tr
+	}
+	return tree, m, trace
+}
+
+func standAt(m *worldmap.Map, room int) geom.Vec3 {
+	c := m.Rooms[room].Bounds.Center()
+	c.Z = 25
+	return c
+}
+
+func TestFallToGround(t *testing.T) {
+	_, m, trace := testEnv(t)
+	st := &State{Origin: standAt(m, 0).Add(geom.V(0, 0, 80))}
+	p := DefaultParams()
+	landed := false
+	for i := 0; i < 200; i++ {
+		PlayerMove(p, trace, st, Cmd{}, 0.03)
+		if st.OnGround {
+			landed = true
+			break
+		}
+	}
+	if !landed {
+		t.Fatalf("never landed; origin=%v", st.Origin)
+	}
+	// Feet (origin-24) should rest essentially on the floor plane z=0.
+	if feet := st.Origin.Z - 24; feet < -0.5 || feet > 2 {
+		t.Errorf("resting feet height = %v", feet)
+	}
+	if st.Velocity.Z != 0 {
+		t.Errorf("vertical velocity after landing = %v", st.Velocity.Z)
+	}
+}
+
+func TestWalkAcceleratesToMaxSpeed(t *testing.T) {
+	_, m, trace := testEnv(t)
+	st := &State{Origin: standAt(m, 0), OnGround: true}
+	p := DefaultParams()
+	cmd := Cmd{WishDir: geom.V(1, 0, 0), WishSpeed: p.MaxSpeed}
+	for i := 0; i < 100; i++ {
+		PlayerMove(p, trace, st, cmd, 0.03)
+	}
+	speed := st.Velocity.Flat().Len()
+	if speed < p.MaxSpeed*0.9 || speed > p.MaxSpeed*1.01 {
+		t.Errorf("cruise speed = %v, want ~%v", speed, p.MaxSpeed)
+	}
+}
+
+func TestFrictionStopsPlayer(t *testing.T) {
+	_, m, trace := testEnv(t)
+	st := &State{Origin: standAt(m, 0), OnGround: true, Velocity: geom.V(300, 0, 0)}
+	p := DefaultParams()
+	for i := 0; i < 100; i++ {
+		PlayerMove(p, trace, st, Cmd{}, 0.03)
+	}
+	if s := st.Velocity.Flat().Len(); s > 1 {
+		t.Errorf("speed after coasting = %v, want ~0", s)
+	}
+}
+
+func TestWallBlocksAndSlides(t *testing.T) {
+	_, m, trace := testEnv(t)
+	p := DefaultParams()
+	// Sprint diagonally into the west outer wall: x motion must stop at
+	// the wall, y motion must continue (slide).
+	st := &State{Origin: standAt(m, 0), OnGround: true}
+	cmd := Cmd{WishDir: geom.V(-1, 0.3, 0).Norm(), WishSpeed: p.MaxSpeed}
+	var firstBlocked geom.Vec3
+	for i := 0; i < 200; i++ {
+		res := PlayerMove(p, trace, st, cmd, 0.03)
+		if res.Blocked && firstBlocked.IsZero() {
+			firstBlocked = st.Origin
+		}
+	}
+	// The hull must never leave the world or enter the wall: hull min x
+	// >= interior min (0) within epsilon.
+	if st.Origin.X-16 < -0.1 {
+		t.Errorf("player penetrated west wall: origin=%v", st.Origin)
+	}
+	if firstBlocked.IsZero() {
+		t.Fatal("never hit the wall")
+	}
+	if st.Origin.Y <= firstBlocked.Y {
+		t.Errorf("no slide along wall: y stayed at %v", st.Origin.Y)
+	}
+}
+
+func TestJumpLeavesGroundAndLands(t *testing.T) {
+	_, m, trace := testEnv(t)
+	p := DefaultParams()
+	st := &State{Origin: standAt(m, 0), OnGround: true}
+	res := PlayerMove(p, trace, st, Cmd{Jump: true}, 0.03)
+	if !res.Jumped {
+		t.Fatal("jump not initiated")
+	}
+	if st.OnGround {
+		t.Fatal("still on ground immediately after jump")
+	}
+	peak := st.Origin.Z
+	landed := false
+	for i := 0; i < 300; i++ {
+		PlayerMove(p, trace, st, Cmd{}, 0.03)
+		peak = math.Max(peak, st.Origin.Z)
+		if st.OnGround {
+			landed = true
+			break
+		}
+	}
+	if !landed {
+		t.Fatal("never landed after jump")
+	}
+	if rise := peak - 25; rise < 20 {
+		t.Errorf("jump rise = %v units, too small", rise)
+	}
+	// Ceiling is at 192; head (origin+32) must stay below it.
+	if peak+32 > 192.1 {
+		t.Errorf("jump peak %v penetrates ceiling", peak)
+	}
+}
+
+// TestNeverEndsInSolid is the core safety property: random movement
+// commands never leave the hull embedded in world geometry.
+func TestNeverEndsInSolid(t *testing.T) {
+	tree, m, trace := testEnv(t)
+	p := DefaultParams()
+	r := rand.New(rand.NewSource(21))
+	he := geom.V(16, 16, 28)
+	off := geom.V(0, 0, 4)
+	for trial := 0; trial < 20; trial++ {
+		st := &State{Origin: standAt(m, r.Intn(len(m.Rooms)))}
+		for step := 0; step < 150; step++ {
+			yaw := r.Float64() * 360
+			dir := geom.Forward(geom.V(0, yaw, 0))
+			cmd := Cmd{WishDir: dir, WishSpeed: p.MaxSpeed, Jump: r.Intn(10) == 0}
+			PlayerMove(p, trace, st, cmd, 0.01+r.Float64()*0.05)
+			hull := geom.BoxAt(st.Origin.Add(off), he)
+			if tree.BoxSolid(hull.Expand(-0.1), nil) {
+				t.Fatalf("trial %d step %d: hull %v in solid", trial, step, hull)
+			}
+			if !m.Bounds.Contains(st.Origin) {
+				t.Fatalf("trial %d step %d: escaped world at %v", trial, step, st.Origin)
+			}
+		}
+	}
+}
+
+func TestSpeedNeverExceedsClamp(t *testing.T) {
+	_, m, trace := testEnv(t)
+	p := DefaultParams()
+	st := &State{Origin: standAt(m, 0), Velocity: geom.V(5000, -9000, 4000)}
+	PlayerMove(p, trace, st, Cmd{}, 0.03)
+	v := st.Velocity.Abs()
+	if v.X > p.MaxVelocity || v.Y > p.MaxVelocity || v.Z > p.MaxVelocity+p.Gravity {
+		t.Errorf("velocity %v exceeds clamp", st.Velocity)
+	}
+}
+
+func TestAirControlWeakerThanGround(t *testing.T) {
+	_, m, trace := testEnv(t)
+	p := DefaultParams()
+	cmd := Cmd{WishDir: geom.V(1, 0, 0), WishSpeed: p.MaxSpeed}
+
+	ground := &State{Origin: standAt(m, 0), OnGround: true}
+	PlayerMove(p, trace, ground, cmd, 0.03)
+
+	air := &State{Origin: standAt(m, 0).Add(geom.V(0, 0, 60))}
+	PlayerMove(p, trace, air, cmd, 0.03)
+
+	if air.Velocity.X >= ground.Velocity.X {
+		t.Errorf("air accel %v >= ground accel %v", air.Velocity.X, ground.Velocity.X)
+	}
+}
+
+func TestZeroDtIsNoOp(t *testing.T) {
+	_, m, trace := testEnv(t)
+	st := &State{Origin: standAt(m, 0), Velocity: geom.V(100, 0, 0), OnGround: true}
+	before := *st
+	res := PlayerMove(DefaultParams(), trace, st, Cmd{WishDir: geom.V(1, 0, 0), WishSpeed: 320}, 0)
+	if *st != before || res.Traces != 0 {
+		t.Errorf("zero-dt move changed state: %+v", st)
+	}
+}
+
+func TestProjectileHitsWall(t *testing.T) {
+	tree, m, _ := testEnv(t)
+	he := geom.V(4, 4, 4)
+	trace := func(a, b geom.Vec3) collide.Trace {
+		return tree.TraceBox(a, b, he, nil)
+	}
+	c := standAt(m, 0)
+	c.Z = 60
+	st := &State{Origin: c, Velocity: geom.V(-2000, 0, 0)} // into the west wall
+	var hit bool
+	for i := 0; i < 50; i++ {
+		fr := ProjectileMove(0, trace, st, 0.03)
+		if fr.Trace.Hit {
+			hit = true
+			if fr.Trace.Normal != geom.V(1, 0, 0) {
+				t.Errorf("impact normal = %v", fr.Trace.Normal)
+			}
+			break
+		}
+	}
+	if !hit {
+		t.Fatal("projectile never hit the wall")
+	}
+	if st.Origin.X-4 < -0.2 {
+		t.Errorf("projectile penetrated wall: %v", st.Origin)
+	}
+}
+
+func TestProjectileGravityArcs(t *testing.T) {
+	tree, m, _ := testEnv(t)
+	trace := func(a, b geom.Vec3) collide.Trace {
+		return tree.TraceBox(a, b, geom.V(4, 4, 4), nil)
+	}
+	c := standAt(m, 0)
+	c.Z = 100
+	st := &State{Origin: c, Velocity: geom.V(50, 0, 0)}
+	ProjectileMove(800, trace, st, 0.1)
+	if st.Velocity.Z >= 0 {
+		t.Error("gravity did not pull projectile down")
+	}
+}
+
+func TestMaxMoveDistance(t *testing.T) {
+	p := DefaultParams()
+	d30 := MaxMoveDistance(p, 30)
+	if d30 < p.MaxSpeed*0.03 {
+		t.Errorf("30ms distance %v below horizontal bound", d30)
+	}
+	d100 := MaxMoveDistance(p, 100)
+	if d100 <= d30 {
+		t.Error("move distance not monotone in duration")
+	}
+}
+
+func TestClipVelocityRemovesNormalComponent(t *testing.T) {
+	v := geom.V(100, 50, -30)
+	n := geom.V(0, 0, 1)
+	c := clipVelocity(v, n)
+	if c.Dot(n) < -1e-9 {
+		t.Errorf("clipped velocity still into plane: %v", c)
+	}
+	if math.Abs(c.X-100) > 1e-9 || math.Abs(c.Y-50) > 1e-9 {
+		t.Errorf("tangential components changed: %v", c)
+	}
+}
+
+func TestClipAgainstCrease(t *testing.T) {
+	// Two walls meeting at a right angle: velocity into the corner must
+	// not retain any component into either plane.
+	planes := []geom.Vec3{{X: 1}, {Y: 1}}
+	v := geom.V(-100, -100, 0)
+	c := clipAgainstPlanes(v, planes)
+	if c.Dot(planes[0]) < -1e-9 || c.Dot(planes[1]) < -1e-9 {
+		t.Errorf("crease clip leaves penetration: %v", c)
+	}
+}
+
+func BenchmarkPlayerMove(b *testing.B) {
+	_, m, trace := testEnv(b)
+	p := DefaultParams()
+	st := &State{Origin: standAt(m, 0), OnGround: true}
+	cmd := Cmd{WishDir: geom.V(1, 0.2, 0).Norm(), WishSpeed: p.MaxSpeed}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PlayerMove(p, trace, st, cmd, 0.03)
+		if i%100 == 99 {
+			st.Origin = standAt(m, 0) // reset to avoid drifting into walls
+			st.Velocity = geom.Vec3{}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package physics
+
+import (
+	"testing"
+
+	"qserve/internal/collide"
+	"qserve/internal/geom"
+)
+
+// stairEnv builds a hand-made world: a floor with a low ledge (stairs)
+// and a tall wall, to exercise the step-up path directly.
+func stairEnv(ledgeHeight float64) (*collide.Tree, TraceFunc) {
+	brushes := []geom.AABB{
+		// Floor.
+		geom.Box(geom.V(-512, -512, -16), geom.V(512, 512, 0)),
+		// Ledge starting at x=100.
+		geom.Box(geom.V(100, -512, 0), geom.V(512, 512, ledgeHeight)),
+		// Tall wall at x=400.
+		geom.Box(geom.V(400, -512, 0), geom.V(416, 512, 512)),
+	}
+	bounds := geom.Box(geom.V(-512, -512, -16), geom.V(512, 512, 512))
+	tree := collide.NewTree(brushes, bounds)
+	he := geom.V(16, 16, 28)
+	off := geom.V(0, 0, 4)
+	trace := func(a, b geom.Vec3) collide.Trace {
+		tr := tree.TraceBox(a.Add(off), b.Add(off), he, nil)
+		tr.End = tr.End.Sub(off)
+		return tr
+	}
+	return tree, trace
+}
+
+func TestStepUpLowLedge(t *testing.T) {
+	p := DefaultParams()
+	_, trace := stairEnv(12) // below StepHeight (18)
+	st := &State{Origin: geom.V(0, 0, 25), OnGround: true}
+	cmd := Cmd{WishDir: geom.V(1, 0, 0), WishSpeed: p.MaxSpeed}
+	stepped := false
+	for i := 0; i < 120; i++ {
+		res := PlayerMove(p, trace, st, cmd, 0.03)
+		stepped = stepped || res.Stepped
+		if st.Origin.X > 200 {
+			break
+		}
+	}
+	if st.Origin.X < 150 {
+		t.Fatalf("player stuck before the ledge at %v", st.Origin)
+	}
+	// Standing on top of the ledge: feet at ledge height.
+	if feet := st.Origin.Z - 24; feet < 11 || feet > 14 {
+		t.Errorf("feet at %v after stepping 12-unit ledge", feet)
+	}
+	if !stepped {
+		t.Error("step-up path never taken")
+	}
+}
+
+func TestNoStepUpHighLedge(t *testing.T) {
+	p := DefaultParams()
+	_, trace := stairEnv(40) // far above StepHeight
+	st := &State{Origin: geom.V(0, 0, 25), OnGround: true}
+	cmd := Cmd{WishDir: geom.V(1, 0, 0), WishSpeed: p.MaxSpeed}
+	for i := 0; i < 120; i++ {
+		PlayerMove(p, trace, st, cmd, 0.03)
+	}
+	// Blocked at the ledge face (x=100 minus half hull).
+	if st.Origin.X > 100 {
+		t.Errorf("player climbed a 40-unit ledge: %v", st.Origin)
+	}
+	// But can jump onto it.
+	st.Velocity = geom.Vec3{}
+	jumped := false
+	for i := 0; i < 200; i++ {
+		c := cmd
+		if st.OnGround && !jumped {
+			c.Jump = true
+		}
+		res := PlayerMove(p, trace, st, c, 0.03)
+		jumped = jumped || res.Jumped
+		if st.Origin.X > 140 && st.OnGround {
+			break
+		}
+	}
+	if st.Origin.X < 110 || st.Origin.Z-24 < 38 {
+		t.Errorf("jump onto ledge failed: %v", st.Origin)
+	}
+}
+
+func TestWalkIntoTallWallStops(t *testing.T) {
+	p := DefaultParams()
+	_, trace := stairEnv(12)
+	st := &State{Origin: geom.V(300, 0, 25+12), OnGround: true}
+	cmd := Cmd{WishDir: geom.V(1, 0, 0), WishSpeed: p.MaxSpeed}
+	for i := 0; i < 150; i++ {
+		PlayerMove(p, trace, st, cmd, 0.03)
+	}
+	// The wall front face is at x=400; hull half width 16.
+	if st.Origin.X > 384.5 {
+		t.Errorf("player inside wall: %v", st.Origin)
+	}
+	if st.Origin.X < 380 {
+		t.Errorf("player stopped far from wall: %v", st.Origin)
+	}
+}

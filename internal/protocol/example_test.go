@@ -1,0 +1,80 @@
+package protocol_test
+
+import (
+	"fmt"
+
+	"qserve/internal/geom"
+	"qserve/internal/protocol"
+)
+
+// Example encodes a move command into a datagram and decodes it back —
+// the request half of the wire protocol.
+func ExampleEncode() {
+	move := &protocol.Move{
+		Seq: 42,
+		Cmd: protocol.MoveCmd{
+			Yaw:     protocol.AngleToWire(90),
+			Forward: 320,
+			Buttons: protocol.BtnFire,
+			Msec:    33,
+		},
+	}
+	var w protocol.Writer
+	if err := protocol.Encode(&w, move); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("datagram: %d bytes\n", len(w.Bytes()))
+
+	msg, err := protocol.Decode(w.Bytes())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	back := msg.(*protocol.Move)
+	fmt.Printf("seq=%d yaw=%.0f forward=%d firing=%v msec=%d\n",
+		back.Seq, back.Cmd.ViewAngles().Y, back.Cmd.Forward,
+		back.Cmd.Buttons&protocol.BtnFire != 0, back.Cmd.Msec)
+
+	// Output:
+	// datagram: 24 bytes
+	// seq=42 yaw=90 forward=320 firing=true msec=33
+}
+
+// ExampleDeltaEntities shows the snapshot compression: only changed
+// entities cross the wire.
+func ExampleDeltaEntities() {
+	var a, b protocol.EntityState
+	a.ID, b.ID = 1, 2
+	a.SetOrigin(geom.V(100, 100, 50))
+	b.SetOrigin(geom.V(200, 200, 50))
+	prev := []protocol.EntityState{a, b}
+
+	// Entity 1 moves; entity 2 is unchanged; entity 3 appears.
+	moved := a
+	moved.SetOrigin(geom.V(108, 100, 50))
+	var c protocol.EntityState
+	c.ID = 3
+	c.SetOrigin(geom.V(300, 300, 50))
+	cur := []protocol.EntityState{moved, b, c}
+
+	deltas := protocol.DeltaEntities(prev, cur)
+	for _, d := range deltas {
+		switch {
+		case d.Bits&protocol.DNew != 0:
+			fmt.Printf("entity %d: new\n", d.ID)
+		case d.Bits&protocol.DRemove != 0:
+			fmt.Printf("entity %d: removed\n", d.ID)
+		default:
+			fmt.Printf("entity %d: updated\n", d.ID)
+		}
+	}
+
+	restored, _ := protocol.ApplyDelta(prev, deltas)
+	fmt.Printf("reconstructed %d entities\n", len(restored))
+
+	// Output:
+	// entity 1: updated
+	// entity 3: new
+	// reconstructed 3 entities
+}

@@ -1,0 +1,58 @@
+package protocol
+
+import (
+	"testing"
+
+	"qserve/internal/geom"
+)
+
+// FuzzDecode drives the datagram parser with arbitrary bytes: it must
+// never panic, and anything it accepts must re-encode successfully
+// (decode ∘ encode is total on the accepted set).
+func FuzzDecode(f *testing.F) {
+	// Seed the corpus with one valid datagram of each message type.
+	seedMsgs := []any{
+		&Connect{Name: "seed", FrameMs: 33, ProtocolVer: Version},
+		&Move{Seq: 7, Cmd: MoveCmd{Forward: 320, Msec: 33}},
+		&Disconnect{},
+		&Ping{Nonce: 99},
+		&Accept{ClientID: 1, EntityID: 2, MapName: "m", Addr: "a:1"},
+		&Reject{Reason: "full"},
+		&Disconnected{Reason: "bye"},
+		&Pong{Nonce: 3},
+		&Snapshot{
+			Frame: 1,
+			You:   PlayerState{Origin: geom.V(1, 2, 3), Health: 100},
+			Delta: []EntityDelta{
+				{ID: 5, Bits: DNew, State: EntityState{ID: 5, X: 8, Yaw: 4}},
+				{ID: 9, Bits: DRemove},
+			},
+			Events: []GameEvent{{Kind: 1, Actor: 2, Subject: 3}},
+		},
+	}
+	for _, m := range seedMsgs {
+		var w Writer
+		if err := Encode(&w, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(w.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Magic, Version})
+	f.Add([]byte{Magic, Version, uint8(TSnapshot), 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return // rejected: fine
+		}
+		// Accepted messages must round-trip through the encoder.
+		var w Writer
+		if err := Encode(&w, msg); err != nil {
+			t.Fatalf("accepted message %T does not re-encode: %v", msg, err)
+		}
+		if _, err := Decode(w.Bytes()); err != nil {
+			t.Fatalf("re-encoded %T does not re-decode: %v", msg, err)
+		}
+	})
+}

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"qserve/internal/game"
+	"qserve/internal/locking"
+	"qserve/internal/protocol"
+	"qserve/internal/transport"
+	"qserve/internal/worldmap"
+)
+
+// rawClient speaks the protocol directly, for tests that need control
+// below the bot layer.
+type rawClient struct {
+	conn transport.Conn
+	srv  transport.Addr
+	buf  []byte
+	w    protocol.Writer
+}
+
+func newRawClient(t *testing.T, net *transport.Network, srv string) *rawClient {
+	t.Helper()
+	conn, err := net.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rawClient{
+		conn: conn,
+		srv:  transport.MemAddr(srv),
+		buf:  make([]byte, 8192),
+	}
+}
+
+func (c *rawClient) send(t *testing.T, msg any) {
+	t.Helper()
+	c.w.Reset()
+	if err := protocol.Encode(&c.w, msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.conn.Send(c.srv, c.w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (c *rawClient) recv(t *testing.T, timeout time.Duration) any {
+	t.Helper()
+	n, _, err := c.conn.Recv(c.buf, timeout)
+	if err != nil {
+		return nil
+	}
+	msg, err := protocol.Decode(c.buf[:n])
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return msg
+}
+
+func startSeq(t *testing.T, clientTimeout time.Duration) (*Sequential, *transport.Network) {
+	t.Helper()
+	m := worldmap.MustGenerate(worldmap.DefaultConfig())
+	w, err := game.NewWorld(game.Config{Map: m, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	conn, _ := net.Listen("srv:0")
+	srv, err := NewSequential(Config{
+		World: w, Conns: []transport.Conn{conn},
+		SelectTimeout: 2 * time.Millisecond,
+		ClientTimeout: clientTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	return srv, net
+}
+
+func TestPingPong(t *testing.T) {
+	_, net := startSeq(t, 0)
+	c := newRawClient(t, net, "srv:0")
+	c.send(t, &protocol.Ping{Nonce: 0xFEEDFACE})
+	msg := c.recv(t, 2*time.Second)
+	pong, ok := msg.(*protocol.Pong)
+	if !ok {
+		t.Fatalf("got %T, want Pong", msg)
+	}
+	if pong.Nonce != 0xFEEDFACE {
+		t.Errorf("nonce = %#x", pong.Nonce)
+	}
+}
+
+func TestMoveFromUnknownClientIgnored(t *testing.T) {
+	srv, net := startSeq(t, 0)
+	c := newRawClient(t, net, "srv:0")
+	c.send(t, &protocol.Move{Seq: 1, Cmd: protocol.MoveCmd{Msec: 30}})
+	if msg := c.recv(t, 100*time.Millisecond); msg != nil {
+		t.Errorf("unknown client's move answered with %T", msg)
+	}
+	if srv.NumClients() != 0 {
+		t.Error("phantom client registered")
+	}
+}
+
+func TestStaleClientEvicted(t *testing.T) {
+	srv, net := startSeq(t, 150*time.Millisecond)
+	c := newRawClient(t, net, "srv:0")
+	c.send(t, &protocol.Connect{Name: "ghost", FrameMs: 33})
+	if _, ok := c.recv(t, 2*time.Second).(*protocol.Accept); !ok {
+		t.Fatal("no accept")
+	}
+	// Another client keeps the server's frame loop alive while the
+	// first goes silent.
+	keeper := newRawClient(t, net, "srv:0")
+	keeper.send(t, &protocol.Connect{Name: "keeper", FrameMs: 33})
+	if _, ok := keeper.recv(t, 2*time.Second).(*protocol.Accept); !ok {
+		t.Fatal("keeper not accepted")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	seq := uint32(0)
+	for srv.NumClients() != 1 && time.Now().Before(deadline) {
+		seq++
+		keeper.send(t, &protocol.Move{Seq: seq, Cmd: protocol.MoveCmd{Msec: 33}})
+		keeper.recv(t, 10*time.Millisecond)
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := srv.NumClients(); got != 1 {
+		t.Errorf("clients after timeout = %d, want 1 (ghost evicted)", got)
+	}
+}
+
+// TestEventsReachSilentClients verifies the global-state-buffer protocol:
+// broadcast events produced while a client is not requesting are queued
+// in its per-player buffer and delivered with its next reply.
+func TestEventsReachSilentClients(t *testing.T) {
+	m := worldmap.MustGenerate(worldmap.DefaultConfig())
+	w, _ := game.NewWorld(game.Config{Map: m, Seed: 2})
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	conn, _ := net.Listen("srv:0")
+	srv, err := NewSequential(Config{
+		World: w, Conns: []transport.Conn{conn},
+		SelectTimeout: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	// Two clients; the first will idle, the second will fight.
+	idle := newRawClient(t, net, "srv:0")
+	idle.send(t, &protocol.Connect{Name: "idle", FrameMs: 33})
+	acc, ok := idle.recv(t, 2*time.Second).(*protocol.Accept)
+	if !ok {
+		t.Fatal("idle not accepted")
+	}
+	_ = acc
+	active := newRawClient(t, net, "srv:0")
+	active.send(t, &protocol.Connect{Name: "active", FrameMs: 33})
+	if _, ok := active.recv(t, 2*time.Second).(*protocol.Accept); !ok {
+		t.Fatal("active not accepted")
+	}
+
+	// The active client fires rockets for a while (events are generated:
+	// at least projectile spawns).
+	for i := uint32(1); i <= 40; i++ {
+		active.send(t, &protocol.Move{Seq: i, Cmd: protocol.MoveCmd{
+			Msec: 33, Buttons: protocol.BtnFire,
+		}})
+		active.recv(t, 5*time.Millisecond)
+		time.Sleep(3 * time.Millisecond)
+	}
+
+	// Now the idle client sends one move; its reply must carry queued
+	// events from the frames it missed.
+	idle.send(t, &protocol.Move{Seq: 1, Cmd: protocol.MoveCmd{Msec: 33}})
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		msg := idle.recv(t, 100*time.Millisecond)
+		if snap, ok := msg.(*protocol.Snapshot); ok {
+			if len(snap.Events) == 0 {
+				t.Fatal("idle client's snapshot carried no backlog events")
+			}
+			return
+		}
+	}
+	t.Fatal("idle client never got a snapshot")
+}
+
+func TestParallelOptimizedStrategyEndToEnd(t *testing.T) {
+	rig := newRig(t, 4, 16, locking.Optimized{})
+	rig.drive(50, 3*time.Millisecond)
+	rig.engine.Stop()
+	if rig.engine.Replies() == 0 {
+		t.Fatal("no replies under optimized locking")
+	}
+	var lockNs int64
+	for _, bd := range rig.engine.Breakdowns() {
+		lockNs += bd.LeafLockNs + bd.ParentLockNs
+	}
+	if lockNs == 0 {
+		t.Error("optimized locking recorded no lock activity at all")
+	}
+}
+
+// TestDeltaCompressionBoundsBandwidth drives a session and checks the
+// paper's premise that "a single 100 MBit Ethernet, commodity network
+// interface can support large numbers of players": per-client downstream
+// bandwidth must be a few KB/s, not MB/s, thanks to interest filtering
+// and delta compression.
+func TestDeltaCompressionBoundsBandwidth(t *testing.T) {
+	rig := newRig(t, 2, 12, locking.Optimized{})
+	rig.drive(80, 2*time.Millisecond)
+	rig.engine.Stop()
+
+	replies := rig.engine.Replies()
+	bytesOut := rig.engine.BytesOut()
+	if replies == 0 || bytesOut == 0 {
+		t.Fatalf("replies=%d bytes=%d", replies, bytesOut)
+	}
+	perReply := float64(bytesOut) / float64(replies)
+	// A full uncompressed world state would be hundreds of entities x
+	// ~10 bytes; steady-state deltas must average far below that.
+	if perReply > 600 {
+		t.Errorf("average reply size %.0f bytes — delta compression ineffective", perReply)
+	}
+	if rig.engine.BytesIn() == 0 {
+		t.Error("no inbound bytes counted")
+	}
+	t.Logf("avg reply %.0f bytes, %d replies, in=%d out=%d",
+		perReply, replies, rig.engine.BytesIn(), bytesOut)
+}
+
+func TestDuplicateAndReorderedMovesDropped(t *testing.T) {
+	srv, net := startSeq(t, 0)
+	c := newRawClient(t, net, "srv:0")
+	c.send(t, &protocol.Connect{Name: "d", FrameMs: 33})
+	if _, ok := c.recv(t, 2*time.Second).(*protocol.Accept); !ok {
+		t.Fatal("no accept")
+	}
+	mv := func(seq uint32) {
+		c.send(t, &protocol.Move{Seq: seq, Cmd: protocol.MoveCmd{Msec: 33, Forward: 320}})
+		time.Sleep(5 * time.Millisecond)
+	}
+	mv(5)
+	mv(6)
+	mv(6) // duplicate
+	mv(4) // reordered stale datagram
+	mv(7)
+	// Drain replies; the highest acked sequence must be 7 and no reply
+	// may ack 4 after 6 was seen.
+	deadline := time.Now().Add(2 * time.Second)
+	var acks []uint32
+	for time.Now().Before(deadline) {
+		msg := c.recv(t, 50*time.Millisecond)
+		if msg == nil {
+			break
+		}
+		if snap, ok := msg.(*protocol.Snapshot); ok {
+			acks = append(acks, snap.AckSeq)
+		}
+	}
+	if len(acks) == 0 {
+		t.Fatal("no snapshots")
+	}
+	seen6 := false
+	for _, a := range acks {
+		if a == 6 {
+			seen6 = true
+		}
+		if seen6 && (a == 4 || a == 5) {
+			t.Fatalf("stale sequence %d acked after 6: %v", a, acks)
+		}
+	}
+	if last := acks[len(acks)-1]; last != 7 {
+		t.Errorf("final ack = %d, want 7 (acks %v)", last, acks)
+	}
+	_ = srv
+}
+
+func TestSeqOlderWraparound(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want bool
+	}{
+		{5, 5, true},
+		{4, 5, true},
+		{6, 5, false},
+		{0xFFFFFFFF, 2, true}, // wrapped: 2 is newer
+		{2, 0xFFFFFFFF, false},
+	}
+	for _, c := range cases {
+		if got := seqOlder(c.a, c.b); got != c.want {
+			t.Errorf("seqOlder(%d,%d) = %v", c.a, c.b, got)
+		}
+	}
+}

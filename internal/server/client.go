@@ -1,0 +1,171 @@
+// Package server implements the live execution engines for the game
+// server: the sequential baseline (the paper's Figure 1 loop) and the
+// multithreaded parallel server (Figure 3) with phase barriers, frame
+// master election, the global-state-buffer lock, and region locking over
+// the areanode tree. "Threads" are goroutines; on a multicore host the Go
+// runtime spreads them across CPUs exactly as pthreads would.
+//
+// The companion package simserver runs the same orchestration on a
+// simulated machine with virtual time; this package is the real,
+// deployable server.
+package server
+
+import (
+	"sync"
+	"time"
+
+	"qserve/internal/entity"
+	"qserve/internal/game"
+	"qserve/internal/protocol"
+	"qserve/internal/transport"
+)
+
+// client is the server-side record of one connected player.
+type client struct {
+	id     uint16
+	entID  entity.ID
+	name   string
+	addr   transport.Addr
+	thread int // owning server thread
+
+	// Request-phase state, touched only by the owning thread.
+	replyPending bool
+	lastSeq      uint32 // sequence of the request being answered
+
+	// repliedFrame is the last frame this client received a reply in.
+	// Written by the owning thread during the reply phase and read by
+	// the master during cleanup; the frame controller's barriers order
+	// the accesses.
+	repliedFrame uint32
+
+	// baseline is the last entity set sent, for delta compression.
+	// Owned by the owning thread (reply phase).
+	baseline []protocol.EntityState
+	scratch  []protocol.EntityState
+
+	// backlog holds broadcast events queued while the client was not
+	// replied to. It is the per-player reply message buffer of §3.3,
+	// "synchronized with locks (one per buffer)".
+	backlogMu sync.Mutex
+	backlog   []protocol.GameEvent
+
+	lastActive time.Time
+}
+
+// markReplied records that the client was answered in the given frame.
+func (c *client) markReplied(frame uint32) { c.repliedFrame = frame }
+
+// queueEvents appends events to the client's backlog under its buffer
+// lock.
+func (c *client) queueEvents(events []protocol.GameEvent) {
+	if len(events) == 0 {
+		return
+	}
+	c.backlogMu.Lock()
+	c.backlog = append(c.backlog, events...)
+	if len(c.backlog) > 128 {
+		// Bound memory for clients that stop requesting updates.
+		c.backlog = c.backlog[len(c.backlog)-128:]
+	}
+	c.backlogMu.Unlock()
+}
+
+// takeBacklog drains the backlog under its lock.
+func (c *client) takeBacklog() []protocol.GameEvent {
+	c.backlogMu.Lock()
+	defer c.backlogMu.Unlock()
+	out := c.backlog
+	c.backlog = nil
+	return out
+}
+
+// clientTable is the server-wide registry. Connection handling mutates
+// it; frame phases only read, so an RWMutex suffices.
+type clientTable struct {
+	mu      sync.RWMutex
+	byAddr  map[string]*client
+	byID    map[uint16]*client
+	nextID  uint16
+	maxSize int
+}
+
+func newClientTable(maxSize int) *clientTable {
+	return &clientTable{
+		byAddr:  make(map[string]*client),
+		byID:    make(map[uint16]*client),
+		maxSize: maxSize,
+	}
+}
+
+func (t *clientTable) lookup(addr transport.Addr) *client {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.byAddr[addr.String()]
+}
+
+func (t *clientTable) add(c *client) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.byID) >= t.maxSize {
+		return false
+	}
+	c.id = t.nextID
+	t.nextID++
+	t.byAddr[c.addr.String()] = c
+	t.byID[c.id] = c
+	return true
+}
+
+func (t *clientTable) remove(c *client) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.byAddr, c.addr.String())
+	delete(t.byID, c.id)
+}
+
+func (t *clientTable) count() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.byID)
+}
+
+// forEach snapshots the client set and visits each entry without holding
+// the lock (visitors may send packets).
+func (t *clientTable) forEach(fn func(*client)) {
+	t.mu.RLock()
+	snapshot := make([]*client, 0, len(t.byID))
+	for _, c := range t.byID {
+		snapshot = append(snapshot, c)
+	}
+	t.mu.RUnlock()
+	for _, c := range snapshot {
+		fn(c)
+	}
+}
+
+// forThread visits the clients owned by one server thread.
+func (t *clientTable) forThread(thread int, fn func(*client)) {
+	t.forEach(func(c *client) {
+		if c.thread == thread {
+			fn(c)
+		}
+	})
+}
+
+// seqOlder reports whether sequence a is not newer than b under uint32
+// wraparound arithmetic (serial number comparison).
+func seqOlder(a, b uint32) bool {
+	return a == b || int32(a-b) < 0
+}
+
+// wireEvents converts game events to their protocol form.
+func wireEvents(events []game.Event) []protocol.GameEvent {
+	if len(events) == 0 {
+		return nil
+	}
+	out := make([]protocol.GameEvent, len(events))
+	for i, ev := range events {
+		out[i] = ev.WireEvent()
+	}
+	return out
+}

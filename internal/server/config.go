@@ -1,0 +1,88 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"qserve/internal/game"
+	"qserve/internal/locking"
+	"qserve/internal/transport"
+)
+
+// Config parameterizes either live engine.
+type Config struct {
+	// World is the game state; required.
+	World *game.World
+	// Conns are the server's datagram endpoints, one per thread. The
+	// parallel engine requires exactly Threads entries; the sequential
+	// engine uses the first. Connection requests may arrive at any of
+	// them; gameplay traffic arrives at the owning thread's endpoint.
+	Conns []transport.Conn
+	// Threads is the worker count for the parallel engine.
+	Threads int
+	// Strategy selects the region-lock scheme; Conservative by default.
+	Strategy locking.Strategy
+	// MaxClients bounds the session size. Default 256.
+	MaxClients int
+	// SelectTimeout is how long a thread blocks in its select before
+	// re-checking for shutdown. Default 5ms.
+	SelectTimeout time.Duration
+	// ClientTimeout evicts clients silent for this long. Default 15s.
+	ClientTimeout time.Duration
+	// Assign maps a new client's join index to an owning thread. The
+	// default emulates the paper's static block assignment for clients
+	// that connect up-front: index i goes to thread i*Threads/MaxClients.
+	Assign func(joinIdx, threads, maxClients int) int
+}
+
+func (c *Config) fill(needThreads bool) error {
+	if c.World == nil {
+		return fmt.Errorf("server: config has no world")
+	}
+	if len(c.Conns) == 0 {
+		return fmt.Errorf("server: config has no connections")
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if needThreads && len(c.Conns) != c.Threads {
+		return fmt.Errorf("server: %d conns for %d threads", len(c.Conns), c.Threads)
+	}
+	if c.Strategy == nil {
+		c.Strategy = locking.Conservative{}
+	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = 256
+	}
+	if c.SelectTimeout <= 0 {
+		c.SelectTimeout = 5 * time.Millisecond
+	}
+	if c.ClientTimeout <= 0 {
+		c.ClientTimeout = 15 * time.Second
+	}
+	if c.Assign == nil {
+		c.Assign = BlockAssign
+	}
+	return nil
+}
+
+// BlockAssign implements the paper's §3.1 policy: "We assign players to
+// threads in a block fashion." Join index i lands in the block-sized
+// bucket for thread i*threads/maxClients.
+func BlockAssign(joinIdx, threads, maxClients int) int {
+	if threads <= 1 {
+		return 0
+	}
+	if joinIdx >= maxClients {
+		return joinIdx % threads
+	}
+	return joinIdx * threads / maxClients
+}
+
+// RoundRobinAssign is the alternative interleaved policy.
+func RoundRobinAssign(joinIdx, threads, _ int) int {
+	if threads <= 0 {
+		return 0
+	}
+	return joinIdx % threads
+}

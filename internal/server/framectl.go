@@ -1,0 +1,156 @@
+package server
+
+import "sync"
+
+// Frame phases, in the mandatory order of §3: world processing, request
+// processing, reply processing (invariant ii), each separated by global
+// synchronization (invariant i).
+const (
+	stIdle int = iota
+	stWorld
+	stRequest
+	stReply
+)
+
+// Worker roles for one frame.
+type frameRole int
+
+const (
+	roleMissed frameRole = iota // arrived too late: wait for the frame end signal
+	roleMaster                  // first thread to exit select: runs the world update
+	roleWorker                  // joined during the world update: participates
+)
+
+// frameCtl implements the global synchronization of Figure 3 with a
+// monitor. All waits are condition-variable sleeps; callers time them and
+// charge the paper's inter-/intra-frame wait components.
+type frameCtl struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	state        int
+	frame        uint64
+	participants []int
+	reqDone      int
+	repDone      int
+}
+
+func newFrameCtl() *frameCtl {
+	fc := &frameCtl{}
+	fc.cond = sync.NewCond(&fc.mu)
+	return fc
+}
+
+// join attempts to enter the current frame. The first joiner while idle
+// becomes the master; joiners during the master's world update
+// participate; anyone later misses the frame ("threads that exit select
+// after this point will have to wait until the next server frame").
+func (fc *frameCtl) join(worker int) frameRole {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	switch fc.state {
+	case stIdle:
+		fc.state = stWorld
+		fc.participants = fc.participants[:0]
+		fc.participants = append(fc.participants, worker)
+		fc.reqDone, fc.repDone = 0, 0
+		return roleMaster
+	case stWorld:
+		fc.participants = append(fc.participants, worker)
+		return roleWorker
+	default:
+		return roleMissed
+	}
+}
+
+// waitFrameEnd blocks until the current frame completes — the "frame
+// end" signal. It returns immediately if no frame is in progress.
+func (fc *frameCtl) waitFrameEnd() {
+	fc.mu.Lock()
+	f := fc.frame
+	for fc.state != stIdle && fc.frame == f {
+		fc.cond.Wait()
+	}
+	fc.mu.Unlock()
+}
+
+// openRequests is called by the master after the world update; it admits
+// the frozen participant set to the request-processing phase.
+func (fc *frameCtl) openRequests() {
+	fc.mu.Lock()
+	fc.state = stRequest
+	fc.mu.Unlock()
+	fc.cond.Broadcast()
+}
+
+// waitRequestsOpen blocks a participant until the master opens the
+// request phase (inter-frame wait: "for the world update phase to
+// complete").
+func (fc *frameCtl) waitRequestsOpen() {
+	fc.mu.Lock()
+	for fc.state == stWorld {
+		fc.cond.Wait()
+	}
+	fc.mu.Unlock()
+}
+
+// doneRequests marks one participant's request queue drained and blocks
+// until every participant is done (the intra-frame wait), after which the
+// reply phase is open.
+func (fc *frameCtl) doneRequests() {
+	fc.mu.Lock()
+	fc.reqDone++
+	if fc.reqDone == len(fc.participants) {
+		fc.state = stReply
+		fc.mu.Unlock()
+		fc.cond.Broadcast()
+		return
+	}
+	for fc.state == stRequest {
+		fc.cond.Wait()
+	}
+	fc.mu.Unlock()
+}
+
+// doneReply marks one participant's replies sent.
+func (fc *frameCtl) doneReply() {
+	fc.mu.Lock()
+	fc.repDone++
+	fc.mu.Unlock()
+	fc.cond.Broadcast()
+}
+
+// waitAllReplied blocks the master until every participant has finished
+// the reply phase.
+func (fc *frameCtl) waitAllReplied() {
+	fc.mu.Lock()
+	for fc.repDone < len(fc.participants) {
+		fc.cond.Wait()
+	}
+	fc.mu.Unlock()
+}
+
+// endFrame closes the frame and signals its end, waking threads that
+// missed it. Master only.
+func (fc *frameCtl) endFrame() {
+	fc.mu.Lock()
+	fc.state = stIdle
+	fc.frame++
+	fc.mu.Unlock()
+	fc.cond.Broadcast()
+}
+
+// frameNumber returns the completed-frame counter.
+func (fc *frameCtl) frameNumber() uint64 {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.frame
+}
+
+// currentParticipants returns a copy of the participant set (master use,
+// during reply/cleanup when the set is frozen).
+func (fc *frameCtl) currentParticipants() []int {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return append([]int(nil), fc.participants...)
+}

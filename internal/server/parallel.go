@@ -1,0 +1,525 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qserve/internal/areanode"
+	"qserve/internal/entity"
+	"qserve/internal/game"
+	"qserve/internal/locking"
+	"qserve/internal/metrics"
+	"qserve/internal/protocol"
+	"qserve/internal/transport"
+)
+
+// Parallel is the multithreaded server of §3: a fixed pool of worker
+// goroutines created at start, each owning a datagram endpoint and a
+// static subset of the clients, synchronized by the frame controller's
+// global barriers and by region locks over the areanode tree.
+type Parallel struct {
+	cfg     Config
+	world   *game.World
+	fc      *frameCtl
+	clients *clientTable
+	prov    *locking.MutexProvider
+	workers []*worker
+
+	// globalMu is the single lock serializing the global state buffer
+	// (§3.3: "All accesses to the global state buffer are synchronized
+	// with a single lock").
+	globalMu    sync.Mutex
+	frameEvents []protocol.GameEvent
+
+	frameLog *metrics.FrameLog
+	replies  atomic.Int64
+	joinIdx  atomic.Int64
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+
+	stop      chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+	started   time.Time
+	stopped   time.Time
+	lastFrame time.Time // master-only access, ordered by the frame ctl
+}
+
+// worker is one server thread's private state.
+type worker struct {
+	id   int
+	conn transport.Conn
+	bd   metrics.Breakdown
+
+	locker  locking.RegionLocker
+	lockCtx game.LockContext
+
+	// Per-frame instrumentation, reset when the frame's request phase
+	// begins and harvested by the master at frame end.
+	frameReqs     int
+	frameLeafMask uint64
+	frameLockOps  int
+
+	writer protocol.Writer
+	stash  []byte
+	recvBf []byte
+}
+
+// timedProvider wraps the shared mutex provider, charging acquisition
+// wall time to the worker's lock component, split by leaf/parent — the
+// live analogue of the Pentium-counter instrumentation.
+type timedProvider struct {
+	inner locking.Provider
+	tree  *areanode.Tree
+	bd    *metrics.Breakdown
+}
+
+func (tp *timedProvider) LockNode(n int32) {
+	t0 := time.Now()
+	tp.inner.LockNode(n)
+	tp.bd.ChargeLock(time.Since(t0).Nanoseconds(), tp.tree.Node(n).IsLeaf())
+}
+
+func (tp *timedProvider) UnlockNode(n int32) { tp.inner.UnlockNode(n) }
+
+// NewParallel builds a parallel server. Call Start to spawn the threads.
+func NewParallel(cfg Config) (*Parallel, error) {
+	if err := cfg.fill(true); err != nil {
+		return nil, err
+	}
+	s := &Parallel{
+		cfg:      cfg,
+		world:    cfg.World,
+		fc:       newFrameCtl(),
+		clients:  newClientTable(cfg.MaxClients),
+		prov:     locking.NewMutexProvider(cfg.World.Tree.NumNodes()),
+		frameLog: metrics.NewFrameLog(cfg.World.Tree.NumLeaves()),
+		stop:     make(chan struct{}),
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		w := &worker{
+			id:     i,
+			conn:   cfg.Conns[i],
+			recvBf: make([]byte, transport.MaxDatagram),
+		}
+		w.locker = locking.RegionLocker{
+			Tree:     s.world.Tree,
+			Provider: &timedProvider{inner: s.prov, tree: s.world.Tree, bd: &w.bd},
+		}
+		w.lockCtx = game.LockContext{
+			Locker:   &w.locker,
+			Strategy: cfg.Strategy,
+		}
+		s.workers = append(s.workers, w)
+	}
+	return s, nil
+}
+
+// Start launches the worker pool ("we create all threads at
+// initialization time").
+func (s *Parallel) Start() {
+	s.started = time.Now()
+	s.lastFrame = s.started
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go func(w *worker) {
+			defer s.wg.Done()
+			s.workerLoop(w)
+		}(w)
+	}
+}
+
+// Stop shuts the pool down and waits for the threads to exit. Any frame
+// in progress completes first. Stop is idempotent. Breakdowns and the
+// frame log must only be read after Stop returns.
+func (s *Parallel) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+		s.stopped = time.Now()
+	})
+}
+
+func (s *Parallel) stopping() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// workerLoop is Figure 3 for one thread.
+func (s *Parallel) workerLoop(w *worker) {
+	for {
+		// Select: block for a request on this thread's endpoint.
+		t0 := time.Now()
+		n, from, err := w.conn.Recv(w.recvBf, s.cfg.SelectTimeout)
+		w.bd.Charge(metrics.CompIdle, time.Since(t0).Nanoseconds())
+		if s.stopping() {
+			return
+		}
+		if err == transport.ErrTimeout {
+			continue
+		}
+		if err != nil {
+			return // endpoint closed
+		}
+		s.bytesIn.Add(int64(n))
+		w.stash = append(w.stash[:0], w.recvBf[:n]...)
+
+		role := s.fc.join(w.id)
+		for role == roleMissed {
+			// Too late for this frame: inter-frame wait for the frame
+			// end signal, then retry ("they are guaranteed to be part of
+			// the execution of the next server frame").
+			t0 = time.Now()
+			s.fc.waitFrameEnd()
+			w.bd.Charge(metrics.CompInterWait, time.Since(t0).Nanoseconds())
+			role = s.fc.join(w.id)
+		}
+
+		if role == roleMaster {
+			t0 = time.Now()
+			s.runWorldUpdate()
+			w.bd.Charge(metrics.CompWorld, time.Since(t0).Nanoseconds())
+			s.fc.openRequests()
+		} else {
+			t0 = time.Now()
+			s.fc.waitRequestsOpen()
+			w.bd.Charge(metrics.CompInterWait, time.Since(t0).Nanoseconds())
+		}
+
+		// Request phase: the stashed packet, then drain the queue.
+		w.frameReqs, w.frameLeafMask, w.frameLockOps = 0, 0, 0
+		s.processPacket(w, w.stash, from)
+		for {
+			t0 = time.Now()
+			n, from, err = w.conn.Recv(w.recvBf, 0)
+			w.bd.Charge(metrics.CompRecv, time.Since(t0).Nanoseconds())
+			if err != nil {
+				break // queue empty
+			}
+			s.bytesIn.Add(int64(n))
+			s.processPacket(w, w.recvBf[:n], from)
+		}
+
+		// Intra-frame barrier before replies.
+		t0 = time.Now()
+		s.fc.doneRequests()
+		w.bd.Charge(metrics.CompIntraWait, time.Since(t0).Nanoseconds())
+
+		// Reply phase.
+		t0 = time.Now()
+		s.sendReplies(w)
+		w.bd.Charge(metrics.CompReply, time.Since(t0).Nanoseconds())
+		s.fc.doneReply()
+
+		if role == roleMaster {
+			t0 = time.Now()
+			s.fc.waitAllReplied()
+			s.masterCleanup(w)
+			s.fc.endFrame()
+			w.bd.Charge(metrics.CompInterWait, time.Since(t0).Nanoseconds())
+		}
+	}
+}
+
+// minWorldTick rate-limits the world-physics phase like QuakeWorld's
+// sv_mintic: frames arriving faster than this skip the P stage.
+const minWorldTick = 12 * time.Millisecond
+
+// runWorldUpdate performs the master's world-physics phase.
+func (s *Parallel) runWorldUpdate() {
+	now := time.Now()
+	dt := now.Sub(s.lastFrame)
+	if dt < minWorldTick {
+		return
+	}
+	s.lastFrame = now
+	res := s.world.RunWorldFrame(dt.Seconds())
+	if len(res.Events) > 0 {
+		s.appendEvents(res.Events)
+	}
+}
+
+func (s *Parallel) appendEvents(events []game.Event) {
+	wire := wireEvents(events)
+	s.globalMu.Lock()
+	s.frameEvents = append(s.frameEvents, wire...)
+	s.globalMu.Unlock()
+}
+
+// snapshotFrameEvents copies the global state buffer for reply building.
+func (s *Parallel) snapshotFrameEvents() []protocol.GameEvent {
+	s.globalMu.Lock()
+	defer s.globalMu.Unlock()
+	return append([]protocol.GameEvent(nil), s.frameEvents...)
+}
+
+// processPacket dispatches one datagram during the request phase.
+func (s *Parallel) processPacket(w *worker, data []byte, from transport.Addr) {
+	t0 := time.Now()
+	msg, err := protocol.Decode(data)
+	if err != nil {
+		w.bd.Charge(metrics.CompRecv, time.Since(t0).Nanoseconds())
+		return
+	}
+	switch m := msg.(type) {
+	case *protocol.Move:
+		c := s.clients.lookup(from)
+		w.bd.Charge(metrics.CompRecv, time.Since(t0).Nanoseconds())
+		if c == nil {
+			return
+		}
+		s.execMove(w, c, m)
+	case *protocol.Connect:
+		w.bd.Charge(metrics.CompRecv, time.Since(t0).Nanoseconds())
+		s.handleConnect(w, m, from)
+	case *protocol.Disconnect:
+		w.bd.Charge(metrics.CompRecv, time.Since(t0).Nanoseconds())
+		s.handleDisconnect(w, from)
+	case *protocol.Ping:
+		w.bd.Charge(metrics.CompRecv, time.Since(t0).Nanoseconds())
+		s.send(w, from, &protocol.Pong{Nonce: m.Nonce})
+	default:
+		w.bd.Charge(metrics.CompRecv, time.Since(t0).Nanoseconds())
+	}
+}
+
+// execMove runs one gameplay request, separating exec time from lock
+// time (the lock component accrues inside the timed provider during the
+// call; the difference is pure execution).
+func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
+	// Drop duplicates and reordered datagrams: UDP may replay an old
+	// move, and executing it would rewind the player's intent. The
+	// engine's netchan does the same with its sequence check.
+	if m.Seq != 0 && seqOlder(m.Seq, c.lastSeq) {
+		return
+	}
+	ent := s.world.Ents.Get(c.entID)
+	if ent == nil || !ent.Active {
+		return
+	}
+	var stats locking.AcquireStats
+	var mask uint64
+	w.lockCtx.Stats = &stats
+	w.lockCtx.LeafMask = &mask
+
+	lockBefore := w.bd.Ns[metrics.CompLock]
+	t0 := time.Now()
+	res := s.world.ExecuteMove(ent, &m.Cmd, &w.lockCtx)
+	span := time.Since(t0).Nanoseconds()
+	lockDelta := w.bd.Ns[metrics.CompLock] - lockBefore
+	if exec := span - lockDelta; exec > 0 {
+		w.bd.Charge(metrics.CompExec, exec)
+	}
+
+	if len(res.Events) > 0 {
+		s.appendEvents(res.Events)
+	}
+	w.frameReqs++
+	w.frameLeafMask |= mask
+	w.frameLockOps += stats.LeafLockOps
+
+	c.replyPending = true
+	c.lastSeq = m.Seq
+	c.lastActive = time.Now()
+}
+
+// handleConnect admits a new player. Connection requests "are associated
+// with the connection or disconnection protocols ... or other facilities
+// that do not affect gameplay", so they are processed inline; the spawn
+// itself takes a region lock over the spawn area.
+func (s *Parallel) handleConnect(w *worker, m *protocol.Connect, from transport.Addr) {
+	if existing := s.clients.lookup(from); existing != nil {
+		// Duplicate connect (retransmit): re-accept idempotently.
+		s.send(w, from, &protocol.Accept{
+			ClientID: existing.id,
+			EntityID: int32(existing.entID),
+			MapName:  s.world.Map.Name,
+			Addr:     s.cfg.Conns[existing.thread].LocalAddr().String(),
+		})
+		return
+	}
+	if s.clients.count() >= s.cfg.MaxClients {
+		s.send(w, from, &protocol.Reject{Reason: "server full"})
+		return
+	}
+	ent, err := s.spawnPlayerLocked(w)
+	if err != nil {
+		s.send(w, from, &protocol.Reject{Reason: "no entity slots"})
+		return
+	}
+	idx := int(s.joinIdx.Add(1) - 1)
+	c := &client{
+		entID:      ent.ID,
+		name:       m.Name,
+		addr:       from,
+		thread:     s.cfg.Assign(idx, s.cfg.Threads, s.cfg.MaxClients),
+		lastActive: time.Now(),
+	}
+	if !s.clients.add(c) {
+		s.removePlayerLocked(w, ent.ID)
+		s.send(w, from, &protocol.Reject{Reason: "server full"})
+		return
+	}
+	s.send(w, from, &protocol.Accept{
+		ClientID: c.id,
+		EntityID: int32(ent.ID),
+		MapName:  s.world.Map.Name,
+		Addr:     s.cfg.Conns[c.thread].LocalAddr().String(),
+	})
+}
+
+// spawnPlayerLocked spawns a player under a region lock covering the
+// spawn location, keeping the tree mutation safe against concurrent
+// request processing.
+func (s *Parallel) spawnPlayerLocked(w *worker) (*entity.Entity, error) {
+	guard := w.locker.Acquire(s.world.Map.Bounds, nil)
+	defer guard.Release()
+	return s.world.SpawnPlayer()
+}
+
+func (s *Parallel) removePlayerLocked(w *worker, id entity.ID) {
+	guard := w.locker.Acquire(s.world.Map.Bounds, nil)
+	defer guard.Release()
+	s.world.RemovePlayer(id)
+}
+
+func (s *Parallel) handleDisconnect(w *worker, from transport.Addr) {
+	c := s.clients.lookup(from)
+	if c == nil {
+		return
+	}
+	s.clients.remove(c)
+	s.removePlayerLocked(w, c.entID)
+	s.send(w, from, &protocol.Disconnected{Reason: "bye"})
+}
+
+// sendReplies forms and transmits the snapshots for this worker's
+// clients that requested during the frame — reply processing "involves
+// reading global state but writing only private (per-client) reply
+// messages".
+func (s *Parallel) sendReplies(w *worker) {
+	frameEvents := s.snapshotFrameEvents()
+	frame := uint32(s.fc.frameNumber())
+	serverTime := uint32(s.world.Time * 1000)
+	s.clients.forThread(w.id, func(c *client) {
+		if !c.replyPending {
+			return
+		}
+		c.replyPending = false
+		ent := s.world.Ents.Get(c.entID)
+		if ent == nil || !ent.Active {
+			return
+		}
+		states, _ := s.world.BuildSnapshot(ent, c.scratch[:0])
+		c.scratch = states
+		delta := protocol.DeltaEntities(c.baseline, states)
+		events := append(c.takeBacklog(), frameEvents...)
+		snap := &protocol.Snapshot{
+			Frame:      frame,
+			AckSeq:     c.lastSeq,
+			ServerTime: serverTime,
+			You:        game.PlayerStateOf(ent),
+			Delta:      delta,
+			Events:     events,
+		}
+		s.send(w, c.addr, snap)
+		c.baseline = append(c.baseline[:0], states...)
+		c.markReplied(frame)
+		s.replies.Add(1)
+	})
+}
+
+// masterCleanup runs after all replies: it distributes the frame's
+// events to clients that were not replied to, evicts dead clients,
+// records the frame, and clears the global state buffer ("the master
+// thread clears this global state buffer before signaling the end of the
+// current frame").
+func (s *Parallel) masterCleanup(w *worker) {
+	frame := uint32(s.fc.frameNumber())
+	s.globalMu.Lock()
+	events := s.frameEvents
+	s.frameEvents = nil
+	s.globalMu.Unlock()
+
+	now := time.Now()
+	var stale []*client
+	s.clients.forEach(func(c *client) {
+		if c.repliedFrame != frame {
+			c.queueEvents(events)
+		}
+		if now.Sub(c.lastActive) > s.cfg.ClientTimeout {
+			stale = append(stale, c)
+		}
+	})
+	for _, c := range stale {
+		s.clients.remove(c)
+		s.removePlayerLocked(w, c.entID)
+	}
+
+	rec := metrics.FrameRecord{
+		Frame:             s.fc.frameNumber(),
+		RequestsByThread:  make([]int, len(s.workers)),
+		LeafLocksByThread: make([]uint64, len(s.workers)),
+	}
+	parts := s.fc.currentParticipants()
+	rec.Participants = len(parts)
+	for _, wid := range parts {
+		ww := s.workers[wid]
+		rec.RequestsByThread[wid] = ww.frameReqs
+		rec.LeafLocksByThread[wid] = ww.frameLeafMask
+		rec.LeafLockOps += ww.frameLockOps
+	}
+	s.frameLog.Append(rec)
+}
+
+func (s *Parallel) send(w *worker, to transport.Addr, msg any) {
+	w.writer.Reset()
+	if err := protocol.Encode(&w.writer, msg); err != nil {
+		return
+	}
+	s.bytesOut.Add(int64(len(w.writer.Bytes())))
+	_ = w.conn.Send(to, w.writer.Bytes())
+}
+
+// Breakdowns returns a copy of each thread's execution-time breakdown.
+func (s *Parallel) Breakdowns() []metrics.Breakdown {
+	out := make([]metrics.Breakdown, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.bd
+	}
+	return out
+}
+
+// FrameLog returns the per-frame activity log.
+func (s *Parallel) FrameLog() *metrics.FrameLog { return s.frameLog }
+
+// Replies returns the number of replies sent — the numerator of the
+// server response rate.
+func (s *Parallel) Replies() int64 { return s.replies.Load() }
+
+// Frames returns the number of completed server frames.
+func (s *Parallel) Frames() uint64 { return s.fc.frameNumber() }
+
+// NumClients returns the connected-client count.
+func (s *Parallel) NumClients() int { return s.clients.count() }
+
+// BytesIn returns total payload bytes received.
+func (s *Parallel) BytesIn() int64 { return s.bytesIn.Load() }
+
+// BytesOut returns total payload bytes sent — with delta compression this
+// stays well within a 100 Mbit budget at maximum player counts, matching
+// the paper's observation that server bandwidth is not a bottleneck.
+func (s *Parallel) BytesOut() int64 { return s.bytesOut.Load() }
+
+// Duration returns the run's wall-clock duration (zero until stopped).
+func (s *Parallel) Duration() time.Duration {
+	if s.stopped.IsZero() {
+		return time.Since(s.started)
+	}
+	return s.stopped.Sub(s.started)
+}

@@ -1,0 +1,325 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qserve/internal/game"
+	"qserve/internal/metrics"
+	"qserve/internal/protocol"
+	"qserve/internal/transport"
+)
+
+// Sequential is the unmodified single-threaded server of Figure 1: spin
+// in select, then per frame run world physics, drain and execute the
+// request queue, and reply to every requester. It performs no locking at
+// all — the baseline the parallel engine's single-thread overhead is
+// measured against (§4.1).
+type Sequential struct {
+	cfg     Config
+	world   *game.World
+	conn    transport.Conn
+	clients *clientTable
+
+	bd          metrics.Breakdown
+	frameEvents []protocol.GameEvent
+	frames      uint64
+	replies     atomic.Int64
+	joinIdx     int
+	bytesIn     atomic.Int64
+	bytesOut    atomic.Int64
+
+	writer  protocol.Writer
+	recvBuf []byte
+	stash   []byte
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	started  time.Time
+	stopped  time.Time
+	last     time.Time
+}
+
+// NewSequential builds the sequential engine over the first endpoint.
+func NewSequential(cfg Config) (*Sequential, error) {
+	if err := cfg.fill(false); err != nil {
+		return nil, err
+	}
+	return &Sequential{
+		cfg:     cfg,
+		world:   cfg.World,
+		conn:    cfg.Conns[0],
+		clients: newClientTable(cfg.MaxClients),
+		recvBuf: make([]byte, transport.MaxDatagram),
+		stop:    make(chan struct{}),
+	}, nil
+}
+
+// Start launches the server loop goroutine.
+func (s *Sequential) Start() {
+	s.started = time.Now()
+	s.last = s.started
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.loop()
+	}()
+}
+
+// Stop shuts the loop down after the current frame. Stop is idempotent.
+// Breakdowns must only be read after Stop returns.
+func (s *Sequential) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+		s.stopped = time.Now()
+	})
+}
+
+func (s *Sequential) stopping() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Sequential) loop() {
+	for {
+		// S: select.
+		t0 := time.Now()
+		n, from, err := s.conn.Recv(s.recvBuf, s.cfg.SelectTimeout)
+		s.bd.Charge(metrics.CompIdle, time.Since(t0).Nanoseconds())
+		if s.stopping() {
+			return
+		}
+		if err == transport.ErrTimeout {
+			continue
+		}
+		if err != nil {
+			return
+		}
+		s.bytesIn.Add(int64(n))
+		s.stash = append(s.stash[:0], s.recvBuf[:n]...)
+
+		// P: world physics, rate-limited like QuakeWorld's sv_mintic.
+		t0 = time.Now()
+		if dt := t0.Sub(s.last); dt >= minWorldTick {
+			res := s.world.RunWorldFrame(dt.Seconds())
+			s.last = t0
+			s.frameEvents = append(s.frameEvents, wireEvents(res.Events)...)
+		}
+		s.bd.Charge(metrics.CompWorld, time.Since(t0).Nanoseconds())
+
+		// Rx/E: receive and process requests until the queue is empty.
+		s.processPacket(s.stash, from)
+		for {
+			t0 = time.Now()
+			n, from, err = s.conn.Recv(s.recvBuf, 0)
+			s.bd.Charge(metrics.CompRecv, time.Since(t0).Nanoseconds())
+			if err != nil {
+				break
+			}
+			s.bytesIn.Add(int64(n))
+			s.processPacket(s.recvBuf[:n], from)
+		}
+
+		// T/Tx: form and send replies.
+		t0 = time.Now()
+		s.sendReplies()
+		s.bd.Charge(metrics.CompReply, time.Since(t0).Nanoseconds())
+
+		s.endFrame()
+	}
+}
+
+func (s *Sequential) processPacket(data []byte, from transport.Addr) {
+	t0 := time.Now()
+	msg, err := protocol.Decode(data)
+	s.bd.Charge(metrics.CompRecv, time.Since(t0).Nanoseconds())
+	if err != nil {
+		return
+	}
+	switch m := msg.(type) {
+	case *protocol.Move:
+		c := s.clients.lookup(from)
+		if c == nil {
+			return
+		}
+		if m.Seq != 0 && seqOlder(m.Seq, c.lastSeq) {
+			return // duplicate or reordered datagram
+		}
+		ent := s.world.Ents.Get(c.entID)
+		if ent == nil || !ent.Active {
+			return
+		}
+		t0 = time.Now()
+		// No locking at all: nil Locker short-circuits every lock path.
+		res := s.world.ExecuteMove(ent, &m.Cmd, &game.LockContext{})
+		s.bd.Charge(metrics.CompExec, time.Since(t0).Nanoseconds())
+		s.frameEvents = append(s.frameEvents, wireEvents(res.Events)...)
+		c.replyPending = true
+		c.lastSeq = m.Seq
+		c.lastActive = time.Now()
+	case *protocol.Connect:
+		s.handleConnect(m, from)
+	case *protocol.Disconnect:
+		if c := s.clients.lookup(from); c != nil {
+			s.clients.remove(c)
+			s.world.RemovePlayer(c.entID)
+			s.send(from, &protocol.Disconnected{Reason: "bye"})
+		}
+	case *protocol.Ping:
+		s.send(from, &protocol.Pong{Nonce: m.Nonce})
+	}
+}
+
+func (s *Sequential) handleConnect(m *protocol.Connect, from transport.Addr) {
+	if existing := s.clients.lookup(from); existing != nil {
+		s.send(from, &protocol.Accept{
+			ClientID: existing.id,
+			EntityID: int32(existing.entID),
+			MapName:  s.world.Map.Name,
+			Addr:     s.conn.LocalAddr().String(),
+		})
+		return
+	}
+	if s.clients.count() >= s.cfg.MaxClients {
+		s.send(from, &protocol.Reject{Reason: "server full"})
+		return
+	}
+	ent, err := s.world.SpawnPlayer()
+	if err != nil {
+		s.send(from, &protocol.Reject{Reason: "no entity slots"})
+		return
+	}
+	c := &client{
+		entID:      ent.ID,
+		name:       m.Name,
+		addr:       from,
+		thread:     0,
+		lastActive: time.Now(),
+	}
+	s.joinIdx++
+	if !s.clients.add(c) {
+		s.world.RemovePlayer(ent.ID)
+		s.send(from, &protocol.Reject{Reason: "server full"})
+		return
+	}
+	s.send(from, &protocol.Accept{
+		ClientID: c.id,
+		EntityID: int32(ent.ID),
+		MapName:  s.world.Map.Name,
+		Addr:     s.conn.LocalAddr().String(),
+	})
+}
+
+func (s *Sequential) sendReplies() {
+	frame := uint32(s.frames)
+	serverTime := uint32(s.world.Time * 1000)
+	s.clients.forEach(func(c *client) {
+		if !c.replyPending {
+			return
+		}
+		c.replyPending = false
+		ent := s.world.Ents.Get(c.entID)
+		if ent == nil || !ent.Active {
+			return
+		}
+		states, _ := s.world.BuildSnapshot(ent, c.scratch[:0])
+		c.scratch = states
+		delta := protocol.DeltaEntities(c.baseline, states)
+		events := append(c.takeBacklog(), s.frameEvents...)
+		s.send(c.addr, &protocol.Snapshot{
+			Frame:      frame,
+			AckSeq:     c.lastSeq,
+			ServerTime: serverTime,
+			You:        game.PlayerStateOf(ent),
+			Delta:      delta,
+			Events:     events,
+		})
+		c.baseline = append(c.baseline[:0], states...)
+		c.markReplied(frame)
+		s.replies.Add(1)
+	})
+}
+
+func (s *Sequential) endFrame() {
+	frame := uint32(s.frames)
+	events := s.frameEvents
+	s.frameEvents = nil
+	now := time.Now()
+	var stale []*client
+	s.clients.forEach(func(c *client) {
+		if c.repliedFrame != frame {
+			c.queueEvents(events)
+		}
+		if now.Sub(c.lastActive) > s.cfg.ClientTimeout {
+			stale = append(stale, c)
+		}
+	})
+	for _, c := range stale {
+		s.clients.remove(c)
+		s.world.RemovePlayer(c.entID)
+	}
+	s.frames++
+}
+
+func (s *Sequential) send(to transport.Addr, msg any) {
+	s.writer.Reset()
+	if err := protocol.Encode(&s.writer, msg); err != nil {
+		return
+	}
+	s.bytesOut.Add(int64(len(s.writer.Bytes())))
+	_ = s.conn.Send(to, s.writer.Bytes())
+}
+
+// Breakdowns returns the single thread's execution-time breakdown.
+func (s *Sequential) Breakdowns() []metrics.Breakdown {
+	return []metrics.Breakdown{s.bd}
+}
+
+// Replies returns the number of replies sent.
+func (s *Sequential) Replies() int64 { return s.replies.Load() }
+
+// Frames returns the number of completed frames.
+func (s *Sequential) Frames() uint64 { return s.frames }
+
+// NumClients returns the connected-client count.
+func (s *Sequential) NumClients() int { return s.clients.count() }
+
+// BytesIn returns total payload bytes received.
+func (s *Sequential) BytesIn() int64 { return s.bytesIn.Load() }
+
+// BytesOut returns total payload bytes sent.
+func (s *Sequential) BytesOut() int64 { return s.bytesOut.Load() }
+
+// Duration returns the run's wall-clock duration.
+func (s *Sequential) Duration() time.Duration {
+	if s.stopped.IsZero() {
+		return time.Since(s.started)
+	}
+	return s.stopped.Sub(s.started)
+}
+
+// Engine is the interface both live servers satisfy, letting tests,
+// examples, and the harness treat them uniformly.
+type Engine interface {
+	Start()
+	Stop()
+	Breakdowns() []metrics.Breakdown
+	Replies() int64
+	Frames() uint64
+	NumClients() int
+	Duration() time.Duration
+	BytesIn() int64
+	BytesOut() int64
+}
+
+var (
+	_ Engine = (*Sequential)(nil)
+	_ Engine = (*Parallel)(nil)
+)

@@ -1,0 +1,62 @@
+package sim
+
+import "container/heap"
+
+// Lock is a virtual-time mutex. Contending contexts queue and are granted
+// the lock in virtual-request order (earliest clock first, ties by ID),
+// with the waiter's clock pulled up to the release time — the queueing
+// delay is the lock wait the paper measures.
+type Lock struct {
+	held    bool
+	holder  *Proc
+	waiters procHeap
+
+	// Stats.
+	Acquisitions int64
+	Contended    int64
+	TotalWaitNs  int64
+}
+
+// Lock acquires the lock for p, returning the virtual wait time.
+func (l *Lock) Lock(p *Proc) int64 {
+	p.syncToOrder()
+	l.Acquisitions++
+	if !l.held {
+		l.held = true
+		l.holder = p
+		return 0
+	}
+	l.Contended++
+	heap.Push(&l.waiters, p)
+	wait := p.Wait()
+	l.TotalWaitNs += wait
+	// The releaser set holder to us before waking.
+	return wait
+}
+
+// Unlock releases the lock, granting it to the earliest waiter if any.
+func (l *Lock) Unlock(p *Proc) {
+	if !l.held || l.holder != p {
+		p.sim.err = errUnlockNotHeld(p.ID)
+		return
+	}
+	if l.waiters.Len() == 0 {
+		l.held = false
+		l.holder = nil
+		return
+	}
+	w := heap.Pop(&l.waiters).(*Proc)
+	l.holder = w
+	p.sim.Wake(w, p.clock)
+}
+
+// Held reports whether the lock is currently held (diagnostics).
+func (l *Lock) Held() bool { return l.held }
+
+type unlockErr int
+
+func errUnlockNotHeld(id int) error { return unlockErr(id) }
+
+func (e unlockErr) Error() string {
+	return "sim: proc unlocked a lock it does not hold"
+}

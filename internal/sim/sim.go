@@ -1,0 +1,318 @@
+// Package sim is a deterministic discrete-event execution engine that
+// stands in for the paper's physical testbed (a quad Xeon with
+// hyper-threading). Simulated hardware contexts run the *real* game code
+// cooperatively — exactly one goroutine executes at a time, so shared
+// state needs no host synchronization — while time is virtual: each
+// context owns a nanosecond clock advanced by a cost model, lock
+// contention queues in virtual time, and an SMT model slows contexts
+// whose core sibling is busy.
+//
+// Scheduling is conservative: the runnable context with the smallest
+// clock always executes next, and a context that overtakes another yields
+// (see Proc.Advance), so virtual-time causality holds at the granularity
+// of Advance calls. Runs are bit-for-bit deterministic: identical inputs
+// produce identical timelines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Infinity is the "never" timestamp for arrival sources.
+const Infinity = math.MaxInt64
+
+// procState enumerates a context's lifecycle.
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateBlockedLock
+	stateBlockedWait
+	stateDone
+)
+
+// Proc is one simulated hardware context. All Proc methods must be
+// called from within the proc's own body function.
+type Proc struct {
+	ID   int
+	Core int // physical core (SMT siblings share one)
+
+	sim   *Sim
+	clock int64 // virtual ns
+	state procState
+	// idleUntil marks the end of the most recent idle (select-wait) jump;
+	// a context whose clock has not passed idleUntil is sleeping, not
+	// consuming its core, and does not slow its SMT sibling.
+	idleUntil int64
+
+	resume chan struct{}
+	yield  chan struct{}
+
+	heapIdx int // position in the runnable heap, -1 when absent
+}
+
+// Now returns the context's virtual clock in nanoseconds.
+func (p *Proc) Now() int64 { return p.clock }
+
+// Config parameterizes the simulated machine.
+type Config struct {
+	// Procs is the number of hardware contexts (server threads).
+	Procs int
+	// Cores is the number of physical cores; contexts beyond Cores share
+	// cores as SMT siblings (context i runs on core i % Cores). Zero
+	// means one core per context (no SMT sharing).
+	Cores int
+	// SMTPenalty multiplies compute cost while a core sibling is busy.
+	// The paper's testbed shows 8 hyper-threaded contexts performing
+	// barely above 4 cores, which corresponds to a penalty around 1.5-1.7.
+	// Values below 1 are treated as 1 (no penalty).
+	SMTPenalty float64
+	// MemBeta models shared-bus/memory contention on the SMP: compute
+	// cost is inflated by 1 + MemBeta × (number of *other* cores with a
+	// busy context). The paper's quad Xeon shares one 400 MHz front-side
+	// bus (Table 1), which bounds parallel speedup well below the core
+	// count for this memory-intensive workload.
+	MemBeta float64
+}
+
+// Sim is the simulated machine.
+type Sim struct {
+	cfg      Config
+	procs    []*Proc
+	runnable procHeap
+	current  *Proc
+
+	// bodies to start.
+	bodies []func(*Proc)
+
+	// smtBusy counts, per core, how many contexts are actively computing.
+	err error
+}
+
+// New creates a machine with the given configuration.
+func New(cfg Config) *Sim {
+	if cfg.Procs <= 0 {
+		panic("sim: need at least one proc")
+	}
+	if cfg.Cores <= 0 || cfg.Cores > cfg.Procs {
+		cfg.Cores = cfg.Procs
+	}
+	if cfg.SMTPenalty < 1 {
+		cfg.SMTPenalty = 1
+	}
+	s := &Sim{cfg: cfg}
+	for i := 0; i < cfg.Procs; i++ {
+		s.procs = append(s.procs, &Proc{
+			ID:   i,
+			Core: i % cfg.Cores,
+			sim:  s,
+			// idleUntil starts below the clock so a fresh context counts
+			// as busy, not sleeping.
+			idleUntil: -1,
+			state:     stateNew,
+			resume:    make(chan struct{}),
+			yield:     make(chan struct{}),
+			heapIdx:   -1,
+		})
+	}
+	return s
+}
+
+// Procs returns the simulated contexts.
+func (s *Sim) Procs() []*Proc { return s.procs }
+
+// Run executes body(proc) on every context until all bodies return.
+// It returns an error on virtual deadlock (blocked contexts with no
+// runnable context to wake them).
+func (s *Sim) Run(body func(*Proc)) error {
+	for _, p := range s.procs {
+		p.state = stateRunnable
+		heap.Push(&s.runnable, p)
+		go func(p *Proc) {
+			defer func() {
+				// A panic in the body would strand the scheduler, which
+				// is waiting for this context to yield; surface it as a
+				// run error instead.
+				if r := recover(); r != nil {
+					s.err = fmt.Errorf("sim: proc %d panicked: %v", p.ID, r)
+				}
+				p.state = stateDone
+				p.yield <- struct{}{}
+			}()
+			<-p.resume
+			body(p)
+		}(p)
+	}
+	for s.runnable.Len() > 0 {
+		p := heap.Pop(&s.runnable).(*Proc)
+		p.state = stateRunning
+		s.current = p
+		p.resume <- struct{}{}
+		<-p.yield
+		if s.err != nil {
+			// Propagated from a primitive: drain remaining procs is not
+			// possible safely; report.
+			return s.err
+		}
+		if p.state == stateRunnable {
+			heap.Push(&s.runnable, p)
+		}
+	}
+	var blocked []int
+	for _, p := range s.procs {
+		if p.state == stateBlockedLock || p.state == stateBlockedWait {
+			blocked = append(blocked, p.ID)
+		}
+	}
+	if len(blocked) > 0 {
+		return fmt.Errorf("sim: virtual deadlock: procs %v blocked with no runnable context", blocked)
+	}
+	return nil
+}
+
+// yieldTo hands control back to the scheduler with the given state.
+func (p *Proc) yieldTo(state procState) {
+	p.state = state
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sync yields until this context is the earliest runnable one, so a
+// shared-state decision made right after (a frame join, a queue check)
+// happens in virtual-time order. Lock and Recv call it internally.
+func (p *Proc) Sync() { p.syncToOrder() }
+
+// syncToOrder yields until this context is the earliest runnable one, so
+// shared-state decisions (lock requests, frame joins) happen in virtual-
+// time order.
+func (p *Proc) syncToOrder() {
+	for {
+		min := p.sim.runnable.peek()
+		if min == nil || !min.before(p) {
+			return
+		}
+		p.yieldTo(stateRunnable)
+	}
+}
+
+// before orders procs by (clock, ID) for deterministic scheduling.
+func (a *Proc) before(b *Proc) bool {
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.ID < b.ID
+}
+
+// busy reports whether a context is actively computing (not blocked, not
+// in an idle clock jump).
+func (q *Proc) busy() bool {
+	switch q.state {
+	case stateRunnable, stateRunning:
+		return q.clock > q.idleUntil
+	default:
+		return false
+	}
+}
+
+// contentionFactor computes the compute-cost inflation from SMT sibling
+// pressure and shared-bus contention with other busy cores.
+func (p *Proc) contentionFactor() float64 {
+	factor := 1.0
+	cfg := &p.sim.cfg
+	if cfg.SMTPenalty <= 1 && cfg.MemBeta <= 0 {
+		return factor
+	}
+	otherCores := map[int]bool{}
+	siblingBusy := false
+	for _, q := range p.sim.procs {
+		if q == p || !q.busy() {
+			continue
+		}
+		if q.Core == p.Core {
+			siblingBusy = true
+		} else {
+			otherCores[q.Core] = true
+		}
+	}
+	if cfg.SMTPenalty > 1 && siblingBusy {
+		factor *= cfg.SMTPenalty
+	}
+	if cfg.MemBeta > 0 {
+		factor *= 1 + cfg.MemBeta*float64(len(otherCores))
+	}
+	return factor
+}
+
+// Advance charges ns of compute to this context, inflated by SMT and
+// memory contention, then yields if the context has overtaken any
+// runnable peer.
+func (p *Proc) Advance(ns int64) {
+	if ns < 0 {
+		panic("sim: negative advance")
+	}
+	cost := int64(float64(ns) * p.contentionFactor())
+	p.clock += cost
+	p.syncToOrder()
+}
+
+// AdvanceTo moves the clock forward to at least t (no-op if already
+// past), without the SMT penalty — used for idle waits.
+func (p *Proc) AdvanceTo(t int64) {
+	if t > p.clock {
+		p.clock = t
+		p.idleUntil = t
+	}
+	p.syncToOrder()
+}
+
+// Wait blocks the context until another context wakes it. The caller is
+// responsible for registering itself somewhere a waker will find it.
+// Returns the wait duration (the waker pulls the sleeper's clock up to
+// its own).
+func (p *Proc) Wait() int64 {
+	t0 := p.clock
+	p.yieldTo(stateBlockedWait)
+	return p.clock - t0
+}
+
+// Wake makes a Wait-blocked context runnable, advancing its clock to at
+// least the waker's time. It must be called by a running context (or
+// before Run starts).
+func (s *Sim) Wake(p *Proc, at int64) {
+	if p.state != stateBlockedWait {
+		s.err = fmt.Errorf("sim: waking proc %d in state %d", p.ID, p.state)
+		return
+	}
+	if at > p.clock {
+		p.clock = at
+	}
+	p.state = stateRunnable
+	heap.Push(&s.runnable, p)
+}
+
+// procHeap is a min-heap over (clock, ID).
+type procHeap []*Proc
+
+func (h procHeap) Len() int           { return len(h) }
+func (h procHeap) Less(i, j int) bool { return h[i].before(h[j]) }
+func (h procHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
+func (h *procHeap) Push(x any)        { p := x.(*Proc); p.heapIdx = len(*h); *h = append(*h, p) }
+func (h *procHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	p.heapIdx = -1
+	*h = old[:n-1]
+	return p
+}
+
+func (h procHeap) peek() *Proc {
+	if len(h) == 0 {
+		return nil
+	}
+	return h[0]
+}

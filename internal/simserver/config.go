@@ -1,0 +1,199 @@
+// Package simserver runs the parallel (or sequential) game server on the
+// simulated machine of package sim, reproducing the paper's experiments:
+// the same phase orchestration, master election, and region-locking
+// protocol as the live engine in package server, but with time charged by
+// the cost model instead of wall clocks. Runs are deterministic, so every
+// figure regenerates exactly.
+package simserver
+
+import (
+	"fmt"
+
+	"qserve/internal/costmodel"
+	"qserve/internal/locking"
+	"qserve/internal/metrics"
+	"qserve/internal/worldmap"
+)
+
+// Config parameterizes one simulated run.
+type Config struct {
+	// Map, when non-nil, is used directly (e.g. an arena from
+	// worldmap.GenerateArena); otherwise MapConfig generates the world.
+	Map *worldmap.Map
+	// MapConfig generates the world; DefaultConfig when zero-valued.
+	MapConfig worldmap.Config
+	// Players is the number of automatic players.
+	Players int
+	// Threads is the server thread count. Ignored when Sequential.
+	Threads int
+	// Sequential selects the unmodified single-threaded server: one
+	// context, no locking, no region bookkeeping (§4.1's baseline).
+	Sequential bool
+	// Machine is the simulated hardware; costmodel.PaperMachine by
+	// default.
+	Machine costmodel.MachineConfig
+	// Strategy is the region-lock scheme; locking.Conservative by
+	// default.
+	Strategy locking.Strategy
+	// Model prices operations; costmodel.Default by default.
+	Model costmodel.Model
+	// DurationS is the virtual run length in seconds. The paper runs two
+	// minutes; ten seconds reproduces the same steady-state statistics.
+	DurationS float64
+	// ClientFrameMs is the client frame duration (30 fps ⇒ ~33ms).
+	ClientFrameMs float64
+	// AreanodeDepth overrides the tree depth (default 4 ⇒ 31 nodes).
+	AreanodeDepth int
+	// NetDelayNs is the one-way client↔server latency added to response
+	// times (LAN-scale by default).
+	NetDelayNs int64
+	// Seed drives map generation fallback, client staggering, and bot
+	// behaviour.
+	Seed int64
+
+	// Assign selects the client→thread policy. The paper uses static
+	// block assignment; AssignRegion implements its §5.1 future-work
+	// suggestion ("dynamically assigning threads to players taking into
+	// account the region they are located may reduce contention").
+	Assign AssignPolicy
+	// ReassignEveryS is the dynamic policy's reassignment period in
+	// virtual seconds (default 1).
+	ReassignEveryS float64
+	// BatchDelayNs implements the §5.2 future-work suggestion ("the
+	// frame master thread can wait for a period of time before starting
+	// the frame"): the master idles this long after its triggering
+	// packet, letting more threads and requests join the frame.
+	BatchDelayNs int64
+
+	// TraceFrames, when positive, records per-thread phase spans for the
+	// first N frames into Result.Trace — the raw material for a Figure-3
+	// style execution timeline.
+	TraceFrames int
+}
+
+// PhaseSpan is one traced interval of a thread's execution.
+type PhaseSpan struct {
+	Thread  int
+	Phase   string // "world", "requests", "reply", "wait-open", "barrier", "wait-end", "idle"
+	StartNs int64
+	EndNs   int64
+}
+
+// AssignPolicy selects how players map to server threads.
+type AssignPolicy int
+
+const (
+	// AssignBlock is the paper's static block assignment (§3.1).
+	AssignBlock AssignPolicy = iota
+	// AssignRoundRobin interleaves players across threads statically.
+	AssignRoundRobin
+	// AssignRegion periodically repartitions players across threads by
+	// their current map region (areanode leaf order), the paper's
+	// proposed contention-reducing policy.
+	AssignRegion
+)
+
+// String implements fmt.Stringer.
+func (a AssignPolicy) String() string {
+	switch a {
+	case AssignBlock:
+		return "block"
+	case AssignRoundRobin:
+		return "roundrobin"
+	case AssignRegion:
+		return "region-dynamic"
+	default:
+		return "unknown"
+	}
+}
+
+func (c *Config) fill() error {
+	if c.Players <= 0 {
+		return fmt.Errorf("simserver: need players")
+	}
+	if c.Sequential {
+		c.Threads = 1
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.Map == nil && c.MapConfig.Rows == 0 {
+		c.MapConfig = worldmap.DefaultConfig()
+		c.MapConfig.Seed = c.Seed + 1
+	}
+	if c.Machine.Cores == 0 {
+		c.Machine = costmodel.PaperMachine()
+	}
+	if c.Strategy == nil {
+		c.Strategy = locking.Conservative{}
+	}
+	if c.Model == (costmodel.Model{}) {
+		c.Model = costmodel.Default()
+	}
+	if c.DurationS <= 0 {
+		c.DurationS = 10
+	}
+	if c.ClientFrameMs <= 0 {
+		c.ClientFrameMs = 33
+	}
+	if c.NetDelayNs <= 0 {
+		c.NetDelayNs = 150_000 // 0.15ms one way: switched 100Mbit LAN
+	}
+	if c.ReassignEveryS <= 0 {
+		c.ReassignEveryS = 1
+	}
+	return nil
+}
+
+// LockAggregate summarizes lock-protocol activity across a run.
+type LockAggregate struct {
+	Moves          int64 // requests executed
+	LeafLockOps    int64 // leaf acquisitions including re-locks
+	ParentLockOps  int64
+	DistinctLeaves int64 // sum over requests of distinct leaves locked
+}
+
+// AvgDistinctLeavesPerRequest returns the Fig. 7(b) metric.
+func (l *LockAggregate) AvgDistinctLeavesPerRequest() float64 {
+	if l.Moves == 0 {
+		return 0
+	}
+	return float64(l.DistinctLeaves) / float64(l.Moves)
+}
+
+// RelockFraction returns the share of leaf lock operations that re-locked
+// an already-counted leaf within one request (§5.1: "At 31 and 63
+// areanodes, 40% and 30% of leaves are relocked").
+func (l *LockAggregate) RelockFraction() float64 {
+	if l.LeafLockOps == 0 {
+		return 0
+	}
+	return 1 - float64(l.DistinctLeaves)/float64(l.LeafLockOps)
+}
+
+// Result is one simulated run's complete measurement set.
+type Result struct {
+	Players    int
+	Threads    int
+	Sequential bool
+	Strategy   string
+	NumLeaves  int
+	DurationS  float64
+
+	PerThread []metrics.Breakdown
+	Avg       metrics.Breakdown
+	Trace     []PhaseSpan
+	FrameLog  *metrics.FrameLog
+	Resp      metrics.ResponseStats
+	Locks     LockAggregate
+
+	Frames   uint64
+	Requests int64
+}
+
+// ResponseRate returns replies/sec — the paper's primary throughput
+// metric.
+func (r *Result) ResponseRate() float64 { return r.Resp.Rate() }
+
+// ResponseTimeMs returns the mean request→reply latency in ms.
+func (r *Result) ResponseTimeMs() float64 { return r.Resp.MeanLatencyMs() }

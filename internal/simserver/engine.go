@@ -1,0 +1,573 @@
+package simserver
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"qserve/internal/botclient"
+	"qserve/internal/costmodel"
+	"qserve/internal/entity"
+	"qserve/internal/game"
+	"qserve/internal/geom"
+	"qserve/internal/locking"
+	"qserve/internal/metrics"
+	"qserve/internal/protocol"
+	"qserve/internal/server"
+	"qserve/internal/sim"
+	"qserve/internal/worldmap"
+)
+
+// selectTimeoutNs is the virtual select timeout; like the live engine's,
+// it only bounds how often an idle thread re-checks for shutdown.
+const selectTimeoutNs = 5_000_000
+
+// minWorldTickNs rate-limits the world-physics phase, as QuakeWorld's
+// sv_mintic does: a frame whose master finds less than this much game
+// time elapsed skips the physics update (the P stage costs nothing),
+// keeping world processing under 5% of execution time at every player
+// count, as the paper's baseline measurements report.
+const minWorldTickNs = 12_000_000
+
+// simClient is one automatic player: its entity, owning thread, pending
+// reply state, and bot policy. Clients are not simulated contexts — their
+// compute happens on client machines the server never sees — so they
+// exist only as arrival streams plus decision functions.
+type simClient struct {
+	idx    int
+	thread int
+	ent    *entity.Entity
+	nav    *botclient.Navigator
+	rng    *rand.Rand
+	src    *sim.PeriodicSource
+
+	pending     bool
+	lastArrival int64
+	backlog     int // queued broadcast events awaiting the next reply
+	replied     uint64
+	scratch     []protocol.EntityState
+}
+
+type simRequest struct {
+	client *simClient
+	seq    int64
+}
+
+// worker is one simulated server thread's bookkeeping.
+type simWorker struct {
+	frameReqs    int
+	frameMask    uint64
+	frameLockOps int
+}
+
+type engine struct {
+	cfg   Config
+	world *game.World
+	model *costmodel.Model
+
+	machine   *sim.Sim
+	ports     []*clientPort
+	clients   []*simClient
+	byThread  [][]*simClient
+	nodeLocks []sim.Lock
+	workers   []simWorker
+	bds       []metrics.Breakdown
+
+	fc simFrameCtl
+
+	frameEvents  int
+	frameLog     *metrics.FrameLog
+	resp         metrics.ResponseStats
+	locks        LockAggregate
+	requests     int64
+	lastWorldNs  int64
+	lastReassign int64
+	endNs        int64
+	trace        []PhaseSpan
+}
+
+// span records a traced phase interval while tracing is active.
+func (e *engine) span(p *sim.Proc, phase string, startNs int64) {
+	if e.cfg.TraceFrames <= 0 || e.fc.frame >= uint64(e.cfg.TraceFrames) {
+		return
+	}
+	if p.Now() == startNs {
+		return
+	}
+	e.trace = append(e.trace, PhaseSpan{
+		Thread: p.ID, Phase: phase, StartNs: startNs, EndNs: p.Now(),
+	})
+}
+
+// clientPort is one server thread's receive queue: the merged request
+// streams of the clients *currently* assigned to the thread. Membership
+// is consulted on every operation so the dynamic assignment policy can
+// migrate clients between frames; pending requests follow the client to
+// its new thread (the live protocol would re-home the socket on
+// reassignment).
+type clientPort struct {
+	e      *engine
+	thread int
+}
+
+// Peek implements sim.Source.
+func (p *clientPort) Peek() int64 {
+	best := int64(sim.Infinity)
+	for _, c := range p.e.byThread[p.thread] {
+		if t := c.src.Peek(); t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// Pop implements sim.Source.
+func (p *clientPort) Pop() sim.Arrival {
+	best := int64(sim.Infinity)
+	var pick *simClient
+	for _, c := range p.e.byThread[p.thread] {
+		if t := c.src.Peek(); t < best {
+			best = t
+			pick = c
+		}
+	}
+	return pick.src.Pop()
+}
+
+// Run executes one simulated experiment.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	m := cfg.Map
+	if m == nil {
+		m = worldmap.MustGenerate(cfg.MapConfig)
+	}
+	maxEnts := len(m.Items) + len(m.Teleporters) + cfg.Players*4 + 64
+	world, err := game.NewWorld(game.Config{
+		Map:           m,
+		AreanodeDepth: cfg.AreanodeDepth,
+		MaxEntities:   maxEnts,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	smt := 1.0
+	cores := cfg.Threads
+	if !cfg.Sequential && cfg.Threads > cfg.Machine.Cores {
+		cores = cfg.Machine.Cores
+		smt = cfg.Machine.SMTPenalty
+	}
+	memBeta := 0.0
+	if !cfg.Sequential && cfg.Threads > 1 {
+		memBeta = cfg.Machine.MemContention
+	}
+	e := &engine{
+		cfg:      cfg,
+		world:    world,
+		model:    &cfg.Model,
+		machine:  sim.New(sim.Config{Procs: cfg.Threads, Cores: cores, SMTPenalty: smt, MemBeta: memBeta}),
+		workers:  make([]simWorker, cfg.Threads),
+		bds:      make([]metrics.Breakdown, cfg.Threads),
+		frameLog: metrics.NewFrameLog(world.Tree.NumLeaves()),
+		endNs:    int64(cfg.DurationS * 1e9),
+	}
+	e.nodeLocks = make([]sim.Lock, world.Tree.NumNodes())
+	e.fc.e = e
+
+	if err := e.buildClients(); err != nil {
+		return nil, err
+	}
+	if err := e.machine.Run(e.workerBody); err != nil {
+		return nil, fmt.Errorf("simserver: %w", err)
+	}
+
+	res := &Result{
+		Trace:      e.trace,
+		Players:    cfg.Players,
+		Threads:    cfg.Threads,
+		Sequential: cfg.Sequential,
+		Strategy:   cfg.Strategy.Name(),
+		NumLeaves:  world.Tree.NumLeaves(),
+		DurationS:  cfg.DurationS,
+		PerThread:  e.bds,
+		Avg:        metrics.MergeThreads(e.bds),
+		FrameLog:   e.frameLog,
+		Resp:       e.resp,
+		Locks:      e.locks,
+		Frames:     e.fc.frame,
+		Requests:   e.requests,
+	}
+	res.Resp.DurationS = cfg.DurationS
+	if cfg.Sequential {
+		res.Strategy = "none"
+	}
+	return res, nil
+}
+
+// buildClients spawns the player entities and their request streams,
+// statically block-assigned to threads with staggered start times
+// ("clients send requests in an asynchronous manner").
+func (e *engine) buildClients() error {
+	cfg := e.cfg
+	periodNs := int64(cfg.ClientFrameMs * 1e6)
+	stagger := rand.New(rand.NewSource(cfg.Seed + 7))
+	e.byThread = make([][]*simClient, cfg.Threads)
+	for i := 0; i < cfg.Players; i++ {
+		ent, err := e.world.SpawnPlayer()
+		if err != nil {
+			return err
+		}
+		thread := server.BlockAssign(i, cfg.Threads, cfg.Players)
+		if cfg.Assign == AssignRoundRobin {
+			thread = server.RoundRobinAssign(i, cfg.Threads, cfg.Players)
+		}
+		c := &simClient{
+			idx:    i,
+			thread: thread,
+			ent:    ent,
+			nav:    botclient.NewNavigator(e.world.Map, rand.New(rand.NewSource(cfg.Seed+int64(i)*31+11))),
+			rng:    rand.New(rand.NewSource(cfg.Seed + int64(i)*17 + 3)),
+		}
+		c.src = &sim.PeriodicSource{
+			Start:  stagger.Int63n(periodNs) + e.cfg.NetDelayNs,
+			Period: periodNs,
+			End:    e.endNs,
+			Make:   func(seq int64) any { return &simRequest{client: c, seq: seq} },
+		}
+		e.clients = append(e.clients, c)
+		e.byThread[c.thread] = append(e.byThread[c.thread], c)
+	}
+	e.ports = make([]*clientPort, cfg.Threads)
+	for t := range e.ports {
+		e.ports[t] = &clientPort{e: e, thread: t}
+	}
+	return nil
+}
+
+// reassignByRegion implements the dynamic policy: order the players by
+// their current areanode leaf (a space-filling walk of the tree) and
+// hand each thread one contiguous chunk, so a thread's players cluster
+// spatially and its region locks overlap less with other threads'.
+func (e *engine) reassignByRegion() {
+	order := make([]*simClient, len(e.clients))
+	copy(order, e.clients)
+	leafOf := func(c *simClient) int32 {
+		return e.world.Tree.Node(e.world.Tree.LeafContaining(c.ent.Origin)).LeafOrdinal
+	}
+	sortClients(order, leafOf)
+	for t := range e.byThread {
+		e.byThread[t] = e.byThread[t][:0]
+	}
+	n := len(order)
+	threads := len(e.byThread)
+	for i, c := range order {
+		t := i * threads / n
+		c.thread = t
+		e.byThread[t] = append(e.byThread[t], c)
+	}
+}
+
+// sortClients orders clients by (leaf, idx) with a simple insertion sort
+// (the slice is small and nearly sorted between epochs).
+func sortClients(cs []*simClient, leafOf func(*simClient) int32) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0; j-- {
+			lj, lp := leafOf(cs[j]), leafOf(cs[j-1])
+			if lj > lp || (lj == lp && cs[j].idx >= cs[j-1].idx) {
+				break
+			}
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// workerBody is Figure 3 on a simulated context.
+func (e *engine) workerBody(p *sim.Proc) {
+	bd := &e.bds[p.ID]
+	for p.Now() < e.endNs {
+		t0 := p.Now()
+		arr, ok := p.Recv(e.ports[p.ID], selectTimeoutNs)
+		bd.Charge(metrics.CompIdle, p.Now()-t0)
+		e.span(p, "idle", t0)
+		if !ok {
+			continue
+		}
+		e.advance(p, e.model.SelectReturn, metrics.CompRecv)
+
+		p.Sync()
+		role := e.fc.join(p)
+		for role == roleMissed {
+			t0 = p.Now()
+			e.fc.waitFrameEnd(p)
+			bd.Charge(metrics.CompInterWait, p.Now()-t0)
+			e.span(p, "wait-end", t0)
+			p.Sync()
+			role = e.fc.join(p)
+		}
+
+		if role == roleMaster {
+			if d := e.cfg.BatchDelayNs; d > 0 {
+				// Request batching (§5.2 future work): hold the frame
+				// open so late threads and requests can join it. The
+				// deliberate delay is idle time, not synchronization
+				// wait — the master chooses to sit, as in select.
+				t0 = p.Now()
+				p.AdvanceTo(p.Now() + d)
+				bd.Charge(metrics.CompIdle, p.Now()-t0)
+			}
+			t0 = p.Now()
+			e.runWorld(p)
+			bd.Charge(metrics.CompWorld, p.Now()-t0)
+			e.span(p, "world", t0)
+			e.fc.openRequests(p)
+		} else {
+			t0 = p.Now()
+			e.fc.waitRequestsOpen(p)
+			bd.Charge(metrics.CompInterWait, p.Now()-t0)
+			e.span(p, "wait-open", t0)
+		}
+
+		w := &e.workers[p.ID]
+		w.frameReqs, w.frameMask, w.frameLockOps = 0, 0, 0
+		t0 = p.Now()
+		e.processRequest(p, arr.Payload.(*simRequest), arr.At)
+		for {
+			a, ok := p.Poll(e.ports[p.ID])
+			if !ok {
+				break
+			}
+			e.processRequest(p, a.Payload.(*simRequest), a.At)
+		}
+		e.span(p, "requests", t0)
+
+		t0 = p.Now()
+		e.fc.doneRequests(p)
+		bd.Charge(metrics.CompIntraWait, p.Now()-t0)
+		e.span(p, "barrier", t0)
+
+		t0 = p.Now()
+		e.sendReplies(p)
+		bd.Charge(metrics.CompReply, p.Now()-t0)
+		e.span(p, "reply", t0)
+		e.fc.doneReply(p)
+
+		if role == roleMaster {
+			t0 = p.Now()
+			e.fc.waitAllReplied(p)
+			bd.Charge(metrics.CompInterWait, p.Now()-t0)
+			e.masterCleanup(p)
+			e.fc.endFrame(p)
+		}
+	}
+}
+
+// advance charges virtual time to a breakdown component; the charged
+// amount includes any SMT inflation.
+func (e *engine) advance(p *sim.Proc, ns int64, c metrics.Component) {
+	t0 := p.Now()
+	p.Advance(ns)
+	e.bds[p.ID].Charge(c, p.Now()-t0)
+}
+
+// runWorld executes the master's world-physics phase: the per-frame
+// preamble always runs (it is the window during which other threads can
+// join the frame), while the physics tick is rate-limited by
+// minWorldTickNs.
+func (e *engine) runWorld(p *sim.Proc) {
+	p.Advance(e.model.FramePreamble(e.world.Ents.HighWater()))
+	elapsed := p.Now() - e.lastWorldNs
+	if e.lastWorldNs != 0 && elapsed < minWorldTickNs {
+		return
+	}
+	e.lastWorldNs = p.Now()
+	res := e.world.RunWorldFrame(float64(elapsed) / 1e9)
+	p.Advance(e.model.WorldCost(res.Work))
+	e.frameEvents += len(res.Events)
+}
+
+// processRequest executes one move command.
+func (e *engine) processRequest(p *sim.Proc, req *simRequest, arrivedAt int64) {
+	e.requests++
+	e.advance(p, e.model.RecvPacket, metrics.CompRecv)
+
+	c := req.client
+	cmd := c.decide(e)
+
+	var stats locking.AcquireStats
+	var mask uint64
+	var res game.MoveResult
+	if e.cfg.Sequential {
+		t0 := p.Now()
+		res = e.world.ExecuteMove(c.ent, &cmd, &game.LockContext{})
+		p.Advance(e.model.MoveCost(res.Work))
+		e.bds[p.ID].Charge(metrics.CompExec, p.Now()-t0)
+	} else {
+		held := int64(0)
+		lc := game.LockContext{
+			Locker: &locking.RegionLocker{
+				Tree:     e.world.Tree,
+				Provider: &simProvider{e: e, p: p},
+			},
+			Strategy: e.cfg.Strategy,
+			Stats:    &stats,
+			LeafMask: &mask,
+			OnWork: func(wk game.Work) {
+				ns := e.model.WorkCost(wk)
+				held += ns
+				e.advance(p, ns, metrics.CompExec)
+			},
+		}
+		res = e.world.ExecuteMove(c.ent, &cmd, &lc)
+		total := e.model.MoveCost(res.Work) + e.model.RegionOverhead(res.Work)
+		if rest := total - held; rest > 0 {
+			e.advance(p, rest, metrics.CompExec)
+		}
+	}
+
+	if n := len(res.Events); n > 0 {
+		// Global state buffer: a single lock serializes all accesses.
+		e.globalBufferAppend(p, n)
+	}
+
+	c.pending = true
+	c.lastArrival = arrivedAt
+
+	w := &e.workers[p.ID]
+	w.frameReqs++
+	w.frameMask |= mask
+	w.frameLockOps += stats.LeafLockOps
+
+	e.locks.Moves++
+	e.locks.LeafLockOps += int64(stats.LeafLockOps)
+	e.locks.ParentLockOps += int64(stats.ParentLockOps)
+	e.locks.DistinctLeaves += int64(bits.OnesCount64(mask))
+}
+
+func (e *engine) globalBufferAppend(p *sim.Proc, n int) {
+	if !e.cfg.Sequential {
+		e.fc.globalLock.Lock(p)
+	}
+	e.advance(p, e.model.GlobalBuffer*int64(n), metrics.CompExec)
+	e.frameEvents += n
+	if !e.cfg.Sequential {
+		e.fc.globalLock.Unlock(p)
+	}
+}
+
+// sendReplies forms replies for this thread's clients that requested
+// during the frame.
+func (e *engine) sendReplies(p *sim.Proc) {
+	for _, c := range e.byThread[p.ID] {
+		if !c.pending {
+			continue
+		}
+		c.pending = false
+		states, sw := e.world.BuildSnapshot(c.ent, c.scratch[:0])
+		c.scratch = states
+		events := c.backlog + e.frameEvents
+		c.backlog = 0
+		p.Advance(e.model.SnapshotCost(sw, events))
+		c.replied = e.fc.frame + 1
+
+		latNs := (p.Now() - c.lastArrival) + 2*e.cfg.NetDelayNs
+		e.resp.Replies++
+		e.resp.Record(float64(latNs) / 1e9)
+	}
+}
+
+// masterCleanup distributes leftover events, logs the frame, and clears
+// the global state buffer.
+func (e *engine) masterCleanup(p *sim.Proc) {
+	if e.frameEvents > 0 {
+		for _, c := range e.clients {
+			if c.replied != e.fc.frame+1 {
+				c.backlog += e.frameEvents
+			}
+		}
+		e.advance(p, e.model.GlobalBuffer, metrics.CompWorld)
+	}
+	e.frameEvents = 0
+
+	// Dynamic assignment epoch (exclusive: all participants are past
+	// their reply phases and non-participants never touch byThread).
+	if e.cfg.Assign == AssignRegion && p.Now()-e.lastReassign >= int64(e.cfg.ReassignEveryS*1e9) {
+		e.lastReassign = p.Now()
+		e.reassignByRegion()
+	}
+
+	rec := metrics.FrameRecord{
+		Frame:             e.fc.frame,
+		Participants:      len(e.fc.participants),
+		RequestsByThread:  make([]int, len(e.workers)),
+		LeafLocksByThread: make([]uint64, len(e.workers)),
+	}
+	for _, wid := range e.fc.participants {
+		rec.RequestsByThread[wid] = e.workers[wid].frameReqs
+		rec.LeafLocksByThread[wid] = e.workers[wid].frameMask
+		rec.LeafLockOps += e.workers[wid].frameLockOps
+	}
+	e.frameLog.Append(rec)
+}
+
+// decide produces the client's next move command from its bot policy.
+func (c *simClient) decide(e *engine) protocol.MoveCmd {
+	var cmd protocol.MoveCmd
+	cmd.Msec = uint8(e.cfg.ClientFrameMs)
+	cmd.Forward = 320
+
+	pos := c.ent.Origin
+	target := c.nav.Steer(pos)
+	wishYaw := geom.VecToAngles(target.Sub(pos)).Y
+
+	// Nearest living enemy within engagement range.
+	var nearest *entity.Entity
+	bestD := 700.0 * 700.0
+	for _, other := range e.clients {
+		oe := other.ent
+		if oe == c.ent || oe.Health <= 0 {
+			continue
+		}
+		if d := pos.DistSq(oe.Origin); d < bestD {
+			bestD = d
+			nearest = oe
+		}
+	}
+	if nearest != nil {
+		wishYaw = geom.VecToAngles(nearest.Origin.Sub(pos)).Y
+		if c.rng.Float64() < 0.15 {
+			cmd.Buttons |= protocol.BtnFire
+		}
+		if c.rng.Float64() < 0.3 {
+			cmd.Impulse = uint8(1 + c.rng.Intn(2))
+		}
+	}
+	cmd.Yaw = protocol.AngleToWire(wishYaw)
+	if c.rng.Float64() < 0.02 {
+		cmd.Buttons |= protocol.BtnJump
+	}
+	return cmd
+}
+
+// simProvider adapts the virtual locks to the locking.Provider interface,
+// charging queueing delay and acquisition overhead to the lock component
+// with leaf/parent attribution.
+type simProvider struct {
+	e *engine
+	p *sim.Proc
+}
+
+func (sp *simProvider) LockNode(n int32) {
+	leaf := sp.e.world.Tree.Node(n).IsLeaf()
+	wait := sp.e.nodeLocks[n].Lock(sp.p)
+	sp.e.bds[sp.p.ID].ChargeLock(wait, leaf)
+	t0 := sp.p.Now()
+	sp.p.Advance(sp.e.model.LockAcquire)
+	sp.e.bds[sp.p.ID].ChargeLock(sp.p.Now()-t0, leaf)
+}
+
+func (sp *simProvider) UnlockNode(n int32) {
+	sp.e.nodeLocks[n].Unlock(sp.p)
+}

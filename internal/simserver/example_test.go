@@ -1,0 +1,32 @@
+package simserver_test
+
+import (
+	"fmt"
+
+	"qserve/internal/locking"
+	"qserve/internal/simserver"
+)
+
+// Example runs a small deterministic experiment on the simulated
+// machine: 32 players on a 2-thread server for two virtual seconds.
+func Example() {
+	res, err := simserver.Run(simserver.Config{
+		Players:   32,
+		Threads:   2,
+		Strategy:  locking.Optimized{},
+		DurationS: 2,
+		Seed:      1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("players=%d threads=%d strategy=%s\n", res.Players, res.Threads, res.Strategy)
+	fmt.Printf("every request answered: %v\n", res.Resp.Replies == res.Requests)
+	fmt.Printf("response under one client frame: %v\n", res.ResponseTimeMs() < 33)
+
+	// Output:
+	// players=32 threads=2 strategy=optimized
+	// every request answered: true
+	// response under one client frame: true
+}

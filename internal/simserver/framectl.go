@@ -1,0 +1,125 @@
+package simserver
+
+import "qserve/internal/sim"
+
+// Frame roles and phases mirror the live engine's frame controller
+// (internal/server/framectl.go); here the monitor is plain data because
+// exactly one simulated context executes at a time — blocking is
+// p.Wait() and signalling is machine.Wake at the waker's virtual clock.
+type frameRole int
+
+const (
+	roleMissed frameRole = iota
+	roleMaster
+	roleWorker
+)
+
+const (
+	stIdle int = iota
+	stWorld
+	stRequest
+	stReply
+)
+
+type simFrameCtl struct {
+	e *engine
+
+	state        int
+	frame        uint64
+	participants []int
+	reqDone      int
+	repDone      int
+
+	waitingOpen  []*sim.Proc
+	waitingReply []*sim.Proc
+	waitingEnd   []*sim.Proc
+	masterProc   *sim.Proc
+	masterAsleep bool
+
+	// globalLock serializes the global state buffer (§3.3).
+	globalLock sim.Lock
+}
+
+// join mirrors frameCtl.join: first context in an idle machine masters
+// the new frame; contexts arriving during the world update participate;
+// later arrivals miss the frame.
+func (fc *simFrameCtl) join(p *sim.Proc) frameRole {
+	switch fc.state {
+	case stIdle:
+		fc.state = stWorld
+		fc.participants = fc.participants[:0]
+		fc.participants = append(fc.participants, p.ID)
+		fc.reqDone, fc.repDone = 0, 0
+		fc.masterProc = p
+		fc.masterAsleep = false
+		return roleMaster
+	case stWorld:
+		fc.participants = append(fc.participants, p.ID)
+		return roleWorker
+	default:
+		return roleMissed
+	}
+}
+
+func (fc *simFrameCtl) waitFrameEnd(p *sim.Proc) {
+	if fc.state == stIdle {
+		return
+	}
+	fc.waitingEnd = append(fc.waitingEnd, p)
+	p.Wait()
+}
+
+func (fc *simFrameCtl) openRequests(p *sim.Proc) {
+	fc.state = stRequest
+	for _, w := range fc.waitingOpen {
+		fc.e.machine.Wake(w, p.Now())
+	}
+	fc.waitingOpen = fc.waitingOpen[:0]
+}
+
+func (fc *simFrameCtl) waitRequestsOpen(p *sim.Proc) {
+	if fc.state != stWorld {
+		return
+	}
+	fc.waitingOpen = append(fc.waitingOpen, p)
+	p.Wait()
+}
+
+func (fc *simFrameCtl) doneRequests(p *sim.Proc) {
+	fc.reqDone++
+	if fc.reqDone == len(fc.participants) {
+		fc.state = stReply
+		for _, w := range fc.waitingReply {
+			fc.e.machine.Wake(w, p.Now())
+		}
+		fc.waitingReply = fc.waitingReply[:0]
+		return
+	}
+	fc.waitingReply = append(fc.waitingReply, p)
+	p.Wait()
+}
+
+func (fc *simFrameCtl) doneReply(p *sim.Proc) {
+	fc.repDone++
+	if fc.masterAsleep && fc.repDone == len(fc.participants) {
+		fc.masterAsleep = false
+		fc.e.machine.Wake(fc.masterProc, p.Now())
+	}
+}
+
+func (fc *simFrameCtl) waitAllReplied(p *sim.Proc) {
+	if fc.repDone == len(fc.participants) {
+		return
+	}
+	fc.masterAsleep = true
+	p.Wait()
+}
+
+func (fc *simFrameCtl) endFrame(p *sim.Proc) {
+	fc.state = stIdle
+	fc.frame++
+	for _, w := range fc.waitingEnd {
+		fc.e.machine.Wake(w, p.Now())
+	}
+	fc.waitingEnd = fc.waitingEnd[:0]
+}

@@ -1,0 +1,147 @@
+// Package transport abstracts the datagram layer under the server and its
+// clients. Two implementations exist:
+//
+//   - UDPConn wraps a real UDP socket, for deployments matching the
+//     paper's testbed (a server machine and a LAN of client machines);
+//   - Network/MemConn is an in-process packet network with optional
+//     seeded latency, jitter, and loss, used by tests, examples, and the
+//     benchmark harness so experiments are deterministic and run anywhere.
+//
+// The Conn interface mirrors how the engine uses sockets: blocking
+// receive with a timeout (the select(2) idiom in the paper's Figure 1)
+// and connectionless sends.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Addr identifies a transport endpoint. Implementations must be usable as
+// map keys via String().
+type Addr interface {
+	Network() string
+	String() string
+}
+
+// Errors returned by Conn implementations.
+var (
+	// ErrTimeout reports that Recv's timeout expired with no packet.
+	ErrTimeout = errors.New("transport: receive timeout")
+	// ErrClosed reports use of a closed connection.
+	ErrClosed = errors.New("transport: connection closed")
+	// ErrUnknownAddr reports a send to an address with no listener; the
+	// in-memory network surfaces this where UDP would silently drop.
+	ErrUnknownAddr = errors.New("transport: unknown destination")
+)
+
+// MaxDatagram is the largest payload a Conn must carry. It matches a
+// conventional safe UDP MTU budget.
+const MaxDatagram = 1400
+
+// Conn is one endpoint (one UDP port). Implementations are safe for one
+// concurrent reader and any number of senders.
+type Conn interface {
+	// Send transmits data to the destination. The data slice is not
+	// retained.
+	Send(to Addr, data []byte) error
+	// Recv blocks up to timeout for a datagram, copying it into buf and
+	// returning its length and source. A negative timeout blocks
+	// indefinitely; zero polls. Returns ErrTimeout on expiry.
+	Recv(buf []byte, timeout time.Duration) (int, Addr, error)
+	// LocalAddr returns this endpoint's address.
+	LocalAddr() Addr
+	// Close releases the endpoint; pending and future Recvs return
+	// ErrClosed.
+	Close() error
+}
+
+// ResolveLike parses an address string into the Addr family of the given
+// connection: MemAddr for in-memory endpoints, *net.UDPAddr for UDP.
+// Clients use it to interpret the server's Accept.Addr field.
+func ResolveLike(c Conn, s string) (Addr, error) {
+	switch c.(type) {
+	case *MemConn:
+		return MemAddr(s), nil
+	case *UDPConn:
+		ua, err := net.ResolveUDPAddr("udp", s)
+		if err != nil {
+			return nil, fmt.Errorf("transport: %w", err)
+		}
+		return ua, nil
+	default:
+		return nil, fmt.Errorf("transport: cannot resolve %q for %T", s, c)
+	}
+}
+
+// UDPConn adapts a real UDP socket to Conn.
+type UDPConn struct {
+	pc *net.UDPConn
+}
+
+// ListenUDP opens a UDP endpoint on the given address ("127.0.0.1:0"
+// picks a free port).
+func ListenUDP(addr string) (*UDPConn, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	pc, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return &UDPConn{pc: pc}, nil
+}
+
+// Send implements Conn.
+func (c *UDPConn) Send(to Addr, data []byte) error {
+	ua, ok := to.(*net.UDPAddr)
+	if !ok {
+		ra, err := net.ResolveUDPAddr("udp", to.String())
+		if err != nil {
+			return fmt.Errorf("transport: bad udp addr %q: %w", to.String(), err)
+		}
+		ua = ra
+	}
+	_, err := c.pc.WriteToUDP(data, ua)
+	return err
+}
+
+// Recv implements Conn.
+func (c *UDPConn) Recv(buf []byte, timeout time.Duration) (int, Addr, error) {
+	var deadline time.Time
+	if timeout == 0 {
+		// A zero (poll) timeout must still read already-queued datagrams.
+		// Go's poller fails reads immediately once the deadline has
+		// passed, without attempting the syscall, so an exact-now
+		// deadline would never deliver; a hair of slack keeps poll
+		// semantics while letting ready data through.
+		timeout = 100 * time.Microsecond
+	}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if err := c.pc.SetReadDeadline(deadline); err != nil {
+		return 0, nil, err
+	}
+	n, from, err := c.pc.ReadFromUDP(buf)
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return 0, nil, ErrTimeout
+		}
+		if errors.Is(err, net.ErrClosed) {
+			return 0, nil, ErrClosed
+		}
+		return 0, nil, err
+	}
+	return n, from, nil
+}
+
+// LocalAddr implements Conn.
+func (c *UDPConn) LocalAddr() Addr { return c.pc.LocalAddr().(*net.UDPAddr) }
+
+// Close implements Conn.
+func (c *UDPConn) Close() error { return c.pc.Close() }

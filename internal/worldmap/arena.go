@@ -1,0 +1,281 @@
+package worldmap
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qserve/internal/geom"
+)
+
+// ArenaConfig parameterizes the open-arena generator: a single large
+// room broken up by pillars. Arenas maximize mutual visibility — every
+// player potentially sees every other — which is the high-interaction
+// extreme of the paper's map-choice trade-off ("player interactions
+// increase in small maps, whereas only large maps can contain many
+// objects"). The maze generator (Generate) covers the other extreme.
+type ArenaConfig struct {
+	Name string
+	Seed int64
+
+	// Size is the arena's square side length in world units.
+	Size float64
+	// Height is the interior ceiling height.
+	Height float64
+	// WallSize is the shell thickness.
+	WallSize float64
+	// PillarGrid places PillarGrid × PillarGrid pillars in a regular
+	// pattern (0 disables pillars).
+	PillarGrid int
+	// PillarSize is each pillar's square footprint side.
+	PillarSize float64
+	// Items is the total number of pickups scattered in the arena.
+	Items int
+	// Spawns is the number of spawn points placed around the floor.
+	Spawns int
+	// WaypointGrid is the navigation grid resolution per side.
+	WaypointGrid int
+}
+
+// DefaultArenaConfig returns an arena comparable in floor area to the
+// default 16-room maze.
+func DefaultArenaConfig() ArenaConfig {
+	return ArenaConfig{
+		Name:         "gen-arena",
+		Seed:         1,
+		Size:         1088,
+		Height:       256,
+		WallSize:     16,
+		PillarGrid:   3,
+		PillarSize:   64,
+		Items:        48,
+		Spawns:       16,
+		WaypointGrid: 6,
+	}
+}
+
+// Validate checks the configuration.
+func (c ArenaConfig) Validate() error {
+	switch {
+	case c.Size <= 0 || c.Height <= 0 || c.WallSize <= 0:
+		return fmt.Errorf("arena dimensions must be positive")
+	case c.PillarGrid < 0:
+		return fmt.Errorf("pillar grid must be non-negative")
+	case c.PillarGrid > 0 && (c.PillarSize <= 0 || float64(c.PillarGrid)*c.PillarSize >= c.Size):
+		return fmt.Errorf("pillars do not fit the arena")
+	case c.Items < 0 || c.Spawns < 1:
+		return fmt.Errorf("need non-negative items and at least one spawn")
+	case c.WaypointGrid < 2:
+		return fmt.Errorf("waypoint grid must be at least 2")
+	}
+	return nil
+}
+
+// GenerateArena builds a single-room arena map.
+func GenerateArena(cfg ArenaConfig) (*Map, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("worldmap: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w, h := cfg.WallSize, cfg.Height
+
+	m := &Map{
+		Name:     cfg.Name,
+		Rows:     1,
+		Cols:     1,
+		CellSize: cfg.Size,
+		WallSize: w,
+		Interior: geom.Box(geom.V(0, 0, 0), geom.V(cfg.Size, cfg.Size, h)),
+		Bounds:   geom.Box(geom.V(-w, -w, -w), geom.V(cfg.Size+w, cfg.Size+w, h+w)),
+	}
+	m.Rooms = []Room{{ID: 0, Bounds: m.Interior}}
+
+	// Shell.
+	b, in := m.Bounds, m.Interior
+	add := func(box geom.AABB) { m.Brushes = append(m.Brushes, Brush{Box: box}) }
+	add(geom.Box(geom.V(b.Min.X, b.Min.Y, b.Min.Z), geom.V(b.Max.X, b.Max.Y, in.Min.Z)))
+	add(geom.Box(geom.V(b.Min.X, b.Min.Y, in.Max.Z), geom.V(b.Max.X, b.Max.Y, b.Max.Z)))
+	add(geom.Box(geom.V(b.Min.X, b.Min.Y, in.Min.Z), geom.V(in.Min.X, b.Max.Y, in.Max.Z)))
+	add(geom.Box(geom.V(in.Max.X, b.Min.Y, in.Min.Z), geom.V(b.Max.X, b.Max.Y, in.Max.Z)))
+	add(geom.Box(geom.V(in.Min.X, b.Min.Y, in.Min.Z), geom.V(in.Max.X, in.Min.Y, in.Max.Z)))
+	add(geom.Box(geom.V(in.Min.X, in.Max.Y, in.Min.Z), geom.V(in.Max.X, b.Max.Y, in.Max.Z)))
+
+	// Pillars on a regular grid.
+	var pillars []geom.AABB
+	if cfg.PillarGrid > 0 {
+		step := cfg.Size / float64(cfg.PillarGrid+1)
+		for i := 1; i <= cfg.PillarGrid; i++ {
+			for j := 1; j <= cfg.PillarGrid; j++ {
+				c := geom.V(float64(i)*step, float64(j)*step, 0)
+				p := geom.Box(
+					geom.V(c.X-cfg.PillarSize/2, c.Y-cfg.PillarSize/2, 0),
+					geom.V(c.X+cfg.PillarSize/2, c.Y+cfg.PillarSize/2, h),
+				)
+				pillars = append(pillars, p)
+				add(p)
+			}
+		}
+	}
+	inPillar := func(p geom.Vec3, margin float64) bool {
+		for _, pl := range pillars {
+			if pl.Expand(margin).Contains(geom.V(p.X, p.Y, pl.Min.Z+1)) {
+				return true
+			}
+		}
+		return false
+	}
+	randomOpen := func(margin float64) geom.Vec3 {
+		for tries := 0; ; tries++ {
+			p := geom.V(
+				margin+rng.Float64()*(cfg.Size-2*margin),
+				margin+rng.Float64()*(cfg.Size-2*margin),
+				0,
+			)
+			if !inPillar(p, margin) || tries > 200 {
+				return p
+			}
+		}
+	}
+
+	// Spawns ring plus random fill.
+	for i := 0; i < cfg.Spawns; i++ {
+		p := randomOpen(64)
+		p.Z = 25
+		m.Spawns = append(m.Spawns, SpawnPoint{Pos: p, Yaw: float64(rng.Intn(8)) * 45, RoomID: 0})
+	}
+	// Items.
+	for i := 0; i < cfg.Items; i++ {
+		p := randomOpen(48)
+		p.Z = 16
+		m.Items = append(m.Items, ItemSpawn{
+			Pos: p, Class: ItemClass(rng.Intn(int(numItemClasses))),
+			RoomID: 0, RespawnSec: 20,
+		})
+	}
+
+	// Waypoint grid, linked 4-neighborly, skipping nodes inside pillars
+	// and links crossing them.
+	grid := cfg.WaypointGrid
+	step := cfg.Size / float64(grid+1)
+	idx := make([][]int, grid)
+	for i := range idx {
+		idx[i] = make([]int, grid)
+		for j := range idx[i] {
+			idx[i][j] = -1
+			p := geom.V(float64(i+1)*step, float64(j+1)*step, 25)
+			if inPillar(p, 40) {
+				continue
+			}
+			idx[i][j] = len(m.Waypoints)
+			m.Waypoints = append(m.Waypoints, Waypoint{ID: len(m.Waypoints), Pos: p, RoomID: 0})
+		}
+	}
+	link := func(a, b int) {
+		m.Waypoints[a].Links = append(m.Waypoints[a].Links, b)
+		m.Waypoints[b].Links = append(m.Waypoints[b].Links, a)
+	}
+	crossesPillar := func(a, b geom.Vec3) bool {
+		for _, pl := range pillars {
+			if hit, _, _ := pl.Expand(24).IntersectSegment(a, b); hit {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < grid; i++ {
+		for j := 0; j < grid; j++ {
+			if idx[i][j] < 0 {
+				continue
+			}
+			if i+1 < grid && idx[i+1][j] >= 0 &&
+				!crossesPillar(m.Waypoints[idx[i][j]].Pos, m.Waypoints[idx[i+1][j]].Pos) {
+				link(idx[i][j], idx[i+1][j])
+			}
+			if j+1 < grid && idx[i][j+1] >= 0 &&
+				!crossesPillar(m.Waypoints[idx[i][j]].Pos, m.Waypoints[idx[i][j+1]].Pos) {
+				link(idx[i][j], idx[i][j+1])
+			}
+		}
+	}
+	m.pruneToLargestComponent()
+
+	// Fallback for pathological pillar layouts that swallow the whole
+	// grid: navigate between spawn points instead (they are always in
+	// open space).
+	if len(m.Waypoints) == 0 {
+		for i, s := range m.Spawns {
+			m.Waypoints = append(m.Waypoints, Waypoint{ID: i, Pos: s.Pos, RoomID: 0})
+			if i > 0 {
+				link(i-1, i)
+			}
+		}
+	}
+
+	m.computeVisibility(1)
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("worldmap: generated arena failed validation: %w", err)
+	}
+	return m, nil
+}
+
+// pruneToLargestComponent drops waypoints not in the largest connected
+// component (dense pillar layouts can isolate grid nodes) and renumbers
+// the survivors.
+func (m *Map) pruneToLargestComponent() {
+	n := len(m.Waypoints)
+	if n == 0 {
+		return
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	sizes := []int{}
+	for start := 0; start < n; start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		id := len(sizes)
+		size := 0
+		stack := []int{start}
+		comp[start] = id
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			for _, l := range m.Waypoints[cur].Links {
+				if comp[l] < 0 {
+					comp[l] = id
+					stack = append(stack, l)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	best := 0
+	for id, s := range sizes {
+		if s > sizes[best] {
+			best = id
+		}
+	}
+	remap := make([]int, n)
+	var kept []Waypoint
+	for i, w := range m.Waypoints {
+		if comp[i] == best {
+			remap[i] = len(kept)
+			kept = append(kept, w)
+		} else {
+			remap[i] = -1
+		}
+	}
+	for i := range kept {
+		kept[i].ID = i
+		var links []int
+		for _, l := range kept[i].Links {
+			if remap[l] >= 0 {
+				links = append(links, remap[l])
+			}
+		}
+		kept[i].Links = links
+	}
+	m.Waypoints = kept
+}

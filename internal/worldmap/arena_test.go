@@ -1,0 +1,151 @@
+package worldmap
+
+import (
+	"testing"
+
+	"qserve/internal/geom"
+)
+
+func TestGenerateArenaDefault(t *testing.T) {
+	m, err := GenerateArena(DefaultArenaConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rooms) != 1 {
+		t.Errorf("arena rooms = %d", len(m.Rooms))
+	}
+	if len(m.Spawns) != 16 || len(m.Items) != 48 {
+		t.Errorf("spawns=%d items=%d", len(m.Spawns), len(m.Items))
+	}
+	// Shell (6) plus 3x3 pillars.
+	if len(m.Brushes) != 6+9 {
+		t.Errorf("brushes = %d, want 15", len(m.Brushes))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestArenaEverythingVisible(t *testing.T) {
+	m, _ := GenerateArena(DefaultArenaConfig())
+	if !m.Visible(0, 0) {
+		t.Error("arena room not visible to itself")
+	}
+	if got := len(m.VisibleRooms(0)); got != 1 {
+		t.Errorf("visible rooms = %d", got)
+	}
+	// Every in-arena point resolves to room 0.
+	if got := m.RoomAt(geom.V(500, 500, 30)); got != 0 {
+		t.Errorf("RoomAt center = %d", got)
+	}
+	if got := m.RoomAt(geom.V(-200, 0, 0)); got != -1 {
+		t.Errorf("RoomAt outside = %d", got)
+	}
+}
+
+func TestArenaSpawnsAndItemsAvoidPillars(t *testing.T) {
+	cfg := DefaultArenaConfig()
+	m, _ := GenerateArena(cfg)
+	var pillars []geom.AABB
+	for _, b := range m.Brushes[6:] {
+		pillars = append(pillars, b.Box)
+	}
+	for i, s := range m.Spawns {
+		for _, p := range pillars {
+			if p.Contains(geom.V(s.Pos.X, s.Pos.Y, 10)) {
+				t.Errorf("spawn %d inside pillar", i)
+			}
+		}
+	}
+	for i, it := range m.Items {
+		for _, p := range pillars {
+			if p.Contains(geom.V(it.Pos.X, it.Pos.Y, 10)) {
+				t.Errorf("item %d inside pillar", i)
+			}
+		}
+	}
+}
+
+func TestArenaWaypointGraphConnected(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := DefaultArenaConfig()
+		cfg.Seed = seed
+		m, err := GenerateArena(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Validate() checks connectivity; also check link symmetry.
+		for _, w := range m.Waypoints {
+			for _, l := range w.Links {
+				found := false
+				for _, back := range m.Waypoints[l].Links {
+					if back == w.ID {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("seed %d: asymmetric link %d->%d", seed, w.ID, l)
+				}
+			}
+		}
+	}
+}
+
+func TestArenaDensePillarsPrunes(t *testing.T) {
+	cfg := DefaultArenaConfig()
+	cfg.PillarGrid = 5
+	cfg.PillarSize = 120
+	cfg.WaypointGrid = 8
+	m, err := GenerateArena(cfg)
+	if err != nil {
+		t.Fatalf("dense arena: %v", err)
+	}
+	if len(m.Waypoints) == 0 {
+		t.Fatal("all waypoints pruned")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate after prune: %v", err)
+	}
+}
+
+func TestArenaConfigValidation(t *testing.T) {
+	bad := []func(*ArenaConfig){
+		func(c *ArenaConfig) { c.Size = 0 },
+		func(c *ArenaConfig) { c.PillarGrid = -1 },
+		func(c *ArenaConfig) { c.PillarGrid = 10; c.PillarSize = 200 },
+		func(c *ArenaConfig) { c.Spawns = 0 },
+		func(c *ArenaConfig) { c.WaypointGrid = 1 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultArenaConfig()
+		mut(&cfg)
+		if _, err := GenerateArena(cfg); err == nil {
+			t.Errorf("bad arena config %d accepted", i)
+		}
+	}
+}
+
+func TestArenaNoPillars(t *testing.T) {
+	cfg := DefaultArenaConfig()
+	cfg.PillarGrid = 0
+	m, err := GenerateArena(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Brushes) != 6 {
+		t.Errorf("brushes = %d, want shell only", len(m.Brushes))
+	}
+}
+
+func TestArenaDeterministic(t *testing.T) {
+	a, _ := GenerateArena(DefaultArenaConfig())
+	b, _ := GenerateArena(DefaultArenaConfig())
+	if len(a.Items) != len(b.Items) {
+		t.Fatal("non-deterministic arena")
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			t.Fatal("arena items differ across identical seeds")
+		}
+	}
+}

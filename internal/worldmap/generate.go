@@ -1,0 +1,426 @@
+package worldmap
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qserve/internal/geom"
+)
+
+// Config parameterizes the procedural map generator. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	Name string
+	Seed int64
+
+	// Rows and Cols give the room grid dimensions; the room count is their
+	// product.
+	Rows, Cols int
+
+	// RoomSize is the side length of each square room's open interior, in
+	// world units. WallSize is the thickness of walls, floors, and
+	// ceilings. Height is the interior ceiling height.
+	RoomSize, WallSize, Height float64
+
+	// DoorWidth and DoorHeight size the portal openings between rooms.
+	DoorWidth, DoorHeight float64
+
+	// ExtraDoorProb is the probability that an interior wall beyond the
+	// spanning tree also receives a door, creating loops in the maze.
+	ExtraDoorProb float64
+
+	// ItemsPerRoom is the mean number of pickups placed in each room.
+	ItemsPerRoom float64
+
+	// TeleporterPairs is the number of teleporter trigger/destination
+	// pairs scattered through the map.
+	TeleporterPairs int
+
+	// VisibilityDepth is how many portal hops count as potentially
+	// visible when building the PVS matrix.
+	VisibilityDepth int
+
+	// DoorProb is the probability that a doorway receives an animated
+	// sliding door (a solid moving entity that opens for approaching
+	// players). Zero keeps all doorways open, which is the paper-fidelity
+	// default.
+	DoorProb float64
+}
+
+// DefaultConfig returns the parameters used throughout the reproduction:
+// a 36-room map comparable in scale to the paper's "one of the largest
+// maps we could find", with loops, pickups in every room, and a pair of
+// teleporters providing long-distance relinks.
+func DefaultConfig() Config {
+	return Config{
+		Name:            "gen-dm36",
+		Seed:            1,
+		Rows:            6,
+		Cols:            6,
+		RoomSize:        256,
+		WallSize:        16,
+		Height:          192,
+		DoorWidth:       64,
+		DoorHeight:      112,
+		ExtraDoorProb:   0.35,
+		ItemsPerRoom:    3,
+		TeleporterPairs: 2,
+		VisibilityDepth: 2,
+	}
+}
+
+// Validate checks that the configuration is generatable.
+func (c Config) Validate() error {
+	switch {
+	case c.Rows < 1 || c.Cols < 1:
+		return fmt.Errorf("grid %dx%d must be at least 1x1", c.Rows, c.Cols)
+	case c.RoomSize <= 0 || c.WallSize <= 0 || c.Height <= 0:
+		return fmt.Errorf("room dimensions must be positive")
+	case c.DoorWidth <= 0 || c.DoorWidth >= c.RoomSize:
+		return fmt.Errorf("door width %v must be in (0, room size)", c.DoorWidth)
+	case c.DoorHeight <= 0 || c.DoorHeight > c.Height:
+		return fmt.Errorf("door height %v must be in (0, height]", c.DoorHeight)
+	case c.ExtraDoorProb < 0 || c.ExtraDoorProb > 1:
+		return fmt.Errorf("extra door probability %v out of range", c.ExtraDoorProb)
+	case c.ItemsPerRoom < 0:
+		return fmt.Errorf("items per room must be non-negative")
+	case c.TeleporterPairs < 0:
+		return fmt.Errorf("teleporter pairs must be non-negative")
+	case c.VisibilityDepth < 0:
+		return fmt.Errorf("visibility depth must be non-negative")
+	case c.DoorProb < 0 || c.DoorProb > 1:
+		return fmt.Errorf("door probability %v out of range", c.DoorProb)
+	}
+	return nil
+}
+
+// Generate builds a complete map from the configuration. Generation is
+// deterministic in the seed.
+func Generate(cfg Config) (*Map, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("worldmap: %w", err)
+	}
+	g := &generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return g.build()
+}
+
+// MustGenerate is Generate for callers with known-good configurations,
+// such as tests and benchmarks.
+func MustGenerate(cfg Config) *Map {
+	m, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type generator struct {
+	cfg Config
+	rng *rand.Rand
+	m   *Map
+}
+
+// wallEdge identifies the wall between two adjacent grid cells.
+type wallEdge struct {
+	roomA, roomB int
+	horizontal   bool // true when the wall runs along x (rooms stacked in y)
+}
+
+func (g *generator) build() (*Map, error) {
+	cfg := g.cfg
+	cell := cfg.RoomSize + cfg.WallSize
+	w, h := cfg.WallSize, cfg.Height
+	spanX := float64(cfg.Cols)*cell - w
+	spanY := float64(cfg.Rows)*cell - w
+
+	m := &Map{
+		Name:     cfg.Name,
+		Rows:     cfg.Rows,
+		Cols:     cfg.Cols,
+		CellSize: cell,
+		WallSize: w,
+		Interior: geom.Box(geom.V(0, 0, 0), geom.V(spanX, spanY, h)),
+		Bounds:   geom.Box(geom.V(-w, -w, -w), geom.V(spanX+w, spanY+w, h+w)),
+	}
+	g.m = m
+
+	g.buildRooms()
+	doors := g.chooseDoors()
+	g.buildShell()
+	g.buildInteriorWalls(doors)
+	g.placeSpawns()
+	g.placeItems()
+	g.placeTeleporters()
+	g.placeDoors()
+	g.buildWaypoints()
+	m.computeVisibility(cfg.VisibilityDepth)
+
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("worldmap: generated map failed validation: %w", err)
+	}
+	return m, nil
+}
+
+func (g *generator) roomOrigin(row, col int) geom.Vec3 {
+	return geom.V(float64(col)*g.m.CellSize, float64(row)*g.m.CellSize, 0)
+}
+
+func (g *generator) buildRooms() {
+	cfg := g.cfg
+	for row := 0; row < cfg.Rows; row++ {
+		for col := 0; col < cfg.Cols; col++ {
+			o := g.roomOrigin(row, col)
+			g.m.Rooms = append(g.m.Rooms, Room{
+				ID:     row*cfg.Cols + col,
+				Row:    row,
+				Col:    col,
+				Bounds: geom.Box(o, o.Add(geom.V(cfg.RoomSize, cfg.RoomSize, cfg.Height))),
+			})
+		}
+	}
+}
+
+// chooseDoors picks which interior walls receive doorways: a random
+// spanning tree guarantees full connectivity, then ExtraDoorProb adds
+// loops. The return value maps each doored wall edge to true.
+func (g *generator) chooseDoors() map[wallEdge]bool {
+	cfg := g.cfg
+	var edges []wallEdge
+	for row := 0; row < cfg.Rows; row++ {
+		for col := 0; col < cfg.Cols; col++ {
+			id := row*cfg.Cols + col
+			if col+1 < cfg.Cols {
+				edges = append(edges, wallEdge{id, id + 1, false})
+			}
+			if row+1 < cfg.Rows {
+				edges = append(edges, wallEdge{id, id + cfg.Cols, true})
+			}
+		}
+	}
+	g.rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+
+	parent := make([]int, len(g.m.Rooms))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	doors := make(map[wallEdge]bool)
+	for _, e := range edges {
+		ra, rb := find(e.roomA), find(e.roomB)
+		if ra != rb {
+			parent[ra] = rb
+			doors[e] = true
+		} else if g.rng.Float64() < cfg.ExtraDoorProb {
+			doors[e] = true
+		}
+	}
+	return doors
+}
+
+// buildShell adds the floor, ceiling, and four outer walls.
+func (g *generator) buildShell() {
+	b := g.m.Bounds
+	in := g.m.Interior
+	add := func(box geom.AABB) { g.m.Brushes = append(g.m.Brushes, Brush{Box: box}) }
+
+	// Floor and ceiling span the full footprint.
+	add(geom.Box(geom.V(b.Min.X, b.Min.Y, b.Min.Z), geom.V(b.Max.X, b.Max.Y, in.Min.Z)))
+	add(geom.Box(geom.V(b.Min.X, b.Min.Y, in.Max.Z), geom.V(b.Max.X, b.Max.Y, b.Max.Z)))
+	// Outer walls.
+	add(geom.Box(geom.V(b.Min.X, b.Min.Y, in.Min.Z), geom.V(in.Min.X, b.Max.Y, in.Max.Z)))
+	add(geom.Box(geom.V(in.Max.X, b.Min.Y, in.Min.Z), geom.V(b.Max.X, b.Max.Y, in.Max.Z)))
+	add(geom.Box(geom.V(in.Min.X, b.Min.Y, in.Min.Z), geom.V(in.Max.X, in.Min.Y, in.Max.Z)))
+	add(geom.Box(geom.V(in.Min.X, in.Max.Y, in.Min.Z), geom.V(in.Max.X, b.Max.Y, in.Max.Z)))
+}
+
+// buildInteriorWalls emits wall brushes between adjacent rooms, splitting
+// walls with doors into side segments plus a lintel, and registers the
+// doorway volumes as portals. It also adds the corner posts at interior
+// grid intersections.
+func (g *generator) buildInteriorWalls(doors map[wallEdge]bool) {
+	cfg := g.cfg
+	w, h := cfg.WallSize, cfg.Height
+	add := func(box geom.AABB) {
+		if box.IsValid() && box.Volume() > 0 {
+			g.m.Brushes = append(g.m.Brushes, Brush{Box: box})
+		}
+	}
+
+	for row := 0; row < cfg.Rows; row++ {
+		for col := 0; col < cfg.Cols; col++ {
+			id := row*cfg.Cols + col
+			o := g.roomOrigin(row, col)
+
+			// Vertical wall band east of this room.
+			if col+1 < cfg.Cols {
+				x0 := o.X + cfg.RoomSize
+				x1 := x0 + w
+				e := wallEdge{id, id + 1, false}
+				if doors[e] {
+					cy := o.Y + cfg.RoomSize/2
+					y0, y1 := cy-cfg.DoorWidth/2, cy+cfg.DoorWidth/2
+					add(geom.Box(geom.V(x0, o.Y, 0), geom.V(x1, y0, h)))
+					add(geom.Box(geom.V(x0, y1, 0), geom.V(x1, o.Y+cfg.RoomSize, h)))
+					add(geom.Box(geom.V(x0, y0, cfg.DoorHeight), geom.V(x1, y1, h)))
+					g.m.Portals = append(g.m.Portals, Portal{
+						ID: len(g.m.Portals), RoomA: id, RoomB: id + 1,
+						Bounds: geom.Box(geom.V(x0, y0, 0), geom.V(x1, y1, cfg.DoorHeight)),
+					})
+				} else {
+					add(geom.Box(geom.V(x0, o.Y, 0), geom.V(x1, o.Y+cfg.RoomSize, h)))
+				}
+			}
+
+			// Horizontal wall band north of this room.
+			if row+1 < cfg.Rows {
+				y0 := o.Y + cfg.RoomSize
+				y1 := y0 + w
+				e := wallEdge{id, id + cfg.Cols, true}
+				if doors[e] {
+					cx := o.X + cfg.RoomSize/2
+					x0, x1 := cx-cfg.DoorWidth/2, cx+cfg.DoorWidth/2
+					add(geom.Box(geom.V(o.X, y0, 0), geom.V(x0, y1, h)))
+					add(geom.Box(geom.V(x1, y0, 0), geom.V(o.X+cfg.RoomSize, y1, h)))
+					add(geom.Box(geom.V(x0, y0, cfg.DoorHeight), geom.V(x1, y1, h)))
+					g.m.Portals = append(g.m.Portals, Portal{
+						ID: len(g.m.Portals), RoomA: id, RoomB: id + cfg.Cols,
+						Bounds: geom.Box(geom.V(x0, y0, 0), geom.V(x1, y1, cfg.DoorHeight)),
+					})
+				} else {
+					add(geom.Box(geom.V(o.X, y0, 0), geom.V(o.X+cfg.RoomSize, y1, h)))
+				}
+			}
+
+			// Corner post at the interior intersection northeast of the room.
+			if col+1 < cfg.Cols && row+1 < cfg.Rows {
+				x0 := o.X + cfg.RoomSize
+				y0 := o.Y + cfg.RoomSize
+				add(geom.Box(geom.V(x0, y0, 0), geom.V(x0+w, y0+w, h)))
+			}
+		}
+	}
+}
+
+func (g *generator) placeSpawns() {
+	const margin = 48.0
+	for _, r := range g.m.Rooms {
+		p := g.randomPointIn(r.Bounds, margin)
+		p.Z = 25 // just above the floor for a 24-unit-deep player hull
+		g.m.Spawns = append(g.m.Spawns, SpawnPoint{
+			Pos:    p,
+			Yaw:    float64(g.rng.Intn(8)) * 45,
+			RoomID: r.ID,
+		})
+	}
+}
+
+func (g *generator) placeItems() {
+	cfg := g.cfg
+	for _, r := range g.m.Rooms {
+		n := int(cfg.ItemsPerRoom)
+		if frac := cfg.ItemsPerRoom - float64(n); g.rng.Float64() < frac {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			p := g.randomPointIn(r.Bounds, 40)
+			p.Z = 16
+			class := ItemClass(g.rng.Intn(int(numItemClasses)))
+			respawn := 20.0
+			if class == ItemPowerup {
+				respawn = 60
+			}
+			g.m.Items = append(g.m.Items, ItemSpawn{
+				Pos: p, Class: class, RoomID: r.ID, RespawnSec: respawn,
+			})
+		}
+	}
+}
+
+func (g *generator) placeTeleporters() {
+	cfg := g.cfg
+	if len(g.m.Rooms) < 2 {
+		return
+	}
+	for i := 0; i < cfg.TeleporterPairs; i++ {
+		src := g.rng.Intn(len(g.m.Rooms))
+		dst := g.rng.Intn(len(g.m.Rooms))
+		for dst == src {
+			dst = g.rng.Intn(len(g.m.Rooms))
+		}
+		// Trigger pad in a corner of the source room.
+		rb := g.m.Rooms[src].Bounds
+		pad := geom.Box(
+			rb.Min.Add(geom.V(24, 24, 0)),
+			rb.Min.Add(geom.V(88, 88, 64)),
+		)
+		dest := g.m.Rooms[dst].Bounds.Center()
+		dest.Z = 25
+		g.m.Teleporters = append(g.m.Teleporters, Teleporter{
+			Trigger: pad,
+			Dest:    dest,
+			DestYaw: float64(g.rng.Intn(8)) * 45,
+		})
+	}
+}
+
+// placeDoors gives a random subset of doorways an animated door panel
+// that fills the portal volume when closed.
+func (g *generator) placeDoors() {
+	if g.cfg.DoorProb <= 0 {
+		return
+	}
+	for _, p := range g.m.Portals {
+		if g.rng.Float64() >= g.cfg.DoorProb {
+			continue
+		}
+		g.m.Doors = append(g.m.Doors, DoorSpec{
+			Panel:         p.Bounds,
+			Travel:        p.Bounds.Size().Z - 8,
+			TriggerRadius: 120,
+			RoomID:        p.RoomA,
+		})
+	}
+}
+
+// buildWaypoints creates one waypoint per room center and one per portal,
+// linking each portal waypoint to the centers of the two rooms it joins.
+// Because doors follow a spanning tree the graph is always connected.
+func (g *generator) buildWaypoints() {
+	m := g.m
+	roomWp := make([]int, len(m.Rooms))
+	for i, r := range m.Rooms {
+		c := r.Bounds.Center()
+		c.Z = 25
+		roomWp[i] = len(m.Waypoints)
+		m.Waypoints = append(m.Waypoints, Waypoint{ID: len(m.Waypoints), Pos: c, RoomID: r.ID})
+	}
+	link := func(a, b int) {
+		m.Waypoints[a].Links = append(m.Waypoints[a].Links, b)
+		m.Waypoints[b].Links = append(m.Waypoints[b].Links, a)
+	}
+	for _, p := range m.Portals {
+		c := p.Bounds.Center()
+		c.Z = 25
+		id := len(m.Waypoints)
+		m.Waypoints = append(m.Waypoints, Waypoint{ID: id, Pos: c, RoomID: p.RoomA})
+		link(id, roomWp[p.RoomA])
+		link(id, roomWp[p.RoomB])
+	}
+}
+
+// randomPointIn picks a uniformly random point in the box footprint at
+// least margin units from its x/y faces.
+func (g *generator) randomPointIn(b geom.AABB, margin float64) geom.Vec3 {
+	mn, mx := b.Min, b.Max
+	x := mn.X + margin + g.rng.Float64()*(mx.X-mn.X-2*margin)
+	y := mn.Y + margin + g.rng.Float64()*(mx.Y-mn.Y-2*margin)
+	return geom.V(x, y, 0)
+}

@@ -1,0 +1,347 @@
+package worldmap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"qserve/internal/geom"
+)
+
+func TestGenerateDefault(t *testing.T) {
+	m := MustGenerate(DefaultConfig())
+	if got := len(m.Rooms); got != 36 {
+		t.Errorf("rooms = %d, want 36", got)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(m.Portals) < 35 {
+		t.Errorf("portals = %d, want at least rooms-1 for connectivity", len(m.Portals))
+	}
+	if len(m.Spawns) != len(m.Rooms) {
+		t.Errorf("spawns = %d, want one per room", len(m.Spawns))
+	}
+	if len(m.Items) == 0 {
+		t.Error("no items generated")
+	}
+	if len(m.Teleporters) != 2 {
+		t.Errorf("teleporters = %d, want 2", len(m.Teleporters))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(DefaultConfig())
+	b := MustGenerate(DefaultConfig())
+	if len(a.Brushes) != len(b.Brushes) || len(a.Items) != len(b.Items) ||
+		len(a.Portals) != len(b.Portals) {
+		t.Fatal("same seed produced structurally different maps")
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			t.Fatalf("item %d differs: %+v vs %+v", i, a.Items[i], b.Items[i])
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 99
+	c := MustGenerate(cfg)
+	same := len(a.Portals) == len(c.Portals)
+	if same {
+		for i := range a.Portals {
+			if a.Portals[i].Bounds != c.Portals[i].Bounds {
+				same = false
+				break
+			}
+		}
+	}
+	if same && len(a.Items) == len(c.Items) {
+		identicalItems := true
+		for i := range a.Items {
+			if a.Items[i] != c.Items[i] {
+				identicalItems = false
+				break
+			}
+		}
+		if identicalItems {
+			t.Error("different seeds produced identical maps")
+		}
+	}
+}
+
+func TestGenerateConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Rows = 0 },
+		func(c *Config) { c.RoomSize = -1 },
+		func(c *Config) { c.DoorWidth = 0 },
+		func(c *Config) { c.DoorWidth = c.RoomSize },
+		func(c *Config) { c.DoorHeight = c.Height + 1 },
+		func(c *Config) { c.ExtraDoorProb = 1.5 },
+		func(c *Config) { c.ItemsPerRoom = -2 },
+		func(c *Config) { c.TeleporterPairs = -1 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRoomAt(t *testing.T) {
+	m := MustGenerate(DefaultConfig())
+	for _, r := range m.Rooms {
+		c := r.Bounds.Center()
+		if got := m.RoomAt(c); got != r.ID {
+			t.Errorf("RoomAt(center of %d) = %d", r.ID, got)
+		}
+	}
+	if got := m.RoomAt(geom.V(-500, -500, 0)); got != -1 {
+		t.Errorf("RoomAt far outside = %d", got)
+	}
+	if got := m.RoomAt(geom.V(m.Bounds.Max.X+100, 0, 0)); got != -1 {
+		t.Errorf("RoomAt beyond max = %d", got)
+	}
+}
+
+func TestSpawnsInsideRooms(t *testing.T) {
+	m := MustGenerate(DefaultConfig())
+	for i, s := range m.Spawns {
+		id := m.RoomAt(s.Pos)
+		if id != s.RoomID {
+			t.Errorf("spawn %d: RoomAt=%d recorded RoomID=%d", i, id, s.RoomID)
+		}
+		if !m.Rooms[s.RoomID].Bounds.Contains(s.Pos) {
+			t.Errorf("spawn %d at %v outside its room bounds", i, s.Pos)
+		}
+	}
+}
+
+func TestItemsInsideRooms(t *testing.T) {
+	m := MustGenerate(DefaultConfig())
+	for i, it := range m.Items {
+		b := m.Rooms[it.RoomID].Bounds
+		if !b.Contains(it.Pos) {
+			t.Errorf("item %d at %v outside room %d %v", i, it.Pos, it.RoomID, b)
+		}
+		if it.RespawnSec <= 0 {
+			t.Errorf("item %d has no respawn time", i)
+		}
+	}
+}
+
+func TestBrushesDoNotOverlapRoomCenters(t *testing.T) {
+	m := MustGenerate(DefaultConfig())
+	for _, r := range m.Rooms {
+		c := r.Bounds.Center()
+		for bi, br := range m.Brushes {
+			if br.Box.ContainsStrict(c) {
+				t.Errorf("brush %d %v covers center of room %d", bi, br.Box, r.ID)
+			}
+		}
+	}
+}
+
+func TestPortalsConnectAdjacentRooms(t *testing.T) {
+	m := MustGenerate(DefaultConfig())
+	for _, p := range m.Portals {
+		ra, rb := m.Rooms[p.RoomA], m.Rooms[p.RoomB]
+		dr := ra.Row - rb.Row
+		dc := ra.Col - rb.Col
+		if dr*dr+dc*dc != 1 {
+			t.Errorf("portal %d connects non-adjacent rooms %d and %d", p.ID, p.RoomA, p.RoomB)
+		}
+		// The doorway must touch both rooms.
+		if !p.Bounds.Intersects(ra.Bounds.Expand(m.WallSize)) ||
+			!p.Bounds.Intersects(rb.Bounds.Expand(m.WallSize)) {
+			t.Errorf("portal %d does not touch its rooms", p.ID)
+		}
+	}
+}
+
+// TestRoomConnectivity verifies every room is reachable from room 0 via
+// portals — the spanning-tree guarantee.
+func TestRoomConnectivity(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.ExtraDoorProb = 0 // pure spanning tree: minimum connectivity
+		m := MustGenerate(cfg)
+		if len(m.Portals) != len(m.Rooms)-1 {
+			t.Errorf("seed %d: %d portals for pure tree over %d rooms", seed, len(m.Portals), len(m.Rooms))
+		}
+		seen := make(map[int]bool)
+		var visit func(int)
+		visit = func(r int) {
+			if seen[r] {
+				return
+			}
+			seen[r] = true
+			for _, nb := range m.Neighbors(r) {
+				visit(nb)
+			}
+		}
+		visit(0)
+		if len(seen) != len(m.Rooms) {
+			t.Errorf("seed %d: only %d of %d rooms reachable", seed, len(seen), len(m.Rooms))
+		}
+	}
+}
+
+func TestVisibility(t *testing.T) {
+	m := MustGenerate(DefaultConfig())
+	for a := range m.Rooms {
+		if !m.Visible(a, a) {
+			t.Errorf("room %d not visible to itself", a)
+		}
+		for _, nb := range m.Neighbors(a) {
+			if !m.Visible(a, nb) {
+				t.Errorf("room %d cannot see neighbor %d", a, nb)
+			}
+			if !m.Visible(nb, a) {
+				t.Errorf("visibility not symmetric between %d and %d", a, nb)
+			}
+		}
+	}
+	if m.Visible(-1, 0) || m.Visible(0, len(m.Rooms)) {
+		t.Error("out-of-range visibility should be false")
+	}
+	vis := m.VisibleRooms(0)
+	if len(vis) < 2 {
+		t.Errorf("room 0 sees only %d rooms", len(vis))
+	}
+}
+
+func TestWaypointGraph(t *testing.T) {
+	m := MustGenerate(DefaultConfig())
+	if len(m.Waypoints) != len(m.Rooms)+len(m.Portals) {
+		t.Errorf("waypoints = %d, want rooms+portals = %d",
+			len(m.Waypoints), len(m.Rooms)+len(m.Portals))
+	}
+	for _, w := range m.Waypoints {
+		for _, l := range w.Links {
+			found := false
+			for _, back := range m.Waypoints[l].Links {
+				if back == w.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("waypoint link %d->%d not symmetric", w.ID, l)
+			}
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := MustGenerate(DefaultConfig())
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if m2.Name != m.Name || len(m2.Brushes) != len(m.Brushes) ||
+		len(m2.Rooms) != len(m.Rooms) || len(m2.Items) != len(m.Items) ||
+		len(m2.Waypoints) != len(m.Waypoints) {
+		t.Fatal("round trip lost structure")
+	}
+	for i := range m.Brushes {
+		if m.Brushes[i] != m2.Brushes[i] {
+			t.Fatalf("brush %d differs", i)
+		}
+	}
+	// Visibility must be recomputed identically.
+	for a := range m.Rooms {
+		for b := range m.Rooms {
+			if m.Visible(a, b) != m2.Visible(a, b) {
+				t.Fatalf("visibility(%d,%d) differs after reload", a, b)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewBufferString(`{"version":99}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := Load(bytes.NewBufferString(`{"version":1}`)); err == nil {
+		t.Error("empty map accepted (no rooms)")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	m := MustGenerate(DefaultConfig())
+	out := m.RenderASCII()
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+	// Rough sanity: one header plus 2 lines per row plus bottom border.
+	lines := bytes.Count([]byte(out), []byte("\n"))
+	if want := 1 + 2*m.Rows + 1; lines != want {
+		t.Errorf("render has %d lines, want %d:\n%s", lines, want, out)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	m := MustGenerate(DefaultConfig())
+	s := m.ComputeStats()
+	if s.Rooms != 36 || s.Portals != len(m.Portals) || s.Brushes != len(m.Brushes) {
+		t.Errorf("stats mismatch: %+v", s)
+	}
+	if s.AvgVisibleRooms < 1 {
+		t.Errorf("avg visible rooms = %v", s.AvgVisibleRooms)
+	}
+	if s.InteriorVolume <= 0 || s.WorldVolume <= s.InteriorVolume {
+		t.Errorf("volumes: interior=%v world=%v", s.InteriorVolume, s.WorldVolume)
+	}
+	if s.WaypointLinks < s.Portals*2 {
+		t.Errorf("waypoint links = %d, want >= %d", s.WaypointLinks, s.Portals*2)
+	}
+}
+
+func TestGenerateSmallAndLargeGrids(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {1, 5}, {3, 2}, {8, 8}} {
+		cfg := DefaultConfig()
+		cfg.Rows, cfg.Cols = dims[0], dims[1]
+		cfg.TeleporterPairs = 0
+		if dims[0]*dims[1] < 2 {
+			cfg.TeleporterPairs = 0
+		}
+		m, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("grid %v: %v", dims, err)
+		}
+		if len(m.Rooms) != dims[0]*dims[1] {
+			t.Errorf("grid %v: rooms = %d", dims, len(m.Rooms))
+		}
+	}
+}
+
+func TestItemClassString(t *testing.T) {
+	for c := ItemClass(0); c < numItemClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has empty string", c)
+		}
+	}
+	if ItemClass(200).String() != "item(200)" {
+		t.Errorf("unknown class string = %q", ItemClass(200).String())
+	}
+}
+
+func TestRandomPointMargin(t *testing.T) {
+	g := &generator{cfg: DefaultConfig(), rng: rand.New(rand.NewSource(5))}
+	b := geom.Box(geom.V(0, 0, 0), geom.V(256, 256, 192))
+	for i := 0; i < 1000; i++ {
+		p := g.randomPointIn(b, 40)
+		if p.X < 40 || p.X > 216 || p.Y < 40 || p.Y > 216 {
+			t.Fatalf("point %v violates margin", p)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package worldmap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderASCII draws a top-down schematic of the room grid: room IDs,
+// doorways, item counts, spawn and teleporter markers. It is a debugging
+// aid for cmd/qmap and for test failure output.
+func (m *Map) RenderASCII() string {
+	if m.Rows == 0 || m.Cols == 0 {
+		return "(non-grid map)\n"
+	}
+	itemCount := make(map[int]int)
+	for _, it := range m.Items {
+		itemCount[it.RoomID]++
+	}
+	teleSrc := make(map[int]bool)
+	teleDst := make(map[int]bool)
+	for _, t := range m.Teleporters {
+		if id := m.RoomAt(t.Trigger.Center()); id >= 0 {
+			teleSrc[id] = true
+		}
+		if id := m.RoomAt(t.Dest); id >= 0 {
+			teleDst[id] = true
+		}
+	}
+	eastDoor := make(map[int]bool)
+	northDoor := make(map[int]bool)
+	for _, p := range m.Portals {
+		lo, hi := p.RoomA, p.RoomB
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi == lo+1 {
+			eastDoor[lo] = true
+		} else {
+			northDoor[lo] = true
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "map %q: %d rooms, %d portals, %d items, %d spawns, %d teleporters, %d brushes\n",
+		m.Name, len(m.Rooms), len(m.Portals), len(m.Items), len(m.Spawns), len(m.Teleporters), len(m.Brushes))
+
+	cellW := 9
+	hline := func(row int) {
+		b.WriteByte('+')
+		for col := 0; col < m.Cols; col++ {
+			id := row*m.Cols + col
+			if row < m.Rows && northDoor[id] {
+				seg := strings.Repeat("-", (cellW-2)/2)
+				b.WriteString(seg + "  " + strings.Repeat("-", cellW-2-len(seg)))
+			} else {
+				b.WriteString(strings.Repeat("-", cellW))
+			}
+			b.WriteByte('+')
+		}
+		b.WriteByte('\n')
+	}
+
+	// Render north row last (row m.Rows-1 at top).
+	for row := m.Rows - 1; row >= 0; row-- {
+		hline(row)
+		b.WriteByte('|')
+		for col := 0; col < m.Cols; col++ {
+			id := row*m.Cols + col
+			mark := ""
+			if teleSrc[id] {
+				mark += "T"
+			}
+			if teleDst[id] {
+				mark += "t"
+			}
+			cell := fmt.Sprintf("%3d i%d%s", id, itemCount[id], mark)
+			if len(cell) > cellW {
+				cell = cell[:cellW]
+			}
+			b.WriteString(fmt.Sprintf("%-*s", cellW, cell))
+			if eastDoor[id] && col+1 < m.Cols {
+				b.WriteByte(' ')
+			} else {
+				b.WriteByte('|')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	// Bottom border.
+	b.WriteByte('+')
+	for col := 0; col < m.Cols; col++ {
+		b.WriteString(strings.Repeat("-", cellW))
+		b.WriteByte('+')
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Stats summarizes structural map properties for tooling output.
+type Stats struct {
+	Rooms, Portals, Brushes     int
+	Items, Spawns, Teleporters  int
+	Waypoints, WaypointLinks    int
+	AvgVisibleRooms             float64
+	InteriorVolume, WorldVolume float64
+}
+
+// ComputeStats derives summary statistics for the map.
+func (m *Map) ComputeStats() Stats {
+	s := Stats{
+		Rooms:          len(m.Rooms),
+		Portals:        len(m.Portals),
+		Brushes:        len(m.Brushes),
+		Items:          len(m.Items),
+		Spawns:         len(m.Spawns),
+		Teleporters:    len(m.Teleporters),
+		Waypoints:      len(m.Waypoints),
+		InteriorVolume: m.Interior.Volume(),
+		WorldVolume:    m.Bounds.Volume(),
+	}
+	for _, w := range m.Waypoints {
+		s.WaypointLinks += len(w.Links)
+	}
+	s.WaypointLinks /= 2
+	if n := len(m.Rooms); n > 0 {
+		total := 0
+		for a := 0; a < n; a++ {
+			total += len(m.VisibleRooms(a))
+		}
+		s.AvgVisibleRooms = float64(total) / float64(n)
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+package worldmap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// mapFile is the on-disk JSON form of a Map. The visibility matrix is not
+// stored; it is recomputed on load from the portal graph.
+type mapFile struct {
+	Version     int     `json:"version"`
+	Name        string  `json:"name"`
+	Rows        int     `json:"rows"`
+	Cols        int     `json:"cols"`
+	CellSize    float64 `json:"cell_size"`
+	WallSize    float64 `json:"wall_size"`
+	VisDepth    int     `json:"visibility_depth"`
+	Bounds      [2][3]float64
+	Interior    [2][3]float64
+	Brushes     []Brush
+	Rooms       []Room
+	Portals     []Portal
+	Spawns      []SpawnPoint
+	Items       []ItemSpawn
+	Teleporters []Teleporter
+	Doors       []DoorSpec
+	Waypoints   []Waypoint
+}
+
+const fileVersion = 1
+
+// Save writes the map as JSON.
+func (m *Map) Save(w io.Writer) error {
+	f := mapFile{
+		Version:  fileVersion,
+		Name:     m.Name,
+		Rows:     m.Rows,
+		Cols:     m.Cols,
+		CellSize: m.CellSize,
+		WallSize: m.WallSize,
+		VisDepth: 2,
+		Bounds: [2][3]float64{
+			{m.Bounds.Min.X, m.Bounds.Min.Y, m.Bounds.Min.Z},
+			{m.Bounds.Max.X, m.Bounds.Max.Y, m.Bounds.Max.Z},
+		},
+		Interior: [2][3]float64{
+			{m.Interior.Min.X, m.Interior.Min.Y, m.Interior.Min.Z},
+			{m.Interior.Max.X, m.Interior.Max.Y, m.Interior.Max.Z},
+		},
+		Brushes:     m.Brushes,
+		Rooms:       m.Rooms,
+		Portals:     m.Portals,
+		Spawns:      m.Spawns,
+		Items:       m.Items,
+		Teleporters: m.Teleporters,
+		Doors:       m.Doors,
+		Waypoints:   m.Waypoints,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// Load reads a map saved by Save, recomputes visibility, and validates it.
+func Load(r io.Reader) (*Map, error) {
+	var f mapFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("worldmap: decode: %w", err)
+	}
+	if f.Version != fileVersion {
+		return nil, fmt.Errorf("worldmap: unsupported map file version %d", f.Version)
+	}
+	m := &Map{
+		Name:        f.Name,
+		Rows:        f.Rows,
+		Cols:        f.Cols,
+		CellSize:    f.CellSize,
+		WallSize:    f.WallSize,
+		Brushes:     f.Brushes,
+		Rooms:       f.Rooms,
+		Portals:     f.Portals,
+		Spawns:      f.Spawns,
+		Items:       f.Items,
+		Teleporters: f.Teleporters,
+		Doors:       f.Doors,
+		Waypoints:   f.Waypoints,
+	}
+	m.Bounds.Min.X, m.Bounds.Min.Y, m.Bounds.Min.Z = f.Bounds[0][0], f.Bounds[0][1], f.Bounds[0][2]
+	m.Bounds.Max.X, m.Bounds.Max.Y, m.Bounds.Max.Z = f.Bounds[1][0], f.Bounds[1][1], f.Bounds[1][2]
+	m.Interior.Min.X, m.Interior.Min.Y, m.Interior.Min.Z = f.Interior[0][0], f.Interior[0][1], f.Interior[0][2]
+	m.Interior.Max.X, m.Interior.Max.Y, m.Interior.Max.Z = f.Interior[1][0], f.Interior[1][1], f.Interior[1][2]
+	depth := f.VisDepth
+	if depth <= 0 {
+		depth = 2
+	}
+	m.computeVisibility(depth)
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SaveFile writes the map to a file path.
+func (m *Map) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("worldmap: %w", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a map from a file path.
+func LoadFile(path string) (*Map, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("worldmap: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

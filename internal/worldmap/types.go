@@ -1,0 +1,321 @@
+// Package worldmap defines the static game world: solid geometry, rooms,
+// portals (doorways), spawn points, item placements, teleporters, and the
+// waypoint graph automatic players navigate with.
+//
+// The paper runs its experiments on gmdm10.bsp, "one of the largest maps we
+// could find, designed to support 16-32 players". That asset is proprietary
+// Quake content, so this package substitutes a procedural generator
+// (Generate) that produces maze-like multi-room maps with controlled size,
+// connectivity, and item density. The properties the paper's results depend
+// on — a detailed 3-D maze, many interactable objects, and player
+// interaction density that rises superlinearly with the player count — are
+// functions of these parameters, not of the original art.
+package worldmap
+
+import (
+	"fmt"
+
+	"qserve/internal/geom"
+)
+
+// Brush is a solid convex block of world geometry. All world collision in
+// qserve is against brushes; the collide package builds its query tree
+// over them.
+type Brush struct {
+	Box geom.AABB
+}
+
+// Room is an open rectangular cell of the maze. Rooms carry gameplay
+// annotations (spawns, items) and drive the visibility computation used by
+// reply processing.
+type Room struct {
+	ID     int
+	Bounds geom.AABB // interior open volume
+	Row    int
+	Col    int
+}
+
+// Portal is a doorway connecting two adjacent rooms. Portals define the
+// room adjacency graph from which potential visibility is derived.
+type Portal struct {
+	ID     int
+	RoomA  int
+	RoomB  int
+	Bounds geom.AABB // the open doorway volume
+}
+
+// SpawnPoint is a location where player entities (re)spawn.
+type SpawnPoint struct {
+	Pos    geom.Vec3
+	Yaw    float64
+	RoomID int
+}
+
+// ItemClass enumerates the pickup types scattered through the world. They
+// mirror the standard deathmatch inventory and give move execution its
+// short-range interactions.
+type ItemClass uint8
+
+const (
+	ItemHealth ItemClass = iota
+	ItemArmor
+	ItemWeapon
+	ItemAmmo
+	ItemPowerup
+	numItemClasses
+)
+
+// String implements fmt.Stringer.
+func (c ItemClass) String() string {
+	switch c {
+	case ItemHealth:
+		return "health"
+	case ItemArmor:
+		return "armor"
+	case ItemWeapon:
+		return "weapon"
+	case ItemAmmo:
+		return "ammo"
+	case ItemPowerup:
+		return "powerup"
+	default:
+		return fmt.Sprintf("item(%d)", uint8(c))
+	}
+}
+
+// ItemSpawn places a pickup in the world. RespawnSec is how long the item
+// stays absent after being taken, as in deathmatch rules.
+type ItemSpawn struct {
+	Pos        geom.Vec3
+	Class      ItemClass
+	RoomID     int
+	RespawnSec float64
+}
+
+// Teleporter is a trigger volume that relocates any player touching it to
+// Dest. Teleporters are the paper's example of a move that relinks an
+// entity "in far locations in the game world".
+type Teleporter struct {
+	Trigger geom.AABB
+	Dest    geom.Vec3
+	DestYaw float64
+}
+
+// DoorSpec places an animated sliding door in a doorway. The door is a
+// solid, moving entity: closed it fills Panel; open it has risen by
+// Travel. It opens when a player comes within TriggerRadius and closes
+// after they leave.
+type DoorSpec struct {
+	Panel         geom.AABB
+	Travel        float64
+	TriggerRadius float64
+	RoomID        int
+}
+
+// Waypoint is a node of the bot navigation graph.
+type Waypoint struct {
+	ID     int
+	Pos    geom.Vec3
+	RoomID int
+	Links  []int // indices of connected waypoints
+}
+
+// Map is the complete static description of a game world.
+type Map struct {
+	Name        string
+	Bounds      geom.AABB // full world volume, including wall shells
+	Interior    geom.AABB // playable volume
+	Brushes     []Brush
+	Rooms       []Room
+	Portals     []Portal
+	Spawns      []SpawnPoint
+	Items       []ItemSpawn
+	Teleporters []Teleporter
+	Doors       []DoorSpec
+	Waypoints   []Waypoint
+
+	// Grid parameters recorded by the generator so room lookup is O(1).
+	Rows, Cols         int
+	CellSize, WallSize float64
+
+	vis [][]bool // vis[a][b]: room b potentially visible from room a
+}
+
+// RoomAt returns the room containing the given position, or -1 when the
+// point is inside a wall or outside the playable area. Lookup is O(1)
+// grid arithmetic with a containment check.
+func (m *Map) RoomAt(p geom.Vec3) int {
+	if m.Rows == 0 || m.Cols == 0 {
+		return -1
+	}
+	col := int((p.X - m.Interior.Min.X) / m.CellSize)
+	row := int((p.Y - m.Interior.Min.Y) / m.CellSize)
+	if row < 0 || row >= m.Rows || col < 0 || col >= m.Cols {
+		return -1
+	}
+	id := row*m.Cols + col
+	if id >= len(m.Rooms) {
+		return -1
+	}
+	// The point may be in the wall band between cells.
+	r := &m.Rooms[id]
+	b := r.Bounds
+	// Accept points slightly above the room volume (jumping players) and
+	// inside doorway bands at the room edge.
+	b.Max.Z = m.Bounds.Max.Z
+	b = b.Expand(m.WallSize)
+	if !b.Contains(p) {
+		return -1
+	}
+	return id
+}
+
+// Visible reports whether room b is potentially visible from room a. The
+// relation is reflexive and symmetric. It is the PVS analogue the server
+// uses to decide which entities each client must be told about.
+func (m *Map) Visible(a, b int) bool {
+	if a < 0 || b < 0 || a >= len(m.vis) || b >= len(m.vis) {
+		return false
+	}
+	return m.vis[a][b]
+}
+
+// VisibleRooms returns the set of room IDs potentially visible from room a,
+// including a itself.
+func (m *Map) VisibleRooms(a int) []int {
+	if a < 0 || a >= len(m.vis) {
+		return nil
+	}
+	var out []int
+	for b, v := range m.vis[a] {
+		if v {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Neighbors returns the rooms connected to room a by a portal.
+func (m *Map) Neighbors(a int) []int {
+	var out []int
+	for _, p := range m.Portals {
+		switch a {
+		case p.RoomA:
+			out = append(out, p.RoomB)
+		case p.RoomB:
+			out = append(out, p.RoomA)
+		}
+	}
+	return out
+}
+
+// computeVisibility fills the potential-visibility matrix: a room sees
+// itself, its portal neighbors, and rooms up to depth hops away in the
+// portal graph. Depth 2 approximates line-of-sight through aligned
+// doorways; larger maps with long sight lines can raise it.
+func (m *Map) computeVisibility(depth int) {
+	n := len(m.Rooms)
+	adj := make([][]int, n)
+	for _, p := range m.Portals {
+		adj[p.RoomA] = append(adj[p.RoomA], p.RoomB)
+		adj[p.RoomB] = append(adj[p.RoomB], p.RoomA)
+	}
+	m.vis = make([][]bool, n)
+	for a := 0; a < n; a++ {
+		m.vis[a] = make([]bool, n)
+		// BFS to the configured depth.
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[a] = 0
+		queue := []int{a}
+		m.vis[a][a] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if dist[cur] >= depth {
+				continue
+			}
+			for _, nb := range adj[cur] {
+				if dist[nb] < 0 {
+					dist[nb] = dist[cur] + 1
+					m.vis[a][nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+}
+
+// Validate checks structural invariants and returns a descriptive error
+// for the first violation found. Generated maps always validate; loaded
+// maps are validated before use.
+func (m *Map) Validate() error {
+	if len(m.Rooms) == 0 {
+		return fmt.Errorf("map %q has no rooms", m.Name)
+	}
+	if len(m.Spawns) == 0 {
+		return fmt.Errorf("map %q has no spawn points", m.Name)
+	}
+	if !m.Bounds.IsValid() || !m.Interior.IsValid() {
+		return fmt.Errorf("map %q has invalid bounds", m.Name)
+	}
+	for i, r := range m.Rooms {
+		if r.ID != i {
+			return fmt.Errorf("room %d has ID %d", i, r.ID)
+		}
+		if !m.Bounds.ContainsBox(r.Bounds) {
+			return fmt.Errorf("room %d extends outside world bounds", i)
+		}
+	}
+	for _, p := range m.Portals {
+		if p.RoomA < 0 || p.RoomA >= len(m.Rooms) || p.RoomB < 0 || p.RoomB >= len(m.Rooms) {
+			return fmt.Errorf("portal %d references invalid room", p.ID)
+		}
+	}
+	for i, s := range m.Spawns {
+		if m.RoomAt(s.Pos) < 0 {
+			return fmt.Errorf("spawn %d at %v is not inside a room", i, s.Pos)
+		}
+	}
+	for i, w := range m.Waypoints {
+		if w.ID != i {
+			return fmt.Errorf("waypoint %d has ID %d", i, w.ID)
+		}
+		for _, l := range w.Links {
+			if l < 0 || l >= len(m.Waypoints) {
+				return fmt.Errorf("waypoint %d links to invalid waypoint %d", i, l)
+			}
+		}
+	}
+	if err := m.checkWaypointConnectivity(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (m *Map) checkWaypointConnectivity() error {
+	if len(m.Waypoints) == 0 {
+		return fmt.Errorf("map %q has no waypoints", m.Name)
+	}
+	seen := make([]bool, len(m.Waypoints))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, l := range m.Waypoints[cur].Links {
+			if !seen[l] {
+				seen[l] = true
+				count++
+				stack = append(stack, l)
+			}
+		}
+	}
+	if count != len(m.Waypoints) {
+		return fmt.Errorf("waypoint graph disconnected: reached %d of %d", count, len(m.Waypoints))
+	}
+	return nil
+}
