@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race vet bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector, including the
+# stress test written to provoke cross-thread hazards
+# (internal/server/race_test.go).
+race:
+	$(GO) test -race ./...
+
+# bench smoke-checks the reply-phase allocation benchmark; the pooled
+# variant must stay at 0 allocs/op.
+bench:
+	$(GO) test -run=NONE -bench=BenchmarkReplyPhaseAllocs -benchmem -benchtime=100x .
+
+ci: vet build race bench

@@ -16,10 +16,12 @@ import (
 	"time"
 
 	"qserve/internal/botclient"
+	"qserve/internal/entity"
 	"qserve/internal/experiments"
 	"qserve/internal/game"
 	"qserve/internal/locking"
 	"qserve/internal/metrics"
+	"qserve/internal/protocol"
 	"qserve/internal/server"
 	"qserve/internal/simserver"
 	"qserve/internal/transport"
@@ -335,4 +337,83 @@ func BenchmarkLiveParallelServer(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkReplyPhaseAllocs measures the reply phase's per-round heap
+// traffic: forming and encoding one snapshot for each of 16 players in a
+// warmed-up world. "naive" is the pre-pooling path (fresh entity list,
+// delta list, and encoder per client, baseline replaced wholesale);
+// "pooled" is the live engine's ReplyScratch/Baseline pipeline. Run with
+// -benchmem; the pooled path must report ~0 allocs/op in steady state
+// while producing byte-identical datagrams (see
+// internal/server.TestGoldenReplyStream).
+func BenchmarkReplyPhaseAllocs(b *testing.B) {
+	const numPlayers = 16
+	setup := func(b *testing.B) (*game.World, []*entity.Entity) {
+		b.Helper()
+		m := worldmap.MustGenerate(worldmap.DefaultConfig())
+		w, err := game.NewWorld(game.Config{Map: m, Seed: 77})
+		if err != nil {
+			b.Fatal(err)
+		}
+		players := make([]*entity.Entity, numPlayers)
+		for i := range players {
+			if players[i], err = w.SpawnPlayer(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Scatter the players with some movement so views differ and the
+		// world holds projectiles/items, as in a live frame.
+		for f := 0; f < 30; f++ {
+			for i, e := range players {
+				cmd := protocol.MoveCmd{
+					Forward: 320, Msec: 33,
+					Yaw: protocol.AngleToWire(float64((f*37 + i*91) % 360)),
+				}
+				if (f+i)%7 == 0 {
+					cmd.Buttons = protocol.BtnFire
+				}
+				w.ExecuteMove(e, &cmd, &game.LockContext{})
+			}
+			w.RunWorldFrame(0.033)
+		}
+		return w, players
+	}
+	events := []protocol.GameEvent{{Kind: 1, Actor: 3, Subject: 4}}
+
+	b.Run("naive", func(b *testing.B) {
+		w, players := setup(b)
+		baselines := make([][]protocol.EntityState, numPlayers)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			frame := uint32(n + 1)
+			for i, e := range players {
+				data, base := server.ReferenceFormSnapshot(w, e, baselines[i],
+					frame, frame, frame*33, events, events)
+				baselines[i] = base
+				if len(data) == 0 {
+					b.Fatal("empty datagram")
+				}
+			}
+		}
+	})
+
+	b.Run("pooled", func(b *testing.B) {
+		w, players := setup(b)
+		var scratch server.ReplyScratch
+		baselines := make([]server.Baseline, numPlayers)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			frame := uint32(n + 1)
+			for i, e := range players {
+				data, _ := scratch.FormSnapshot(w, e, &baselines[i],
+					frame, frame, frame*33, events, events)
+				if len(data) == 0 {
+					b.Fatal("empty datagram")
+				}
+			}
+		}
+	})
 }

@@ -66,6 +66,8 @@ func main() {
 	for c := metrics.Component(0); c < metrics.NumComponents; c++ {
 		fmt.Printf("  %-11s %6.1f%%  (%s)\n", c.String(), bd.Percent(c), metrics.Dur(bd.Ns[c]))
 	}
+	fmt.Printf("  reply volume: %d datagrams, %d bytes (%.1f B/reply), %d buffer growths\n",
+		bd.ReplyDatagrams, bd.ReplyBytes, bd.BytesPerReply(), bd.ReplyAllocs)
 	fmt.Printf("  leaf-lock %.1f%% of lock, parent-lock %.1f%%\n",
 		pct(bd.LeafLockNs, bd.Ns[metrics.CompLock]), pct(bd.ParentLockNs, bd.Ns[metrics.CompLock]))
 	fmt.Printf("  req/thread/frame=%.2f sharedleaf=%.2f touched=%.2f lockops/leaf/frame=%.2f\n",

@@ -169,9 +169,23 @@ func (t *Tree) LeafNode(ordinal int32) int32 { return t.leaves[ordinal] }
 // contains box — the engine's SV_LinkEdict placement rule: descend while
 // the box lies entirely on one side of the node's plane; stop at the
 // first crossing node or at a leaf.
+//
+// Link is safe only when the caller has exclusive access to every node
+// list the item may join or leave (single-threaded phases, or a region
+// lock over the whole map). Concurrent movers must use LinkGuarded.
 func (t *Tree) Link(it *Item, box geom.AABB) {
+	t.LinkGuarded(it, box, nil)
+}
+
+// LinkGuarded is Link with the intrusive-list mutation wrapped in guard,
+// the same NodeGuard contract CollectBox uses: region-locked leaves scan
+// (here: splice) directly, while interior nodes take their lock
+// transiently for the splice — without this, two movers whose regions
+// share only an ancestor can corrupt that ancestor's list. A nil guard
+// splices directly.
+func (t *Tree) LinkGuarded(it *Item, box geom.AABB, guard NodeGuard) {
 	if it.Linked() {
-		t.Unlink(it)
+		t.UnlinkGuarded(it, guard)
 	}
 	it.Box = box
 	ni := int32(0)
@@ -192,26 +206,50 @@ func (t *Tree) Link(it *Item, box geom.AABB) {
 	}
 done:
 	n := &t.nodes[ni]
-	s := &n.sentinel
-	it.node = ni
-	it.next = s.next
-	it.prev = s
-	s.next.prev = it
-	s.next = it
-	n.count++
+	insert := func() {
+		s := &n.sentinel
+		it.node = ni
+		it.next = s.next
+		it.prev = s
+		s.next.prev = it
+		s.next = it
+		n.count++
+	}
+	if guard != nil {
+		guard(ni, n.IsLeaf(), insert)
+	} else {
+		insert()
+	}
 }
 
 // Unlink removes the item from the tree. Unlinking an unlinked item is a
-// no-op, matching the engine's SV_UnlinkEdict tolerance.
+// no-op, matching the engine's SV_UnlinkEdict tolerance. Like Link, it
+// requires exclusive access to the item's node list; concurrent movers
+// use UnlinkGuarded.
 func (t *Tree) Unlink(it *Item) {
+	t.UnlinkGuarded(it, nil)
+}
+
+// UnlinkGuarded is Unlink with the list splice wrapped in guard (see
+// LinkGuarded). A nil guard splices directly.
+func (t *Tree) UnlinkGuarded(it *Item, guard NodeGuard) {
 	if !it.Linked() {
 		return
 	}
-	t.nodes[it.node].count--
-	it.prev.next = it.next
-	it.next.prev = it.prev
-	it.prev, it.next = nil, nil
-	it.node = -1
+	ni := it.node
+	n := &t.nodes[ni]
+	splice := func() {
+		n.count--
+		it.prev.next = it.next
+		it.next.prev = it.prev
+		it.prev, it.next = nil, nil
+		it.node = -1
+	}
+	if guard != nil {
+		guard(ni, n.IsLeaf(), splice)
+	} else {
+		splice()
+	}
 }
 
 // TraversalStats counts the work of a CollectBox call, feeding both the

@@ -52,6 +52,7 @@ type Bot struct {
 	entityID int32
 
 	seq       uint32
+	lastFrame uint32         // newest server frame seen, echoed as Move.Ack
 	sendTimes [256]time.Time // ring keyed by seq&0xFF
 	pos       geom.Vec3
 	yaw       float64
@@ -167,7 +168,7 @@ func (b *Bot) sendMove() {
 	cmd := b.decideMove()
 	b.seq++
 	b.sendTimes[b.seq&0xFF] = time.Now()
-	b.send(b.server, &protocol.Move{Seq: b.seq, Ack: 0, Cmd: cmd})
+	b.send(b.server, &protocol.Move{Seq: b.seq, Ack: b.lastFrame, Cmd: cmd})
 }
 
 // decideMove is the bot brain: steer along the waypoint path, face
@@ -229,6 +230,7 @@ func (b *Bot) drainReplies() {
 		}
 		b.Snapshots++
 		b.Resp.Replies++
+		b.lastFrame = snap.Frame
 		if lag := b.seq - snap.AckSeq; lag < 256 {
 			if t := b.sendTimes[snap.AckSeq&0xFF]; !t.IsZero() {
 				b.Resp.Record(time.Since(t).Seconds())

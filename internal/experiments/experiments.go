@@ -96,11 +96,12 @@ func breakdownRow(label string, r *simserver.Result) []string {
 		metrics.Pct(bd.Percent(metrics.CompInterWait)),
 		metrics.Pct(bd.Percent(metrics.CompIdle)),
 		metrics.Pct(bd.Percent(metrics.CompWorld)),
+		metrics.F1(bd.BytesPerReply()),
 	}
 }
 
 var breakdownHeader = []string{
-	"config", "exec", "lock", "recv", "reply", "intra-wait", "inter-wait", "idle", "world",
+	"config", "exec", "lock", "recv", "reply", "intra-wait", "inter-wait", "idle", "world", "B/reply",
 }
 
 // Table1 prints the simulated testbed configuration — the analogue of

@@ -48,7 +48,9 @@ func (w *World) fireRocket(e *entity.Entity, req locking.Request, lc *LockContex
 	p.Damage = rocketDamage
 	p.DieAt = w.Time + rocketLife
 	p.NextThink = w.Time // thinks every world frame
-	w.link(p)
+	// Guarded: the spawn position can cross a division plane, linking the
+	// projectile at an interior node outside the held region's leaves.
+	w.linkGuarded(p, lc)
 
 	e.Ammo--
 	e.RefireAt = w.Time + rocketRefire
@@ -98,7 +100,7 @@ func (w *World) fireRail(e *entity.Entity, req locking.Request, lc *LockContext,
 	res.Work.TreeChecks += st.ItemsChecked
 
 	if best != nil {
-		w.damage(best, e, railDamage, res)
+		w.damage(best, e, railDamage, lc, res)
 	}
 	e.Ammo--
 	e.RefireAt = w.Time + railRefire
@@ -131,8 +133,9 @@ func (w *World) weaponFrame(e *entity.Entity, req locking.Request, lc *LockConte
 
 // damage applies damage to a player, handling armor absorption and death.
 // The caller holds a region lock covering the victim (hitscan's
-// directional region or a splash radius region).
-func (w *World) damage(victim, attacker *entity.Entity, amount int, res *MoveResult) {
+// directional region or a splash radius region); lc carries the guard
+// for the corpse link on death and is nil in single-threaded phases.
+func (w *World) damage(victim, attacker *entity.Entity, amount int, lc *LockContext, res *MoveResult) {
 	if victim.Health <= 0 {
 		return
 	}
@@ -161,7 +164,7 @@ func (w *World) damage(victim, attacker *entity.Entity, amount int, res *MoveRes
 		res.Events = append(res.Events, Event{
 			Kind: EvKill, Actor: aid, Subject: victim.ID, Pos: victim.Origin,
 		})
-		w.spawnCorpse(victim, res)
+		w.spawnCorpse(victim, lc, res)
 	}
 }
 
@@ -174,7 +177,7 @@ const corpseLinger = 3.0
 // (same location), so linking here is safe in the parallel engine.
 // Corpses are decorative but load-bearing for the study: they churn the
 // entity table and add snapshot traffic around fights, as in the engine.
-func (w *World) spawnCorpse(victim *entity.Entity, res *MoveResult) {
+func (w *World) spawnCorpse(victim *entity.Entity, lc *LockContext, res *MoveResult) {
 	w.entMu.Lock()
 	c := w.Ents.Alloc(entity.ClassCorpse)
 	w.entMu.Unlock()
@@ -188,7 +191,7 @@ func (w *World) spawnCorpse(victim *entity.Entity, res *MoveResult) {
 	c.Maxs = geom.V(16, 16, -8)
 	c.DieAt = w.Time + corpseLinger
 	c.RoomID = victim.RoomID
-	w.link(c)
+	w.linkGuarded(c, lc)
 	res.Work.Spawns++
 }
 
@@ -213,7 +216,7 @@ func (w *World) explodeProjectile(p *entity.Entity, res *MoveResult) {
 		}
 		dmg := int(float64(p.Damage) * (1 - d/rocketSplash))
 		if dmg > 0 {
-			w.damage(other, attacker, dmg, res)
+			w.damage(other, attacker, dmg, nil, res)
 		}
 		return true
 	}, &st)

@@ -16,7 +16,7 @@ func TestCorpseSpawnsOnKillAndExpires(t *testing.T) {
 	w.Time = 2
 
 	var res MoveResult
-	w.damage(victim, attacker, 500, &res)
+	w.damage(victim, attacker, 500, nil, &res)
 	if got := w.Ents.CountClass(entity.ClassCorpse); got != 1 {
 		t.Fatalf("corpses after kill = %d", got)
 	}
@@ -49,7 +49,7 @@ func TestCorpseVisibleInSnapshots(t *testing.T) {
 	victim.Origin = viewer.Origin.Add(geom.V(60, 0, 0))
 	w.link(victim)
 	var res MoveResult
-	w.damage(victim, viewer, 500, &res)
+	w.damage(victim, viewer, 500, nil, &res)
 
 	states, _ := w.BuildSnapshot(viewer, nil)
 	foundCorpse := false
@@ -70,11 +70,11 @@ func TestPowerupDoublesDamage(t *testing.T) {
 	v2, _ := w.SpawnPlayer()
 	var res MoveResult
 
-	w.damage(v1, attacker, 30, &res)
+	w.damage(v1, attacker, 30, nil, &res)
 	plain := 100 - v1.Health
 
 	attacker.HasPowerup = true
-	w.damage(v2, attacker, 30, &res)
+	w.damage(v2, attacker, 30, nil, &res)
 	boosted := 100 - v2.Health
 
 	if boosted != 2*plain {
@@ -88,7 +88,7 @@ func TestArmorAbsorbsAThird(t *testing.T) {
 	victim, _ := w.SpawnPlayer()
 	victim.Armor = 100
 	var res MoveResult
-	w.damage(victim, nil, 30, &res)
+	w.damage(victim, nil, 30, nil, &res)
 	if victim.Armor != 90 {
 		t.Errorf("armor = %d, want 90", victim.Armor)
 	}

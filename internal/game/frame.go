@@ -85,7 +85,7 @@ func (w *World) thinkProjectile(p *entity.Entity, dt float64, res *MoveResult) {
 	hitPlayer := w.firstPlayerTouching(p)
 	if fr.Trace.Hit || hitPlayer != nil {
 		if hitPlayer != nil {
-			w.damage(hitPlayer, w.projOwner(p), p.Damage, res)
+			w.damage(hitPlayer, w.projOwner(p), p.Damage, nil, res)
 		}
 		w.explodeProjectile(p, res)
 		return

@@ -315,7 +315,7 @@ func TestKillAndRespawn(t *testing.T) {
 
 	var res MoveResult
 	victim.Armor = 30
-	w.damage(victim, attacker, 200, &res)
+	w.damage(victim, attacker, 200, nil, &res)
 	if victim.Health != 0 {
 		t.Errorf("victim health = %d", victim.Health)
 	}
@@ -327,7 +327,7 @@ func TestKillAndRespawn(t *testing.T) {
 	}
 
 	// Double kill is a no-op.
-	w.damage(victim, attacker, 50, &res)
+	w.damage(victim, attacker, 50, nil, &res)
 	if attacker.Frags != 1 {
 		t.Error("dead victim fragged twice")
 	}
@@ -339,7 +339,7 @@ func TestKillAndRespawn(t *testing.T) {
 		t.Errorf("victim not respawned: health=%d", victim.Health)
 	}
 	// Suicide decrements frags.
-	w.damage(victim, victim, 500, &res)
+	w.damage(victim, victim, 500, nil, &res)
 	if victim.Frags != -1 {
 		t.Errorf("suicide frags = %d", victim.Frags)
 	}

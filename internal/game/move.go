@@ -147,7 +147,7 @@ const maxCandidates = 128
 //     expanded/directional/whole-map region locks.
 func (w *World) ExecuteMove(e *entity.Entity, cmd *protocol.MoveCmd, lc *LockContext) MoveResult {
 	var res MoveResult
-	if e == nil || !e.Active || e.Class != entity.ClassPlayer {
+	if e == nil {
 		return res
 	}
 	dt := float64(cmd.Msec) / 1000
@@ -157,23 +157,20 @@ func (w *World) ExecuteMove(e *entity.Entity, cmd *protocol.MoveCmd, lc *LockCon
 	if dt > 0.1 {
 		dt = 0.1
 	}
-	e.Angles = cmd.ViewAngles()
-	if cmd.Impulse == 1 || cmd.Impulse == 2 {
-		e.Weapon = cmd.Impulse
-	}
-	if e.Health <= 0 {
-		// Dead players do not move; they wait for the world phase to
-		// respawn them, but the server still replies.
-		return res
-	}
+	viewAngles := cmd.ViewAngles()
 
-	// Step 1: the move's bounding box.
+	// Step 1: the move's bounding box. Origin/Mins/Maxs are safe to read
+	// before locking: they are written only by this entity's owning thread
+	// (this very call) or by barrier-ordered phases. Every other entity
+	// field — Active, Health, Angles, Weapon — is deferred to the locked
+	// section below, where the region lock over e's position excludes the
+	// concurrent attackers and removers that write them.
 	maxDist := physics.MaxMoveDistance(w.Phys, float64(cmd.Msec))
 	moveBox := e.AbsBox().Expand(maxDist)
 	req := locking.Request{
 		Start:   e.Origin,
 		MoveBox: moveBox,
-		AimDir:  geom.Forward(e.Angles),
+		AimDir:  geom.Forward(viewAngles),
 		Range:   deferredLockRange,
 	}
 	res.Work.RegionCalc++
@@ -181,6 +178,24 @@ func (w *World) ExecuteMove(e *entity.Entity, cmd *protocol.MoveCmd, lc *LockCon
 	// Step 2: lock the short-range region and gather candidates.
 	guard := lc.acquire(w, req, locking.KindShortRange)
 	workAtAcquire := res.Work
+	if !e.Active || e.Class != entity.ClassPlayer {
+		// Removed (disconnect) between dispatch and lock acquisition.
+		lc.chargeHeld(res.Work.Sub(workAtAcquire))
+		guard.Release()
+		return res
+	}
+	e.Angles = viewAngles
+	if cmd.Impulse == 1 || cmd.Impulse == 2 {
+		e.Weapon = cmd.Impulse
+	}
+	if e.Health <= 0 {
+		// Dead players do not move; they wait for the world phase to
+		// respawn them, but the server still replies. (They still turn
+		// their view and switch weapons, above.)
+		lc.chargeHeld(res.Work.Sub(workAtAcquire))
+		guard.Release()
+		return res
+	}
 	var st areanode.TraversalStats
 	var solids [maxCandidates]*entity.Entity
 	var touchables [maxCandidates]*entity.Entity
@@ -228,7 +243,7 @@ func (w *World) ExecuteMove(e *entity.Entity, cmd *protocol.MoveCmd, lc *LockCon
 	if landed && fallSpeed > fallDamageSpeed {
 		dmg := int((fallSpeed - fallDamageSpeed) / 20)
 		if dmg > 0 {
-			w.damage(e, nil, dmg, &res)
+			w.damage(e, nil, dmg, lc, &res)
 		}
 	}
 
@@ -243,7 +258,7 @@ func (w *World) ExecuteMove(e *entity.Entity, cmd *protocol.MoveCmd, lc *LockCon
 		}
 		switch other.Class {
 		case entity.ClassItem:
-			w.pickupItem(e, other, &res)
+			w.pickupItem(e, other, lc, &res)
 		case entity.ClassTeleporter:
 			if other.ItemSpawn >= 0 && other.ItemSpawn < len(w.Map.Teleporters) {
 				teleportIdx = other.ItemSpawn
@@ -252,8 +267,10 @@ func (w *World) ExecuteMove(e *entity.Entity, cmd *protocol.MoveCmd, lc *LockCon
 	}
 
 	// Step 5: relink at the new position (still inside the locked
-	// short-range region, since motion is bounded by moveBox).
-	w.link(e)
+	// short-range region, since motion is bounded by moveBox; the guarded
+	// variant protects the interior-node list if the new box crosses a
+	// division plane).
+	w.linkGuarded(e, lc)
 	lc.chargeHeld(res.Work.Sub(workAtAcquire))
 	guard.Release()
 
@@ -322,7 +339,7 @@ func wishSpeed(cmd *protocol.MoveCmd) float64 {
 
 // pickupItem applies an item's effect and removes it from the world
 // until respawn. The caller holds the region lock covering the item.
-func (w *World) pickupItem(player, item *entity.Entity, res *MoveResult) {
+func (w *World) pickupItem(player, item *entity.Entity, lc *LockContext, res *MoveResult) {
 	switch item.ItemClass {
 	case worldmap.ItemHealth:
 		if player.Health >= 100 {
@@ -349,7 +366,9 @@ func (w *World) pickupItem(player, item *entity.Entity, res *MoveResult) {
 		player.HasPowerup = true
 		player.PowerupUntil = w.Time + powerupDuration
 	}
-	w.unlink(item)
+	// Guarded: an item overlapping a division plane is linked at an
+	// interior node the held region lock does not cover.
+	w.unlinkGuarded(item, lc)
 	item.RespawnAt = w.Time + w.Map.Items[item.ItemSpawn].RespawnSec
 	res.Work.Touches++
 	res.Events = append(res.Events, Event{
@@ -363,15 +382,19 @@ func (w *World) pickupItem(player, item *entity.Entity, res *MoveResult) {
 func (w *World) executeTeleport(e *entity.Entity, tp worldmap.Teleporter, lc *LockContext, res *MoveResult) {
 	destOrigin := geom.V(tp.Dest.X, tp.Dest.Y, tp.Dest.Z+24)
 	destBox := geom.BoxHull(destOrigin, e.Mins, e.Maxs)
-	req := locking.Request{Start: destOrigin, MoveBox: destBox}
+	// The region must span the destination AND the player's current
+	// position: the unlink below splices the old position's node list,
+	// which a lock over only the destination would leave unprotected
+	// against movers near the departure point.
+	req := locking.Request{Start: destOrigin, MoveBox: destBox.Union(e.AbsBox())}
 	res.Work.RegionCalc++
 	guard := lc.acquire(w, req, locking.KindShortRange)
 	before := res.Work
-	w.unlink(e)
+	w.unlinkGuarded(e, lc)
 	e.Origin = destOrigin
 	e.Velocity = geom.Vec3{}
 	e.Angles = geom.V(0, tp.DestYaw, 0)
-	w.link(e)
+	w.linkGuarded(e, lc)
 	res.Work.Touches++
 	lc.chargeHeld(res.Work.Sub(before))
 	guard.Release()

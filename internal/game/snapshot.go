@@ -24,6 +24,13 @@ const visCutoff = 320.0
 // ID order, the order DeltaEntities requires. Reply processing "involves
 // reading global state but writing only private (per-client) reply
 // messages", so this function takes no locks in any engine.
+//
+// Aliasing contract: the returned slice shares dst's backing array
+// whenever capacity allows, so a caller reusing one scratch slice across
+// calls (the allocation-free reply pipeline) must never retain the
+// returned slice past the next BuildSnapshot into the same scratch —
+// copy it out (or swap ownership of whole buffers, as
+// server.ReplyScratch does with its baseline) before reusing dst.
 func (w *World) BuildSnapshot(viewer *entity.Entity, dst []protocol.EntityState) ([]protocol.EntityState, SnapshotWork) {
 	var work SnapshotWork
 	viewerRoom := viewer.RoomID

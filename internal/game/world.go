@@ -136,8 +136,10 @@ func teleIndex(m *worldmap.Map, tp worldmap.Teleporter) int {
 }
 
 // link (re)links an entity into the areanode tree and refreshes its room.
-// Callers must hold whatever region lock the engine requires for the
-// entity's old and new positions.
+// Safe only in single-threaded phases (world physics, connection
+// handling under a whole-bounds region lock): an entity may link at an
+// interior node, whose list no region lock covers. Concurrent request
+// processing must use linkGuarded.
 func (w *World) link(e *entity.Entity) {
 	e.Link.ID = int32(e.ID)
 	e.Link.Owner = e
@@ -147,8 +149,30 @@ func (w *World) link(e *entity.Entity) {
 	}
 }
 
-// unlink removes an entity from the areanode tree.
+// unlink removes an entity from the areanode tree. Same phase
+// restrictions as link; concurrent request processing uses
+// unlinkGuarded.
 func (w *World) unlink(e *entity.Entity) { w.Tree.Unlink(&e.Link) }
+
+// linkGuarded is link for concurrent request processing: the held region
+// lock covers leaf lists, but an entity crossing a division plane links
+// at an interior node, whose list is shared with every mover under that
+// subtree — the intrusive-list splice there must take the transient
+// parent lock (the same guard CollectBox scans with).
+func (w *World) linkGuarded(e *entity.Entity, lc *LockContext) {
+	e.Link.ID = int32(e.ID)
+	e.Link.Owner = e
+	w.Tree.LinkGuarded(&e.Link, e.AbsBox(), lc.parentGuard())
+	if room := w.Map.RoomAt(e.Origin); room >= 0 {
+		e.RoomID = room
+	}
+}
+
+// unlinkGuarded is unlink for concurrent request processing (see
+// linkGuarded).
+func (w *World) unlinkGuarded(e *entity.Entity, lc *LockContext) {
+	w.Tree.UnlinkGuarded(&e.Link, lc.parentGuard())
+}
 
 // SpawnPlayer creates a player entity at the next spawn point. It is
 // called during connection handling, which both engines serialize.
@@ -251,9 +275,10 @@ func (lc *LockContext) acquire(w *World, req locking.Request, kind locking.Kind)
 }
 
 // parentGuard returns the transient interior-node guard, or nil when
-// locking is disabled.
+// locking is disabled. Nil-receiver safe: single-threaded phases pass a
+// nil context through damage/spawnCorpse and run guard-free.
 func (lc *LockContext) parentGuard() areanode.NodeGuard {
-	if lc.Locker == nil {
+	if lc == nil || lc.Locker == nil {
 		return nil
 	}
 	return lc.Locker.ParentGuard(lc.Stats)

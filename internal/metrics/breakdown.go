@@ -78,6 +78,14 @@ type Breakdown struct {
 	// Lock time attribution for Fig. 7(a).
 	LeafLockNs   int64
 	ParentLockNs int64
+
+	// Reply-phase volume counters: the T/Tx phase dominates frame time at
+	// high player counts (§4, Fig. 4–5), so reports pair its time share
+	// with how much data it moved and how often its scratch buffers had to
+	// grow (steady state: zero — the pipeline is allocation-free).
+	ReplyBytes     int64
+	ReplyDatagrams int64
+	ReplyAllocs    int64
 }
 
 // Add accumulates o into b.
@@ -87,6 +95,9 @@ func (b *Breakdown) Add(o *Breakdown) {
 	}
 	b.LeafLockNs += o.LeafLockNs
 	b.ParentLockNs += o.ParentLockNs
+	b.ReplyBytes += o.ReplyBytes
+	b.ReplyDatagrams += o.ReplyDatagrams
+	b.ReplyAllocs += o.ReplyAllocs
 }
 
 // Charge adds ns to a component.
@@ -152,6 +163,18 @@ func (b *Breakdown) Scale(f float64) {
 	}
 	b.LeafLockNs = int64(float64(b.LeafLockNs) * f)
 	b.ParentLockNs = int64(float64(b.ParentLockNs) * f)
+	b.ReplyBytes = int64(float64(b.ReplyBytes) * f)
+	b.ReplyDatagrams = int64(float64(b.ReplyDatagrams) * f)
+	b.ReplyAllocs = int64(float64(b.ReplyAllocs) * f)
+}
+
+// BytesPerReply returns the average datagram size of the reply phase, or
+// 0 when no replies were sent.
+func (b *Breakdown) BytesPerReply() float64 {
+	if b.ReplyDatagrams == 0 {
+		return 0
+	}
+	return float64(b.ReplyBytes) / float64(b.ReplyDatagrams)
 }
 
 // MergeThreads averages per-thread breakdowns into the "average execution

@@ -61,7 +61,15 @@ const maxSnapshotEntities = 4096
 // saving that lets "a single 100 MBit Ethernet interface support large
 // numbers of players".
 func DeltaEntities(prev, cur []EntityState) []EntityDelta {
-	var out []EntityDelta
+	return AppendDeltaEntities(nil, prev, cur)
+}
+
+// AppendDeltaEntities is DeltaEntities appending into dst, so reply
+// pipelines can reuse one delta buffer across clients and frames instead
+// of allocating per call. dst may be nil; cur and prev must not alias
+// dst's backing array.
+func AppendDeltaEntities(dst []EntityDelta, prev, cur []EntityState) []EntityDelta {
+	out := dst
 	i, j := 0, 0
 	for i < len(prev) || j < len(cur) {
 		switch {

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"bytes"
 	"testing"
 
 	"qserve/internal/geom"
@@ -53,6 +54,66 @@ func FuzzDecode(f *testing.F) {
 		}
 		if _, err := Decode(w.Bytes()); err != nil {
 			t.Fatalf("re-encoded %T does not re-decode: %v", msg, err)
+		}
+	})
+}
+
+// FuzzDecodeReusedBuffer proves decoding is safe under buffer reuse: a
+// datagram arriving in a recycled receive buffer still holding bytes from
+// a previous, longer datagram must decode exactly as it would from a
+// pristine buffer. The decoder must never read past the length it is
+// handed, so stale trailing bytes (simulated here with a 0xA5 poison
+// fill — deliberately the protocol Magic byte, the worst-case stale
+// content) can neither change acceptance nor leak into decoded fields.
+func FuzzDecodeReusedBuffer(f *testing.F) {
+	seed := [][]byte{
+		{},
+		{Magic, Version},
+		{Magic, Version, uint8(TMove), 1, 0, 0, 0},
+	}
+	{
+		var w Writer
+		if err := Encode(&w, &Move{Seq: 7, Ack: 3, Cmd: MoveCmd{Forward: 320, Msec: 33}}); err != nil {
+			f.Fatal(err)
+		}
+		seed = append(seed, w.Bytes())
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Pristine decode: data in a buffer of exactly its own length.
+		pristine := append([]byte(nil), data...)
+		wantMsg, wantErr := Decode(pristine)
+
+		// Reused-buffer decode: the same bytes copied into the front of a
+		// larger buffer whose tail is poisoned with stale content, sliced
+		// to the datagram length — the shape every pooled recv path
+		// produces.
+		reused := make([]byte, len(data)+64)
+		for i := range reused {
+			reused[i] = Magic // worst-case stale byte
+		}
+		copy(reused, data)
+		gotMsg, gotErr := Decode(reused[:len(data)])
+
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("acceptance differs under buffer reuse: pristine err=%v, reused err=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		// Both accepted: the decoded messages must encode identically.
+		var ww, gw Writer
+		if err := Encode(&ww, wantMsg); err != nil {
+			t.Fatalf("pristine message %T does not re-encode: %v", wantMsg, err)
+		}
+		if err := Encode(&gw, gotMsg); err != nil {
+			t.Fatalf("reused-buffer message %T does not re-encode: %v", gotMsg, err)
+		}
+		if !bytes.Equal(ww.Bytes(), gw.Bytes()) {
+			t.Fatalf("decoded message differs under buffer reuse:\npristine: %x\nreused:   %x", ww.Bytes(), gw.Bytes())
 		}
 	})
 }

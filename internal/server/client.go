@@ -12,6 +12,7 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qserve/internal/entity"
@@ -39,9 +40,14 @@ type client struct {
 	repliedFrame uint32
 
 	// baseline is the last entity set sent, for delta compression.
-	// Owned by the owning thread (reply phase).
-	baseline []protocol.EntityState
-	scratch  []protocol.EntityState
+	// Owned by the owning thread (reply phase); the request phase of the
+	// same thread may Invalidate it (the frame barriers order the two).
+	baseline Baseline
+
+	// resetBaseline asks the owning thread's reply phase to invalidate
+	// the baseline. Any thread may set it (duplicate connects can arrive
+	// on any endpoint); only the owner consumes it.
+	resetBaseline atomic.Bool
 
 	// backlog holds broadcast events queued while the client was not
 	// replied to. It is the per-player reply message buffer of §3.3,
@@ -70,13 +76,15 @@ func (c *client) queueEvents(events []protocol.GameEvent) {
 	c.backlogMu.Unlock()
 }
 
-// takeBacklog drains the backlog under its lock.
-func (c *client) takeBacklog() []protocol.GameEvent {
+// drainBacklog appends the backlog to dst under its lock and empties it,
+// keeping the backlog's capacity for reuse. dst is typically a reusable
+// per-thread buffer, so the drain allocates nothing in steady state.
+func (c *client) drainBacklog(dst []protocol.GameEvent) []protocol.GameEvent {
 	c.backlogMu.Lock()
 	defer c.backlogMu.Unlock()
-	out := c.backlog
-	c.backlog = nil
-	return out
+	dst = append(dst, c.backlog...)
+	c.backlog = c.backlog[:0]
+	return dst
 }
 
 // clientTable is the server-wide registry. Connection handling mutates

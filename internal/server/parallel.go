@@ -64,6 +64,12 @@ type worker struct {
 	writer protocol.Writer
 	stash  []byte
 	recvBf []byte
+
+	// Reply-phase scratch, reused across clients and frames so the reply
+	// hot path allocates nothing in steady state.
+	reply      ReplyScratch
+	frameEv    []protocol.GameEvent
+	backlogBuf []protocol.GameEvent
 }
 
 // timedProvider wraps the shared mutex provider, charging acquisition
@@ -251,11 +257,12 @@ func (s *Parallel) appendEvents(events []game.Event) {
 	s.globalMu.Unlock()
 }
 
-// snapshotFrameEvents copies the global state buffer for reply building.
-func (s *Parallel) snapshotFrameEvents() []protocol.GameEvent {
+// snapshotFrameEvents copies the global state buffer into dst for reply
+// building; dst is a reusable per-thread buffer.
+func (s *Parallel) snapshotFrameEvents(dst []protocol.GameEvent) []protocol.GameEvent {
 	s.globalMu.Lock()
 	defer s.globalMu.Unlock()
-	return append([]protocol.GameEvent(nil), s.frameEvents...)
+	return append(dst, s.frameEvents...)
 }
 
 // processPacket dispatches one datagram during the request phase.
@@ -288,20 +295,43 @@ func (s *Parallel) processPacket(w *worker, data []byte, from transport.Addr) {
 	}
 }
 
+// baselineGapFrames is the widest reply-frame gap a client may fall
+// behind before its delta baseline is invalidated: past it, the client
+// has likely lost the snapshots the baseline assumes it holds, so the
+// next reply resends full entity state. Ack 0 means "no information" and
+// never invalidates.
+const baselineGapFrames = 64
+
 // execMove runs one gameplay request, separating exec time from lock
 // time (the lock component accrues inside the timed provider during the
 // call; the difference is pure execution).
 func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
+	// A client's state — sequence tracking, reply flags, baseline — is
+	// owned by one thread; a datagram that reaches another thread's
+	// endpoint (a client ignoring the Accept.Addr redirect) must not let
+	// two threads mutate that state concurrently.
+	if c.thread != w.id {
+		return
+	}
 	// Drop duplicates and reordered datagrams: UDP may replay an old
 	// move, and executing it would rewind the player's intent. The
 	// engine's netchan does the same with its sequence check.
 	if m.Seq != 0 && seqOlder(m.Seq, c.lastSeq) {
 		return
 	}
+	if m.Ack != 0 && c.repliedFrame-m.Ack > baselineGapFrames {
+		// The client is acknowledging a frame far behind the last reply we
+		// sent it: delta continuity is lost. Invalidation here (request
+		// phase) is ordered before the reply phase by the frame barrier.
+		c.baseline.Invalidate()
+	}
 	ent := s.world.Ents.Get(c.entID)
-	if ent == nil || !ent.Active {
+	if ent == nil {
 		return
 	}
+	// Liveness (ent.Active, Health) is checked inside ExecuteMove under
+	// the region guard — checking here would race with another thread's
+	// concurrent damage or removal.
 	var stats locking.AcquireStats
 	var mask uint64
 	w.lockCtx.Stats = &stats
@@ -334,7 +364,13 @@ func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
 // itself takes a region lock over the spawn area.
 func (s *Parallel) handleConnect(w *worker, m *protocol.Connect, from transport.Addr) {
 	if existing := s.clients.lookup(from); existing != nil {
-		// Duplicate connect (retransmit): re-accept idempotently.
+		// Duplicate connect (retransmit or client restart): re-accept
+		// idempotently, and flag the delta baseline for reset — a
+		// restarted client has no memory of the entity states the baseline
+		// assumes. The flag (not a direct Invalidate) keeps the baseline
+		// single-owner: connects may arrive on any thread's endpoint, and
+		// the owning thread consumes the flag in its reply phase.
+		existing.resetBaseline.Store(true)
 		s.send(w, from, &protocol.Accept{
 			ClientID: existing.id,
 			EntityID: int32(existing.entID),
@@ -403,7 +439,7 @@ func (s *Parallel) handleDisconnect(w *worker, from transport.Addr) {
 // reading global state but writing only private (per-client) reply
 // messages".
 func (s *Parallel) sendReplies(w *worker) {
-	frameEvents := s.snapshotFrameEvents()
+	w.frameEv = s.snapshotFrameEvents(w.frameEv[:0])
 	frame := uint32(s.fc.frameNumber())
 	serverTime := uint32(s.world.Time * 1000)
 	s.clients.forThread(w.id, func(c *client) {
@@ -415,20 +451,20 @@ func (s *Parallel) sendReplies(w *worker) {
 		if ent == nil || !ent.Active {
 			return
 		}
-		states, _ := s.world.BuildSnapshot(ent, c.scratch[:0])
-		c.scratch = states
-		delta := protocol.DeltaEntities(c.baseline, states)
-		events := append(c.takeBacklog(), frameEvents...)
-		snap := &protocol.Snapshot{
-			Frame:      frame,
-			AckSeq:     c.lastSeq,
-			ServerTime: serverTime,
-			You:        game.PlayerStateOf(ent),
-			Delta:      delta,
-			Events:     events,
+		if c.resetBaseline.Swap(false) {
+			c.baseline.Invalidate()
 		}
-		s.send(w, c.addr, snap)
-		c.baseline = append(c.baseline[:0], states...)
+		w.backlogBuf = c.drainBacklog(w.backlogBuf[:0])
+		data, st := w.reply.FormSnapshot(s.world, ent, &c.baseline,
+			frame, c.lastSeq, serverTime, w.backlogBuf, w.frameEv)
+		if data == nil {
+			return
+		}
+		s.bytesOut.Add(int64(len(data)))
+		_ = w.conn.Send(c.addr, data)
+		w.bd.ReplyBytes += int64(st.Bytes)
+		w.bd.ReplyDatagrams++
+		w.bd.ReplyAllocs += int64(st.Allocs)
 		c.markReplied(frame)
 		s.replies.Add(1)
 	})
@@ -443,7 +479,9 @@ func (s *Parallel) masterCleanup(w *worker) {
 	frame := uint32(s.fc.frameNumber())
 	s.globalMu.Lock()
 	events := s.frameEvents
-	s.frameEvents = nil
+	// Truncate in place: events stays valid because it is consumed below,
+	// before endFrame lets any thread append to the buffer again.
+	s.frameEvents = s.frameEvents[:0]
 	s.globalMu.Unlock()
 
 	now := time.Now()

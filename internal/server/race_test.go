@@ -1,0 +1,87 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"qserve/internal/locking"
+	"qserve/internal/protocol"
+	"qserve/internal/transport"
+)
+
+// TestParallelRaceStress exists to be run under -race: a 4-thread server
+// with a bot population dense enough to force combat (corpse spawns,
+// rail damage, rocket links), item pickups, and cross-plane relinks,
+// while a churn goroutine connects, re-connects, moves, and disconnects
+// extra sessions against every endpoint concurrently. It asserts only
+// liveness — the detector does the real checking.
+func TestParallelRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const (
+		threads = 4
+		numBots = 20
+		frames  = 120
+	)
+	rig := newRig(t, threads, numBots, locking.Optimized{})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Churn goroutine: duplicate connects (baseline-reset flag from a
+	// foreign thread), moves with stale acks (gap invalidation), and
+	// disconnects (full-bounds removal racing movers). All sends are
+	// error-tolerant: this goroutine must not call t.Fatal.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := rig.net.Listen("churn:0")
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var w protocol.Writer
+		send := func(to string, msg any) {
+			w.Reset()
+			if protocol.Encode(&w, msg) == nil {
+				_ = conn.Send(transport.MemAddr(to), w.Bytes())
+			}
+		}
+		seq := uint32(1)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			target := fmt.Sprintf("srv:%d", i%threads)
+			switch i % 5 {
+			case 0, 1:
+				send(target, &protocol.Connect{Name: "churn", ProtocolVer: protocol.Version})
+			case 2, 3:
+				seq++
+				send(target, &protocol.Move{
+					Seq: seq, Ack: 1, // ancient ack: exercises gap invalidation
+					Cmd: protocol.MoveCmd{Forward: 320, Msec: 33, Buttons: protocol.BtnFire},
+				})
+			case 4:
+				send(target, &protocol.Disconnect{})
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	rig.drive(frames, time.Millisecond)
+	close(stop)
+	wg.Wait()
+	rig.engine.Stop()
+
+	if rig.engine.Frames() == 0 {
+		t.Fatal("no frames executed")
+	}
+	if rig.engine.Replies() == 0 {
+		t.Fatal("no replies sent")
+	}
+}

@@ -34,6 +34,11 @@ type Sequential struct {
 	recvBuf []byte
 	stash   []byte
 
+	// Reply-phase scratch, reused across clients and frames (see
+	// reply.go for the ownership rules).
+	reply      ReplyScratch
+	backlogBuf []protocol.GameEvent
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -152,6 +157,9 @@ func (s *Sequential) processPacket(data []byte, from transport.Addr) {
 		if m.Seq != 0 && seqOlder(m.Seq, c.lastSeq) {
 			return // duplicate or reordered datagram
 		}
+		if m.Ack != 0 && c.repliedFrame-m.Ack > baselineGapFrames {
+			c.baseline.Invalidate() // delta continuity lost; resend full state
+		}
 		ent := s.world.Ents.Get(c.entID)
 		if ent == nil || !ent.Active {
 			return
@@ -179,6 +187,8 @@ func (s *Sequential) processPacket(data []byte, from transport.Addr) {
 
 func (s *Sequential) handleConnect(m *protocol.Connect, from transport.Addr) {
 	if existing := s.clients.lookup(from); existing != nil {
+		// Reconnect: the client has no memory of the baseline's states.
+		existing.baseline.Invalidate()
 		s.send(from, &protocol.Accept{
 			ClientID: existing.id,
 			EntityID: int32(existing.entID),
@@ -229,19 +239,20 @@ func (s *Sequential) sendReplies() {
 		if ent == nil || !ent.Active {
 			return
 		}
-		states, _ := s.world.BuildSnapshot(ent, c.scratch[:0])
-		c.scratch = states
-		delta := protocol.DeltaEntities(c.baseline, states)
-		events := append(c.takeBacklog(), s.frameEvents...)
-		s.send(c.addr, &protocol.Snapshot{
-			Frame:      frame,
-			AckSeq:     c.lastSeq,
-			ServerTime: serverTime,
-			You:        game.PlayerStateOf(ent),
-			Delta:      delta,
-			Events:     events,
-		})
-		c.baseline = append(c.baseline[:0], states...)
+		if c.resetBaseline.Swap(false) {
+			c.baseline.Invalidate()
+		}
+		s.backlogBuf = c.drainBacklog(s.backlogBuf[:0])
+		data, st := s.reply.FormSnapshot(s.world, ent, &c.baseline,
+			frame, c.lastSeq, serverTime, s.backlogBuf, s.frameEvents)
+		if data == nil {
+			return
+		}
+		s.bytesOut.Add(int64(len(data)))
+		_ = s.conn.Send(c.addr, data)
+		s.bd.ReplyBytes += int64(st.Bytes)
+		s.bd.ReplyDatagrams++
+		s.bd.ReplyAllocs += int64(st.Allocs)
 		c.markReplied(frame)
 		s.replies.Add(1)
 	})
@@ -250,7 +261,9 @@ func (s *Sequential) sendReplies() {
 func (s *Sequential) endFrame() {
 	frame := uint32(s.frames)
 	events := s.frameEvents
-	s.frameEvents = nil
+	// Truncate in place: events is consumed below, before the next frame
+	// appends to the buffer again.
+	s.frameEvents = s.frameEvents[:0]
 	now := time.Now()
 	var stale []*client
 	s.clients.forEach(func(c *client) {

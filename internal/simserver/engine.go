@@ -45,7 +45,7 @@ type simClient struct {
 	lastArrival int64
 	backlog     int // queued broadcast events awaiting the next reply
 	replied     uint64
-	scratch     []protocol.EntityState
+	baseline    server.Baseline // delta baseline, advanced by the pooled reply path
 }
 
 type simRequest struct {
@@ -72,6 +72,7 @@ type engine struct {
 	nodeLocks []sim.Lock
 	workers   []simWorker
 	bds       []metrics.Breakdown
+	replies   []server.ReplyScratch // per-thread pooled reply pipelines
 
 	fc simFrameCtl
 
@@ -171,6 +172,7 @@ func Run(cfg Config) (*Result, error) {
 		machine:  sim.New(sim.Config{Procs: cfg.Threads, Cores: cores, SMTPenalty: smt, MemBeta: memBeta}),
 		workers:  make([]simWorker, cfg.Threads),
 		bds:      make([]metrics.Breakdown, cfg.Threads),
+		replies:  make([]server.ReplyScratch, cfg.Threads),
 		frameLog: metrics.NewFrameLog(world.Tree.NumLeaves()),
 		endNs:    int64(cfg.DurationS * 1e9),
 	}
@@ -458,18 +460,26 @@ func (e *engine) globalBufferAppend(p *sim.Proc, n int) {
 }
 
 // sendReplies forms replies for this thread's clients that requested
-// during the frame.
+// during the frame. Snapshots run through the same pooled pipeline as
+// the live engine, so the simulated breakdowns report real wire bytes
+// and buffer growths next to virtual time. Events are modeled only as
+// counts (no payloads), so the event lists are nil.
 func (e *engine) sendReplies(p *sim.Proc) {
+	rs := &e.replies[p.ID]
+	bd := &e.bds[p.ID]
 	for _, c := range e.byThread[p.ID] {
 		if !c.pending {
 			continue
 		}
 		c.pending = false
-		states, sw := e.world.BuildSnapshot(c.ent, c.scratch[:0])
-		c.scratch = states
+		data, st := rs.FormSnapshot(e.world, c.ent, &c.baseline,
+			uint32(e.fc.frame), 0, uint32(e.world.Time*1000), nil, nil)
 		events := c.backlog + e.frameEvents
 		c.backlog = 0
-		p.Advance(e.model.SnapshotCost(sw, events))
+		p.Advance(e.model.SnapshotCost(st.Work, events))
+		bd.ReplyBytes += int64(len(data))
+		bd.ReplyDatagrams++
+		bd.ReplyAllocs += int64(st.Allocs)
 		c.replied = e.fc.frame + 1
 
 		latNs := (p.Now() - c.lastArrival) + 2*e.cfg.NetDelayNs

@@ -64,9 +64,28 @@ func (n *Network) Stats() (sent, delivered, dropped int64) {
 	return n.sent, n.delivered, n.dropped
 }
 
+// pktBuf wraps a pooled payload buffer. The pointer wrapper keeps
+// sync.Pool round-trips allocation-free (storing a bare []byte in the
+// pool would box the slice header on every Put).
+type pktBuf struct {
+	b []byte
+}
+
+var pktPool = sync.Pool{
+	New: func() any { return &pktBuf{b: make([]byte, 0, MaxDatagram)} },
+}
+
 type memPacket struct {
-	data []byte
+	buf  *pktBuf // pooled; returned after the payload is copied out or dropped
 	from MemAddr
+}
+
+// release returns the packet's buffer to the pool. Every delivery path —
+// received, queue overflow, closed endpoint — must call it exactly once.
+func (p memPacket) release() {
+	if p.buf != nil {
+		pktPool.Put(p.buf)
+	}
 }
 
 // MemConn is one endpoint of a Network.
@@ -129,7 +148,11 @@ func (c *MemConn) Send(to Addr, data []byte) error {
 	}
 	n.mu.Unlock()
 
-	pkt := memPacket{data: append([]byte(nil), data...), from: c.addr}
+	// Copy the payload into a pooled buffer before returning: the Conn
+	// contract lets the caller reuse data immediately.
+	pb := pktPool.Get().(*pktBuf)
+	pb.b = append(pb.b[:0], data...)
+	pkt := memPacket{buf: pb, from: c.addr}
 	if delay <= 0 {
 		dst.deliver(pkt)
 		return nil
@@ -145,6 +168,7 @@ func (c *MemConn) deliver(pkt memPacket) {
 		n.mu.Lock()
 		n.dropped++
 		n.mu.Unlock()
+		pkt.release()
 		return
 	default:
 	}
@@ -158,6 +182,7 @@ func (c *MemConn) deliver(pkt memPacket) {
 		n.mu.Lock()
 		n.dropped++
 		n.mu.Unlock()
+		pkt.release()
 	}
 }
 
@@ -195,7 +220,8 @@ func (c *MemConn) Recv(buf []byte, timeout time.Duration) (int, Addr, error) {
 }
 
 func copyPacket(buf []byte, pkt memPacket) (int, Addr, error) {
-	n := copy(buf, pkt.data)
+	n := copy(buf, pkt.buf.b)
+	pkt.release()
 	return n, pkt.from, nil
 }
 

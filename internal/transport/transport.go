@@ -43,13 +43,24 @@ const MaxDatagram = 1400
 
 // Conn is one endpoint (one UDP port). Implementations are safe for one
 // concurrent reader and any number of senders.
+//
+// Buffer ownership contract: Send copies (or hands to the kernel) the
+// payload before returning, and never retains or mutates data — the
+// caller may reuse the slice immediately, which is what lets the server's
+// reply pipeline encode every datagram into one per-thread scratch
+// buffer. Symmetrically, Recv owns buf only for the duration of the
+// call: on return the datagram has been fully copied into buf[:n] and no
+// internal reference to buf remains. Internal packet buffers (MemConn
+// pools them) never alias caller memory in either direction.
 type Conn interface {
 	// Send transmits data to the destination. The data slice is not
-	// retained.
+	// retained — it is free for reuse as soon as Send returns.
 	Send(to Addr, data []byte) error
 	// Recv blocks up to timeout for a datagram, copying it into buf and
 	// returning its length and source. A negative timeout blocks
-	// indefinitely; zero polls. Returns ErrTimeout on expiry.
+	// indefinitely; zero polls. Returns ErrTimeout on expiry. Only
+	// buf[:n] is written; bytes beyond n keep their previous content, so
+	// callers reusing one receive buffer must bound reads by n.
 	Recv(buf []byte, timeout time.Duration) (int, Addr, error)
 	// LocalAddr returns this endpoint's address.
 	LocalAddr() Addr
