@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench ci
+.PHONY: all build test race vet bench conformance cover ci
 
 all: build
 
@@ -14,14 +14,24 @@ vet:
 	$(GO) vet ./...
 
 # race runs the full suite under the race detector, including the
-# stress test written to provoke cross-thread hazards
-# (internal/server/race_test.go).
+# stress tests written to provoke cross-thread hazards
+# (internal/server/race_test.go, with and without per-frame migration).
 race:
 	$(GO) test -race ./...
 
 # bench smoke-checks the reply-phase allocation benchmark; the pooled
-# variant must stay at 0 allocs/op.
+# variant must stay at 0 allocs/op (CI enforces this as a hard gate).
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkReplyPhaseAllocs -benchmem -benchtime=100x .
 
-ci: vet build race bench
+# conformance proves the three engines compute the same game, with the
+# load balancer off and with migration forced every frame.
+conformance:
+	$(GO) test -race -v -run 'TestCrossEngineConformance' ./internal/conformance/
+
+# cover prints the per-function coverage table's total line.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+ci: vet build race bench conformance

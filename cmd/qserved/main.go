@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"qserve/internal/balance"
 	"qserve/internal/game"
 	"qserve/internal/locking"
 	"qserve/internal/metrics"
@@ -40,6 +41,7 @@ func main() {
 	mapPath := flag.String("map", "", "map file (JSON, from qmap); empty generates the default map")
 	mapSeed := flag.Int64("mapseed", 1, "seed for the generated map")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	bal := flag.Bool("balance", false, "enable dynamic client->thread load balancing (parallel engine)")
 	flag.Parse()
 
 	m, err := loadMap(*mapPath, *mapSeed)
@@ -70,6 +72,9 @@ func main() {
 		Threads:    *threads,
 		Strategy:   strat,
 		MaxClients: *maxClients,
+	}
+	if *bal {
+		cfg.Balance = balance.Policy{Enabled: true}
 	}
 
 	var eng server.Engine
@@ -160,6 +165,9 @@ func printBreakdowns(eng server.Engine) {
 	fmt.Printf("total: frames=%d replies=%d duration=%s in=%dKB out=%dKB\n",
 		eng.Frames(), eng.Replies(), eng.Duration().Truncate(time.Millisecond),
 		eng.BytesIn()/1024, eng.BytesOut()/1024)
+	if par, ok := eng.(*server.Parallel); ok {
+		fmt.Printf("migrations: %d\n", par.Migrations())
+	}
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 
+	"qserve/internal/balance"
 	"qserve/internal/experiments"
 	"qserve/internal/locking"
 	"qserve/internal/metrics"
@@ -26,6 +27,8 @@ func main() {
 	assign := flag.String("assign", "block", "player assignment: block, roundrobin, region")
 	batch := flag.Int64("batch", 0, "request batching delay in microseconds (0 = off)")
 	trace := flag.Int("trace", 0, "render an execution timeline of the first N frames")
+	bal := flag.Bool("balance", false, "enable dynamic client->thread load balancing at the frame barrier")
+	cluster := flag.Int("cluster", 0, "pin the first N players to room 0 (skewed workload)")
 	flag.Parse()
 
 	cfg := simserver.Config{
@@ -53,6 +56,10 @@ func main() {
 	}
 	cfg.BatchDelayNs = *batch * 1000
 	cfg.TraceFrames = *trace
+	cfg.Cluster = *cluster
+	if *bal {
+		cfg.Balance = balance.Policy{Enabled: true}
+	}
 	res, err := simserver.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -84,6 +91,8 @@ func main() {
 	im, sd := res.FrameLog.ImbalanceStats()
 	fmt.Printf("  imbalance mean=%.2f sd=%.2f distinctleaves/req=%.2f relock=%.2f\n",
 		im, sd, res.Locks.AvgDistinctLeavesPerRequest(), res.Locks.RelockFraction())
+	fmt.Printf("  exec load max/mean=%.2f migrations=%d\n",
+		res.FrameLog.ExecLoadRatio(), res.Migrations)
 	if *trace > 0 {
 		fmt.Println()
 		fmt.Print(experiments.RenderTimeline(res.Trace, res.Threads, 96))

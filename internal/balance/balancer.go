@@ -1,0 +1,206 @@
+// Package balance implements the dynamic client→thread load balancer
+// shared by the live parallel engine (internal/server) and the
+// discrete-event engine (internal/simserver).
+//
+// The paper assigns clients to threads statically ("block" assignment)
+// and observes that receive/execute-phase imbalance caps scaling well
+// before 8 contexts. The balancer recovers that loss with cheap periodic
+// rebalancing: each engine accumulates a decayed per-client execute-phase
+// cost (nanoseconds of ExecuteMove work), and at the frame barrier —
+// after every participant has sent its replies, the only point where no
+// region locks are held and no command is in flight — the frame master
+// re-plans the assignment with a greedy longest-processing-time (LPT)
+// heuristic and migrates whole clients between threads.
+//
+// The planner is deliberately engine-agnostic: it sees only client loads
+// and current thread assignments and emits a migration list. Everything
+// stateful about a migration (endpoint routing, reply baseline, ownership
+// checks) is the engine's job.
+package balance
+
+import "sort"
+
+// Defaults for Policy fields left zero.
+const (
+	// DefaultThreshold is the max/mean execute-load ratio above which a
+	// frame counts as imbalanced. 1.25 tolerates the jitter of normal
+	// workloads while catching the ~2x skew of a crowded room.
+	DefaultThreshold = 1.25
+	// DefaultHotFrames is how many consecutive imbalanced frames must be
+	// observed before a rebalance triggers (hysteresis, so one slow frame
+	// does not thrash assignments).
+	DefaultHotFrames = 3
+	// DefaultMaxMigrations caps clients moved per rebalance, bounding the
+	// per-frame cost of re-routing and keeping convergence incremental.
+	DefaultMaxMigrations = 4
+)
+
+// Policy configures the balancer.
+type Policy struct {
+	// Enabled turns dynamic rebalancing on.
+	Enabled bool
+	// Threshold is the max/mean per-thread execute-load ratio that marks
+	// a frame imbalanced. Default DefaultThreshold.
+	Threshold float64
+	// HotFrames is the number of consecutive imbalanced frames required
+	// before migrating. Default DefaultHotFrames.
+	HotFrames int
+	// MaxMigrations caps migrations per rebalance. Default
+	// DefaultMaxMigrations.
+	MaxMigrations int
+	// EveryFrame is a testing knob: skip the threshold/hysteresis gate
+	// and re-plan every frame, forcing at least one migration per plan
+	// (rotating a client if the LPT plan is already balanced). The race
+	// stress test uses it to maximize migration churn; it is not meant
+	// for production configs.
+	EveryFrame bool
+}
+
+func (p Policy) fill() Policy {
+	if p.Threshold <= 1 {
+		p.Threshold = DefaultThreshold
+	}
+	if p.HotFrames <= 0 {
+		p.HotFrames = DefaultHotFrames
+	}
+	if p.MaxMigrations <= 0 {
+		p.MaxMigrations = DefaultMaxMigrations
+	}
+	return p
+}
+
+// Migration says: move the client at index Client (in the slices passed
+// to Plan) from thread From to thread To.
+type Migration struct {
+	Client   int
+	From, To int
+}
+
+// Balancer holds the hysteresis state and counters. One per engine; Plan
+// is called by the frame master only, so it needs no locking.
+type Balancer struct {
+	Policy Policy
+
+	// Rebalances counts plans that passed the trigger gate; Migrated
+	// counts clients actually moved.
+	Rebalances int64
+	Migrated   int64
+
+	hot int // consecutive imbalanced frames seen
+
+	// Plan scratch, reused across frames.
+	bins   []int64
+	order  []int
+	target []int
+	out    []Migration
+}
+
+// New creates a balancer with defaults filled in.
+func New(p Policy) *Balancer {
+	return &Balancer{Policy: p.fill()}
+}
+
+// Plan decides this frame's migrations. loads[i] is client i's decayed
+// execute-phase cost, threads[i] its current thread; numThreads is the
+// worker count. The returned slice is owned by the balancer and valid
+// until the next Plan call.
+//
+// The plan is deterministic: clients are LPT-assigned in (load desc,
+// index asc) order, ties between destination bins break toward the
+// client's current thread (no gratuitous churn) and then toward the
+// lowest thread index. Clients with zero recorded load never move — they
+// cost nothing where they are, and moving them would invalidate nothing
+// but still churn routing.
+func (b *Balancer) Plan(loads []int64, threads []int, numThreads int) []Migration {
+	if numThreads < 2 || len(loads) == 0 || len(loads) != len(threads) {
+		return nil
+	}
+	p := b.Policy
+
+	// Per-thread totals under the current assignment.
+	b.bins = b.bins[:0]
+	for t := 0; t < numThreads; t++ {
+		b.bins = append(b.bins, 0)
+	}
+	var total, maxBin int64
+	for i, l := range loads {
+		if t := threads[i]; t >= 0 && t < numThreads {
+			b.bins[t] += l
+		}
+		total += l
+	}
+	for _, v := range b.bins {
+		if v > maxBin {
+			maxBin = v
+		}
+	}
+
+	if !p.EveryFrame {
+		mean := float64(total) / float64(numThreads)
+		if mean <= 0 || float64(maxBin) < p.Threshold*mean {
+			b.hot = 0
+			return nil
+		}
+		b.hot++
+		if b.hot < p.HotFrames {
+			return nil
+		}
+	}
+	b.hot = 0
+	b.Rebalances++
+
+	// LPT: heaviest client first into the least-loaded bin.
+	b.order = b.order[:0]
+	for i, l := range loads {
+		if l > 0 {
+			b.order = append(b.order, i)
+		}
+	}
+	sort.Slice(b.order, func(a, c int) bool {
+		ia, ic := b.order[a], b.order[c]
+		if loads[ia] != loads[ic] {
+			return loads[ia] > loads[ic]
+		}
+		return ia < ic
+	})
+
+	if cap(b.target) < len(loads) {
+		b.target = make([]int, len(loads))
+	}
+	b.target = b.target[:len(loads)]
+	fill := b.bins
+	for i := range fill {
+		fill[i] = 0
+	}
+	for _, ci := range b.order {
+		best := 0
+		for t := 1; t < numThreads; t++ {
+			if fill[t] < fill[best] {
+				best = t
+			}
+		}
+		// Prefer staying put when the current thread ties the minimum.
+		if cur := threads[ci]; cur >= 0 && cur < numThreads && fill[cur] == fill[best] {
+			best = cur
+		}
+		b.target[ci] = best
+		fill[best] += loads[ci]
+	}
+
+	b.out = b.out[:0]
+	for _, ci := range b.order { // heaviest-first, so the cap keeps the big wins
+		if len(b.out) >= p.MaxMigrations {
+			break
+		}
+		if to := b.target[ci]; to != threads[ci] {
+			b.out = append(b.out, Migration{Client: ci, From: threads[ci], To: to})
+		}
+	}
+	if p.EveryFrame && len(b.out) == 0 {
+		// Forced churn for stress testing: rotate the first client.
+		from := threads[0]
+		b.out = append(b.out, Migration{Client: 0, From: from, To: (from + 1) % numThreads})
+	}
+	b.Migrated += int64(len(b.out))
+	return b.out
+}

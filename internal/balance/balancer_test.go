@@ -1,0 +1,152 @@
+package balance
+
+import (
+	"reflect"
+	"testing"
+)
+
+// plan with EveryFrame so the trigger gate does not interfere with
+// assignment-shape tests.
+func planNow(t *testing.T, loads []int64, threads []int, n int) []Migration {
+	t.Helper()
+	b := New(Policy{Enabled: true, EveryFrame: true, MaxMigrations: 1 << 30})
+	return append([]Migration(nil), b.Plan(loads, threads, n)...)
+}
+
+func TestPlanLPTSplitsSkewedLoad(t *testing.T) {
+	// All six clients on thread 0; LPT over two threads must split them
+	// 10+2+2 / 9+2+2.
+	loads := []int64{10, 9, 2, 2, 2, 2}
+	threads := []int{0, 0, 0, 0, 0, 0}
+	migs := planNow(t, loads, threads, 2)
+	want := []Migration{{Client: 1, From: 0, To: 1}, {Client: 2, From: 0, To: 1}, {Client: 4, From: 0, To: 1}}
+	if !reflect.DeepEqual(migs, want) {
+		t.Fatalf("plan = %v, want %v", migs, want)
+	}
+}
+
+func TestPlanIsDeterministic(t *testing.T) {
+	loads := []int64{7, 7, 7, 3, 3, 3, 1, 1}
+	threads := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	first := planNow(t, loads, threads, 4)
+	for i := 0; i < 10; i++ {
+		if got := planNow(t, loads, threads, 4); !reflect.DeepEqual(got, first) {
+			t.Fatalf("plan %d = %v, differs from first %v", i, got, first)
+		}
+	}
+}
+
+func TestPlanBalancedLoadDoesNotChurn(t *testing.T) {
+	// A perfectly balanced assignment re-plans to itself: the stay-put
+	// tie-break must keep every client on its thread.
+	loads := []int64{5, 5, 5, 5}
+	threads := []int{0, 1, 2, 3}
+	b := New(Policy{Enabled: true, Threshold: 1.01, HotFrames: 1})
+	if migs := b.Plan(loads, threads, 4); len(migs) != 0 {
+		t.Fatalf("balanced load produced migrations: %v", migs)
+	}
+}
+
+func TestPlanZeroLoadClientsNeverMove(t *testing.T) {
+	loads := []int64{100, 0, 0, 0}
+	threads := []int{0, 0, 0, 0}
+	migs := planNow(t, loads, threads, 4)
+	for _, m := range migs {
+		if loads[m.Client] == 0 {
+			t.Fatalf("migrated zero-load client %d", m.Client)
+		}
+	}
+}
+
+func TestPlanHysteresis(t *testing.T) {
+	b := New(Policy{Enabled: true, Threshold: 1.25, HotFrames: 3})
+	skew := []int64{10, 10, 10, 10}
+	all0 := []int{0, 0, 0, 0}
+	// Two hot frames: below HotFrames, no plan yet.
+	for i := 0; i < 2; i++ {
+		if migs := b.Plan(skew, all0, 2); len(migs) != 0 {
+			t.Fatalf("frame %d: migrated before HotFrames elapsed: %v", i, migs)
+		}
+	}
+	// A balanced frame resets the streak.
+	if migs := b.Plan([]int64{10, 10, 10, 10}, []int{0, 1, 0, 1}, 2); len(migs) != 0 {
+		t.Fatalf("balanced frame migrated: %v", migs)
+	}
+	for i := 0; i < 2; i++ {
+		if migs := b.Plan(skew, all0, 2); len(migs) != 0 {
+			t.Fatalf("post-reset frame %d migrated early: %v", i, migs)
+		}
+	}
+	// Third consecutive hot frame fires.
+	if migs := b.Plan(skew, all0, 2); len(migs) == 0 {
+		t.Fatal("third consecutive hot frame did not rebalance")
+	}
+	if b.Rebalances != 1 {
+		t.Fatalf("Rebalances = %d, want 1", b.Rebalances)
+	}
+}
+
+func TestPlanMigrationCap(t *testing.T) {
+	loads := make([]int64, 32)
+	threads := make([]int, 32)
+	for i := range loads {
+		loads[i] = 10
+	}
+	b := New(Policy{Enabled: true, EveryFrame: true, MaxMigrations: 4})
+	if migs := b.Plan(loads, threads, 8); len(migs) > 4 {
+		t.Fatalf("cap violated: %d migrations", len(migs))
+	}
+}
+
+func TestEveryFrameForcesChurn(t *testing.T) {
+	// Already balanced: LPT finds nothing, EveryFrame still rotates one
+	// client so migration machinery is exercised.
+	b := New(Policy{Enabled: true, EveryFrame: true})
+	migs := b.Plan([]int64{5, 5}, []int{0, 1}, 2)
+	if len(migs) != 1 {
+		t.Fatalf("forced churn produced %d migrations, want 1", len(migs))
+	}
+	if migs[0].From == migs[0].To {
+		t.Fatalf("forced churn is a no-op: %v", migs[0])
+	}
+}
+
+func TestPlanDegenerateInputs(t *testing.T) {
+	b := New(Policy{Enabled: true, EveryFrame: true})
+	if migs := b.Plan(nil, nil, 4); migs != nil {
+		t.Fatalf("empty plan = %v", migs)
+	}
+	if migs := b.Plan([]int64{1}, []int{0}, 1); migs != nil {
+		t.Fatalf("single-thread plan = %v", migs)
+	}
+	if migs := b.Plan([]int64{1, 2}, []int{0}, 2); migs != nil {
+		t.Fatalf("mismatched-length plan = %v", migs)
+	}
+}
+
+func TestPlanConvergesOverFrames(t *testing.T) {
+	// Iterating plan+apply with a small cap must converge: eventually the
+	// max/mean ratio of a heavily skewed start drops under the threshold
+	// and planning stops.
+	b := New(Policy{Enabled: true, Threshold: 1.25, HotFrames: 1, MaxMigrations: 2})
+	loads := make([]int64, 24)
+	threads := make([]int, 24)
+	for i := range loads {
+		loads[i] = int64(1 + i%5)
+	}
+	moved := 0
+	for frame := 0; frame < 100; frame++ {
+		migs := b.Plan(loads, threads, 4)
+		if len(migs) == 0 && frame > 0 {
+			if moved == 0 {
+				t.Fatal("skewed start produced no migrations at all")
+			}
+			return // converged
+		}
+		for _, m := range migs {
+			threads[m.Client] = m.To
+			moved++
+		}
+	}
+	t.Fatal("plan/apply loop did not converge in 100 frames")
+}

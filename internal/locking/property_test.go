@@ -1,0 +1,189 @@
+package locking
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"qserve/internal/areanode"
+	"qserve/internal/geom"
+)
+
+// propWorld is the map volume the property tests randomize over: the
+// footprint of the default 6x6 generated map.
+func propWorld() geom.AABB {
+	return geom.Box(geom.V(0, 0, 0), geom.V(1600, 1600, 256))
+}
+
+// randRequest builds a random but realistic move: a start point inside
+// the world, a swept bounding box for up to maxDist units of motion of a
+// player-sized hull, a random aim direction, and an object interaction
+// range.
+func randRequest(rng *rand.Rand, world geom.AABB) Request {
+	sz := world.Size()
+	start := geom.V(
+		world.Min.X+rng.Float64()*sz.X,
+		world.Min.Y+rng.Float64()*sz.Y,
+		world.Min.Z+rng.Float64()*sz.Z,
+	)
+	const maxDist = 64.0
+	dir := randDir(rng)
+	end := start.MA(rng.Float64()*maxDist, dir)
+	hull := geom.V(16, 16, 32)
+	moveBox := geom.Box(start, end).ExpandVec(hull)
+	return Request{
+		Start:   start,
+		MoveBox: moveBox,
+		AimDir:  randDir(rng),
+		Range:   rng.Float64() * 300,
+	}
+}
+
+func randDir(rng *rand.Rand) geom.Vec3 {
+	for {
+		v := geom.V(rng.Float64()*2-1, rng.Float64()*2-1, rng.Float64()*2-1)
+		if l := v.Len(); l > 1e-6 && l <= 1 {
+			return v.Scale(1 / l)
+		}
+	}
+}
+
+// TestRegionCoversSweptBox is the core safety property of every locking
+// strategy: whatever region a strategy returns for a request, the leaf
+// set acquired for that region must cover the geometry the engine will
+// actually touch while simulating it — the swept move box for short- and
+// deferred-kind interactions, and the aim ray out to the world boundary
+// for immediate long-range interactions. A strategy violating this would
+// let a request mutate entities in leaves it does not hold.
+func TestRegionCoversSweptBox(t *testing.T) {
+	world := propWorld()
+	strategies := []Strategy{Conservative{}, Optimized{}}
+	kinds := []Kind{KindShortRange, KindLongRangeDeferred, KindLongRangeImmediate}
+
+	for _, depth := range []int{3, 4, 5} {
+		tree := areanode.NewTree(world, depth)
+		rl := &RegionLocker{Tree: tree, Provider: NopProvider{}}
+		rng := rand.New(rand.NewSource(int64(1000 + depth)))
+		for iter := 0; iter < 2000; iter++ {
+			req := randRequest(rng, world)
+			for _, strat := range strategies {
+				for _, kind := range kinds {
+					region := strat.Region(world, req, kind)
+					guard := rl.Acquire(region, nil)
+
+					// The in-world part of the swept move box must be held
+					// for every kind: even a long-range interaction starts at
+					// the player's own figure.
+					sweep := req.MoveBox.Intersection(world)
+					if kind != KindLongRangeImmediate && sweep.IsValid() && !guard.Covers(sweep) {
+						t.Fatalf("depth=%d iter=%d %s/%s: region %v does not cover swept box %v",
+							depth, iter, strat.Name(), kind, region, sweep)
+					}
+					if kind == KindLongRangeImmediate {
+						// The object is fully simulated now: every point of
+						// the aim ray from the player to the world boundary
+						// must be in a held leaf.
+						if !rayCovered(tree, &guard, world, req.Start, req.AimDir) {
+							t.Fatalf("depth=%d iter=%d %s/%s: region %v does not cover aim ray from %v along %v",
+								depth, iter, strat.Name(), kind, region, req.Start, req.AimDir)
+						}
+					}
+					guard.Release()
+				}
+			}
+		}
+	}
+}
+
+// rayCovered samples the ray from start along dir until it exits the
+// world and checks each sample's leaf is held.
+func rayCovered(tree *areanode.Tree, g *Guard, world geom.AABB, start, dir geom.Vec3) bool {
+	held := make(map[int32]bool, len(g.Leaves()))
+	for _, ni := range g.Leaves() {
+		held[ni] = true
+	}
+	diag := world.Size().Len()
+	for t := 0.0; t <= diag; t += 8 {
+		p := start.MA(t, dir)
+		if !world.Contains(p) {
+			return true // left the world: nothing further to simulate
+		}
+		if !held[tree.LeafContaining(p)] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDirectionalBoxDegeneratesSafely pins the documented fallback: a
+// zero aim direction must lock the whole world, never a sliver.
+func TestDirectionalBoxDegeneratesSafely(t *testing.T) {
+	world := propWorld()
+	got := DirectionalBox(world, world.Center(), geom.V(0, 0, 0), shortRangeMargin)
+	if got != world {
+		t.Fatalf("zero-direction directional box = %v, want whole world %v", got, world)
+	}
+	// A start outside the world pointing away never re-enters: the
+	// fallback must again be the whole world, not an inverted box.
+	out := geom.V(world.Max.X+100, world.Max.Y+100, world.Max.Z+100)
+	got = DirectionalBox(world, out, geom.V(1, 0, 0).Norm(), shortRangeMargin)
+	if !got.IsValid() {
+		t.Fatalf("directional box from outside the world is invalid: %v", got)
+	}
+}
+
+// TestOrderedAcquisitionNoDeadlock exercises the protocol's deadlock-
+// freedom claim: leaves are always locked in ascending node order, so
+// any number of threads acquiring arbitrarily overlapping regions (with
+// interleaved whole-world locks for maximum contention) must make
+// progress. Run under -race this also checks the provider's memory
+// discipline. A deadlock shows up as the test timing out.
+func TestOrderedAcquisitionNoDeadlock(t *testing.T) {
+	world := propWorld()
+	tree := areanode.NewTree(world, 5)
+	provider := NewMutexProvider(tree.NumNodes())
+	strategies := []Strategy{Conservative{}, Optimized{}}
+	kinds := []Kind{KindShortRange, KindLongRangeDeferred, KindLongRangeImmediate}
+
+	const goroutines = 8
+	const iters = 400
+	shared := make([]int64, tree.NumNodes()) // written under leaf locks
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rl := &RegionLocker{Tree: tree, Provider: provider}
+			rng := rand.New(rand.NewSource(int64(7000 + id)))
+			for i := 0; i < iters; i++ {
+				req := randRequest(rng, world)
+				strat := strategies[rng.Intn(len(strategies))]
+				kind := kinds[rng.Intn(len(kinds))]
+				region := strat.Region(world, req, kind)
+				if i%17 == 0 {
+					region = world // periodic whole-map lock, maximal overlap
+				}
+				var stats AcquireStats
+				guard := rl.Acquire(region, &stats)
+				if stats.LeafLockOps != len(guard.Leaves()) {
+					t.Errorf("stats count %d != held leaves %d", stats.LeafLockOps, len(guard.Leaves()))
+				}
+				for _, ni := range guard.Leaves() {
+					shared[ni]++ // race detector proves mutual exclusion
+				}
+				// Parent guards nest under held leaf locks without ordering
+				// constraints (one interior node at a time).
+				tree.CollectBox(region, rl.ParentGuard(&stats), func(*areanode.Item) bool { return true }, nil)
+				guard.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, v := range shared {
+		total += v
+	}
+	if total == 0 {
+		t.Fatal("no leaf was ever locked; the rig is not exercising the protocol")
+	}
+}

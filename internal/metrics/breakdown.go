@@ -86,6 +86,11 @@ type Breakdown struct {
 	ReplyBytes     int64
 	ReplyDatagrams int64
 	ReplyAllocs    int64
+
+	// ExecCmds counts move commands executed in the request phase. The
+	// load balancer divides CompExec time by it to reason about per-client
+	// cost, and reports use it to normalize exec time per command.
+	ExecCmds int64
 }
 
 // Add accumulates o into b.
@@ -98,6 +103,7 @@ func (b *Breakdown) Add(o *Breakdown) {
 	b.ReplyBytes += o.ReplyBytes
 	b.ReplyDatagrams += o.ReplyDatagrams
 	b.ReplyAllocs += o.ReplyAllocs
+	b.ExecCmds += o.ExecCmds
 }
 
 // Charge adds ns to a component.
@@ -166,6 +172,7 @@ func (b *Breakdown) Scale(f float64) {
 	b.ReplyBytes = int64(float64(b.ReplyBytes) * f)
 	b.ReplyDatagrams = int64(float64(b.ReplyDatagrams) * f)
 	b.ReplyAllocs = int64(float64(b.ReplyAllocs) * f)
+	b.ExecCmds = int64(float64(b.ExecCmds) * f)
 }
 
 // BytesPerReply returns the average datagram size of the reply phase, or

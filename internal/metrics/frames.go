@@ -20,6 +20,12 @@ type FrameRecord struct {
 	// LeafLockOps counts total leaf lock acquisitions this frame,
 	// including re-locks.
 	LeafLockOps int
+	// ExecNsByThread[i] is the execute-phase (CompExec) time thread i
+	// spent this frame — the quantity the load balancer equalizes.
+	ExecNsByThread []int64
+	// Migrations is how many clients the balancer moved at this frame's
+	// barrier.
+	Migrations int
 }
 
 // FrameLog accumulates frame records and derives the paper's per-frame
@@ -127,6 +133,47 @@ func (l *FrameLog) LockOpsPerLeafPerFrame() float64 {
 		w.Add(float64(f.LeafLockOps) / float64(l.leaves))
 	}
 	return w.Mean()
+}
+
+// ExecLoadRatio aggregates execute-phase time per thread across the whole
+// run and returns max/mean over the thread slots — the skew statistic the
+// load balancer targets. A perfectly balanced run returns 1; a run where
+// one thread does all the exec work on t threads returns t. Returns 0
+// when no exec time was recorded.
+func (l *FrameLog) ExecLoadRatio() float64 {
+	var per []int64
+	for _, f := range l.Frames {
+		for i, ns := range f.ExecNsByThread {
+			for len(per) <= i {
+				per = append(per, 0)
+			}
+			per[i] += ns
+		}
+	}
+	if len(per) == 0 {
+		return 0
+	}
+	var total, max int64
+	for _, v := range per {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(per))
+	return float64(max) / mean
+}
+
+// TotalMigrations sums balancer migrations over the run.
+func (l *FrameLog) TotalMigrations() int {
+	n := 0
+	for _, f := range l.Frames {
+		n += f.Migrations
+	}
+	return n
 }
 
 func popcount(x uint64) int {

@@ -27,7 +27,16 @@ type client struct {
 	entID  entity.ID
 	name   string
 	addr   transport.Addr
-	thread int // owning server thread
+	// thread is the owning server thread. Static until the load balancer
+	// migrates the client: the frame master rewrites it at the rebalance
+	// barrier, where no request is in flight and the frame controller's
+	// mutex orders the write before any later frame's reads.
+	thread int
+
+	// loadNs is the client's decayed execute-phase cost, the balancer's
+	// input. Written by the owning thread during the request phase, read
+	// and decayed by the master at the barrier.
+	loadNs int64
 
 	// Request-phase state, touched only by the owning thread.
 	replyPending bool
@@ -48,6 +57,17 @@ type client struct {
 	// the baseline. Any thread may set it (duplicate connects can arrive
 	// on any endpoint); only the owner consumes it.
 	resetBaseline atomic.Bool
+
+	// fwdFrame, when nonzero, records frameNumber+1 of the moment a worker
+	// forwarded one of this client's datagrams to the owning thread. While
+	// set, the balancer must not migrate the client: a migration would
+	// re-route the datagram to yet another thread, and under per-frame
+	// migration the datagram can chase the assignment forever (a livelock
+	// observed in the conformance suite). The owning thread clears it when
+	// the command executes; the balancer also expires stale stamps, in
+	// case the forwarded datagram was dropped. Atomic because any worker
+	// may forward.
+	fwdFrame atomic.Uint64
 
 	// backlog holds broadcast events queued while the client was not
 	// replied to. It is the per-player reply message buffer of §3.3,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"qserve/internal/balance"
 	"qserve/internal/game"
 	"qserve/internal/locking"
 	"qserve/internal/transport"
@@ -33,6 +34,10 @@ type Config struct {
 	// default emulates the paper's static block assignment for clients
 	// that connect up-front: index i goes to thread i*Threads/MaxClients.
 	Assign func(joinIdx, threads, maxClients int) int
+	// Balance configures dynamic client→thread rebalancing (parallel
+	// engine only). Off by default, preserving the paper's static
+	// assignment.
+	Balance balance.Policy
 }
 
 func (c *Config) fill(needThreads bool) error {

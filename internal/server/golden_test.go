@@ -156,6 +156,88 @@ func TestFormSnapshotSteadyStateAllocFree(t *testing.T) {
 	}
 }
 
+// TestBaselineSurvivesMigration is the regression test for the balancer
+// handoff: a migration moves a client to another thread's ReplyScratch,
+// but the client's Baseline must travel untouched — the delta stream
+// stays byte-identical to a never-migrated reference, and the B/reply
+// alloc counters reconverge to zero instead of restarting from a cold
+// baseline. (The bug this guards against: resetting the baseline or its
+// growth accounting during handoff, which silently inflates qbench's
+// B/reply column and resends full state after every migration.)
+func TestBaselineSurvivesMigration(t *testing.T) {
+	const (
+		numPlayers   = 8
+		numFrames    = 60
+		migrateFrame = 21
+	)
+	m := worldmap.MustGenerate(worldmap.DefaultConfig())
+	w, err := game.NewWorld(game.Config{Map: m, Seed: 4321})
+	if err != nil {
+		t.Fatal(err)
+	}
+	players := make([]*entity.Entity, numPlayers)
+	for i := range players {
+		if players[i], err = w.SpawnPlayer(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two per-thread scratches; every client starts on thread 0 and all
+	// migrate to thread 1 at migrateFrame. The reference path never
+	// migrates (it has no thread affinity at all).
+	var threadScratch [2]ReplyScratch
+	pooled := make([]Baseline, numPlayers)
+	reference := make([][]protocol.EntityState, numPlayers)
+	postMigrationAllocs := -1
+
+	for frame := uint32(1); frame <= numFrames; frame++ {
+		for i, e := range players {
+			cmd := protocol.MoveCmd{
+				Forward: 320,
+				Yaw:     protocol.AngleToWire(float64((int(frame)*37 + i*71) % 360)),
+				Msec:    33,
+			}
+			w.ExecuteMove(e, &cmd, &game.LockContext{})
+		}
+		w.RunWorldFrame(0.033)
+
+		thread := 0
+		if frame >= migrateFrame {
+			thread = 1
+		}
+		serverTime := uint32(w.Time * 1000)
+		frameAllocs := 0
+		for i, e := range players {
+			if !e.Active {
+				continue
+			}
+			ackSeq := frame*100 + uint32(i)
+			want, newBase := ReferenceFormSnapshot(w, e, reference[i],
+				frame, ackSeq, serverTime, nil, nil)
+			reference[i] = newBase
+			got, st := threadScratch[thread].FormSnapshot(w, e, &pooled[i],
+				frame, ackSeq, serverTime, nil, nil)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("frame %d player %d (thread %d): datagram differs across migration\nreference: %x\nmigrated:  %x",
+					frame, i, thread, want, got)
+			}
+			frameAllocs += st.Allocs
+		}
+		if frame > migrateFrame+5 {
+			if postMigrationAllocs < 0 || frameAllocs < postMigrationAllocs {
+				postMigrationAllocs = frameAllocs
+			}
+		}
+	}
+	// The new thread's scratch pays a one-time warm-up after the handoff,
+	// but steady state must return to zero growths: the baseline kept its
+	// buffers, so growth cannot recur every frame.
+	if postMigrationAllocs != 0 {
+		t.Errorf("reply path never reconverged to 0 buffer growths after migration (best frame: %d)",
+			postMigrationAllocs)
+	}
+}
+
 // TestBaselineGapInvalidation drives the live sequential engine's ack
 // rule directly: a Move acknowledging a frame far behind the client's
 // last reply must clear the baseline; a current ack must not.

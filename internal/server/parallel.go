@@ -1,11 +1,13 @@
 package server
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"qserve/internal/areanode"
+	"qserve/internal/balance"
 	"qserve/internal/entity"
 	"qserve/internal/game"
 	"qserve/internal/locking"
@@ -38,6 +40,18 @@ type Parallel struct {
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
 
+	// Dynamic load balancing (nil/unused when cfg.Balance is off). The
+	// mux sits between the endpoints and the workers so the master can
+	// re-route a migrated client's datagrams; the balancer itself is only
+	// touched from masterCleanup, which the frame controller makes
+	// exclusive.
+	mux        *transport.Mux
+	bal        *balance.Balancer
+	migrations atomic.Int64
+	balClients []*client
+	balLoads   []int64
+	balThreads []int
+
 	stop      chan struct{}
 	stopOnce  sync.Once
 	wg        sync.WaitGroup
@@ -60,6 +74,7 @@ type worker struct {
 	frameReqs     int
 	frameLeafMask uint64
 	frameLockOps  int
+	frameExecNs   int64
 
 	writer protocol.Writer
 	stash  []byte
@@ -119,6 +134,16 @@ func NewParallel(cfg Config) (*Parallel, error) {
 		}
 		s.workers = append(s.workers, w)
 	}
+	if cfg.Balance.Enabled && cfg.Threads > 1 {
+		// Interpose the mux so client→thread routing can change at
+		// runtime; each worker reads from its mux port instead of the raw
+		// endpoint. Replies still leave through the per-thread endpoints.
+		s.mux = transport.NewMux(cfg.Conns)
+		for i, w := range s.workers {
+			w.conn = s.mux.Port(i)
+		}
+		s.bal = balance.New(cfg.Balance)
+	}
 	return s, nil
 }
 
@@ -143,6 +168,9 @@ func (s *Parallel) Stop() {
 	s.stopOnce.Do(func() {
 		close(s.stop)
 		s.wg.Wait()
+		if s.mux != nil {
+			s.mux.Close()
+		}
 		s.stopped = time.Now()
 	})
 }
@@ -198,7 +226,7 @@ func (s *Parallel) workerLoop(w *worker) {
 		}
 
 		// Request phase: the stashed packet, then drain the queue.
-		w.frameReqs, w.frameLeafMask, w.frameLockOps = 0, 0, 0
+		w.frameReqs, w.frameLeafMask, w.frameLockOps, w.frameExecNs = 0, 0, 0, 0
 		s.processPacket(w, w.stash, from)
 		for {
 			t0 = time.Now()
@@ -280,6 +308,21 @@ func (s *Parallel) processPacket(w *worker, data []byte, from transport.Addr) {
 		if c == nil {
 			return
 		}
+		if c.thread != w.id {
+			// A command for a client another thread owns. With the mux in
+			// place this happens transiently after a migration (a datagram
+			// pumped before the routing update took effect): bounce it to
+			// the owner's port so the command is executed, not lost. The
+			// forward stamp freezes the client's assignment until the
+			// command lands, so the datagram chases at most one migration.
+			// Without the mux it is a client ignoring Accept.Addr — drop,
+			// as the static design always did.
+			if s.mux != nil {
+				c.fwdFrame.Store(s.fc.frameNumber() + 1)
+				s.mux.Forward(c.thread, data, from)
+			}
+			return
+		}
 		s.execMove(w, c, m)
 	case *protocol.Connect:
 		w.bd.Charge(metrics.CompRecv, time.Since(t0).Nanoseconds())
@@ -344,7 +387,13 @@ func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
 	lockDelta := w.bd.Ns[metrics.CompLock] - lockBefore
 	if exec := span - lockDelta; exec > 0 {
 		w.bd.Charge(metrics.CompExec, exec)
+		w.frameExecNs += exec
+		// Per-client load for the balancer: decayed at each rebalance, so
+		// it tracks recent cost rather than lifetime cost. Only the owning
+		// thread writes it; the master reads it at the barrier.
+		c.loadNs += exec
 	}
+	w.bd.ExecCmds++
 
 	if len(res.Events) > 0 {
 		s.appendEvents(res.Events)
@@ -356,6 +405,9 @@ func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
 	c.replyPending = true
 	c.lastSeq = m.Seq
 	c.lastActive = time.Now()
+	// The client's forwarded datagram (if this was one) has landed; lift
+	// the migration freeze.
+	c.fwdFrame.Store(0)
 }
 
 // handleConnect admits a new player. Connection requests "are associated
@@ -401,6 +453,11 @@ func (s *Parallel) handleConnect(w *worker, m *protocol.Connect, from transport.
 		s.send(w, from, &protocol.Reject{Reason: "server full"})
 		return
 	}
+	if s.mux != nil {
+		// Pin the client's datagrams to its owning thread regardless of
+		// which endpoint they arrive at; migrations re-route later.
+		s.mux.Route(from, c.thread)
+	}
 	s.send(w, from, &protocol.Accept{
 		ClientID: c.id,
 		EntityID: int32(ent.ID),
@@ -430,6 +487,9 @@ func (s *Parallel) handleDisconnect(w *worker, from transport.Addr) {
 		return
 	}
 	s.clients.remove(c)
+	if s.mux != nil {
+		s.mux.Unroute(c.addr)
+	}
 	s.removePlayerLocked(w, c.entID)
 	s.send(w, from, &protocol.Disconnected{Reason: "bye"})
 }
@@ -496,6 +556,9 @@ func (s *Parallel) masterCleanup(w *worker) {
 	})
 	for _, c := range stale {
 		s.clients.remove(c)
+		if s.mux != nil {
+			s.mux.Unroute(c.addr)
+		}
 		s.removePlayerLocked(w, c.entID)
 	}
 
@@ -503,6 +566,7 @@ func (s *Parallel) masterCleanup(w *worker) {
 		Frame:             s.fc.frameNumber(),
 		RequestsByThread:  make([]int, len(s.workers)),
 		LeafLocksByThread: make([]uint64, len(s.workers)),
+		ExecNsByThread:    make([]int64, len(s.workers)),
 	}
 	parts := s.fc.currentParticipants()
 	rec.Participants = len(parts)
@@ -511,9 +575,70 @@ func (s *Parallel) masterCleanup(w *worker) {
 		rec.RequestsByThread[wid] = ww.frameReqs
 		rec.LeafLocksByThread[wid] = ww.frameLeafMask
 		rec.LeafLockOps += ww.frameLockOps
+		rec.ExecNsByThread[wid] = ww.frameExecNs
+	}
+	if s.bal != nil {
+		rec.Migrations = s.rebalance()
 	}
 	s.frameLog.Append(rec)
 }
+
+// rebalance runs at the frame barrier, the only point where no region
+// lock is held and no command is in flight: every participant has passed
+// doneReply, non-participants are blocked in Recv or waitFrameEnd, and
+// the frame controller's mutex orders this frame's c.thread writes
+// before any later frame's reads. Migrating a client is therefore three
+// plain assignments: the thread field, the mux route, and nothing else —
+// the reply baseline, sequence state, and backlog travel with the client
+// struct and must NOT be reset (a migration is invisible on the wire).
+func (s *Parallel) rebalance() int {
+	cs := s.balClients[:0]
+	s.clients.forEach(func(c *client) { cs = append(cs, c) })
+	sort.Slice(cs, func(i, j int) bool { return cs[i].id < cs[j].id })
+	s.balClients = cs
+
+	loads, threads := s.balLoads[:0], s.balThreads[:0]
+	for _, c := range cs {
+		loads = append(loads, c.loadNs)
+		threads = append(threads, c.thread)
+	}
+	s.balLoads, s.balThreads = loads, threads
+
+	migs := s.bal.Plan(loads, threads, len(s.workers))
+	frame := s.fc.frameNumber() + 1
+	applied := 0
+	for _, mg := range migs {
+		c := cs[mg.Client]
+		// A client with a forwarded datagram in flight is frozen: migrating
+		// it now would re-route the datagram again and let it chase the
+		// assignment across barriers indefinitely. Stamps far older than
+		// any plausible delivery mean the datagram was dropped — expire
+		// them so the client does not stay pinned forever.
+		if f := c.fwdFrame.Load(); f != 0 {
+			if frame-f < fwdFreezeFrames {
+				continue
+			}
+			c.fwdFrame.Store(0)
+		}
+		c.thread = mg.To
+		if s.mux != nil {
+			s.mux.Route(c.addr, mg.To)
+		}
+		applied++
+	}
+	// Decay the load window so the balancer tracks recent cost: halving
+	// gives an exponential moving sum with a few-frame horizon.
+	for _, c := range cs {
+		c.loadNs >>= 1
+	}
+	s.migrations.Add(int64(applied))
+	return applied
+}
+
+// fwdFreezeFrames bounds the migration freeze of a client whose
+// forwarded datagram never arrived (dropped on queue overflow): after
+// this many frames the stamp is considered stale and expires.
+const fwdFreezeFrames = 64
 
 func (s *Parallel) send(w *worker, to transport.Addr, msg any) {
 	w.writer.Reset()
@@ -539,6 +664,10 @@ func (s *Parallel) FrameLog() *metrics.FrameLog { return s.frameLog }
 // Replies returns the number of replies sent — the numerator of the
 // server response rate.
 func (s *Parallel) Replies() int64 { return s.replies.Load() }
+
+// Migrations returns how many client→thread migrations the balancer
+// performed.
+func (s *Parallel) Migrations() int64 { return s.migrations.Load() }
 
 // Frames returns the number of completed server frames.
 func (s *Parallel) Frames() uint64 { return s.fc.frameNumber() }

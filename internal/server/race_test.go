@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"qserve/internal/balance"
 	"qserve/internal/locking"
 	"qserve/internal/protocol"
 	"qserve/internal/transport"
@@ -83,5 +84,93 @@ func TestParallelRaceStress(t *testing.T) {
 	}
 	if rig.engine.Replies() == 0 {
 		t.Fatal("no replies sent")
+	}
+}
+
+// TestMigrationRaceStress is TestParallelRaceStress with the load
+// balancer forced to migrate on every frame: client→thread ownership,
+// mux routing, reply baselines, and the forward path for in-flight
+// datagrams all churn while connects, moves with stale acks, and
+// disconnects hammer every endpoint. Run under -race; the test itself
+// asserts only liveness and that migrations actually happened.
+func TestMigrationRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const (
+		threads = 4
+		numBots = 20
+		frames  = 120
+	)
+	rig := newRigCfg(t, threads, numBots, locking.Optimized{}, func(cfg *Config) {
+		cfg.Balance = balance.Policy{Enabled: true, EveryFrame: true, MaxMigrations: 8}
+	})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := rig.net.Listen("churn-mig:0")
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var w protocol.Writer
+		send := func(to string, msg any) {
+			w.Reset()
+			if protocol.Encode(&w, msg) == nil {
+				_ = conn.Send(transport.MemAddr(to), w.Bytes())
+			}
+		}
+		seq := uint32(1)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Spray every endpoint: after migrations most of these arrive at
+			// a non-owning thread, exercising the mux forward path under
+			// contention.
+			target := fmt.Sprintf("srv:%d", i%threads)
+			switch i % 5 {
+			case 0:
+				send(target, &protocol.Connect{Name: "churn-mig", ProtocolVer: protocol.Version})
+			case 1, 2, 3:
+				seq++
+				send(target, &protocol.Move{
+					Seq: seq, Ack: 1,
+					Cmd: protocol.MoveCmd{Forward: 320, Msec: 33, Buttons: protocol.BtnFire},
+				})
+			case 4:
+				send(target, &protocol.Disconnect{})
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	rig.drive(frames, time.Millisecond)
+	close(stop)
+	wg.Wait()
+	rig.engine.Stop()
+
+	if rig.engine.Frames() == 0 {
+		t.Fatal("no frames executed")
+	}
+	if rig.engine.Replies() == 0 {
+		t.Fatal("no replies sent")
+	}
+	par, ok := rig.engine.(*Parallel)
+	if !ok {
+		t.Fatal("rig did not build a parallel engine")
+	}
+	if par.Migrations() == 0 {
+		t.Fatal("balancer never migrated a client during the stress run")
+	}
+	for i, b := range rig.bots {
+		if b.Snapshots == 0 {
+			t.Errorf("bot %d received no snapshots across migrations", i)
+		}
 	}
 }

@@ -25,6 +25,13 @@ type testRig struct {
 
 func newRig(t *testing.T, threads, numBots int, strat locking.Strategy) *testRig {
 	t.Helper()
+	return newRigCfg(t, threads, numBots, strat, nil)
+}
+
+// newRigCfg is newRig with a config mutator applied before the engine is
+// built (balancing policy, timeouts, …).
+func newRigCfg(t *testing.T, threads, numBots int, strat locking.Strategy, mut func(*Config)) *testRig {
+	t.Helper()
 	m := worldmap.MustGenerate(worldmap.DefaultConfig())
 	w, err := game.NewWorld(game.Config{Map: m, Seed: 42})
 	if err != nil {
@@ -47,6 +54,9 @@ func newRig(t *testing.T, threads, numBots int, strat locking.Strategy) *testRig
 		Strategy:      strat,
 		MaxClients:    numBots + 4,
 		SelectTimeout: 2 * time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
 	}
 	var eng Engine
 	if threads <= 0 {

@@ -1,0 +1,51 @@
+package simserver
+
+import (
+	"testing"
+
+	"qserve/internal/balance"
+)
+
+// TestBalanceReducesExecSkew is the deterministic core of the qbench
+// skewed-workload experiment (acceptance: ≥30% reduction in the max/mean
+// execute-phase load ratio at 4+ threads). A quarter of the players are
+// pinned to room 0; static block assignment lands them all on thread 0,
+// and their elevated interaction cost (dense candidate sets) makes that
+// thread's execute phase the frame's long pole.
+func TestBalanceReducesExecSkew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulated runs")
+	}
+	base := Config{
+		Players:   96,
+		Threads:   4,
+		DurationS: 4,
+		Seed:      5,
+		Cluster:   24,
+	}
+	off, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := base
+	on.Balance = balance.Policy{Enabled: true}
+	res, err := Run(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rOff := off.FrameLog.ExecLoadRatio()
+	rOn := res.FrameLog.ExecLoadRatio()
+	t.Logf("exec max/mean: static=%.3f balanced=%.3f migrations=%d", rOff, rOn, res.Migrations)
+	if rOff < 1.3 {
+		t.Fatalf("clustered workload not skewed enough to test balancing: ratio %.3f", rOff)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("balancer never migrated despite skew")
+	}
+	reduction := (rOff - rOn) / rOff
+	if reduction < 0.30 {
+		t.Errorf("balance reduced exec skew by %.0f%%, want >= 30%% (%.3f -> %.3f)",
+			reduction*100, rOff, rOn)
+	}
+}

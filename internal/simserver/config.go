@@ -9,9 +9,12 @@ package simserver
 import (
 	"fmt"
 
+	"qserve/internal/balance"
 	"qserve/internal/costmodel"
+	"qserve/internal/game"
 	"qserve/internal/locking"
 	"qserve/internal/metrics"
+	"qserve/internal/protocol"
 	"qserve/internal/worldmap"
 )
 
@@ -69,6 +72,26 @@ type Config struct {
 	// first N frames into Result.Trace — the raw material for a Figure-3
 	// style execution timeline.
 	TraceFrames int
+
+	// Balance configures dynamic client→thread rebalancing at the frame
+	// barrier (see internal/balance). Off by default; independent of
+	// Assign, which only picks the initial placement.
+	Balance balance.Policy
+	// Cluster pins the first N players to the map's first room: they
+	// steer back whenever they stray, so request density — and execute
+	// cost — stays concentrated there. This is the skewed workload of the
+	// balancing experiment ("all bots clustered in one room").
+	Cluster int
+	// Script, when set, replaces the bot policy: client idx's move number
+	// seq (0-based) is whatever the script returns. Used by the
+	// cross-engine conformance suite to drive identical inputs through
+	// every engine.
+	Script func(clientIdx int, seq int64) protocol.MoveCmd
+	// MaxMoves, when positive, ends each client's request stream after
+	// that many moves (the run still lasts DurationS so in-flight frames
+	// drain). With Script this makes runs exactly reproducible move for
+	// move.
+	MaxMoves int64
 }
 
 // PhaseSpan is one traced interval of a thread's execution.
@@ -189,6 +212,12 @@ type Result struct {
 
 	Frames   uint64
 	Requests int64
+	// Migrations counts balancer-driven client→thread moves.
+	Migrations int64
+
+	// World is the final game state, exposed so the conformance suite can
+	// compare end-of-run entity tables across engines.
+	World *game.World
 }
 
 // ResponseRate returns replies/sec — the paper's primary throughput

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"math/rand"
 
+	"qserve/internal/balance"
 	"qserve/internal/botclient"
 	"qserve/internal/costmodel"
 	"qserve/internal/entity"
@@ -46,6 +47,12 @@ type simClient struct {
 	backlog     int // queued broadcast events awaiting the next reply
 	replied     uint64
 	baseline    server.Baseline // delta baseline, advanced by the pooled reply path
+
+	// loadNs is the decayed execute-phase cost the balancer equalizes;
+	// home/pinned implement the clustered skewed workload (Config.Cluster).
+	loadNs int64
+	home   geom.Vec3
+	pinned bool
 }
 
 type simRequest struct {
@@ -58,6 +65,7 @@ type simWorker struct {
 	frameReqs    int
 	frameMask    uint64
 	frameLockOps int
+	frameExecNs  int64
 }
 
 type engine struct {
@@ -85,6 +93,13 @@ type engine struct {
 	lastReassign int64
 	endNs        int64
 	trace        []PhaseSpan
+
+	// Dynamic load balancing (nil when cfg.Balance is off); touched only
+	// from masterCleanup, which one context runs at a time.
+	bal        *balance.Balancer
+	migrations int64
+	balLoads   []int64
+	balThreads []int
 }
 
 // span records a traced phase interval while tracing is active.
@@ -178,6 +193,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	e.nodeLocks = make([]sim.Lock, world.Tree.NumNodes())
 	e.fc.e = e
+	if cfg.Balance.Enabled && !cfg.Sequential && cfg.Threads > 1 {
+		e.bal = balance.New(cfg.Balance)
+	}
 
 	if err := e.buildClients(); err != nil {
 		return nil, err
@@ -201,6 +219,8 @@ func Run(cfg Config) (*Result, error) {
 		Locks:      e.locks,
 		Frames:     e.fc.frame,
 		Requests:   e.requests,
+		Migrations: e.migrations,
+		World:      world,
 	}
 	res.Resp.DurationS = cfg.DurationS
 	if cfg.Sequential {
@@ -233,10 +253,21 @@ func (e *engine) buildClients() error {
 			nav:    botclient.NewNavigator(e.world.Map, rand.New(rand.NewSource(cfg.Seed+int64(i)*31+11))),
 			rng:    rand.New(rand.NewSource(cfg.Seed + int64(i)*17 + 3)),
 		}
+		if i < cfg.Cluster && len(e.world.Map.Rooms) > 0 {
+			c.pinned = true
+			c.home = e.world.Map.Rooms[0].Bounds.Center()
+		}
+		start := stagger.Int63n(periodNs) + e.cfg.NetDelayNs
+		end := e.endNs
+		if cfg.MaxMoves > 0 {
+			if lim := start + cfg.MaxMoves*periodNs; lim < end {
+				end = lim
+			}
+		}
 		c.src = &sim.PeriodicSource{
-			Start:  stagger.Int63n(periodNs) + e.cfg.NetDelayNs,
+			Start:  start,
 			Period: periodNs,
-			End:    e.endNs,
+			End:    end,
 			Make:   func(seq int64) any { return &simRequest{client: c, seq: seq} },
 		}
 		e.clients = append(e.clients, c)
@@ -333,7 +364,7 @@ func (e *engine) workerBody(p *sim.Proc) {
 		}
 
 		w := &e.workers[p.ID]
-		w.frameReqs, w.frameMask, w.frameLockOps = 0, 0, 0
+		w.frameReqs, w.frameMask, w.frameLockOps, w.frameExecNs = 0, 0, 0, 0
 		t0 = p.Now()
 		e.processRequest(p, arr.Payload.(*simRequest), arr.At)
 		for {
@@ -396,7 +427,10 @@ func (e *engine) processRequest(p *sim.Proc, req *simRequest, arrivedAt int64) {
 	e.advance(p, e.model.RecvPacket, metrics.CompRecv)
 
 	c := req.client
-	cmd := c.decide(e)
+	cmd := c.decide(e, req.seq)
+
+	bd := &e.bds[p.ID]
+	execBefore := bd.Ns[metrics.CompExec]
 
 	var stats locking.AcquireStats
 	var mask uint64
@@ -429,6 +463,13 @@ func (e *engine) processRequest(p *sim.Proc, req *simRequest, arrivedAt int64) {
 		}
 	}
 
+	// Per-client execute cost (this move's CompExec charge, which excludes
+	// lock wait) feeds the balancer; measured before the global-buffer
+	// append so broadcast pressure is not attributed to the mover.
+	execDelta := bd.Ns[metrics.CompExec] - execBefore
+	c.loadNs += execDelta
+	bd.ExecCmds++
+
 	if n := len(res.Events); n > 0 {
 		// Global state buffer: a single lock serializes all accesses.
 		e.globalBufferAppend(p, n)
@@ -438,6 +479,7 @@ func (e *engine) processRequest(p *sim.Proc, req *simRequest, arrivedAt int64) {
 	c.lastArrival = arrivedAt
 
 	w := &e.workers[p.ID]
+	w.frameExecNs += execDelta
 	w.frameReqs++
 	w.frameMask |= mask
 	w.frameLockOps += stats.LeafLockOps
@@ -513,17 +555,59 @@ func (e *engine) masterCleanup(p *sim.Proc) {
 		Participants:      len(e.fc.participants),
 		RequestsByThread:  make([]int, len(e.workers)),
 		LeafLocksByThread: make([]uint64, len(e.workers)),
+		ExecNsByThread:    make([]int64, len(e.workers)),
 	}
 	for _, wid := range e.fc.participants {
 		rec.RequestsByThread[wid] = e.workers[wid].frameReqs
 		rec.LeafLocksByThread[wid] = e.workers[wid].frameMask
 		rec.LeafLockOps += e.workers[wid].frameLockOps
+		rec.ExecNsByThread[wid] = e.workers[wid].frameExecNs
+	}
+	if e.bal != nil {
+		rec.Migrations = e.rebalance()
 	}
 	e.frameLog.Append(rec)
 }
 
-// decide produces the client's next move command from its bot policy.
-func (c *simClient) decide(e *engine) protocol.MoveCmd {
+// rebalance mirrors the live engine's barrier rebalance: it runs in
+// masterCleanup, where every participant is past its reply phase and no
+// other context executes, so reassigning threads and rebuilding the
+// per-thread membership lists is plain data manipulation. Pending
+// requests follow the client through clientPort's dynamic membership
+// scan, and the reply baseline travels with the simClient untouched.
+func (e *engine) rebalance() int {
+	loads, threads := e.balLoads[:0], e.balThreads[:0]
+	for _, c := range e.clients { // idx order: deterministic plans
+		loads = append(loads, c.loadNs)
+		threads = append(threads, c.thread)
+	}
+	e.balLoads, e.balThreads = loads, threads
+
+	migs := e.bal.Plan(loads, threads, len(e.workers))
+	for _, mg := range migs {
+		e.clients[mg.Client].thread = mg.To
+	}
+	if len(migs) > 0 {
+		for t := range e.byThread {
+			e.byThread[t] = e.byThread[t][:0]
+		}
+		for _, c := range e.clients {
+			e.byThread[c.thread] = append(e.byThread[c.thread], c)
+		}
+	}
+	for _, c := range e.clients {
+		c.loadNs >>= 1
+	}
+	e.migrations += int64(len(migs))
+	return len(migs)
+}
+
+// decide produces the client's next move command: the conformance
+// script when one is configured, otherwise the bot policy.
+func (c *simClient) decide(e *engine, seq int64) protocol.MoveCmd {
+	if e.cfg.Script != nil {
+		return e.cfg.Script(c.idx, seq)
+	}
 	var cmd protocol.MoveCmd
 	cmd.Msec = uint8(e.cfg.ClientFrameMs)
 	cmd.Forward = 320
@@ -552,6 +636,14 @@ func (c *simClient) decide(e *engine) protocol.MoveCmd {
 		}
 		if c.rng.Float64() < 0.3 {
 			cmd.Impulse = uint8(1 + c.rng.Intn(2))
+		}
+	}
+	// Clustered workload: pinned clients head back to their home room
+	// whenever they wander out of it, overriding navigation and combat
+	// steering so the crowd never disperses.
+	if c.pinned {
+		if d := c.home.Sub(pos).Flat(); d.Len() > 96 {
+			wishYaw = geom.VecToAngles(d).Y
 		}
 	}
 	cmd.Yaw = protocol.AngleToWire(wishYaw)

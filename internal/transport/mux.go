@@ -1,0 +1,212 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Mux fans a server's N thread endpoints into N routable ports so the
+// load balancer can migrate a client between threads without the client
+// noticing. The paper's static design hands each thread its own UDP
+// endpoint and clients keep sending to the endpoint named in Accept;
+// once clients migrate, a datagram can arrive at the endpoint of a
+// thread that no longer owns the sender. The Mux sits between the real
+// endpoints and the worker threads: one pump goroutine per underlying
+// conn drains datagrams and enqueues each onto the port chosen by a
+// source-address routing table (defaulting to the arrival endpoint's own
+// port, which reproduces the static behavior exactly).
+//
+// The frame master updates routes at the rebalance barrier; Forward lets
+// a worker bounce an already-received datagram to the owning thread's
+// port, so commands in flight across a migration are executed rather
+// than dropped.
+//
+// The Mux does not own the underlying conns: Close stops the pumps but
+// leaves the conns open for their creator to close.
+type Mux struct {
+	conns []Conn
+	ports []*MuxPort
+
+	mu    sync.Mutex
+	route map[string]int // source address → port index
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// muxPumpTick bounds how long a pump blocks in Recv before re-checking
+// for shutdown, so Close returns promptly without closing the conns.
+const muxPumpTick = 20 * time.Millisecond
+
+// muxQueueLen bounds each port's receive queue; overflow drops, as a
+// full socket buffer would.
+const muxQueueLen = 1024
+
+// NewMux wraps conns and starts one pump goroutine per conn.
+func NewMux(conns []Conn) *Mux {
+	m := &Mux{
+		conns: conns,
+		ports: make([]*MuxPort, len(conns)),
+		route: make(map[string]int),
+		stop:  make(chan struct{}),
+	}
+	for i, c := range conns {
+		m.ports[i] = &MuxPort{
+			mux:   m,
+			inner: c,
+			queue: make(chan memPacket, muxQueueLen),
+		}
+	}
+	for i := range conns {
+		m.wg.Add(1)
+		go m.pump(i)
+	}
+	return m
+}
+
+// Port returns the routable Conn for worker i.
+func (m *Mux) Port(i int) *MuxPort { return m.ports[i] }
+
+// Route directs future datagrams from addr to the given port. Safe to
+// call concurrently with pumps (connect handling) and from the frame
+// master (migration).
+func (m *Mux) Route(addr Addr, port int) {
+	if port < 0 || port >= len(m.ports) {
+		return
+	}
+	m.mu.Lock()
+	m.route[addr.String()] = port
+	m.mu.Unlock()
+}
+
+// Unroute forgets a source address (client disconnected or evicted);
+// its datagrams fall back to arrival-endpoint routing.
+func (m *Mux) Unroute(addr Addr) {
+	m.mu.Lock()
+	delete(m.route, addr.String())
+	m.mu.Unlock()
+}
+
+// Forward re-injects an already-received datagram into another port's
+// queue, preserving the original source address. Workers use it when a
+// datagram for a migrated client arrives before the client's routing
+// update takes effect. The data is copied; the caller may reuse it.
+func (m *Mux) Forward(port int, data []byte, from Addr) {
+	if port < 0 || port >= len(m.ports) {
+		return
+	}
+	pb := pktPool.Get().(*pktBuf)
+	pb.b = append(pb.b[:0], data...)
+	m.ports[port].enqueue(memPacket{buf: pb, from: MemAddr(from.String())})
+}
+
+// Close stops the pump goroutines and wakes any blocked port Recv. The
+// underlying conns are left open.
+func (m *Mux) Close() {
+	m.closeOnce.Do(func() {
+		close(m.stop)
+		m.wg.Wait()
+	})
+}
+
+func (m *Mux) pump(i int) {
+	defer m.wg.Done()
+	buf := make([]byte, MaxDatagram)
+	for {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		n, from, err := m.conns[i].Recv(buf, muxPumpTick)
+		if err == ErrTimeout {
+			continue
+		}
+		if err != nil {
+			return // conn closed out from under us
+		}
+		m.mu.Lock()
+		port, ok := m.route[from.String()]
+		m.mu.Unlock()
+		if !ok {
+			port = i // unknown sender: static behavior, arrival endpoint's thread
+		}
+		pb := pktPool.Get().(*pktBuf)
+		pb.b = append(pb.b[:0], buf[:n]...)
+		m.ports[port].enqueue(memPacket{buf: pb, from: MemAddr(from.String())})
+	}
+}
+
+// MuxPort is one worker-facing Conn of a Mux.
+type MuxPort struct {
+	mux   *Mux
+	inner Conn
+	queue chan memPacket
+}
+
+func (p *MuxPort) enqueue(pkt memPacket) {
+	select {
+	case p.queue <- pkt:
+	default:
+		pkt.release()
+	}
+}
+
+// Send implements Conn, transmitting from the port's own endpoint so
+// replies carry the address the client expects.
+func (p *MuxPort) Send(to Addr, data []byte) error { return p.inner.Send(to, data) }
+
+// Recv implements Conn with the standard timeout semantics.
+func (p *MuxPort) Recv(buf []byte, timeout time.Duration) (int, Addr, error) {
+	select {
+	case pkt := <-p.queue:
+		return copyPacket(buf, pkt)
+	case <-p.mux.stop:
+		return 0, nil, ErrClosed
+	default:
+	}
+	if timeout == 0 {
+		return 0, nil, ErrTimeout
+	}
+	if timeout < 0 {
+		select {
+		case pkt := <-p.queue:
+			return copyPacket(buf, pkt)
+		case <-p.mux.stop:
+			return 0, nil, ErrClosed
+		}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case pkt := <-p.queue:
+		return copyPacket(buf, pkt)
+	case <-p.mux.stop:
+		return 0, nil, ErrClosed
+	case <-timer.C:
+		return 0, nil, ErrTimeout
+	}
+}
+
+// LocalAddr implements Conn; it names the underlying endpoint, so
+// Accept messages keep advertising real client-visible addresses.
+func (p *MuxPort) LocalAddr() Addr { return p.inner.LocalAddr() }
+
+// Close implements Conn. Ports close with their Mux, not individually.
+func (p *MuxPort) Close() error { return nil }
+
+// Pending returns the number of queued datagrams (diagnostics).
+func (p *MuxPort) Pending() int { return len(p.queue) }
+
+var _ Conn = (*MuxPort)(nil)
+
+// muxResolve keeps ResolveLike working through a Mux: addresses are
+// resolved against the underlying endpoint's transport.
+func muxResolve(p *MuxPort, s string) (Addr, error) {
+	if p.inner == nil {
+		return nil, fmt.Errorf("transport: mux port has no inner conn")
+	}
+	return ResolveLike(p.inner, s)
+}

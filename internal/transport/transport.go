@@ -73,9 +73,11 @@ type Conn interface {
 // connection: MemAddr for in-memory endpoints, *net.UDPAddr for UDP.
 // Clients use it to interpret the server's Accept.Addr field.
 func ResolveLike(c Conn, s string) (Addr, error) {
-	switch c.(type) {
+	switch cc := c.(type) {
 	case *MemConn:
 		return MemAddr(s), nil
+	case *MuxPort:
+		return muxResolve(cc, s)
 	case *UDPConn:
 		ua, err := net.ResolveUDPAddr("udp", s)
 		if err != nil {
