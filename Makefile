@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench conformance cover ci
+.PHONY: all build test race vet bench conformance chaos cover ci
 
 all: build
 
@@ -23,15 +23,24 @@ race:
 # variant must stay at 0 allocs/op (CI enforces this as a hard gate).
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkReplyPhaseAllocs -benchmem -benchtime=100x .
+	$(GO) test -run=NONE -bench=BenchmarkFaultConnPassthrough -benchmem -benchtime=1000x ./internal/transport/
 
 # conformance proves the three engines compute the same game, with the
 # load balancer off and with migration forced every frame.
 conformance:
 	$(GO) test -race -v -run 'TestCrossEngineConformance' ./internal/conformance/
 
+# chaos runs the robustness acceptance suite under the race detector:
+# the fault-injected soak (loss/reorder/dup/corruption plus an injected
+# panic), the watchdog quarantine, panic containment, the overload shed
+# ladder, and graceful shutdown.
+chaos:
+	$(GO) test -race -v -run 'TestChaosSoak|TestWatchdog|TestPanicContainment|TestOverloadShedLadder|TestGracefulShutdown|TestFrameCtl' ./internal/server/
+	$(GO) test -race -run 'TestDecodeSurvivesFaultInjector|Fuzz' ./internal/protocol/
+
 # cover prints the per-function coverage table's total line.
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-ci: vet build race bench conformance
+ci: vet build race bench conformance chaos

@@ -384,14 +384,15 @@ func BenchmarkReplyPhaseAllocs(b *testing.B) {
 	b.Run("naive", func(b *testing.B) {
 		w, players := setup(b)
 		baselines := make([][]protocol.EntityState, numPlayers)
+		baseTags := make([]uint32, numPlayers)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for n := 0; n < b.N; n++ {
 			frame := uint32(n + 1)
 			for i, e := range players {
-				data, base := server.ReferenceFormSnapshot(w, e, baselines[i],
+				data, base, tag := server.ReferenceFormSnapshot(w, e, baselines[i], baseTags[i],
 					frame, frame, frame*33, events, events)
-				baselines[i] = base
+				baselines[i], baseTags[i] = base, tag
 				if len(data) == 0 {
 					b.Fatal("empty datagram")
 				}
@@ -408,7 +409,7 @@ func BenchmarkReplyPhaseAllocs(b *testing.B) {
 		// benchmark (and the CI allocation gate) measures.
 		for round := 0; round < 8; round++ {
 			for i, e := range players {
-				scratch.FormSnapshot(w, e, &baselines[i], 1, 1, 1, events, events)
+				scratch.FormSnapshot(w, e, &baselines[i], 1, 1, 1, events, events, 0)
 			}
 		}
 		b.ReportAllocs()
@@ -417,7 +418,7 @@ func BenchmarkReplyPhaseAllocs(b *testing.B) {
 			frame := uint32(n + 1)
 			for i, e := range players {
 				data, _ := scratch.FormSnapshot(w, e, &baselines[i],
-					frame, frame, frame*33, events, events)
+					frame, frame, frame*33, events, events, 0)
 				if len(data) == 0 {
 					b.Fatal("empty datagram")
 				}

@@ -42,6 +42,14 @@ func main() {
 	mapSeed := flag.Int64("mapseed", 1, "seed for the generated map")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	bal := flag.Bool("balance", false, "enable dynamic client->thread load balancing (parallel engine)")
+	watchdog := flag.Duration("watchdog", 0, "frame watchdog deadline per phase (0 disables)")
+	quarantine := flag.Bool("quarantine", false, "watchdog also quarantines the client a wedged thread was serving")
+	budget := flag.Duration("budget", 0, "frame-time budget for overload shedding (0 disables)")
+	dropP := flag.Float64("faultdrop", 0, "chaos: per-datagram drop probability on every port")
+	dupP := flag.Float64("faultdup", 0, "chaos: per-datagram duplication probability")
+	reorderP := flag.Float64("faultreorder", 0, "chaos: per-datagram reorder probability")
+	corruptP := flag.Float64("faultcorrupt", 0, "chaos: per-datagram bit-flip probability")
+	faultSeed := flag.Int64("faultseed", 1, "chaos: fault stream seed")
 	flag.Parse()
 
 	m, err := loadMap(*mapPath, *mapSeed)
@@ -66,12 +74,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fcfg := transport.FaultConfig{
+		Seed:        *faultSeed,
+		DropProb:    *dropP,
+		DupProb:     *dupP,
+		ReorderProb: *reorderP,
+		CorruptProb: *corruptP,
+	}.Clamped()
+	if fcfg != (transport.FaultConfig{Seed: *faultSeed}) {
+		// Self-inflicted chaos: wrap every port in the fault injector so a
+		// deployment can be soak-tested without an external impairment box.
+		for i, c := range conns {
+			pc := fcfg
+			pc.Seed = fcfg.Seed*31 + int64(i) + 1
+			conns[i] = transport.NewFaultConn(c, pc)
+		}
+		fmt.Printf("qserved: fault injection on: drop=%.2g dup=%.2g reorder=%.2g corrupt=%.2g seed=%d\n",
+			fcfg.DropProb, fcfg.DupProb, fcfg.ReorderProb, fcfg.CorruptProb, fcfg.Seed)
+	}
 	cfg := server.Config{
-		World:      world,
-		Conns:      conns,
-		Threads:    *threads,
-		Strategy:   strat,
-		MaxClients: *maxClients,
+		World:            world,
+		Conns:            conns,
+		Threads:          *threads,
+		Strategy:         strat,
+		MaxClients:       *maxClients,
+		WatchdogDeadline: *watchdog,
+		QuarantineWedged: *quarantine,
+		FrameBudget:      *budget,
 	}
 	if *bal {
 		cfg.Balance = balance.Policy{Enabled: true}
@@ -110,7 +139,14 @@ func main() {
 		select {
 		case <-sig:
 			fmt.Println("\nshutting down ...")
-			eng.Stop()
+			// Graceful drain: notify every connected client it is being
+			// disconnected, then stop. Engines that predate Shutdown fall
+			// back to a plain Stop.
+			if g, ok := eng.(interface{ Shutdown() }); ok {
+				g.Shutdown()
+			} else {
+				eng.Stop()
+			}
 			printBreakdowns(eng)
 			return
 		case <-ticker.C:
@@ -167,6 +203,10 @@ func printBreakdowns(eng server.Engine) {
 		eng.BytesIn()/1024, eng.BytesOut()/1024)
 	if par, ok := eng.(*server.Parallel); ok {
 		fmt.Printf("migrations: %d\n", par.Migrations())
+		if w, e := len(par.Wedges()), par.FaultEvictions(); w > 0 || e > 0 {
+			fmt.Printf("robustness: wedges=%d evictions=%d shed-level=%d\n",
+				w, e, par.ShedLevel())
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ func main() {
 	trace := flag.Int("trace", 0, "render an execution timeline of the first N frames")
 	bal := flag.Bool("balance", false, "enable dynamic client->thread load balancing at the frame barrier")
 	cluster := flag.Int("cluster", 0, "pin the first N players to room 0 (skewed workload)")
+	loss := flag.Float64("loss", 0, "per-request network loss probability (0..1)")
 	flag.Parse()
 
 	cfg := simserver.Config{
@@ -57,6 +58,7 @@ func main() {
 	cfg.BatchDelayNs = *batch * 1000
 	cfg.TraceFrames = *trace
 	cfg.Cluster = *cluster
+	cfg.LossProb = *loss
 	if *bal {
 		cfg.Balance = balance.Policy{Enabled: true}
 	}
@@ -69,6 +71,10 @@ func main() {
 		res.Players, res.Threads, res.Sequential, res.Strategy, res.NumLeaves)
 	fmt.Printf("frames=%d requests=%d replies=%d rate=%.1f/s resp=%.1fms\n",
 		res.Frames, res.Requests, res.Resp.Replies, res.ResponseRate(), res.ResponseTimeMs())
+	if res.LostRequests > 0 {
+		fmt.Printf("lost=%d (%.1f%% of offered load)\n", res.LostRequests,
+			100*float64(res.LostRequests)/float64(res.Requests+res.LostRequests))
+	}
 	bd := res.Avg
 	for c := metrics.Component(0); c < metrics.NumComponents; c++ {
 		fmt.Printf("  %-11s %6.1f%%  (%s)\n", c.String(), bd.Percent(c), metrics.Dur(bd.Ns[c]))

@@ -59,12 +59,21 @@ type Bot struct {
 	health    int16
 	enemies   []protocol.EntityState
 	allStates []protocol.EntityState // reconstructed entity table
+	// tableTag is the delta-continuity tag the entity table corresponds
+	// to: the frame after the snapshot that produced it. A snapshot whose
+	// BaseFrame differs was built against a baseline this bot never saw
+	// (a lost snapshot) — its delta must be discarded and a resync
+	// requested. Tag 0 means "no table yet": the next snapshot must carry
+	// BaseFrame 0 (full state).
+	tableTag   uint32
+	lastResync time.Time
 
 	// Stats observed by the bot.
 	Resp       metrics.ResponseStats
 	Snapshots  int64
 	Kills      int64 // kill events where this bot was the actor
 	Deaths     int64
+	Resyncs    int64   // deltas discarded for baseline discontinuity
 	Moved      float64 // total distance travelled, a liveness check
 	lastOrigin geom.Vec3
 
@@ -164,6 +173,12 @@ func (b *Bot) Step() {
 	b.sendMove()
 }
 
+// Drain consumes queued replies without sending a move — the final
+// settle step of tests that must observe a quiescent server.
+func (b *Bot) Drain() {
+	b.drainReplies()
+}
+
 func (b *Bot) sendMove() {
 	cmd := b.decideMove()
 	b.seq++
@@ -252,21 +267,62 @@ func (b *Bot) drainReplies() {
 }
 
 // updateEnemies applies the snapshot's entity delta to the bot's view of
-// other players.
+// other players, enforcing delta continuity via the BaseFrame tag.
 func (b *Bot) updateEnemies(snap *protocol.Snapshot) {
+	switch {
+	case snap.BaseFrame == 0:
+		// Full state: the server's baseline was empty, so the delta stands
+		// alone. Reset the table before applying.
+		b.allStates = b.allStates[:0]
+	case snap.BaseFrame != b.tableTag:
+		// The delta was computed against a snapshot this bot never
+		// received (lost on the wire). Applying it would corrupt the
+		// table; discard it and ask the server for full state.
+		b.resync()
+		return
+	}
 	updated, err := protocol.ApplyDelta(b.allStates, snap.Delta)
 	if err != nil {
-		// Delta stream confused (e.g. packet loss): resync from scratch.
-		b.allStates = nil
+		// Delta stream confused despite a matching tag (corruption that
+		// survived decode): resync from scratch.
+		b.allStates = b.allStates[:0]
+		b.tableTag = 0
+		b.resync()
 		return
 	}
 	b.allStates = updated
+	b.tableTag = snap.Frame + 1
 	b.enemies = b.enemies[:0]
 	for _, s := range b.allStates {
 		if s.Class == 1 && int32(s.ID) != b.entityID { // ClassPlayer
 			b.enemies = append(b.enemies, s)
 		}
 	}
+}
+
+// resync asks the server to restart the delta stream by re-sending the
+// connection request: the server re-accepts idempotently and flags the
+// bot's baseline for reset, so the next snapshot carries full state
+// (BaseFrame 0). Rate-limited — under sustained loss one resync per
+// round-trip window is enough.
+func (b *Bot) resync() {
+	b.Resyncs++
+	now := time.Now()
+	if now.Sub(b.lastResync) < 250*time.Millisecond {
+		return
+	}
+	b.lastResync = now
+	b.send(b.server, &protocol.Connect{
+		Name:        b.cfg.Name,
+		FrameMs:     uint8(b.cfg.FrameMs),
+		ProtocolVer: protocol.Version,
+	})
+}
+
+// EntityTable returns the bot's reconstructed entity table and its
+// continuity tag (for end-state consistency checks in tests).
+func (b *Bot) EntityTable() ([]protocol.EntityState, uint32) {
+	return b.allStates, b.tableTag
 }
 
 func (b *Bot) send(to transport.Addr, msg any) {

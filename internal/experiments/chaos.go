@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"qserve/internal/botclient"
+	"qserve/internal/game"
+	"qserve/internal/locking"
+	"qserve/internal/metrics"
+	"qserve/internal/server"
+	"qserve/internal/transport"
+	"qserve/internal/worldmap"
+)
+
+// chaosScenario is one row of the chaos study: a fault profile and an
+// optional frame budget (which arms the overload shed ladder).
+type chaosScenario struct {
+	name   string
+	faults transport.FaultConfig
+	budget time.Duration
+}
+
+// chaosResult aggregates what one scenario observed.
+type chaosResult struct {
+	replies   int64
+	resyncs   int64
+	snapshots int64
+	injected  transport.FaultStats
+	bd        metrics.Breakdown
+	evictions int64
+	shedMax   int
+}
+
+// Chaos runs the robustness study on the *live* parallel engine — real
+// goroutines, the in-memory transport, and the deterministic fault
+// injector between them. Unlike the simulated figures this one measures
+// behavior, not time: under packet loss, reordering, duplication, and
+// corruption the server must keep replying, clients must detect broken
+// delta streams (BaseFrame mismatches) and resync, and under an
+// artificially tight frame budget the shed ladder must engage. The
+// wall-clock run is short; counters, not latencies, are the output.
+func Chaos(o Options) (string, error) {
+	o.fill()
+	const (
+		threads = 4
+		numBots = 16
+		steps   = 250
+	)
+	scenarios := []chaosScenario{
+		{name: "clean"},
+		{name: "loss 10%", faults: transport.FaultConfig{DropProb: 0.10}},
+		{name: "chaos mix", faults: transport.FaultConfig{
+			DropProb: 0.20, ReorderProb: 0.10, DupProb: 0.05, CorruptProb: 0.01}},
+		{name: "overload", budget: 50 * time.Microsecond},
+	}
+
+	t := metrics.Table{
+		Title: fmt.Sprintf("Chaos: live engine, %d threads, %d bots, %d client frames",
+			threads, numBots, steps),
+		Header: []string{"scenario", "replies", "resyncs", "inj drop", "inj corrupt",
+			"shed", "replies shed", "busy rej", "evicted", "panics"},
+	}
+	var summary strings.Builder
+	for _, sc := range scenarios {
+		o.Progress("chaos: %s", sc.name)
+		r, err := runChaosScenario(o, sc, threads, numBots, steps)
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(sc.name,
+			fmt.Sprint(r.replies),
+			fmt.Sprint(r.resyncs),
+			fmt.Sprint(r.injected.Dropped),
+			fmt.Sprint(r.injected.Corrupted),
+			fmt.Sprint(r.shedMax),
+			fmt.Sprint(r.bd.RepliesShed),
+			fmt.Sprint(r.bd.BusyRejects),
+			fmt.Sprint(r.evictions),
+			fmt.Sprint(r.bd.PanicsRecovered))
+		if sc.faults.DropProb > 0 && r.snapshots == 0 {
+			fmt.Fprintf(&summary, "%s: WARNING no snapshots survived\n", sc.name)
+		}
+		if sc.budget > 0 && r.shedMax == 0 {
+			fmt.Fprintf(&summary, "%s: WARNING shed ladder never engaged\n", sc.name)
+		}
+	}
+	return t.Render() + summary.String(), nil
+}
+
+func runChaosScenario(o Options, sc chaosScenario, threads, numBots, steps int) (*chaosResult, error) {
+	mc := worldmap.DefaultConfig()
+	mc.Seed = o.Seed + 1
+	m := worldmap.MustGenerate(mc)
+	w, err := game.NewWorld(game.Config{Map: m, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	baseNet := transport.NewNetwork(transport.NetworkConfig{QueueLen: 4096})
+	faults := sc.faults
+	faults.Seed = o.Seed
+	fnet := transport.NewFaultNetwork(baseNet, faults.Clamped())
+
+	conns := make([]transport.Conn, threads)
+	for i := range conns {
+		c, err := fnet.Listen(fmt.Sprintf("srv:%d", i))
+		if err != nil {
+			return nil, err
+		}
+		conns[i] = c
+	}
+	eng, err := server.NewParallel(server.Config{
+		World:            w,
+		Conns:            conns,
+		Threads:          threads,
+		Strategy:         locking.Optimized{},
+		MaxClients:       numBots + 4,
+		SelectTimeout:    2 * time.Millisecond,
+		FrameBudget:      sc.budget,
+		WatchdogDeadline: 250 * time.Millisecond,
+		QuarantineWedged: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng.Start()
+	defer eng.Stop()
+
+	bots := make([]*botclient.Bot, 0, numBots)
+	for i := 0; i < numBots; i++ {
+		bc, err := fnet.Listen(fmt.Sprintf("bot:%d", i))
+		if err != nil {
+			return nil, err
+		}
+		bot, err := botclient.New(botclient.Config{
+			Name:   fmt.Sprintf("chaos-%d", i),
+			Conn:   bc,
+			Server: transport.MemAddr("srv:0"),
+			Map:    m,
+			Seed:   o.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := bot.Connect(); err != nil {
+			// Under heavy loss a handshake can exhaust its retries; the
+			// study continues with the bots that made it in.
+			continue
+		}
+		bots = append(bots, bot)
+	}
+	if len(bots) == 0 {
+		return nil, fmt.Errorf("chaos %s: no bot could connect", sc.name)
+	}
+
+	res := &chaosResult{}
+	for f := 0; f < steps; f++ {
+		for _, b := range bots {
+			b.Step()
+		}
+		if lvl := eng.ShedLevel(); lvl > res.shedMax {
+			res.shedMax = lvl
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	for _, b := range bots {
+		b.Step()
+	}
+	eng.Stop()
+
+	for _, b := range bots {
+		res.replies += b.Resp.Replies
+		res.resyncs += b.Resyncs
+		res.snapshots += b.Snapshots
+	}
+	res.injected = fnet.Stats()
+	res.evictions = eng.FaultEvictions()
+	res.bd = sumCounters(eng.Breakdowns())
+	return res, nil
+}
+
+// sumCounters folds per-thread breakdowns into totals of the robustness
+// counters (time components are irrelevant to the chaos table).
+func sumCounters(bds []metrics.Breakdown) metrics.Breakdown {
+	var out metrics.Breakdown
+	for _, bd := range bds {
+		out.RepliesShed += bd.RepliesShed
+		out.EntitiesCapped += bd.EntitiesCapped
+		out.BusyRejects += bd.BusyRejects
+		out.PanicsRecovered += bd.PanicsRecovered
+		out.WedgesDetected += bd.WedgesDetected
+		out.MuxDrops += bd.MuxDrops
+	}
+	return out
+}

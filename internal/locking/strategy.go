@@ -206,6 +206,36 @@ type RegionLocker struct {
 	Provider Provider
 
 	leafBuf []int32
+	// held records every node currently locked through this locker, in
+	// acquisition order. Game code releases guards explicitly (not always
+	// via defer), so a panic mid-move can strand locks; the server's
+	// panic-containment path calls ReleaseAll to unwind them instead of
+	// deadlocking the next thread that touches the region.
+	held []int32
+}
+
+// popHeld removes the most recent occurrence of node from the held log.
+func (rl *RegionLocker) popHeld(node int32) {
+	for i := len(rl.held) - 1; i >= 0; i-- {
+		if rl.held[i] == node {
+			rl.held = append(rl.held[:i], rl.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReleaseAll force-unlocks every node still held through this locker, in
+// reverse acquisition order, and returns how many it released. It is the
+// panic-recovery escape hatch: after a recover() the thread's guards may
+// never get their Release calls, and this restores the provider to a
+// clean state. Zero in normal operation.
+func (rl *RegionLocker) ReleaseAll() int {
+	n := len(rl.held)
+	for i := n - 1; i >= 0; i-- {
+		rl.Provider.UnlockNode(rl.held[i])
+	}
+	rl.held = rl.held[:0]
+	return n
 }
 
 // Guard represents a held set of leaf locks. Release unlocks in reverse
@@ -224,6 +254,7 @@ func (rl *RegionLocker) Acquire(region geom.AABB, stats *AcquireStats) Guard {
 	rl.leafBuf = rl.Tree.LeavesTouching(region, rl.leafBuf[:0])
 	for _, ni := range rl.leafBuf {
 		rl.Provider.LockNode(ni)
+		rl.held = append(rl.held, ni)
 	}
 	if stats != nil {
 		stats.LeafLockOps += len(rl.leafBuf)
@@ -261,6 +292,7 @@ func (g *Guard) Covers(box geom.AABB) bool {
 func (g *Guard) Release() {
 	for i := len(g.leaves) - 1; i >= 0; i-- {
 		g.rl.Provider.UnlockNode(g.leaves[i])
+		g.rl.popHeld(g.leaves[i])
 	}
 	g.leaves = nil
 }
@@ -277,11 +309,17 @@ func (rl *RegionLocker) ParentGuard(stats *AcquireStats) areanode.NodeGuard {
 			return
 		}
 		rl.Provider.LockNode(node)
+		rl.held = append(rl.held, node)
 		if stats != nil {
 			stats.ParentLockOps++
 		}
+		// Deferred so a panic inside the scan still releases the interior
+		// node (and removes it from the held log before any ReleaseAll).
+		defer func() {
+			rl.Provider.UnlockNode(node)
+			rl.popHeld(node)
+		}()
 		scan()
-		rl.Provider.UnlockNode(node)
 	}
 }
 

@@ -91,6 +91,18 @@ type Breakdown struct {
 	// load balancer divides CompExec time by it to reason about per-client
 	// cost, and reports use it to normalize exec time per command.
 	ExecCmds int64
+
+	// Robustness counters from the failure-model layer: panics contained
+	// by the per-thread recover wrappers, wedged-phase detections by the
+	// frame watchdog, replies and entities shed by the overload ladder,
+	// connection attempts refused while overloaded, and datagrams lost to
+	// mux receive-queue overflow.
+	PanicsRecovered int64
+	WedgesDetected  int64
+	RepliesShed     int64
+	EntitiesCapped  int64
+	BusyRejects     int64
+	MuxDrops        int64
 }
 
 // Add accumulates o into b.
@@ -104,6 +116,12 @@ func (b *Breakdown) Add(o *Breakdown) {
 	b.ReplyDatagrams += o.ReplyDatagrams
 	b.ReplyAllocs += o.ReplyAllocs
 	b.ExecCmds += o.ExecCmds
+	b.PanicsRecovered += o.PanicsRecovered
+	b.WedgesDetected += o.WedgesDetected
+	b.RepliesShed += o.RepliesShed
+	b.EntitiesCapped += o.EntitiesCapped
+	b.BusyRejects += o.BusyRejects
+	b.MuxDrops += o.MuxDrops
 }
 
 // Charge adds ns to a component.
@@ -173,6 +191,12 @@ func (b *Breakdown) Scale(f float64) {
 	b.ReplyDatagrams = int64(float64(b.ReplyDatagrams) * f)
 	b.ReplyAllocs = int64(float64(b.ReplyAllocs) * f)
 	b.ExecCmds = int64(float64(b.ExecCmds) * f)
+	b.PanicsRecovered = int64(float64(b.PanicsRecovered) * f)
+	b.WedgesDetected = int64(float64(b.WedgesDetected) * f)
+	b.RepliesShed = int64(float64(b.RepliesShed) * f)
+	b.EntitiesCapped = int64(float64(b.EntitiesCapped) * f)
+	b.BusyRejects = int64(float64(b.BusyRejects) * f)
+	b.MuxDrops = int64(float64(b.MuxDrops) * f)
 }
 
 // BytesPerReply returns the average datagram size of the reply phase, or

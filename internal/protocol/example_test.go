@@ -37,7 +37,7 @@ func ExampleEncode() {
 		back.Cmd.Buttons&protocol.BtnFire != 0, back.Cmd.Msec)
 
 	// Output:
-	// datagram: 24 bytes
+	// datagram: 26 bytes
 	// seq=42 yaw=90 forward=320 firing=true msec=33
 }
 

@@ -2,10 +2,38 @@ package protocol
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 
 	"qserve/internal/geom"
+	"qserve/internal/transport"
 )
+
+// corpusMsgs returns one valid instance of every message type, for
+// corruption-corpus generation.
+func corpusMsgs() []any {
+	return []any{
+		&Connect{Name: "seed", FrameMs: 33, ProtocolVer: Version},
+		&Move{Seq: 7, Ack: 3, Cmd: MoveCmd{Forward: 320, Msec: 33}},
+		&Disconnect{},
+		&Ping{Nonce: 99},
+		&Accept{ClientID: 1, EntityID: 2, MapName: "m", Addr: "a:1"},
+		&Reject{Reason: "full"},
+		&Disconnected{Reason: "bye"},
+		&Pong{Nonce: 3},
+		&Snapshot{
+			Frame:     4,
+			BaseFrame: 3,
+			You:       PlayerState{Origin: geom.V(1, 2, 3), Health: 100},
+			Delta: []EntityDelta{
+				{ID: 5, Bits: DNew, State: EntityState{ID: 5, X: 8, Yaw: 4}},
+				{ID: 7, Bits: DOrigin | DYaw, State: EntityState{ID: 7, X: 1, Y: 2, Z: 3, Yaw: 9}},
+				{ID: 9, Bits: DRemove},
+			},
+			Events: []GameEvent{{Kind: 1, Actor: 2, Subject: 3}},
+		},
+	}
+}
 
 // FuzzDecode drives the datagram parser with arbitrary bytes: it must
 // never panic, and anything it accepts must re-encode successfully
@@ -41,6 +69,27 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{Magic, Version})
 	f.Add([]byte{Magic, Version, uint8(TSnapshot), 0, 0, 0, 0})
+
+	// Injector-produced corruption corpus: every valid message, bit-
+	// flipped and truncated the way transport.FaultConn mangles datagrams
+	// in the chaos tests. Deterministic, so the corpus is stable.
+	rng := rand.New(rand.NewSource(0xC0FFEE))
+	for _, m := range corpusMsgs() {
+		var w Writer
+		if err := Encode(&w, m); err != nil {
+			f.Fatal(err)
+		}
+		valid := w.Bytes()
+		for v := 0; v < 8; v++ {
+			flipped := append([]byte(nil), valid...)
+			bit := rng.Intn(len(flipped) * 8)
+			flipped[bit/8] ^= 1 << uint(bit%8)
+			f.Add(flipped)
+		}
+		for v := 0; v < 4 && len(valid) > 1; v++ {
+			f.Add(append([]byte(nil), valid[:1+rng.Intn(len(valid)-1)]...))
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := Decode(data)
@@ -116,4 +165,109 @@ func FuzzDecodeReusedBuffer(f *testing.F) {
 			t.Fatalf("decoded message differs under buffer reuse:\npristine: %x\nreused:   %x", ww.Bytes(), gw.Bytes())
 		}
 	})
+}
+
+// TestDecodeSurvivesFaultInjector runs every message type through a
+// corrupting, truncating fault conn for many rounds: whatever arrives
+// must either decode or error — never panic. This is the live-wire
+// version of the corruption corpus above.
+func TestDecodeSurvivesFaultInjector(t *testing.T) {
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	rx, err := net.Listen("rx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := net.Listen("tx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := transport.NewFaultConn(tx, transport.FaultConfig{
+		Seed:         1,
+		CorruptProb:  0.7,
+		TruncateProb: 0.4,
+		DupProb:      0.2,
+	})
+	msgs := corpusMsgs()
+	var w Writer
+	buf := make([]byte, transport.MaxDatagram)
+	decoded, rejected := 0, 0
+	for round := 0; round < 200; round++ {
+		for _, m := range msgs {
+			w.Reset()
+			if err := Encode(&w, m); err != nil {
+				t.Fatal(err)
+			}
+			if err := fc.Send(rx.LocalAddr(), w.Bytes()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for {
+			n, _, err := rx.Recv(buf, 0)
+			if err != nil {
+				break
+			}
+			if _, derr := Decode(buf[:n]); derr != nil {
+				rejected++
+			} else {
+				decoded++
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("corruption rates high enough that some datagrams must be rejected")
+	}
+	if decoded == 0 {
+		t.Fatal("some datagrams should survive intact")
+	}
+	st := fc.Stats()
+	if st.Corrupted == 0 || st.Truncated == 0 {
+		t.Fatalf("injector idle: %+v", st)
+	}
+}
+
+// TestDecodeRejectsTrailingBytes pins the strict-framing rule: one
+// datagram is exactly one message.
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	for _, m := range corpusMsgs() {
+		var w Writer
+		if err := Encode(&w, m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Decode(w.Bytes()); err != nil {
+			t.Fatalf("valid %T rejected: %v", m, err)
+		}
+		// Re-checksum the padded datagram so the trailer is valid and the
+		// framing check — not the checksum — is what rejects it.
+		padded := append(append([]byte(nil), w.Bytes()[:len(w.Bytes())-2]...), 0x00)
+		var pw Writer
+		pw.Buf = padded
+		pw.U16(wireSum(padded))
+		if _, err := Decode(pw.Bytes()); err != ErrTrailing {
+			t.Fatalf("padded %T: err = %v, want ErrTrailing", m, err)
+		}
+		// And a flipped bit with the stale checksum must be caught as
+		// corruption.
+		flipped := append([]byte(nil), w.Bytes()...)
+		flipped[3] ^= 0x10
+		if _, err := Decode(flipped); err != ErrChecksum {
+			t.Fatalf("bit-flipped %T: err = %v, want ErrChecksum", m, err)
+		}
+	}
+}
+
+// TestSnapshotBaseFrameRoundTrip pins the v2 wire field.
+func TestSnapshotBaseFrameRoundTrip(t *testing.T) {
+	var w Writer
+	in := &Snapshot{Frame: 10, BaseFrame: 8, AckSeq: 5}
+	if err := Encode(&w, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := out.(*Snapshot)
+	if !ok || snap.BaseFrame != 8 || snap.Frame != 10 {
+		t.Fatalf("round trip got %+v", out)
+	}
 }

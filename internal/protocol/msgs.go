@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"qserve/internal/geom"
@@ -166,8 +167,15 @@ const maxSnapshotEvents = 64
 // state, delta-encoded visible entities, and the frame's broadcast
 // events.
 type Snapshot struct {
-	Frame      uint32 // server frame number
-	AckSeq     uint32 // client request sequence this replies to
+	Frame  uint32 // server frame number
+	AckSeq uint32 // client request sequence this replies to
+	// BaseFrame tags the baseline Delta is relative to: Frame+1 of the
+	// snapshot that established it, or 0 when there is no baseline (the
+	// delta carries full entity state and the client must reset its
+	// table before applying). A client whose own table tag differs from
+	// BaseFrame has missed a snapshot — applying the delta would corrupt
+	// its table silently — and must discard it and request a resync.
+	BaseFrame  uint32
 	ServerTime uint32 // server clock, ms
 	You        PlayerState
 	Delta      []EntityDelta
@@ -180,9 +188,22 @@ type Disconnected struct{ Reason string }
 // Pong answers a Ping.
 type Pong struct{ Nonce uint64 }
 
+// wireSum is the 16-bit datagram checksum: FNV-1a folded to 16 bits.
+// It detects every single-bit flip and all but ~1/65536 of multi-bit
+// corruption, and costs one pass over the datagram with no allocation.
+func wireSum(data []byte) uint16 {
+	h := uint32(2166136261)
+	for _, b := range data {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return uint16(h ^ h>>16)
+}
+
 // Encode serializes any message type into w, including the datagram
-// header.
+// header and the trailing checksum.
 func Encode(w *Writer, msg any) error {
+	start := len(w.Buf)
 	w.U8(Magic)
 	w.U8(Version)
 	switch m := msg.(type) {
@@ -214,6 +235,7 @@ func Encode(w *Writer, msg any) error {
 		w.U8(uint8(TSnapshot))
 		w.U32(m.Frame)
 		w.U32(m.AckSeq)
+		w.U32(m.BaseFrame)
 		w.U32(m.ServerTime)
 		encodePlayerState(w, &m.You)
 		encodeDeltas(w, m.Delta)
@@ -227,12 +249,24 @@ func Encode(w *Writer, msg any) error {
 	default:
 		return fmt.Errorf("protocol: cannot encode %T", msg)
 	}
+	w.U16(wireSum(w.Buf[start:]))
 	return nil
 }
 
-// Decode parses a datagram into one of the message structs above.
+// Decode parses a datagram into one of the message structs above. The
+// checksum trailer is verified first: a mismatch means the datagram was
+// corrupted in flight, and parsing it could yield a structurally valid
+// message carrying garbage (a wild Move sequence, a forged Disconnect,
+// a Snapshot whose delta chain looks intact) — rejected wholesale.
 func Decode(data []byte) (any, error) {
-	r := NewReader(data)
+	if len(data) < 5 { // magic + version + type + checksum
+		return nil, ErrTruncated
+	}
+	body := data[:len(data)-2]
+	if binary.LittleEndian.Uint16(data[len(data)-2:]) != wireSum(body) {
+		return nil, ErrChecksum
+	}
+	r := NewReader(body)
 	if r.U8() != Magic || r.U8() != Version {
 		if r.Err() != nil {
 			return nil, r.Err()
@@ -271,6 +305,7 @@ func Decode(data []byte) (any, error) {
 		m := &Snapshot{}
 		m.Frame = r.U32()
 		m.AckSeq = r.U32()
+		m.BaseFrame = r.U32()
 		m.ServerTime = r.U32()
 		decodePlayerState(r, &m.You)
 		var err error
@@ -289,6 +324,12 @@ func Decode(data []byte) (any, error) {
 	}
 	if r.Err() != nil {
 		return nil, r.Err()
+	}
+	if r.Remaining() > 0 {
+		// Strict framing: a datagram is exactly one message. Trailing
+		// bytes mean corruption (e.g. a bit-flipped count shrank the
+		// parsed region) — reject rather than half-accept.
+		return nil, ErrTrailing
 	}
 	return msg, nil
 }

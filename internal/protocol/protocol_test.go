@@ -209,6 +209,17 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 		{Magic, Version, uint8(TMove)}, // truncated move
 		{Magic, Version, uint8(TSnapshot), 1, 2},
 	}
+	// The raw cases above mostly die on the checksum; re-checksum them so
+	// the header and body validation they target is what rejects them.
+	for _, data := range cases {
+		if len(data) < 3 {
+			continue
+		}
+		var w Writer
+		w.Buf = append(w.Buf[:0], data...)
+		w.U16(wireSum(data))
+		cases = append(cases, append([]byte(nil), w.Bytes()...))
+	}
 	for i, data := range cases {
 		if _, err := Decode(data); err == nil {
 			t.Errorf("case %d: garbage decoded successfully", i)
@@ -241,6 +252,7 @@ func TestDecodeSnapshotEntityCountLimit(t *testing.T) {
 	w.U32(1)
 	encodePlayerState(&w, &PlayerState{})
 	w.U16(65535) // absurd entity count
+	w.U16(wireSum(w.Bytes()))
 	if _, err := Decode(w.Bytes()); err == nil {
 		t.Error("oversized entity count accepted")
 	}

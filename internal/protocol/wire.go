@@ -14,14 +14,32 @@ import (
 	"math"
 )
 
-// Magic and Version open every datagram.
+// Magic and Version open every datagram. Version 2 added the snapshot
+// BaseFrame field, which lets clients detect delta-chain breaks caused
+// by packet loss instead of silently corrupting their entity tables.
+// Version 3 appended a 16-bit checksum trailer to every datagram, so
+// bit-level corruption is rejected at decode instead of being accepted
+// as a structurally valid message with garbage fields (a corrupted Move
+// sequence number or a corrupted-but-consistent Snapshot would
+// otherwise poison per-client state silently).
 const (
 	Magic   uint8 = 0xA5
-	Version uint8 = 1
+	Version uint8 = 3
 )
+
+// ErrChecksum reports a datagram whose checksum trailer does not match
+// its contents: in-flight corruption.
+var ErrChecksum = errors.New("protocol: checksum mismatch")
 
 // ErrTruncated reports a datagram shorter than its contents require.
 var ErrTruncated = errors.New("protocol: truncated message")
+
+// ErrTrailing reports a datagram longer than its contents: a message
+// followed by extra bytes. A bit flip in an embedded count or length
+// prefix can shrink how much of the datagram the parser consumes while
+// the prefix still parses; rejecting trailing garbage keeps such
+// corruption from being half-accepted.
+var ErrTrailing = errors.New("protocol: trailing bytes after message")
 
 // ErrBadMagic reports a datagram that is not a qserve packet.
 var ErrBadMagic = errors.New("protocol: bad magic or version")

@@ -23,10 +23,10 @@ import (
 
 // client is the server-side record of one connected player.
 type client struct {
-	id     uint16
-	entID  entity.ID
-	name   string
-	addr   transport.Addr
+	id    uint16
+	entID entity.ID
+	name  string
+	addr  transport.Addr
 	// thread is the owning server thread. Static until the load balancer
 	// migrates the client: the frame master rewrites it at the rebalance
 	// barrier, where no request is in flight and the frame controller's
@@ -35,8 +35,10 @@ type client struct {
 
 	// loadNs is the client's decayed execute-phase cost, the balancer's
 	// input. Written by the owning thread during the request phase, read
-	// and decayed by the master at the barrier.
-	loadNs int64
+	// and decayed by the master at the barrier. Atomic because a wedged
+	// thread abandoned by the watchdog may still be mid-write when the
+	// master reads.
+	loadNs atomic.Int64
 
 	// Request-phase state, touched only by the owning thread.
 	replyPending bool
@@ -44,9 +46,21 @@ type client struct {
 
 	// repliedFrame is the last frame this client received a reply in.
 	// Written by the owning thread during the reply phase and read by
-	// the master during cleanup; the frame controller's barriers order
-	// the accesses.
-	repliedFrame uint32
+	// the master during cleanup. The frame barriers order the accesses in
+	// normal operation; atomic so an abandoned (zombie) thread straggling
+	// through its reply phase cannot race the master.
+	repliedFrame atomic.Uint32
+
+	// quarantined marks a client whose request wedged its owning thread:
+	// the watchdog sets it when it abandons the thread, every thread drops
+	// the client's traffic, and the recovering thread evicts it. Also set
+	// by panic containment between the recover and the eviction.
+	quarantined atomic.Bool
+
+	// shedFar marks the client as far from the action centroid: under
+	// overload (shed level >= 1) its snapshot rate is halved. Computed by
+	// the master at frame cleanup, read by owning threads' reply phases.
+	shedFar atomic.Bool
 
 	// baseline is the last entity set sent, for delta compression.
 	// Owned by the owning thread (reply phase); the request phase of the
@@ -75,11 +89,17 @@ type client struct {
 	backlogMu sync.Mutex
 	backlog   []protocol.GameEvent
 
-	lastActive time.Time
+	// lastActive is the wall clock (UnixNano) of the client's last valid
+	// request, for the stale-client reaper. Atomic for the same
+	// zombie-straggler reason as repliedFrame.
+	lastActive atomic.Int64
 }
 
+// touch stamps the client's activity clock.
+func (c *client) touch(t time.Time) { c.lastActive.Store(t.UnixNano()) }
+
 // markReplied records that the client was answered in the given frame.
-func (c *client) markReplied(frame uint32) { c.repliedFrame = frame }
+func (c *client) markReplied(frame uint32) { c.repliedFrame.Store(frame) }
 
 // queueEvents appends events to the client's backlog under its buffer
 // lock.
@@ -129,6 +149,12 @@ func (t *clientTable) lookup(addr transport.Addr) *client {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.byAddr[addr.String()]
+}
+
+func (t *clientTable) lookupID(id uint16) *client {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.byID[id]
 }
 
 func (t *clientTable) add(c *client) bool {
@@ -184,6 +210,23 @@ func (t *clientTable) forThread(thread int, fn func(*client)) {
 // wraparound arithmetic (serial number comparison).
 func seqOlder(a, b uint32) bool {
 	return a == b || int32(a-b) < 0
+}
+
+// maxSeqAdvance bounds how far ahead of the last executed command a
+// move's sequence number may jump. Clients advance Seq by one per
+// command, so even a burst flushed after a long outage stays far inside
+// this window.
+const maxSeqAdvance = 1 << 12
+
+// seqWild reports whether sequence a is implausibly far ahead of b —
+// the signature of a corrupted datagram that happened to decode as a
+// structurally valid Move. Storing such a sequence would poison the
+// duplicate filter: every legitimate future move would compare "older"
+// and be dropped, permanently silencing the client off a single
+// bit-flip. Callers check seqOlder first, so a-b here is a forward
+// delta in [1, 2^31) and the comparison is wraparound-safe.
+func seqWild(a, b uint32) bool {
+	return a-b > maxSeqAdvance
 }
 
 // wireEvents converts game events to their protocol form.

@@ -38,6 +38,45 @@ type Config struct {
 	// engine only). Off by default, preserving the paper's static
 	// assignment.
 	Balance balance.Policy
+
+	// WatchdogDeadline arms the frame watchdog (parallel engine only): a
+	// worker stuck in its request or reply phase longer than this is
+	// reported as wedged. Zero disables the watchdog.
+	WatchdogDeadline time.Duration
+	// QuarantineWedged lets the watchdog act on a wedge: the client being
+	// served is quarantined, the wedged worker is abandoned at the frame
+	// barriers so the remaining threads keep serving, and the worker
+	// evicts the quarantined client when (if) it comes back. With it off
+	// the watchdog only detects and counts.
+	QuarantineWedged bool
+
+	// FrameBudget is the overload ladder's target frame duration: frames
+	// over budget for OverloadTripFrames consecutive frames raise the shed
+	// level, frames under budget for OverloadClearFrames lower it. Zero
+	// disables overload shedding. Adjustable at runtime via
+	// SetFrameBudget.
+	FrameBudget time.Duration
+	// OverloadTripFrames is how many consecutive over-budget frames raise
+	// the shed level one step. Default 8.
+	OverloadTripFrames int
+	// OverloadClearFrames is how many consecutive under-budget frames
+	// lower the shed level one step (hysteresis). Default 16.
+	OverloadClearFrames int
+	// OverloadEntityCap is the per-snapshot visible-entity cap applied at
+	// shed level 2+. Default 16.
+	OverloadEntityCap int
+
+	// Hooks are test seams; nil in production.
+	Hooks Hooks
+}
+
+// Hooks exposes fault-injection seams for the chaos tests. All fields
+// optional.
+type Hooks struct {
+	// PreExec runs on the owning thread right before a move command
+	// executes. The wedge/panic tests use it to stall or crash a thread at
+	// a precisely known point (before any region lock is taken).
+	PreExec func(thread int, clientID uint16)
 }
 
 func (c *Config) fill(needThreads bool) error {
@@ -67,6 +106,15 @@ func (c *Config) fill(needThreads bool) error {
 	}
 	if c.Assign == nil {
 		c.Assign = BlockAssign
+	}
+	if c.OverloadTripFrames <= 0 {
+		c.OverloadTripFrames = 8
+	}
+	if c.OverloadClearFrames <= 0 {
+		c.OverloadClearFrames = 16
+	}
+	if c.OverloadEntityCap <= 0 {
+		c.OverloadEntityCap = 16
 	}
 	return nil
 }

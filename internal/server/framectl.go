@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Frame phases, in the mandatory order of §3: world processing, request
 // processing, reply processing (invariant ii), each separated by global
@@ -24,6 +27,21 @@ const (
 // frameCtl implements the global synchronization of Figure 3 with a
 // monitor. All waits are condition-variable sleeps; callers time them and
 // charge the paper's inter-/intra-frame wait components.
+//
+// Beyond the paper's protocol, the controller supports *abandonment*: the
+// frame watchdog can declare a wedged participant a zombie mid-frame
+// (abandon), which removes it from the barrier arithmetic so the
+// remaining threads complete the frame without it. Every barrier entry
+// point returns whether the caller is still a live participant; a zombie
+// must stop touching frame state, run its recovery path, acquit itself,
+// and only then rejoin. The controller never blocks on a zombie:
+//
+//   - request barrier: opens when all *active* participants are done;
+//   - reply barrier: if the master was abandoned, the last active
+//     participant to finish its replies is promoted to finish the frame;
+//   - if no active participant remains to close the frame (master
+//     abandoned after everyone replied, or every participant abandoned),
+//     the controller closes it itself inside abandon.
 type frameCtl struct {
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -33,10 +51,34 @@ type frameCtl struct {
 	participants []int
 	reqDone      int
 	repDone      int
+	// reqDoneBy records which workers passed the request barrier this
+	// frame (bit i = worker i). The watchdog's guarded abandonment uses it
+	// to verify a worker it observed as wedged has not in fact finished
+	// the phase between observation and abandonment.
+	reqDoneBy uint64
+
+	// active is the number of participants not abandoned this frame.
+	active int
+	// masterID is this frame's master; masterGone is set when it is
+	// abandoned, arming promotion.
+	masterID   int
+	masterGone bool
+	// finishing is set once frame completion is claimed — by promotion or
+	// by the controller's own fallback — so it cannot be claimed twice.
+	finishing bool
+	// zombies holds abandoned workers until they acquit. Sticky across
+	// frames: a worker that never recovers stays a zombie forever and can
+	// never rejoin (join is only reached after acquit in the worker loop).
+	zombies map[int]bool
+	// nzombies mirrors len(zombies) for lock-free reads: while it is
+	// non-zero the engine runs in degraded mode, where world readers take
+	// the world guard exclusively because an abandoned worker may wake and
+	// resume a request mid-flight at any moment.
+	nzombies atomic.Int32
 }
 
 func newFrameCtl() *frameCtl {
-	fc := &frameCtl{}
+	fc := &frameCtl{zombies: make(map[int]bool)}
 	fc.cond = sync.NewCond(&fc.mu)
 	return fc
 }
@@ -45,6 +87,7 @@ func newFrameCtl() *frameCtl {
 // becomes the master; joiners during the master's world update
 // participate; anyone later misses the frame ("threads that exit select
 // after this point will have to wait until the next server frame").
+// Callers must not be zombies: the worker loop acquits before rejoining.
 func (fc *frameCtl) join(worker int) frameRole {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
@@ -54,9 +97,15 @@ func (fc *frameCtl) join(worker int) frameRole {
 		fc.participants = fc.participants[:0]
 		fc.participants = append(fc.participants, worker)
 		fc.reqDone, fc.repDone = 0, 0
+		fc.reqDoneBy = 0
+		fc.active = 1
+		fc.masterID = worker
+		fc.masterGone = false
+		fc.finishing = false
 		return roleMaster
 	case stWorld:
 		fc.participants = append(fc.participants, worker)
+		fc.active++
 		return roleWorker
 	default:
 		return roleMissed
@@ -85,60 +134,203 @@ func (fc *frameCtl) openRequests() {
 
 // waitRequestsOpen blocks a participant until the master opens the
 // request phase (inter-frame wait: "for the world update phase to
-// complete").
-func (fc *frameCtl) waitRequestsOpen() {
+// complete"). Returns false if the caller was abandoned or the frame
+// collapsed while waiting — the caller must bail out of the frame.
+func (fc *frameCtl) waitRequestsOpen(worker int) bool {
 	fc.mu.Lock()
-	for fc.state == stWorld {
+	f := fc.frame
+	for fc.state == stWorld && fc.frame == f && !fc.zombies[worker] {
 		fc.cond.Wait()
 	}
+	ok := fc.frame == f && !fc.zombies[worker]
 	fc.mu.Unlock()
+	return ok
 }
 
 // doneRequests marks one participant's request queue drained and blocks
-// until every participant is done (the intra-frame wait), after which the
-// reply phase is open.
-func (fc *frameCtl) doneRequests() {
+// until every active participant is done (the intra-frame wait), after
+// which the reply phase is open. Returns false if the caller was
+// abandoned — it must not proceed to the reply phase.
+func (fc *frameCtl) doneRequests(worker int) bool {
 	fc.mu.Lock()
+	if fc.zombies[worker] {
+		fc.mu.Unlock()
+		return false
+	}
 	fc.reqDone++
-	if fc.reqDone == len(fc.participants) {
+	if worker >= 0 && worker < 64 {
+		fc.reqDoneBy |= 1 << uint(worker)
+	}
+	if fc.reqDone >= fc.active && fc.state == stRequest {
 		fc.state = stReply
 		fc.mu.Unlock()
 		fc.cond.Broadcast()
-		return
+		return true
 	}
-	for fc.state == stRequest {
+	f := fc.frame
+	for fc.state == stRequest && fc.frame == f && !fc.zombies[worker] {
 		fc.cond.Wait()
 	}
+	ok := fc.frame == f && !fc.zombies[worker]
 	fc.mu.Unlock()
+	return ok
 }
 
-// doneReply marks one participant's replies sent.
-func (fc *frameCtl) doneReply() {
+// doneReply marks one participant's replies sent. promoted reports that
+// the master was abandoned this frame and the caller — the last active
+// participant to finish — must take over frame completion (cleanup and
+// endFrame). ok is false if the caller was abandoned.
+func (fc *frameCtl) doneReply(worker int) (ok, promoted bool) {
 	fc.mu.Lock()
+	if fc.zombies[worker] {
+		fc.mu.Unlock()
+		return false, false
+	}
 	fc.repDone++
+	if fc.state == stReply && fc.masterGone && !fc.finishing && fc.repDone >= fc.active {
+		fc.finishing = true
+		promoted = true
+	}
 	fc.mu.Unlock()
 	fc.cond.Broadcast()
+	return true, promoted
 }
 
-// waitAllReplied blocks the master until every participant has finished
-// the reply phase.
+// waitAllReplied blocks the master (or a promoted worker) until every
+// active participant has finished the reply phase.
 func (fc *frameCtl) waitAllReplied() {
 	fc.mu.Lock()
-	for fc.repDone < len(fc.participants) {
+	for fc.repDone < fc.active {
 		fc.cond.Wait()
 	}
 	fc.mu.Unlock()
 }
 
 // endFrame closes the frame and signals its end, waking threads that
-// missed it. Master only.
+// missed it. Master (or promoted worker) only.
 func (fc *frameCtl) endFrame() {
 	fc.mu.Lock()
-	fc.state = stIdle
-	fc.frame++
+	fc.finishFrameLocked()
 	fc.mu.Unlock()
 	fc.cond.Broadcast()
 }
+
+func (fc *frameCtl) finishFrameLocked() {
+	fc.state = stIdle
+	fc.frame++
+}
+
+// abandon removes a participant from the current frame's barrier
+// arithmetic and marks it a zombie until it acquits. The watchdog calls
+// this for a wedged worker. If the missing worker was the only thing
+// holding up a barrier — or was the master and nobody is left to be
+// promoted — the controller advances or closes the frame itself. Returns
+// false if the worker is not an abandonable participant right now.
+func (fc *frameCtl) abandon(worker int) bool {
+	fc.mu.Lock()
+	if fc.zombies[worker] || fc.state == stIdle || !fc.isParticipantLocked(worker) {
+		fc.mu.Unlock()
+		return false
+	}
+	fc.abandonLocked(worker)
+	fc.mu.Unlock()
+	fc.cond.Broadcast()
+	return true
+}
+
+// abandonRequestStalled is the watchdog's entry point: it abandons the
+// worker only if it is verifiably still stalled in the request phase of
+// the current frame — a participant that has not passed the request
+// barrier. This closes the detect-vs-abandon race: the watchdog's phase
+// observation is unsynchronized, and between it and this call the worker
+// may have finished the phase; abandoning a then-live participant would
+// collapse the barrier under it and let its reply reads race the next
+// frame's request execution. Confining quarantine to the request phase
+// also guarantees zombies are only ever created while the world guard's
+// degraded mode can see them: every reply phase begins after the
+// stRequest→stReply transition, ordered by this mutex.
+func (fc *frameCtl) abandonRequestStalled(worker int) bool {
+	fc.mu.Lock()
+	if fc.state != stRequest || fc.zombies[worker] || !fc.isParticipantLocked(worker) ||
+		worker < 0 || worker >= 64 || fc.reqDoneBy&(1<<uint(worker)) != 0 {
+		fc.mu.Unlock()
+		return false
+	}
+	fc.abandonLocked(worker)
+	fc.mu.Unlock()
+	fc.cond.Broadcast()
+	return true
+}
+
+func (fc *frameCtl) isParticipantLocked(worker int) bool {
+	for _, p := range fc.participants {
+		if p == worker {
+			return true
+		}
+	}
+	return false
+}
+
+func (fc *frameCtl) abandonLocked(worker int) {
+	fc.zombies[worker] = true
+	fc.nzombies.Store(int32(len(fc.zombies)))
+	fc.active--
+	if worker == fc.masterID {
+		fc.masterGone = true
+	}
+	switch fc.state {
+	case stWorld:
+		// Master wedged mid-world-update: requests never open. Collapse
+		// the frame so waiting participants escape. (The watchdog does not
+		// monitor the world phase, so this is defensive.)
+		if fc.masterGone && !fc.finishing {
+			fc.finishing = true
+			fc.finishFrameLocked()
+		}
+	case stRequest:
+		if fc.reqDone >= fc.active {
+			if fc.active == 0 {
+				// Every participant is a zombie; nobody left to reply.
+				fc.finishing = true
+				fc.finishFrameLocked()
+			} else {
+				fc.state = stReply
+			}
+		}
+	case stReply:
+		// If all remaining actives already called doneReply, no future
+		// doneReply will claim promotion — close the frame here. (With the
+		// master alive it is in waitAllReplied and the broadcast after
+		// unlock wakes it instead.)
+		if fc.masterGone && !fc.finishing && fc.repDone >= fc.active {
+			fc.finishing = true
+			fc.finishFrameLocked()
+		}
+	}
+}
+
+// isZombie reports whether the worker is currently abandoned.
+func (fc *frameCtl) isZombie(worker int) bool {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.zombies[worker]
+}
+
+// acquit clears a worker's zombie mark after it has run its recovery
+// path; the worker may then rejoin frames.
+func (fc *frameCtl) acquit(worker int) {
+	fc.mu.Lock()
+	delete(fc.zombies, worker)
+	fc.nzombies.Store(int32(len(fc.zombies)))
+	fc.mu.Unlock()
+}
+
+// hasZombies reports whether any abandoned worker has yet to acquit —
+// the engine's degraded-mode flag. Lock-free: callers check it once per
+// phase, and transitions are ordered by the barrier (zombies are created
+// only inside stRequest, so a phase that began after the request barrier
+// cannot miss one).
+func (fc *frameCtl) hasZombies() bool { return fc.nzombies.Load() > 0 }
 
 // frameNumber returns the completed-frame counter.
 func (fc *frameCtl) frameNumber() uint64 {
@@ -147,10 +339,17 @@ func (fc *frameCtl) frameNumber() uint64 {
 	return fc.frame
 }
 
-// currentParticipants returns a copy of the participant set (master use,
-// during reply/cleanup when the set is frozen).
+// currentParticipants returns a copy of the participant set excluding
+// abandoned workers (master use, during reply/cleanup when the set is
+// frozen).
 func (fc *frameCtl) currentParticipants() []int {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
-	return append([]int(nil), fc.participants...)
+	out := make([]int, 0, len(fc.participants))
+	for _, p := range fc.participants {
+		if !fc.zombies[p] {
+			out = append(out, p)
+		}
+	}
+	return out
 }

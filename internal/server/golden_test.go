@@ -40,6 +40,7 @@ func TestGoldenReplyStream(t *testing.T) {
 	var scratch ReplyScratch
 	pooled := make([]Baseline, numPlayers)
 	reference := make([][]protocol.EntityState, numPlayers)
+	refTags := make([]uint32, numPlayers)
 
 	var backlog []protocol.GameEvent
 	for frame := uint32(1); frame <= numFrames; frame++ {
@@ -81,11 +82,11 @@ func TestGoldenReplyStream(t *testing.T) {
 				continue
 			}
 			ackSeq := frame*100 + uint32(i)
-			want, newBase := ReferenceFormSnapshot(w, e, reference[i],
+			want, newBase, newTag := ReferenceFormSnapshot(w, e, reference[i], refTags[i],
 				frame, ackSeq, serverTime, backlog, frameEvents)
-			reference[i] = newBase
+			reference[i], refTags[i] = newBase, newTag
 			got, st := scratch.FormSnapshot(w, e, &pooled[i],
-				frame, ackSeq, serverTime, backlog, frameEvents)
+				frame, ackSeq, serverTime, backlog, frameEvents, 0)
 			if !bytes.Equal(want, got) {
 				t.Fatalf("frame %d player %d: pooled datagram differs from reference\nreference: %x\npooled:    %x",
 					frame, i, want, got)
@@ -101,8 +102,8 @@ func TestGoldenReplyStream(t *testing.T) {
 	// to a reference client whose baseline is likewise cleared.
 	pooled[0].Invalidate()
 	reference[0] = nil
-	want, _ := ReferenceFormSnapshot(w, players[0], reference[0], 999, 1, 0, nil, nil)
-	got, _ := scratch.FormSnapshot(w, players[0], &pooled[0], 999, 1, 0, nil, nil)
+	want, _, _ := ReferenceFormSnapshot(w, players[0], reference[0], 0, 999, 1, 0, nil, nil)
+	got, _ := scratch.FormSnapshot(w, players[0], &pooled[0], 999, 1, 0, nil, nil, 0)
 	if !bytes.Equal(want, got) {
 		t.Fatalf("post-invalidation datagram differs from reference")
 	}
@@ -129,7 +130,7 @@ func TestFormSnapshotSteadyStateAllocFree(t *testing.T) {
 	form := func() int {
 		allocs := 0
 		for i, e := range players {
-			_, st := scratch.FormSnapshot(w, e, &baselines[i], 1, 1, 1, events, events)
+			_, st := scratch.FormSnapshot(w, e, &baselines[i], 1, 1, 1, events, events, 0)
 			allocs += st.Allocs
 		}
 		return allocs
@@ -188,6 +189,7 @@ func TestBaselineSurvivesMigration(t *testing.T) {
 	var threadScratch [2]ReplyScratch
 	pooled := make([]Baseline, numPlayers)
 	reference := make([][]protocol.EntityState, numPlayers)
+	refTags := make([]uint32, numPlayers)
 	postMigrationAllocs := -1
 
 	for frame := uint32(1); frame <= numFrames; frame++ {
@@ -212,11 +214,11 @@ func TestBaselineSurvivesMigration(t *testing.T) {
 				continue
 			}
 			ackSeq := frame*100 + uint32(i)
-			want, newBase := ReferenceFormSnapshot(w, e, reference[i],
+			want, newBase, newTag := ReferenceFormSnapshot(w, e, reference[i], refTags[i],
 				frame, ackSeq, serverTime, nil, nil)
-			reference[i] = newBase
+			reference[i], refTags[i] = newBase, newTag
 			got, st := threadScratch[thread].FormSnapshot(w, e, &pooled[i],
-				frame, ackSeq, serverTime, nil, nil)
+				frame, ackSeq, serverTime, nil, nil, 0)
 			if !bytes.Equal(want, got) {
 				t.Fatalf("frame %d player %d (thread %d): datagram differs across migration\nreference: %x\nmigrated:  %x",
 					frame, i, thread, want, got)
@@ -244,7 +246,7 @@ func TestBaselineSurvivesMigration(t *testing.T) {
 func TestBaselineGapInvalidation(t *testing.T) {
 	c := &client{}
 	c.baseline.states = append(c.baseline.states, protocol.EntityState{ID: 1})
-	c.repliedFrame = 1000
+	c.repliedFrame.Store(1000)
 
 	cases := []struct {
 		ack        uint32
@@ -260,7 +262,7 @@ func TestBaselineGapInvalidation(t *testing.T) {
 		t.Run(fmt.Sprintf("ack=%d", tc.ack), func(t *testing.T) {
 			c.baseline.states = c.baseline.states[:0]
 			c.baseline.states = append(c.baseline.states, protocol.EntityState{ID: 1})
-			if tc.ack != 0 && c.repliedFrame-tc.ack > baselineGapFrames {
+			if tc.ack != 0 && c.repliedFrame.Load()-tc.ack > baselineGapFrames {
 				c.baseline.Invalidate()
 			}
 			gotInvalidated := c.baseline.Len() == 0

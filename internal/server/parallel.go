@@ -1,6 +1,7 @@
 package server
 
 import (
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -58,6 +59,54 @@ type Parallel struct {
 	started   time.Time
 	stopped   time.Time
 	lastFrame time.Time // master-only access, ordered by the frame ctl
+	frameT0   time.Time // frame start stamp; master writes, cleanup reads (fc-ordered)
+
+	// Failure-model state. shed is the overload ladder; draining refuses
+	// new connections during Shutdown; wedges/panics/faultEvictions count
+	// watchdog detections, contained panics, and the clients evicted by
+	// either containment path. wedgeLog keeps the structured records.
+	shed           shedController
+	draining       atomic.Bool
+	wedges         atomic.Int64
+	faultEvictions atomic.Int64
+	wedgeMu        sync.Mutex
+	wedgeLog       []WedgeRecord
+
+	// worldGuard makes abandonment race-free. Request-phase world
+	// mutations always hold its read side (shared — they are already
+	// serialized against each other by region locks, so this costs two
+	// uncontended atomics per request). World readers that the barrier
+	// normally protects — the reply phase, the world update, the shed-far
+	// scan — take the write side, but only while a zombie is outstanding
+	// (fc.hasZombies): an abandoned worker may wake from its wedge at any
+	// moment and finish the request it was executing, and its read-side
+	// section is the only thing those lockless readers can synchronize
+	// with. In normal operation the guard is never locked exclusively and
+	// readers skip it entirely.
+	worldGuard sync.RWMutex
+
+	// pendingEvict holds clients whose eviction was decided in the reply
+	// phase (a reply-side panic), where removing the player would race the
+	// other threads' lockless snapshot reads. masterCleanup — single
+	// threaded, at the barrier — performs the actual evictions.
+	pendingMu    sync.Mutex
+	pendingEvict []*client
+
+	// Scratch for the master's shed-far computation.
+	shedClients []*client
+	shedDists   []float64
+}
+
+// WedgeRecord describes one watchdog detection: which worker was stuck,
+// in which phase, for how long, and — when known — the client whose
+// request it was serving.
+type WedgeRecord struct {
+	Worker    int
+	Phase     int32 // wpRequest or wpReply
+	Frame     uint64
+	StuckFor  time.Duration
+	ClientID  uint16
+	HasClient bool
 }
 
 // worker is one server thread's private state.
@@ -85,7 +134,35 @@ type worker struct {
 	reply      ReplyScratch
 	frameEv    []protocol.GameEvent
 	backlogBuf []protocol.GameEvent
+
+	// Watchdog publication: the phase this worker is executing (wpIdle
+	// when at a barrier or in select), when it entered it, and the client
+	// whose request it is serving (id+1; 0 = none). phaseStart is written
+	// before phase, so a non-idle phase always pairs with a fresh stamp.
+	phase      atomic.Int32
+	phaseStart atomic.Int64
+	serving    atomic.Int32
+
+	// zombie mirrors the frame controller's abandonment verdict as a
+	// cheap atomic so the request drain loop can poll it per datagram
+	// without taking the controller's mutex. The controller's map stays
+	// authoritative; this is only the fast-path signal.
+	zombie atomic.Bool
 }
+
+// Watchdog-visible worker phases.
+const (
+	wpIdle int32 = iota
+	wpRequest
+	wpReply
+)
+
+func (w *worker) beginPhase(p int32) {
+	w.phaseStart.Store(time.Now().UnixNano())
+	w.phase.Store(p)
+}
+
+func (w *worker) endPhase() { w.phase.Store(wpIdle) }
 
 // timedProvider wraps the shared mutex provider, charging acquisition
 // wall time to the worker's lock component, split by leaf/parent — the
@@ -144,6 +221,7 @@ func NewParallel(cfg Config) (*Parallel, error) {
 		}
 		s.bal = balance.New(cfg.Balance)
 	}
+	s.shed.init(&s.cfg)
 	return s, nil
 }
 
@@ -152,12 +230,17 @@ func NewParallel(cfg Config) (*Parallel, error) {
 func (s *Parallel) Start() {
 	s.started = time.Now()
 	s.lastFrame = s.started
+	s.frameT0 = s.started
 	for _, w := range s.workers {
 		s.wg.Add(1)
 		go func(w *worker) {
 			defer s.wg.Done()
 			s.workerLoop(w)
 		}(w)
+	}
+	if s.cfg.WatchdogDeadline > 0 {
+		s.wg.Add(1)
+		go s.watchdog()
 	}
 }
 
@@ -182,6 +265,42 @@ func (s *Parallel) stopping() bool {
 	default:
 		return false
 	}
+}
+
+// Shutdown performs a graceful stop: new connection attempts are refused
+// immediately, the frame in progress completes (Stop's semantics), and
+// every connected client is sent a final Disconnected notice on its
+// owning thread's endpoint before being dropped from the table.
+func (s *Parallel) Shutdown() {
+	s.draining.Store(true)
+	s.Stop()
+	var wr protocol.Writer
+	s.clients.forEach(func(c *client) {
+		wr.Reset()
+		if protocol.Encode(&wr, &protocol.Disconnected{Reason: "server shutting down"}) == nil {
+			s.bytesOut.Add(int64(len(wr.Bytes())))
+			_ = s.cfg.Conns[c.thread].Send(c.addr, wr.Bytes())
+		}
+		s.clients.remove(c)
+	})
+}
+
+// SetFrameBudget adjusts the overload ladder's frame budget at runtime
+// (0 disables shedding). Safe to call while the server runs.
+func (s *Parallel) SetFrameBudget(d time.Duration) { s.shed.setBudget(d) }
+
+// ShedLevel returns the overload ladder's current level.
+func (s *Parallel) ShedLevel() int { return int(s.shed.current()) }
+
+// FaultEvictions returns how many clients were evicted by the
+// containment paths (panic recovery and wedge quarantine).
+func (s *Parallel) FaultEvictions() int64 { return s.faultEvictions.Load() }
+
+// Wedges returns a copy of the watchdog's detection records.
+func (s *Parallel) Wedges() []WedgeRecord {
+	s.wedgeMu.Lock()
+	defer s.wedgeMu.Unlock()
+	return append([]WedgeRecord(nil), s.wedgeLog...)
 }
 
 // workerLoop is Figure 3 for one thread.
@@ -215,20 +334,28 @@ func (s *Parallel) workerLoop(w *worker) {
 		}
 
 		if role == roleMaster {
-			t0 = time.Now()
+			s.frameT0 = time.Now()
+			t0 = s.frameT0
 			s.runWorldUpdate()
 			w.bd.Charge(metrics.CompWorld, time.Since(t0).Nanoseconds())
 			s.fc.openRequests()
 		} else {
 			t0 = time.Now()
-			s.fc.waitRequestsOpen()
+			ok := s.fc.waitRequestsOpen(w.id)
 			w.bd.Charge(metrics.CompInterWait, time.Since(t0).Nanoseconds())
+			if !ok {
+				s.zombieRecover(w)
+				continue
+			}
 		}
 
-		// Request phase: the stashed packet, then drain the queue.
+		// Request phase: the stashed packet, then drain the queue. The
+		// zombie poll lets an abandoned worker stop mid-drain instead of
+		// racing the frame that moved on without it.
 		w.frameReqs, w.frameLeafMask, w.frameLockOps, w.frameExecNs = 0, 0, 0, 0
-		s.processPacket(w, w.stash, from)
-		for {
+		w.beginPhase(wpRequest)
+		s.safeProcessPacket(w, w.stash, from)
+		for !w.zombie.Load() {
 			t0 = time.Now()
 			n, from, err = w.conn.Recv(w.recvBf, 0)
 			w.bd.Charge(metrics.CompRecv, time.Since(t0).Nanoseconds())
@@ -236,21 +363,34 @@ func (s *Parallel) workerLoop(w *worker) {
 				break // queue empty
 			}
 			s.bytesIn.Add(int64(n))
-			s.processPacket(w, w.recvBf[:n], from)
+			s.safeProcessPacket(w, w.recvBf[:n], from)
 		}
+		w.endPhase()
 
 		// Intra-frame barrier before replies.
 		t0 = time.Now()
-		s.fc.doneRequests()
+		ok := s.fc.doneRequests(w.id)
 		w.bd.Charge(metrics.CompIntraWait, time.Since(t0).Nanoseconds())
+		if !ok {
+			s.zombieRecover(w)
+			continue
+		}
 
 		// Reply phase.
 		t0 = time.Now()
-		s.sendReplies(w)
+		w.beginPhase(wpReply)
+		s.safeSendReplies(w)
+		w.endPhase()
 		w.bd.Charge(metrics.CompReply, time.Since(t0).Nanoseconds())
-		s.fc.doneReply()
+		ok, promoted := s.fc.doneReply(w.id)
+		if !ok {
+			s.zombieRecover(w)
+			continue
+		}
 
-		if role == roleMaster {
+		if role == roleMaster || promoted {
+			// promoted: the master wedged mid-frame and this worker was the
+			// last to finish replies — it inherits cleanup and frame end.
 			t0 = time.Now()
 			s.fc.waitAllReplied()
 			s.masterCleanup(w)
@@ -260,11 +400,192 @@ func (s *Parallel) workerLoop(w *worker) {
 	}
 }
 
+// zombieRecover is the path a worker takes after discovering the
+// watchdog abandoned it: unwind any locks a wedge left stranded, evict
+// the quarantined clients it owns (their requests are what wedged it),
+// clear the zombie mark, and return to the loop to rejoin the next
+// frame. The worker evicts its own quarantined clients — not the master
+// — because eviction takes region locks the wedged thread itself may
+// have been holding.
+func (s *Parallel) zombieRecover(w *worker) {
+	w.endPhase()
+	w.serving.Store(0)
+	released := w.locker.ReleaseAll()
+	var evict []*client
+	s.clients.forThread(w.id, func(c *client) {
+		if c.quarantined.Load() {
+			evict = append(evict, c)
+		}
+	})
+	for _, c := range evict {
+		s.evictClient(w, c, "request stalled the server")
+	}
+	w.zombie.Store(false)
+	s.fc.acquit(w.id)
+	log.Printf("server: thread %d recovered from abandonment (released %d locks, evicted %d quarantined clients)",
+		w.id, released, len(evict))
+}
+
+// evictClient removes a client the containment paths decided is at
+// fault, notifying it with a Disconnected message.
+func (s *Parallel) evictClient(w *worker, c *client, reason string) {
+	s.clients.remove(c)
+	if s.mux != nil {
+		s.mux.Unroute(c.addr)
+	}
+	s.removePlayerLocked(w, c.entID)
+	s.send(w, c.addr, &protocol.Disconnected{Reason: reason})
+	s.faultEvictions.Add(1)
+}
+
+// safeProcessPacket contains a panic in request handling to the client
+// that caused it: stranded region locks are force-released, the client
+// is evicted, and the worker continues its frame — a malformed or
+// adversarial request must never take the server down.
+func (s *Parallel) safeProcessPacket(w *worker, data []byte, from transport.Addr) {
+	defer s.recoverWorker(w, "request")
+	s.processPacket(w, data, from)
+}
+
+// safeSendReplies is the reply-phase analogue. A panic skips the rest of
+// the thread's reply pass for this frame (those clients simply see one
+// dropped snapshot) but the barrier protocol continues undisturbed.
+// While a zombie is outstanding the pass holds the world guard
+// exclusively: its snapshot reads are normally barrier-protected, but an
+// abandoned worker waking mid-request writes outside the barrier.
+func (s *Parallel) safeSendReplies(w *worker) {
+	defer s.recoverWorker(w, "reply")
+	if s.fc.hasZombies() {
+		s.worldGuard.Lock()
+		defer s.worldGuard.Unlock()
+	}
+	s.sendReplies(w)
+}
+
+func (s *Parallel) recoverWorker(w *worker, phase string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	released := w.locker.ReleaseAll()
+	w.bd.PanicsRecovered++
+	var victim *client
+	if cid := w.serving.Load(); cid > 0 {
+		victim = s.clients.lookupID(uint16(cid - 1))
+	}
+	w.serving.Store(0)
+	if victim != nil {
+		victim.quarantined.Store(true)
+		if phase == "request" {
+			// Request phase: world writes are lock-protected, evict inline.
+			s.evictClient(w, victim, "server error handling your request")
+		} else {
+			// Reply phase: removing the player writes the world while the
+			// other threads read it locklessly. Defer to masterCleanup,
+			// which runs single-threaded at the barrier.
+			s.pendingMu.Lock()
+			s.pendingEvict = append(s.pendingEvict, victim)
+			s.pendingMu.Unlock()
+		}
+	}
+	log.Printf("server: thread %d recovered panic in %s phase: %v (released %d locks, evicted client: %v)",
+		w.id, phase, r, released, victim != nil)
+}
+
+// watchdog is the frame-pipeline monitor: it fires when a worker sits in
+// one phase past the configured deadline, records the wedge, and — when
+// quarantine is enabled — abandons the worker at the frame barriers so
+// the remaining threads keep serving their clients. It cannot rescue the
+// wedged OS thread itself (Go offers no way to kill a goroutine), and it
+// never force-releases a truly hung thread's region locks — see
+// DESIGN.md §7 for the documented limitations.
+func (s *Parallel) watchdog() {
+	defer s.wg.Done()
+	deadline := s.cfg.WatchdogDeadline
+	tick := deadline / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	tk := time.NewTicker(tick)
+	defer tk.Stop()
+	// One detection per wedge: keyed by the phase-start stamp.
+	fired := make([]int64, len(s.workers))
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tk.C:
+		}
+		now := time.Now().UnixNano()
+		for _, w := range s.workers {
+			ph := w.phase.Load()
+			if ph == wpIdle {
+				continue
+			}
+			start := w.phaseStart.Load()
+			if now-start < int64(deadline) || fired[w.id] == start {
+				continue
+			}
+			fired[w.id] = start
+			cid := w.serving.Load()
+			rec := WedgeRecord{
+				Worker:   w.id,
+				Phase:    ph,
+				Frame:    s.fc.frameNumber(),
+				StuckFor: time.Duration(now - start),
+			}
+			if cid > 0 {
+				rec.ClientID = uint16(cid - 1)
+				rec.HasClient = true
+			}
+			s.wedges.Add(1)
+			s.wedgeMu.Lock()
+			s.wedgeLog = append(s.wedgeLog, rec)
+			s.wedgeMu.Unlock()
+			phName := "request"
+			if ph == wpReply {
+				phName = "reply"
+			}
+			log.Printf("server: watchdog: thread %d wedged in %s phase for %v (frame %d, serving client %d)",
+				w.id, phName, rec.StuckFor, rec.Frame, int32(cid)-1)
+			// Quarantine is confined to request-phase wedges: a reply-phase
+			// zombie would resume lockless world reads that nothing can
+			// retroactively synchronize with later frames' writes (the
+			// request side holds the world guard; the reply side, by
+			// design, holds nothing). A wedged reply pass is recorded but
+			// stalls the frame — see DESIGN.md §7.
+			if s.cfg.QuarantineWedged && ph == wpRequest {
+				// Quarantine the suspect client and mark the worker before
+				// abandoning, so a zombie that wakes immediately cannot miss
+				// either flag; both are rolled back if the frame controller
+				// finds the worker already past the request barrier (the
+				// observation above is unsynchronized and may be stale).
+				var qc *client
+				if cid > 0 {
+					qc = s.clients.lookupID(uint16(cid - 1))
+				}
+				if qc != nil {
+					qc.quarantined.Store(true)
+				}
+				w.zombie.Store(true)
+				if !s.fc.abandonRequestStalled(w.id) {
+					w.zombie.Store(false)
+					if qc != nil {
+						qc.quarantined.Store(false)
+					}
+				}
+			}
+		}
+	}
+}
+
 // minWorldTick rate-limits the world-physics phase like QuakeWorld's
 // sv_mintic: frames arriving faster than this skip the P stage.
 const minWorldTick = 12 * time.Millisecond
 
-// runWorldUpdate performs the master's world-physics phase.
+// runWorldUpdate performs the master's world-physics phase. Its writes
+// are lockless by the barrier; in degraded mode (outstanding zombie) it
+// holds the world guard exclusively against a waking zombie's request.
 func (s *Parallel) runWorldUpdate() {
 	now := time.Now()
 	dt := now.Sub(s.lastFrame)
@@ -272,6 +593,10 @@ func (s *Parallel) runWorldUpdate() {
 		return
 	}
 	s.lastFrame = now
+	if s.fc.hasZombies() {
+		s.worldGuard.Lock()
+		defer s.worldGuard.Unlock()
+	}
 	res := s.world.RunWorldFrame(dt.Seconds())
 	if len(res.Events) > 0 {
 		s.appendEvents(res.Events)
@@ -305,7 +630,7 @@ func (s *Parallel) processPacket(w *worker, data []byte, from transport.Addr) {
 	case *protocol.Move:
 		c := s.clients.lookup(from)
 		w.bd.Charge(metrics.CompRecv, time.Since(t0).Nanoseconds())
-		if c == nil {
+		if c == nil || c.quarantined.Load() {
 			return
 		}
 		if c.thread != w.id {
@@ -358,11 +683,13 @@ func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
 	}
 	// Drop duplicates and reordered datagrams: UDP may replay an old
 	// move, and executing it would rewind the player's intent. The
-	// engine's netchan does the same with its sequence check.
-	if m.Seq != 0 && seqOlder(m.Seq, c.lastSeq) {
+	// engine's netchan does the same with its sequence check. Wild
+	// forward jumps are corrupted datagrams and are dropped *without*
+	// advancing lastSeq, so they cannot poison the filter.
+	if m.Seq != 0 && (seqOlder(m.Seq, c.lastSeq) || seqWild(m.Seq, c.lastSeq)) {
 		return
 	}
-	if m.Ack != 0 && c.repliedFrame-m.Ack > baselineGapFrames {
+	if m.Ack != 0 && c.repliedFrame.Load()-m.Ack > baselineGapFrames {
 		// The client is acknowledging a frame far behind the last reply we
 		// sent it: delta continuity is lost. Invalidation here (request
 		// phase) is ordered before the reply phase by the frame barrier.
@@ -370,6 +697,21 @@ func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
 	}
 	ent := s.world.Ents.Get(c.entID)
 	if ent == nil {
+		return
+	}
+	// Publish which client this thread is serving, for the watchdog and
+	// panic containment. The test seam runs here too — before any region
+	// lock is taken, so an injected wedge never strands locks.
+	w.serving.Store(int32(c.id) + 1)
+	if s.cfg.Hooks.PreExec != nil {
+		s.cfg.Hooks.PreExec(w.id, c.id)
+	}
+	if w.zombie.Load() {
+		// The watchdog abandoned this worker while the request sat in the
+		// pre-exec seam: the frame has moved on without it, and executing
+		// the stale command now would write into frames that no longer
+		// expect this thread. Drop it; zombieRecover owns the cleanup.
+		w.serving.Store(0)
 		return
 	}
 	// Liveness (ent.Active, Health) is checked inside ExecuteMove under
@@ -382,7 +724,7 @@ func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
 
 	lockBefore := w.bd.Ns[metrics.CompLock]
 	t0 := time.Now()
-	res := s.world.ExecuteMove(ent, &m.Cmd, &w.lockCtx)
+	res := s.executeMoveGuarded(ent, &m.Cmd, &w.lockCtx)
 	span := time.Since(t0).Nanoseconds()
 	lockDelta := w.bd.Ns[metrics.CompLock] - lockBefore
 	if exec := span - lockDelta; exec > 0 {
@@ -391,9 +733,10 @@ func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
 		// Per-client load for the balancer: decayed at each rebalance, so
 		// it tracks recent cost rather than lifetime cost. Only the owning
 		// thread writes it; the master reads it at the barrier.
-		c.loadNs += exec
+		c.loadNs.Add(exec)
 	}
 	w.bd.ExecCmds++
+	w.serving.Store(0)
 
 	if len(res.Events) > 0 {
 		s.appendEvents(res.Events)
@@ -404,10 +747,19 @@ func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
 
 	c.replyPending = true
 	c.lastSeq = m.Seq
-	c.lastActive = time.Now()
+	c.touch(time.Now())
 	// The client's forwarded datagram (if this was one) has landed; lift
 	// the migration freeze.
 	c.fwdFrame.Store(0)
+}
+
+// executeMoveGuarded wraps move execution in the world guard's read side
+// (see worldGuard). The deferred unlock keeps the guard panic-safe: a
+// panic in game code unwinds through here before recoverWorker runs.
+func (s *Parallel) executeMoveGuarded(ent *entity.Entity, cmd *protocol.MoveCmd, lc *game.LockContext) game.MoveResult {
+	s.worldGuard.RLock()
+	defer s.worldGuard.RUnlock()
+	return s.world.ExecuteMove(ent, cmd, lc)
 }
 
 // handleConnect admits a new player. Connection requests "are associated
@@ -415,7 +767,14 @@ func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
 // that do not affect gameplay", so they are processed inline; the spawn
 // itself takes a region lock over the spawn area.
 func (s *Parallel) handleConnect(w *worker, m *protocol.Connect, from transport.Addr) {
+	if s.draining.Load() {
+		s.send(w, from, &protocol.Reject{Reason: "server shutting down"})
+		return
+	}
 	if existing := s.clients.lookup(from); existing != nil {
+		if existing.quarantined.Load() {
+			return // pending eviction; don't resurrect
+		}
 		// Duplicate connect (retransmit or client restart): re-accept
 		// idempotently, and flag the delta baseline for reset — a
 		// restarted client has no memory of the entity states the baseline
@@ -431,6 +790,12 @@ func (s *Parallel) handleConnect(w *worker, m *protocol.Connect, from transport.
 		})
 		return
 	}
+	if s.shed.current() >= shedRejectNew {
+		// Overload ladder level 3: protect the clients already connected.
+		w.bd.BusyRejects++
+		s.send(w, from, &protocol.Reject{Reason: "busy"})
+		return
+	}
 	if s.clients.count() >= s.cfg.MaxClients {
 		s.send(w, from, &protocol.Reject{Reason: "server full"})
 		return
@@ -442,12 +807,12 @@ func (s *Parallel) handleConnect(w *worker, m *protocol.Connect, from transport.
 	}
 	idx := int(s.joinIdx.Add(1) - 1)
 	c := &client{
-		entID:      ent.ID,
-		name:       m.Name,
-		addr:       from,
-		thread:     s.cfg.Assign(idx, s.cfg.Threads, s.cfg.MaxClients),
-		lastActive: time.Now(),
+		entID:  ent.ID,
+		name:   m.Name,
+		addr:   from,
+		thread: s.cfg.Assign(idx, s.cfg.Threads, s.cfg.MaxClients),
 	}
+	c.touch(time.Now())
 	if !s.clients.add(c) {
 		s.removePlayerLocked(w, ent.ID)
 		s.send(w, from, &protocol.Reject{Reason: "server full"})
@@ -470,12 +835,16 @@ func (s *Parallel) handleConnect(w *worker, m *protocol.Connect, from transport.
 // spawn location, keeping the tree mutation safe against concurrent
 // request processing.
 func (s *Parallel) spawnPlayerLocked(w *worker) (*entity.Entity, error) {
+	s.worldGuard.RLock()
+	defer s.worldGuard.RUnlock()
 	guard := w.locker.Acquire(s.world.Map.Bounds, nil)
 	defer guard.Release()
 	return s.world.SpawnPlayer()
 }
 
 func (s *Parallel) removePlayerLocked(w *worker, id entity.ID) {
+	s.worldGuard.RLock()
+	defer s.worldGuard.RUnlock()
 	guard := w.locker.Acquire(s.world.Map.Bounds, nil)
 	defer guard.Release()
 	s.world.RemovePlayer(id)
@@ -483,8 +852,8 @@ func (s *Parallel) removePlayerLocked(w *worker, id entity.ID) {
 
 func (s *Parallel) handleDisconnect(w *worker, from transport.Addr) {
 	c := s.clients.lookup(from)
-	if c == nil {
-		return
+	if c == nil || c.quarantined.Load() {
+		return // quarantined: the recovering thread owns the removal
 	}
 	s.clients.remove(c)
 	if s.mux != nil {
@@ -502,8 +871,21 @@ func (s *Parallel) sendReplies(w *worker) {
 	w.frameEv = s.snapshotFrameEvents(w.frameEv[:0])
 	frame := uint32(s.fc.frameNumber())
 	serverTime := uint32(s.world.Time * 1000)
+	level := s.shed.current()
+	entityLimit := 0
+	if level >= shedEntityCap {
+		entityLimit = s.cfg.OverloadEntityCap
+	}
 	s.clients.forThread(w.id, func(c *client) {
-		if !c.replyPending {
+		if !c.replyPending || c.quarantined.Load() {
+			return
+		}
+		if level >= shedFarHalf && c.shedFar.Load() && frame&1 == 1 {
+			// Overload ladder level 1: clients far from the action get
+			// every other snapshot. replyPending stays set, so the reply
+			// goes out next frame; the skipped snapshot is invisible to
+			// delta continuity (the baseline only advances on sends).
+			w.bd.RepliesShed++
 			return
 		}
 		c.replyPending = false
@@ -514,9 +896,11 @@ func (s *Parallel) sendReplies(w *worker) {
 		if c.resetBaseline.Swap(false) {
 			c.baseline.Invalidate()
 		}
+		w.serving.Store(int32(c.id) + 1)
 		w.backlogBuf = c.drainBacklog(w.backlogBuf[:0])
 		data, st := w.reply.FormSnapshot(s.world, ent, &c.baseline,
-			frame, c.lastSeq, serverTime, w.backlogBuf, w.frameEv)
+			frame, c.lastSeq, serverTime, w.backlogBuf, w.frameEv, entityLimit)
+		w.serving.Store(0)
 		if data == nil {
 			return
 		}
@@ -525,6 +909,7 @@ func (s *Parallel) sendReplies(w *worker) {
 		w.bd.ReplyBytes += int64(st.Bytes)
 		w.bd.ReplyDatagrams++
 		w.bd.ReplyAllocs += int64(st.Allocs)
+		w.bd.EntitiesCapped += int64(st.Capped)
 		c.markReplied(frame)
 		s.replies.Add(1)
 	})
@@ -547,10 +932,16 @@ func (s *Parallel) masterCleanup(w *worker) {
 	now := time.Now()
 	var stale []*client
 	s.clients.forEach(func(c *client) {
-		if c.repliedFrame != frame {
+		if c.repliedFrame.Load() != frame {
 			c.queueEvents(events)
 		}
-		if now.Sub(c.lastActive) > s.cfg.ClientTimeout {
+		// Quarantined clients belong to their recovering thread; clients
+		// on a zombie thread are skipped because eviction takes region
+		// locks the wedged thread may hold.
+		if c.quarantined.Load() || s.workers[c.thread].zombie.Load() {
+			return
+		}
+		if now.UnixNano()-c.lastActive.Load() > int64(s.cfg.ClientTimeout) {
 			stale = append(stale, c)
 		}
 	})
@@ -562,11 +953,29 @@ func (s *Parallel) masterCleanup(w *worker) {
 		s.removePlayerLocked(w, c.entID)
 	}
 
+	// Evictions decided during the reply phase (reply-side panics) were
+	// deferred to this point, where no thread is reading the world.
+	s.pendingMu.Lock()
+	pending := s.pendingEvict
+	s.pendingEvict = nil
+	s.pendingMu.Unlock()
+	for _, c := range pending {
+		s.evictClient(w, c, "server error handling your request")
+	}
+
+	// Overload ladder: feed the frame's duration, then refresh the
+	// shed-far flags while a shed level is active.
+	level := s.shed.observe(time.Since(s.frameT0).Nanoseconds())
+	if level >= shedFarHalf {
+		s.computeShedFar()
+	}
+
 	rec := metrics.FrameRecord{
 		Frame:             s.fc.frameNumber(),
 		RequestsByThread:  make([]int, len(s.workers)),
 		LeafLocksByThread: make([]uint64, len(s.workers)),
 		ExecNsByThread:    make([]int64, len(s.workers)),
+		ShedLevel:         int(level),
 	}
 	parts := s.fc.currentParticipants()
 	rec.Participants = len(parts)
@@ -581,6 +990,17 @@ func (s *Parallel) masterCleanup(w *worker) {
 		rec.Migrations = s.rebalance()
 	}
 	s.frameLog.Append(rec)
+}
+
+// computeShedFar refreshes the shed-far flags for this engine's clients.
+// Master only, at the frame barrier. It reads entity positions, so in
+// degraded mode it excludes a waking zombie's writes like the reply pass.
+func (s *Parallel) computeShedFar() {
+	if s.fc.hasZombies() {
+		s.worldGuard.Lock()
+		defer s.worldGuard.Unlock()
+	}
+	s.shedClients, s.shedDists = markShedFar(s.world, s.clients, s.shedClients, s.shedDists)
 }
 
 // rebalance runs at the frame barrier, the only point where no region
@@ -599,7 +1019,7 @@ func (s *Parallel) rebalance() int {
 
 	loads, threads := s.balLoads[:0], s.balThreads[:0]
 	for _, c := range cs {
-		loads = append(loads, c.loadNs)
+		loads = append(loads, c.loadNs.Load())
 		threads = append(threads, c.thread)
 	}
 	s.balLoads, s.balThreads = loads, threads
@@ -609,6 +1029,13 @@ func (s *Parallel) rebalance() int {
 	applied := 0
 	for _, mg := range migs {
 		c := cs[mg.Client]
+		// Clients owned by an abandoned (zombie) thread are frozen: the
+		// wedged thread may still be straggling through its request phase,
+		// and migrating its client under it would put two threads on one
+		// client's state. Quarantined clients are pending eviction.
+		if s.workers[c.thread].zombie.Load() || c.quarantined.Load() {
+			continue
+		}
 		// A client with a forwarded datagram in flight is frozen: migrating
 		// it now would re-route the datagram again and let it chase the
 		// assignment across barriers indefinitely. Stamps far older than
@@ -629,7 +1056,7 @@ func (s *Parallel) rebalance() int {
 	// Decay the load window so the balancer tracks recent cost: halving
 	// gives an exponential moving sum with a few-frame horizon.
 	for _, c := range cs {
-		c.loadNs >>= 1
+		c.loadNs.Store(c.loadNs.Load() >> 1)
 	}
 	s.migrations.Add(int64(applied))
 	return applied
@@ -650,10 +1077,17 @@ func (s *Parallel) send(w *worker, to transport.Addr, msg any) {
 }
 
 // Breakdowns returns a copy of each thread's execution-time breakdown.
+// Engine-level robustness counters (watchdog detections, mux queue
+// drops) are folded into thread 0's copy so MergeThreads reports see
+// them.
 func (s *Parallel) Breakdowns() []metrics.Breakdown {
 	out := make([]metrics.Breakdown, len(s.workers))
 	for i, w := range s.workers {
 		out[i] = w.bd
+	}
+	out[0].WedgesDetected += s.wedges.Load()
+	if s.mux != nil {
+		out[0].MuxDrops += s.mux.Drops()
 	}
 	return out
 }

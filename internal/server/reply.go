@@ -33,23 +33,36 @@ import (
 // empty baseline (next snapshot sends every visible entity as DNew).
 type Baseline struct {
 	states []protocol.EntityState
+	// tag identifies the snapshot that established this baseline: that
+	// snapshot's Frame+1, or 0 for an empty baseline. It travels on the
+	// wire as Snapshot.BaseFrame so the client can detect a missed
+	// snapshot (its table tag won't match) instead of silently applying a
+	// delta against the wrong reference.
+	tag uint32
 }
 
 // Invalidate empties the baseline so the next snapshot carries full
 // entity state. Called when delta continuity is lost: a reconnect (the
 // client forgot its state) or a sequence gap wide enough that the client
 // may have missed the snapshots the baseline assumes it holds.
-func (b *Baseline) Invalidate() { b.states = b.states[:0] }
+func (b *Baseline) Invalidate() {
+	b.states = b.states[:0]
+	b.tag = 0
+}
 
 // Len returns the number of entity states in the baseline.
 func (b *Baseline) Len() int { return len(b.states) }
 
+// Tag returns the baseline's continuity tag (0 when empty).
+func (b *Baseline) Tag() uint32 { return b.tag }
+
 // ReplyStats reports one FormSnapshot call's volume: datagram size,
-// buffer growths (zero in steady state), and the snapshot-formation work
-// counters.
+// buffer growths (zero in steady state), entities truncated by the
+// overload cap, and the snapshot-formation work counters.
 type ReplyStats struct {
 	Bytes  int
 	Allocs int
+	Capped int
 	Work   game.SnapshotWork
 }
 
@@ -71,10 +84,16 @@ type ReplyScratch struct {
 // and is valid only until the next call; base advances to the newly
 // built entity set by buffer swap (the old baseline buffer becomes the
 // next call's scratch), so callers never copy entity states.
+//
+// entityLimit, when positive, caps the visible-entity set (the overload
+// ladder's level-2 degradation). Truncation stays delta-consistent: the
+// baseline advances to the truncated set, so entities dropped by the cap
+// produce DRemove deltas and reappear as DNew when the cap lifts.
 func (rs *ReplyScratch) FormSnapshot(
 	w *game.World, viewer *entity.Entity, base *Baseline,
 	frame, ackSeq, serverTime uint32,
 	backlog, frameEvents []protocol.GameEvent,
+	entityLimit int,
 ) ([]byte, ReplyStats) {
 	capStates := cap(rs.states)
 	capDeltas := cap(rs.deltas)
@@ -82,6 +101,11 @@ func (rs *ReplyScratch) FormSnapshot(
 	capBuf := cap(rs.writer.Buf)
 
 	states, work := w.BuildSnapshot(viewer, rs.states[:0])
+	capped := 0
+	if entityLimit > 0 && len(states) > entityLimit {
+		capped = len(states) - entityLimit
+		states = states[:entityLimit]
+	}
 	rs.states = states
 	rs.deltas = protocol.AppendDeltaEntities(rs.deltas[:0], base.states, states)
 	rs.events = append(rs.events[:0], backlog...)
@@ -90,6 +114,7 @@ func (rs *ReplyScratch) FormSnapshot(
 	rs.snap = protocol.Snapshot{
 		Frame:      frame,
 		AckSeq:     ackSeq,
+		BaseFrame:  base.tag,
 		ServerTime: serverTime,
 		You:        game.PlayerStateOf(viewer),
 		Delta:      rs.deltas,
@@ -105,8 +130,9 @@ func (rs *ReplyScratch) FormSnapshot(
 	// for the next client. Equivalent to copying states into base, minus
 	// the copy.
 	base.states, rs.states = rs.states, base.states
+	base.tag = frame + 1
 
-	st := ReplyStats{Bytes: len(rs.writer.Buf), Work: work}
+	st := ReplyStats{Bytes: len(rs.writer.Buf), Capped: capped, Work: work}
 	if cap(base.states) > capStates {
 		st.Allocs++
 	}
@@ -126,13 +152,13 @@ func (rs *ReplyScratch) FormSnapshot(
 // correctness oracle: fresh allocations for every list and the encoder,
 // baseline advanced by copy. The golden-stream test asserts FormSnapshot
 // produces byte-identical datagrams, and BenchmarkReplyPhaseAllocs
-// measures the two paths against each other. It returns the datagram and
-// the new baseline slice.
+// measures the two paths against each other. It returns the datagram,
+// the new baseline slice, and the new baseline tag.
 func ReferenceFormSnapshot(
-	w *game.World, viewer *entity.Entity, baseline []protocol.EntityState,
+	w *game.World, viewer *entity.Entity, baseline []protocol.EntityState, baseTag uint32,
 	frame, ackSeq, serverTime uint32,
 	backlog, frameEvents []protocol.GameEvent,
-) ([]byte, []protocol.EntityState) {
+) ([]byte, []protocol.EntityState, uint32) {
 	states, _ := w.BuildSnapshot(viewer, nil)
 	delta := protocol.DeltaEntities(baseline, states)
 	var events []protocol.GameEvent
@@ -142,12 +168,13 @@ func ReferenceFormSnapshot(
 	if err := protocol.Encode(&wr, &protocol.Snapshot{
 		Frame:      frame,
 		AckSeq:     ackSeq,
+		BaseFrame:  baseTag,
 		ServerTime: serverTime,
 		You:        game.PlayerStateOf(viewer),
 		Delta:      delta,
 		Events:     events,
 	}); err != nil {
-		return nil, states
+		return nil, states, baseTag
 	}
-	return wr.Bytes(), states
+	return wr.Bytes(), states, frame + 1
 }

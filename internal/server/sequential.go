@@ -1,6 +1,7 @@
 package server
 
 import (
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,16 @@ type Sequential struct {
 	started  time.Time
 	stopped  time.Time
 	last     time.Time
+
+	// Failure-model state: overload ladder, shutdown drain flag, the
+	// client being served (for panic containment), and fault-eviction
+	// count. Single-threaded, so serving needs no atomicity.
+	shed           shedController
+	draining       atomic.Bool
+	serving        *client
+	faultEvictions atomic.Int64
+	shedClients    []*client
+	shedDists      []float64
 }
 
 // NewSequential builds the sequential engine over the first endpoint.
@@ -52,14 +63,16 @@ func NewSequential(cfg Config) (*Sequential, error) {
 	if err := cfg.fill(false); err != nil {
 		return nil, err
 	}
-	return &Sequential{
+	s := &Sequential{
 		cfg:     cfg,
 		world:   cfg.World,
 		conn:    cfg.Conns[0],
 		clients: newClientTable(cfg.MaxClients),
 		recvBuf: make([]byte, transport.MaxDatagram),
 		stop:    make(chan struct{}),
-	}, nil
+	}
+	s.shed.init(&s.cfg)
+	return s, nil
 }
 
 // Start launches the server loop goroutine.
@@ -92,6 +105,34 @@ func (s *Sequential) stopping() bool {
 	}
 }
 
+// Shutdown performs a graceful stop: new connection attempts are refused
+// immediately, the frame in progress completes, and every connected
+// client is sent a final Disconnected notice before being dropped.
+func (s *Sequential) Shutdown() {
+	s.draining.Store(true)
+	s.Stop()
+	var wr protocol.Writer
+	s.clients.forEach(func(c *client) {
+		wr.Reset()
+		if protocol.Encode(&wr, &protocol.Disconnected{Reason: "server shutting down"}) == nil {
+			s.bytesOut.Add(int64(len(wr.Bytes())))
+			_ = s.conn.Send(c.addr, wr.Bytes())
+		}
+		s.clients.remove(c)
+	})
+}
+
+// SetFrameBudget adjusts the overload ladder's frame budget at runtime
+// (0 disables shedding).
+func (s *Sequential) SetFrameBudget(d time.Duration) { s.shed.setBudget(d) }
+
+// ShedLevel returns the overload ladder's current level.
+func (s *Sequential) ShedLevel() int { return int(s.shed.current()) }
+
+// FaultEvictions returns how many clients were evicted by panic
+// containment.
+func (s *Sequential) FaultEvictions() int64 { return s.faultEvictions.Load() }
+
 func (s *Sequential) loop() {
 	for {
 		// S: select.
@@ -119,8 +160,10 @@ func (s *Sequential) loop() {
 		}
 		s.bd.Charge(metrics.CompWorld, time.Since(t0).Nanoseconds())
 
+		frameT0 := time.Now()
+
 		// Rx/E: receive and process requests until the queue is empty.
-		s.processPacket(s.stash, from)
+		s.safeProcessPacket(s.stash, from)
 		for {
 			t0 = time.Now()
 			n, from, err = s.conn.Recv(s.recvBuf, 0)
@@ -129,16 +172,47 @@ func (s *Sequential) loop() {
 				break
 			}
 			s.bytesIn.Add(int64(n))
-			s.processPacket(s.recvBuf[:n], from)
+			s.safeProcessPacket(s.recvBuf[:n], from)
 		}
 
 		// T/Tx: form and send replies.
 		t0 = time.Now()
-		s.sendReplies()
+		s.safeSendReplies()
 		s.bd.Charge(metrics.CompReply, time.Since(t0).Nanoseconds())
 
-		s.endFrame()
+		s.endFrame(frameT0)
 	}
+}
+
+// safeProcessPacket contains a panic in request handling to the client
+// that caused it (see the parallel engine's identical policy): the
+// client is evicted and the loop continues — a malformed or adversarial
+// request must never take the server down.
+func (s *Sequential) safeProcessPacket(data []byte, from transport.Addr) {
+	defer s.recoverLoop("request")
+	s.processPacket(data, from)
+}
+
+func (s *Sequential) safeSendReplies() {
+	defer s.recoverLoop("reply")
+	s.sendReplies()
+}
+
+func (s *Sequential) recoverLoop(phase string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	s.bd.PanicsRecovered++
+	victim := s.serving
+	s.serving = nil
+	if victim != nil {
+		s.clients.remove(victim)
+		s.world.RemovePlayer(victim.entID)
+		s.send(victim.addr, &protocol.Disconnected{Reason: "server error handling your request"})
+		s.faultEvictions.Add(1)
+	}
+	log.Printf("server: recovered panic in %s phase: %v (evicted client: %v)", phase, r, victim != nil)
 }
 
 func (s *Sequential) processPacket(data []byte, from transport.Addr) {
@@ -154,24 +228,29 @@ func (s *Sequential) processPacket(data []byte, from transport.Addr) {
 		if c == nil {
 			return
 		}
-		if m.Seq != 0 && seqOlder(m.Seq, c.lastSeq) {
-			return // duplicate or reordered datagram
+		if m.Seq != 0 && (seqOlder(m.Seq, c.lastSeq) || seqWild(m.Seq, c.lastSeq)) {
+			return // duplicate, reordered, or corrupted-sequence datagram
 		}
-		if m.Ack != 0 && c.repliedFrame-m.Ack > baselineGapFrames {
+		if m.Ack != 0 && c.repliedFrame.Load()-m.Ack > baselineGapFrames {
 			c.baseline.Invalidate() // delta continuity lost; resend full state
 		}
 		ent := s.world.Ents.Get(c.entID)
 		if ent == nil || !ent.Active {
 			return
 		}
+		s.serving = c
+		if s.cfg.Hooks.PreExec != nil {
+			s.cfg.Hooks.PreExec(0, c.id)
+		}
 		t0 = time.Now()
 		// No locking at all: nil Locker short-circuits every lock path.
 		res := s.world.ExecuteMove(ent, &m.Cmd, &game.LockContext{})
 		s.bd.Charge(metrics.CompExec, time.Since(t0).Nanoseconds())
+		s.serving = nil
 		s.frameEvents = append(s.frameEvents, wireEvents(res.Events)...)
 		c.replyPending = true
 		c.lastSeq = m.Seq
-		c.lastActive = time.Now()
+		c.touch(time.Now())
 	case *protocol.Connect:
 		s.handleConnect(m, from)
 	case *protocol.Disconnect:
@@ -186,6 +265,15 @@ func (s *Sequential) processPacket(data []byte, from transport.Addr) {
 }
 
 func (s *Sequential) handleConnect(m *protocol.Connect, from transport.Addr) {
+	if s.draining.Load() {
+		s.send(from, &protocol.Reject{Reason: "server shutting down"})
+		return
+	}
+	if s.shed.current() >= shedRejectNew {
+		s.bd.BusyRejects++
+		s.send(from, &protocol.Reject{Reason: "busy"})
+		return
+	}
 	if existing := s.clients.lookup(from); existing != nil {
 		// Reconnect: the client has no memory of the baseline's states.
 		existing.baseline.Invalidate()
@@ -207,12 +295,12 @@ func (s *Sequential) handleConnect(m *protocol.Connect, from transport.Addr) {
 		return
 	}
 	c := &client{
-		entID:      ent.ID,
-		name:       m.Name,
-		addr:       from,
-		thread:     0,
-		lastActive: time.Now(),
+		entID:  ent.ID,
+		name:   m.Name,
+		addr:   from,
+		thread: 0,
 	}
+	c.touch(time.Now())
 	s.joinIdx++
 	if !s.clients.add(c) {
 		s.world.RemovePlayer(ent.ID)
@@ -230,8 +318,20 @@ func (s *Sequential) handleConnect(m *protocol.Connect, from transport.Addr) {
 func (s *Sequential) sendReplies() {
 	frame := uint32(s.frames)
 	serverTime := uint32(s.world.Time * 1000)
+	level := s.shed.current()
+	entityLimit := 0
+	if level >= shedEntityCap {
+		entityLimit = s.cfg.OverloadEntityCap
+	}
 	s.clients.forEach(func(c *client) {
 		if !c.replyPending {
+			return
+		}
+		if level >= shedFarHalf && c.shedFar.Load() && frame&1 == 1 {
+			// Overload ladder level 1: far clients get every other
+			// snapshot; replyPending stays set so the reply goes out next
+			// frame.
+			s.bd.RepliesShed++
 			return
 		}
 		c.replyPending = false
@@ -242,9 +342,11 @@ func (s *Sequential) sendReplies() {
 		if c.resetBaseline.Swap(false) {
 			c.baseline.Invalidate()
 		}
+		s.serving = c
 		s.backlogBuf = c.drainBacklog(s.backlogBuf[:0])
 		data, st := s.reply.FormSnapshot(s.world, ent, &c.baseline,
-			frame, c.lastSeq, serverTime, s.backlogBuf, s.frameEvents)
+			frame, c.lastSeq, serverTime, s.backlogBuf, s.frameEvents, entityLimit)
+		s.serving = nil
 		if data == nil {
 			return
 		}
@@ -253,12 +355,13 @@ func (s *Sequential) sendReplies() {
 		s.bd.ReplyBytes += int64(st.Bytes)
 		s.bd.ReplyDatagrams++
 		s.bd.ReplyAllocs += int64(st.Allocs)
+		s.bd.EntitiesCapped += int64(st.Capped)
 		c.markReplied(frame)
 		s.replies.Add(1)
 	})
 }
 
-func (s *Sequential) endFrame() {
+func (s *Sequential) endFrame(frameT0 time.Time) {
 	frame := uint32(s.frames)
 	events := s.frameEvents
 	// Truncate in place: events is consumed below, before the next frame
@@ -267,16 +370,19 @@ func (s *Sequential) endFrame() {
 	now := time.Now()
 	var stale []*client
 	s.clients.forEach(func(c *client) {
-		if c.repliedFrame != frame {
+		if c.repliedFrame.Load() != frame {
 			c.queueEvents(events)
 		}
-		if now.Sub(c.lastActive) > s.cfg.ClientTimeout {
+		if now.UnixNano()-c.lastActive.Load() > int64(s.cfg.ClientTimeout) {
 			stale = append(stale, c)
 		}
 	})
 	for _, c := range stale {
 		s.clients.remove(c)
 		s.world.RemovePlayer(c.entID)
+	}
+	if level := s.shed.observe(time.Since(frameT0).Nanoseconds()); level >= shedFarHalf {
+		s.shedClients, s.shedDists = markShedFar(s.world, s.clients, s.shedClients, s.shedDists)
 	}
 	s.frames++
 }

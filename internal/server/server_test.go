@@ -312,7 +312,7 @@ func TestFrameCtlBarrierOrdering(t *testing.T) {
 
 	done := make(chan int, 2)
 	go func() {
-		fc.doneRequests() // blocks until both arrive
+		fc.doneRequests(0) // blocks until both arrive
 		done <- 1
 	}()
 	select {
@@ -320,15 +320,21 @@ func TestFrameCtlBarrierOrdering(t *testing.T) {
 		t.Fatal("barrier released with one of two participants")
 	case <-time.After(20 * time.Millisecond):
 	}
-	fc.doneRequests()
+	if !fc.doneRequests(1) {
+		t.Fatal("live participant reported abandoned at request barrier")
+	}
 	select {
 	case <-done:
 	case <-time.After(time.Second):
 		t.Fatal("barrier never released")
 	}
 
-	fc.doneReply()
-	fc.doneReply()
+	if ok, promoted := fc.doneReply(0); !ok || promoted {
+		t.Fatalf("doneReply(0) = %v, %v; want ok, no promotion", ok, promoted)
+	}
+	if ok, promoted := fc.doneReply(1); !ok || promoted {
+		t.Fatalf("doneReply(1) = %v, %v; want ok, no promotion", ok, promoted)
+	}
 	fc.waitAllReplied() // must not block now
 
 	endSeen := make(chan struct{})

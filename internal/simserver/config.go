@@ -68,6 +68,13 @@ type Config struct {
 	// packet, letting more threads and requests join the frame.
 	BatchDelayNs int64
 
+	// LossProb drops each inbound move request with this probability —
+	// the simulated counterpart of the live transport's fault injector,
+	// for studying how throughput degrades on a lossy network. Lost
+	// requests cost the server nothing (they vanish upstream) and the
+	// affected client simply misses one reply.
+	LossProb float64
+
 	// TraceFrames, when positive, records per-thread phase spans for the
 	// first N frames into Result.Trace — the raw material for a Figure-3
 	// style execution timeline.
@@ -165,6 +172,11 @@ func (c *Config) fill() error {
 	if c.ReassignEveryS <= 0 {
 		c.ReassignEveryS = 1
 	}
+	if c.LossProb < 0 {
+		c.LossProb = 0
+	} else if c.LossProb > 1 {
+		c.LossProb = 1
+	}
 	return nil
 }
 
@@ -212,6 +224,9 @@ type Result struct {
 
 	Frames   uint64
 	Requests int64
+	// LostRequests counts requests dropped by the simulated lossy
+	// network (Config.LossProb).
+	LostRequests int64
 	// Migrations counts balancer-driven client→thread moves.
 	Migrations int64
 

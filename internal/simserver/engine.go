@@ -89,6 +89,8 @@ type engine struct {
 	resp         metrics.ResponseStats
 	locks        LockAggregate
 	requests     int64
+	lost         int64
+	lossRng      *rand.Rand
 	lastWorldNs  int64
 	lastReassign int64
 	endNs        int64
@@ -196,6 +198,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Balance.Enabled && !cfg.Sequential && cfg.Threads > 1 {
 		e.bal = balance.New(cfg.Balance)
 	}
+	if cfg.LossProb > 0 {
+		e.lossRng = rand.New(rand.NewSource(cfg.Seed*7919 + 11))
+	}
 
 	if err := e.buildClients(); err != nil {
 		return nil, err
@@ -205,22 +210,23 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{
-		Trace:      e.trace,
-		Players:    cfg.Players,
-		Threads:    cfg.Threads,
-		Sequential: cfg.Sequential,
-		Strategy:   cfg.Strategy.Name(),
-		NumLeaves:  world.Tree.NumLeaves(),
-		DurationS:  cfg.DurationS,
-		PerThread:  e.bds,
-		Avg:        metrics.MergeThreads(e.bds),
-		FrameLog:   e.frameLog,
-		Resp:       e.resp,
-		Locks:      e.locks,
-		Frames:     e.fc.frame,
-		Requests:   e.requests,
-		Migrations: e.migrations,
-		World:      world,
+		Trace:        e.trace,
+		Players:      cfg.Players,
+		Threads:      cfg.Threads,
+		Sequential:   cfg.Sequential,
+		Strategy:     cfg.Strategy.Name(),
+		NumLeaves:    world.Tree.NumLeaves(),
+		DurationS:    cfg.DurationS,
+		PerThread:    e.bds,
+		Avg:          metrics.MergeThreads(e.bds),
+		FrameLog:     e.frameLog,
+		Resp:         e.resp,
+		Locks:        e.locks,
+		Frames:       e.fc.frame,
+		Requests:     e.requests,
+		LostRequests: e.lost,
+		Migrations:   e.migrations,
+		World:        world,
 	}
 	res.Resp.DurationS = cfg.DurationS
 	if cfg.Sequential {
@@ -423,6 +429,14 @@ func (e *engine) runWorld(p *sim.Proc) {
 
 // processRequest executes one move command.
 func (e *engine) processRequest(p *sim.Proc, req *simRequest, arrivedAt int64) {
+	if e.lossRng != nil && e.lossRng.Float64() < e.cfg.LossProb {
+		// Lost upstream of the server: no receive cost, no execution; the
+		// client misses one reply. (Procs run one at a time in the
+		// discrete-event machine, so one engine-level stream stays
+		// deterministic and leaves the bots' decision rngs untouched.)
+		e.lost++
+		return
+	}
 	e.requests++
 	e.advance(p, e.model.RecvPacket, metrics.CompRecv)
 
@@ -515,7 +529,7 @@ func (e *engine) sendReplies(p *sim.Proc) {
 		}
 		c.pending = false
 		data, st := rs.FormSnapshot(e.world, c.ent, &c.baseline,
-			uint32(e.fc.frame), 0, uint32(e.world.Time*1000), nil, nil)
+			uint32(e.fc.frame), 0, uint32(e.world.Time*1000), nil, nil, 0)
 		events := c.backlog + e.frameEvents
 		c.backlog = 0
 		p.Advance(e.model.SnapshotCost(st.Work, events))

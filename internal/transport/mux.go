@@ -2,7 +2,9 @@ package transport
 
 import (
 	"fmt"
+	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -31,10 +33,21 @@ type Mux struct {
 	mu    sync.Mutex
 	route map[string]int // source address → port index
 
+	// drops counts datagrams lost to port-queue overflow; the pre-fix
+	// behavior dropped them silently, hiding receive-queue pressure from
+	// every report. dropsBySrc drives the sampled per-client log.
+	drops      atomic.Int64
+	dropsBySrc map[string]int64
+
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 }
+
+// muxDropLogSample is the per-client sampling rate of the overflow log:
+// the first drop for a source logs immediately, then one line per this
+// many further drops, so a flooding client cannot flood the log too.
+const muxDropLogSample = 1024
 
 // muxPumpTick bounds how long a pump blocks in Recv before re-checking
 // for shutdown, so Close returns promptly without closing the conns.
@@ -47,10 +60,11 @@ const muxQueueLen = 1024
 // NewMux wraps conns and starts one pump goroutine per conn.
 func NewMux(conns []Conn) *Mux {
 	m := &Mux{
-		conns: conns,
-		ports: make([]*MuxPort, len(conns)),
-		route: make(map[string]int),
-		stop:  make(chan struct{}),
+		conns:      conns,
+		ports:      make([]*MuxPort, len(conns)),
+		route:      make(map[string]int),
+		dropsBySrc: make(map[string]int64),
+		stop:       make(chan struct{}),
 	}
 	for i, c := range conns {
 		m.ports[i] = &MuxPort{
@@ -86,6 +100,7 @@ func (m *Mux) Route(addr Addr, port int) {
 func (m *Mux) Unroute(addr Addr) {
 	m.mu.Lock()
 	delete(m.route, addr.String())
+	delete(m.dropsBySrc, addr.String())
 	m.mu.Unlock()
 }
 
@@ -150,9 +165,24 @@ func (p *MuxPort) enqueue(pkt memPacket) {
 	select {
 	case p.queue <- pkt:
 	default:
+		// Receive-queue overflow: the datagram is lost, as with a full
+		// socket buffer — but never silently. The counter feeds the
+		// engine's metrics and the sampled log names the flooding source.
+		from := string(pkt.from)
 		pkt.release()
+		p.mux.drops.Add(1)
+		p.mux.mu.Lock()
+		p.mux.dropsBySrc[from]++
+		n := p.mux.dropsBySrc[from]
+		p.mux.mu.Unlock()
+		if n == 1 || n%muxDropLogSample == 0 {
+			log.Printf("transport: mux queue overflow, dropped datagram from %s (%d total from this source)", from, n)
+		}
 	}
 }
+
+// Drops returns the number of datagrams lost to port-queue overflow.
+func (m *Mux) Drops() int64 { return m.drops.Load() }
 
 // Send implements Conn, transmitting from the port's own endpoint so
 // replies carry the address the client expects.

@@ -78,6 +78,8 @@ func ResolveLike(c Conn, s string) (Addr, error) {
 		return MemAddr(s), nil
 	case *MuxPort:
 		return muxResolve(cc, s)
+	case *FaultConn:
+		return ResolveLike(cc.inner, s)
 	case *UDPConn:
 		ua, err := net.ResolveUDPAddr("udp", s)
 		if err != nil {
