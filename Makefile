@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench conformance chaos cover ci
+.PHONY: all build test race vet bench vis conformance chaos cover ci
 
 all: build
 
@@ -20,10 +20,19 @@ race:
 	$(GO) test -race ./...
 
 # bench smoke-checks the reply-phase allocation benchmark; the pooled
-# variant must stay at 0 allocs/op (CI enforces this as a hard gate).
+# and indexed variants must stay at 0 allocs/op (CI enforces this as a
+# hard gate).
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkReplyPhaseAllocs -benchmem -benchtime=100x .
 	$(GO) test -run=NONE -bench=BenchmarkFaultConnPassthrough -benchmem -benchtime=1000x ./internal/transport/
+
+# vis runs the frame-coherent interest-management acceptance set: the
+# randomized byte-identity property suite (indexed vs naive snapshots,
+# including the concurrent-build race proof) plus the snapshot-assembly
+# and index-build benchmarks.
+vis:
+	$(GO) test -race -v -run 'TestVisIndex|TestVisBuilder|TestGoldenReplyStream' ./internal/game/ ./internal/server/
+	$(GO) test -run=NONE -bench='BenchmarkBuildSnapshot|BenchmarkVisIndexBuild' -benchmem .
 
 # conformance proves the three engines compute the same game, with the
 # load balancer off and with migration forced every frame.

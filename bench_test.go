@@ -409,7 +409,7 @@ func BenchmarkReplyPhaseAllocs(b *testing.B) {
 		// benchmark (and the CI allocation gate) measures.
 		for round := 0; round < 8; round++ {
 			for i, e := range players {
-				scratch.FormSnapshot(w, e, &baselines[i], 1, 1, 1, events, events, 0)
+				scratch.FormSnapshot(w, nil, e, &baselines[i], 1, 1, 1, events, events, 0)
 			}
 		}
 		b.ReportAllocs()
@@ -417,7 +417,7 @@ func BenchmarkReplyPhaseAllocs(b *testing.B) {
 		for n := 0; n < b.N; n++ {
 			frame := uint32(n + 1)
 			for i, e := range players {
-				data, _ := scratch.FormSnapshot(w, e, &baselines[i],
+				data, _ := scratch.FormSnapshot(w, nil, e, &baselines[i],
 					frame, frame, frame*33, events, events, 0)
 				if len(data) == 0 {
 					b.Fatal("empty datagram")
@@ -425,4 +425,134 @@ func BenchmarkReplyPhaseAllocs(b *testing.B) {
 			}
 		}
 	})
+
+	// The indexed path: one shared visibility-index build per round plus
+	// 16 merge-based snapshots. Must also hold 0 allocs/op in steady
+	// state (the cache-build CI gate greps this sub-benchmark).
+	b.Run("indexed", func(b *testing.B) {
+		w, players := setup(b)
+		var scratch server.ReplyScratch
+		var vis game.VisIndex
+		baselines := make([]server.Baseline, numPlayers)
+		for round := 0; round < 8; round++ {
+			vis.Build(w)
+			for i, e := range players {
+				scratch.FormSnapshot(w, &vis, e, &baselines[i], 1, 1, 1, events, events, 0)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			frame := uint32(n + 1)
+			vis.Build(w)
+			for i, e := range players {
+				data, _ := scratch.FormSnapshot(w, &vis, e, &baselines[i],
+					frame, frame, frame*33, events, events, 0)
+				if len(data) == 0 {
+					b.Fatal("empty datagram")
+				}
+			}
+		}
+	})
+}
+
+// snapshotWorld builds a warmed-up world with the given player count on
+// the given map, scattered by scripted movement, for the snapshot
+// benchmarks below.
+func snapshotWorld(b *testing.B, mc worldmap.Config, players int) (*game.World, []*entity.Entity) {
+	b.Helper()
+	m := worldmap.MustGenerate(mc)
+	w, err := game.NewWorld(game.Config{Map: m, Seed: 77})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ents := make([]*entity.Entity, players)
+	for i := range ents {
+		if ents[i], err = w.SpawnPlayer(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for f := 0; f < 30; f++ {
+		for i, e := range ents {
+			cmd := protocol.MoveCmd{
+				Forward: 320, Msec: 33,
+				Yaw: protocol.AngleToWire(float64((f*37 + i*91) % 360)),
+			}
+			w.ExecuteMove(e, &cmd, &game.LockContext{})
+		}
+		w.RunWorldFrame(0.033)
+	}
+	return w, ents
+}
+
+// highVisMapConfig raises the default map's connectivity and visibility
+// depth: more doors and deeper portal vision inflate every client's
+// visible set, the regime where the paper observes reply costs climbing
+// ("maps exhibiting higher visibility incur higher reply processing
+// times").
+func highVisMapConfig() worldmap.Config {
+	mc := worldmap.DefaultConfig()
+	mc.Name = "gen-dm36-open"
+	mc.ExtraDoorProb = 0.9
+	mc.VisibilityDepth = 4
+	return mc
+}
+
+// BenchmarkBuildSnapshot measures per-frame snapshot assembly for all
+// clients — the naive per-client table scan versus the shared visibility
+// index (one build + per-client merges) — across player counts and map
+// visibility levels. time/op is one full frame's assembly work.
+func BenchmarkBuildSnapshot(b *testing.B) {
+	maps := []struct {
+		name string
+		mc   worldmap.Config
+	}{
+		{"lowvis", worldmap.DefaultConfig()},
+		{"highvis", highVisMapConfig()},
+	}
+	for _, mp := range maps {
+		for _, players := range []int{64, 96, 144} {
+			w, ents := snapshotWorld(b, mp.mc, players)
+			states := make([]protocol.EntityState, 0, 1024)
+
+			b.Run(fmt.Sprintf("%s/players=%d/naive", mp.name, players), func(b *testing.B) {
+				b.ReportAllocs()
+				for n := 0; n < b.N; n++ {
+					for _, e := range ents {
+						states, _ = w.BuildSnapshot(e, states[:0])
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%s/players=%d/indexed", mp.name, players), func(b *testing.B) {
+				var vis game.VisIndex
+				vis.Build(w)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					vis.Build(w)
+					for _, e := range ents {
+						states, _ = vis.AppendVisible(e, states[:0])
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkVisIndexBuild isolates the once-per-frame cost of the shared
+// visibility-index/state-cache build. Steady-state rebuilds must be
+// allocation-free (CI gates on 0 allocs/op here).
+func BenchmarkVisIndexBuild(b *testing.B) {
+	for _, players := range []int{64, 144} {
+		b.Run(fmt.Sprintf("players=%d", players), func(b *testing.B) {
+			w, _ := snapshotWorld(b, worldmap.DefaultConfig(), players)
+			var vis game.VisIndex
+			vis.Build(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				vis.Build(w)
+			}
+		})
+	}
 }

@@ -40,6 +40,14 @@ type Model struct {
 	SnapEvent    int64 // per broadcast event copied into the reply
 	ReplySend    int64 // sendto cost
 
+	// Frame-coherent interest management: building the shared per-frame
+	// visibility index costs a fixed setup plus a per-eligible-entity
+	// encode. It is paid once per frame (instead of per client), and in
+	// exchange each client's SnapConsider count shrinks to its candidate
+	// set and SnapVisible prices a cache copy rather than a re-encode.
+	SnapBuildBase   int64 // per-frame index setup (collect + scatter)
+	SnapBuildEntity int64 // per eligible entity encoded into the cache
+
 	// World processing. Every frame pays the preamble (frame setup plus
 	// an entity-table scan); the physics tick (thinks, projectile
 	// flight) is rate-limited like QuakeWorld's sv_mintic and costs
@@ -79,6 +87,9 @@ func Default() Model {
 		SnapVisible:  1_850,
 		SnapEvent:    500,
 		ReplySend:    9_000,
+
+		SnapBuildBase:   8_000,
+		SnapBuildEntity: 400,
 
 		WorldBase: 15_000,
 		TickBase:  40_000,
@@ -127,9 +138,16 @@ func (m *Model) SnapshotCost(sw game.SnapshotWork, events int) int64 {
 }
 
 // FramePreamble returns the always-paid per-frame world-phase cost for a
-// table with the given entity high-water mark.
+// table with the given live-entity count (the active-ID index walks only
+// live entities, never free-list holes).
 func (m *Model) FramePreamble(entities int) int64 {
 	return m.WorldBase + int64(entities)*m.Scan
+}
+
+// SnapshotBuildCost returns the once-per-frame cost of building the
+// shared visibility index over the given eligible-entity count.
+func (m *Model) SnapshotBuildCost(entities int) int64 {
+	return m.SnapBuildBase + int64(entities)*m.SnapBuildEntity
 }
 
 // WorldCost returns the rate-limited physics tick's cost.

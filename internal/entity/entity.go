@@ -123,6 +123,13 @@ type Entity struct {
 	// Reply processing uses it for visibility filtering.
 	RoomID int
 
+	// SnapEligible marks entities that belong in client snapshots:
+	// active, not a teleporter trigger, and (for items) currently linked.
+	// Table.Alloc/Free and the game link/unlink paths maintain it, so
+	// eligibility is decided once per state change instead of once per
+	// client per frame. The visibility index is built from this flag.
+	SnapEligible bool
+
 	// ModelFrame is an opaque animation counter carried to clients.
 	ModelFrame uint8
 

@@ -1,6 +1,9 @@
 package entity
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Table is a fixed-capacity entity arena with free-list reuse, mirroring
 // the engine's edict array. Pointers returned by Get and Alloc remain
@@ -10,10 +13,17 @@ import "fmt"
 // phases where the executing thread has exclusive access (world physics
 // runs on the master thread; spawning during request processing happens
 // under the region locks covering the affected area, with ID allocation
-// serialized by the caller).
+// serialized by the caller). The active-ID index below is maintained
+// under the same discipline, so readers ordered after an Alloc/Free by
+// the frame barriers always see a consistent list.
 type Table struct {
-	ents   []Entity
-	free   []ID
+	ents []Entity
+	free []ID
+	// actIDs is the live entity IDs in ascending order — the iteration
+	// index ForEach/Range/ActiveIDs walk, so sparse tables never pay for
+	// free-list holes up to the high-water mark. Preallocated to capacity
+	// so maintenance never allocates.
+	actIDs []ID
 	active int
 	// highWater is one past the largest ID ever allocated, bounding scans.
 	highWater int
@@ -24,7 +34,10 @@ func NewTable(capacity int) *Table {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("entity: capacity %d must be positive", capacity))
 	}
-	return &Table{ents: make([]Entity, capacity)}
+	return &Table{
+		ents:   make([]Entity, capacity),
+		actIDs: make([]ID, 0, capacity),
+	}
 }
 
 // Capacity returns the table's fixed capacity.
@@ -58,7 +71,14 @@ func (t *Table) Alloc(class Class) *Entity {
 		ItemSpawn: -1,
 		RoomID:    -1,
 		Owner:     None,
+		// Snapshot eligibility is a property of the class and link state,
+		// maintained here and at link/unlink time instead of being
+		// re-derived per client per frame: teleporters are static map
+		// triggers and never appear in snapshots; items become eligible
+		// when linked (an unlinked item is taken, awaiting respawn).
+		SnapEligible: class != ClassTeleporter && class != ClassItem,
 	}
+	t.insertActive(id)
 	t.active++
 	return e
 }
@@ -76,8 +96,35 @@ func (t *Table) Free(id ID) {
 	}
 	e.Active = false
 	e.Class = ClassNone
+	e.SnapEligible = false
 	t.free = append(t.free, id)
+	t.removeActive(id)
 	t.active--
+}
+
+// insertActive adds id to the sorted active index. Fresh high-water IDs
+// append in O(1); free-list reuse inserts by binary search.
+func (t *Table) insertActive(id ID) {
+	ids := t.actIDs
+	if n := len(ids); n == 0 || ids[n-1] < id {
+		t.actIDs = append(ids, id)
+		return
+	}
+	i := sort.Search(len(ids), func(j int) bool { return ids[j] >= id })
+	t.actIDs = append(ids, 0)
+	copy(t.actIDs[i+1:], t.actIDs[i:])
+	t.actIDs[i] = id
+}
+
+// removeActive deletes id from the sorted active index.
+func (t *Table) removeActive(id ID) {
+	ids := t.actIDs
+	i := sort.Search(len(ids), func(j int) bool { return ids[j] >= id })
+	if i >= len(ids) || ids[i] != id {
+		return
+	}
+	copy(ids[i:], ids[i+1:])
+	t.actIDs = ids[:len(ids)-1]
 }
 
 // Get returns the entity with the given ID, or nil for out-of-range IDs.
@@ -89,19 +136,36 @@ func (t *Table) Get(id ID) *Entity {
 	return &t.ents[id]
 }
 
-// ForEach calls fn for every active entity in ID order.
-func (t *Table) ForEach(fn func(*Entity)) {
-	for i := 0; i < t.highWater; i++ {
-		if e := &t.ents[i]; e.Active {
-			fn(e)
+// ActiveIDs returns the live entity IDs in ascending order. The slice is
+// the table's internal index: callers must not modify it, and it is valid
+// only until the next Alloc or Free — a loop that may allocate or free
+// mid-walk (world physics) copies it into a scratch slice first.
+func (t *Table) ActiveIDs() []ID { return t.actIDs }
+
+// Range calls fn for every active entity in ID order until fn returns
+// false. fn must not allocate or free entities; use a copy of ActiveIDs
+// for mutating walks.
+func (t *Table) Range(fn func(*Entity) bool) {
+	for _, id := range t.actIDs {
+		if !fn(&t.ents[id]) {
+			return
 		}
 	}
 }
 
-// ForEachClass calls fn for every active entity of the given class.
+// ForEach calls fn for every active entity in ID order. fn must not
+// allocate or free entities.
+func (t *Table) ForEach(fn func(*Entity)) {
+	for _, id := range t.actIDs {
+		fn(&t.ents[id])
+	}
+}
+
+// ForEachClass calls fn for every active entity of the given class, in ID
+// order. fn must not allocate or free entities.
 func (t *Table) ForEachClass(class Class, fn func(*Entity)) {
-	for i := 0; i < t.highWater; i++ {
-		if e := &t.ents[i]; e.Active && e.Class == class {
+	for _, id := range t.actIDs {
+		if e := &t.ents[id]; e.Class == class {
 			fn(e)
 		}
 	}
@@ -110,8 +174,8 @@ func (t *Table) ForEachClass(class Class, fn func(*Entity)) {
 // CountClass returns the number of active entities of the given class.
 func (t *Table) CountClass(class Class) int {
 	n := 0
-	for i := 0; i < t.highWater; i++ {
-		if e := &t.ents[i]; e.Active && e.Class == class {
+	for _, id := range t.actIDs {
+		if t.ents[id].Class == class {
 			n++
 		}
 	}

@@ -24,13 +24,17 @@ func (w *World) RunWorldFrame(dt float64) MoveResult {
 	}
 	w.Time += dt
 
-	// Snapshot the ID range first: explosions free entities and respawns
-	// re-link them, and we must visit each exactly once. Only entities
-	// with due work "think" — inert items and live players are skipped
-	// after a cheap scan, as in the engine's SV_RunThinks.
-	high := w.Ents.HighWater()
-	for i := 0; i < high; i++ {
-		e := w.Ents.Get(entity.ID(i))
+	// Snapshot the active-ID index first: explosions free entities and
+	// respawns re-link them, and we must visit each exactly once. The
+	// copy walks only live entities (no free-list holes); entities
+	// allocated mid-frame (corpses from explosions) are not in the
+	// snapshot and think no earlier than next frame, which matches the
+	// old high-water scan for every reachable case. Only entities with
+	// due work "think" — inert items and live players are skipped after
+	// a cheap scan, as in the engine's SV_RunThinks.
+	w.frameIDs = append(w.frameIDs[:0], w.Ents.ActiveIDs()...)
+	for _, id := range w.frameIDs {
+		e := w.Ents.Get(id)
 		res.Work.Scans++
 		if e == nil || !e.Active {
 			continue

@@ -51,14 +51,7 @@ func (w *World) BuildSnapshot(viewer *entity.Entity, dst []protocol.EntityState)
 		if !w.entityVisible(viewerRoom, viewer, e) {
 			continue
 		}
-		var s protocol.EntityState
-		s.ID = uint16(e.ID)
-		s.Class = uint8(e.Class)
-		s.SetOrigin(e.Origin)
-		s.SetYaw(e.Angles.Y)
-		s.Frame = e.ModelFrame
-		s.Effects = entityEffects(e)
-		dst = append(dst, s)
+		dst = append(dst, captureState(e))
 		work.Visible++
 	}
 	return dst, work
@@ -77,6 +70,20 @@ func (w *World) entityVisible(viewerRoom int, viewer, e *entity.Entity) bool {
 		// Unknown room (inside a doorway band): fall through to range.
 	}
 	return viewer.Origin.DistSq(e.Origin) <= visCutoff*visCutoff
+}
+
+// captureState encodes one entity's wire state. Both the naive scan and
+// the VisIndex cache build go through this single encoder, so the two
+// reply paths emit identical bytes by construction.
+func captureState(e *entity.Entity) protocol.EntityState {
+	var s protocol.EntityState
+	s.ID = uint16(e.ID)
+	s.Class = uint8(e.Class)
+	s.SetOrigin(e.Origin)
+	s.SetYaw(e.Angles.Y)
+	s.Frame = e.ModelFrame
+	s.Effects = entityEffects(e)
+	return s
 }
 
 func entityEffects(e *entity.Entity) uint8 {

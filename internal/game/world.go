@@ -58,7 +58,37 @@ type World struct {
 	// happens in single-threaded phases (connection handling, world
 	// physics) and under the phase barriers.
 	entMu sync.Mutex
+
+	// Static per-map tables for the frame-coherent visibility index
+	// (visindex.go), derived once from the room layout. visRoomBounds[r]
+	// is room r's bounds widened exactly as Map.RoomAt accepts points
+	// (wall-band expansion, Z extended to the world top), so RoomID==r
+	// with Origin inside visRoomBounds[r] is the "fresh room" invariant.
+	// visClass[v][r] classifies room r for a viewer in room v: take
+	// (room-visible, no range check), check (outside the visibility
+	// matrix but close enough that the audible-range fallback could
+	// still include an entity there), or skip (provably out of range).
+	// Each row carries two extra tail slots so the index's overflow
+	// (room unknown: always range-checked) and stale (cached room
+	// disagrees with origin: full naive predicate) buckets resolve
+	// through the same one-load lookup as real rooms.
+	visRoomBounds []geom.AABB
+	visClass      [][]uint8
+
+	// frameIDs is RunWorldFrame's scratch copy of the active-ID index:
+	// thinks free and allocate entities mid-walk, so the phase iterates a
+	// snapshot of the index taken at frame start.
+	frameIDs []entity.ID
 }
+
+// Viewer-room classification of a room's entity span during snapshot
+// merging (see visClass above).
+const (
+	visSkip uint8 = iota
+	visCheck
+	visTake
+	visStale
+)
 
 // NewWorld builds a world over the map: collision tree, areanode tree,
 // and the initial entity population (items and teleporter triggers).
@@ -123,7 +153,63 @@ func NewWorld(cfg Config) (*World, error) {
 		e.ItemSpawn = teleIndex(cfg.Map, tp)
 		w.link(e)
 	}
+	w.buildVisTables()
 	return w, nil
+}
+
+// buildVisTables derives the static room tables the visibility index
+// merges with. A room pair is "check" rather than "skip" whenever any
+// viewer position accepted into room v could be within visCutoff of any
+// entity position accepted into room r — the box-distance lower bound
+// guarantees a skipped room can never hide an entity the naive range
+// check would have included.
+func (w *World) buildVisTables() {
+	m := w.Map
+	n := len(m.Rooms)
+	if n == 0 {
+		return
+	}
+	w.visRoomBounds = make([]geom.AABB, n)
+	for r := range m.Rooms {
+		b := m.Rooms[r].Bounds
+		b.Max.Z = m.Bounds.Max.Z
+		w.visRoomBounds[r] = b.Expand(m.WallSize)
+	}
+	w.visClass = make([][]uint8, n)
+	stride := n + 2
+	flat := make([]uint8, n*stride)
+	for v := 0; v < n; v++ {
+		row := flat[v*stride : (v+1)*stride]
+		for r := 0; r < n; r++ {
+			switch {
+			case m.Visible(v, r):
+				row[r] = visTake
+			case boxMinDistSq(w.visRoomBounds[v], w.visRoomBounds[r]) <= visCutoff*visCutoff:
+				row[r] = visCheck
+			}
+		}
+		row[n] = visCheck   // overflow bucket: room unknown, range check
+		row[n+1] = visStale // stale bucket: full naive predicate
+		w.visClass[v] = row
+	}
+}
+
+// boxMinDistSq returns the squared distance between the closest pair of
+// points of two boxes (0 when they intersect).
+func boxMinDistSq(a, b geom.AABB) float64 {
+	gap := func(amin, amax, bmin, bmax float64) float64 {
+		if d := bmin - amax; d > 0 {
+			return d
+		}
+		if d := amin - bmax; d > 0 {
+			return d
+		}
+		return 0
+	}
+	dx := gap(a.Min.X, a.Max.X, b.Min.X, b.Max.X)
+	dy := gap(a.Min.Y, a.Max.Y, b.Min.Y, b.Max.Y)
+	dz := gap(a.Min.Z, a.Max.Z, b.Min.Z, b.Max.Z)
+	return dx*dx + dy*dy + dz*dz
 }
 
 func teleIndex(m *worldmap.Map, tp worldmap.Teleporter) int {
@@ -147,12 +233,20 @@ func (w *World) link(e *entity.Entity) {
 	if room := w.Map.RoomAt(e.Origin); room >= 0 {
 		e.RoomID = room
 	}
+	if e.Class == entity.ClassItem {
+		e.SnapEligible = true // a linked item is in play and visible
+	}
 }
 
 // unlink removes an entity from the areanode tree. Same phase
 // restrictions as link; concurrent request processing uses
 // unlinkGuarded.
-func (w *World) unlink(e *entity.Entity) { w.Tree.Unlink(&e.Link) }
+func (w *World) unlink(e *entity.Entity) {
+	w.Tree.Unlink(&e.Link)
+	if e.Class == entity.ClassItem {
+		e.SnapEligible = false // a taken item awaits respawn, invisible
+	}
+}
 
 // linkGuarded is link for concurrent request processing: the held region
 // lock covers leaf lists, but an entity crossing a division plane links
@@ -166,12 +260,18 @@ func (w *World) linkGuarded(e *entity.Entity, lc *LockContext) {
 	if room := w.Map.RoomAt(e.Origin); room >= 0 {
 		e.RoomID = room
 	}
+	if e.Class == entity.ClassItem {
+		e.SnapEligible = true
+	}
 }
 
 // unlinkGuarded is unlink for concurrent request processing (see
 // linkGuarded).
 func (w *World) unlinkGuarded(e *entity.Entity, lc *LockContext) {
 	w.Tree.UnlinkGuarded(&e.Link, lc.parentGuard())
+	if e.Class == entity.ClassItem {
+		e.SnapEligible = false
+	}
 }
 
 // SpawnPlayer creates a player entity at the next spawn point. It is

@@ -87,6 +87,17 @@ type Breakdown struct {
 	ReplyDatagrams int64
 	ReplyAllocs    int64
 
+	// Reply sub-phase timers (both inside CompReply, not additional
+	// components): SnapBuildNs is this thread's share of the shared
+	// per-frame visibility-index/state-cache build — for parallel engines
+	// it is acquire wall time, including any wait for peers' shards —
+	// and SnapMergeNs is time assembling per-client visible sets from the
+	// index (or the naive scan when the index is disabled). Their ratio
+	// to CompReply shows how much of the reply phase the frame-coherent
+	// cache removed from the per-client path.
+	SnapBuildNs int64
+	SnapMergeNs int64
+
 	// ExecCmds counts move commands executed in the request phase. The
 	// load balancer divides CompExec time by it to reason about per-client
 	// cost, and reports use it to normalize exec time per command.
@@ -115,6 +126,8 @@ func (b *Breakdown) Add(o *Breakdown) {
 	b.ReplyBytes += o.ReplyBytes
 	b.ReplyDatagrams += o.ReplyDatagrams
 	b.ReplyAllocs += o.ReplyAllocs
+	b.SnapBuildNs += o.SnapBuildNs
+	b.SnapMergeNs += o.SnapMergeNs
 	b.ExecCmds += o.ExecCmds
 	b.PanicsRecovered += o.PanicsRecovered
 	b.WedgesDetected += o.WedgesDetected
@@ -190,6 +203,8 @@ func (b *Breakdown) Scale(f float64) {
 	b.ReplyBytes = int64(float64(b.ReplyBytes) * f)
 	b.ReplyDatagrams = int64(float64(b.ReplyDatagrams) * f)
 	b.ReplyAllocs = int64(float64(b.ReplyAllocs) * f)
+	b.SnapBuildNs = int64(float64(b.SnapBuildNs) * f)
+	b.SnapMergeNs = int64(float64(b.SnapMergeNs) * f)
 	b.ExecCmds = int64(float64(b.ExecCmds) * f)
 	b.PanicsRecovered = int64(float64(b.PanicsRecovered) * f)
 	b.WedgesDetected = int64(float64(b.WedgesDetected) * f)

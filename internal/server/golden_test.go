@@ -12,12 +12,12 @@ import (
 	"qserve/internal/worldmap"
 )
 
-// TestGoldenReplyStream is the byte-identity proof for the pooled reply
+// TestGoldenReplyStream is the byte-identity proof for the reply
 // pipeline: a seeded 16-player world driven for ~120 frames, with every
-// client's snapshot formed both by the allocating reference path and by
-// the pooled ReplyScratch path, must produce identical datagrams frame
-// by frame — including frames with combat events, backlogs, pickups, and
-// deaths.
+// client's snapshot formed three ways — the allocating reference path,
+// the pooled naive path, and the pooled path over the frame's shared
+// visibility index — must produce identical datagrams frame by frame,
+// including frames with combat events, backlogs, pickups, and deaths.
 func TestGoldenReplyStream(t *testing.T) {
 	const (
 		numPlayers = 16
@@ -37,8 +37,10 @@ func TestGoldenReplyStream(t *testing.T) {
 	}
 
 	rng := rand.New(rand.NewSource(99))
-	var scratch ReplyScratch
+	var scratch, idxScratch ReplyScratch
+	var vis game.VisIndex
 	pooled := make([]Baseline, numPlayers)
+	indexed := make([]Baseline, numPlayers)
 	reference := make([][]protocol.EntityState, numPlayers)
 	refTags := make([]uint32, numPlayers)
 
@@ -77,6 +79,7 @@ func TestGoldenReplyStream(t *testing.T) {
 		}
 
 		serverTime := uint32(w.Time * 1000)
+		vis.Build(w)
 		for i, e := range players {
 			if !e.Active {
 				continue
@@ -85,7 +88,7 @@ func TestGoldenReplyStream(t *testing.T) {
 			want, newBase, newTag := ReferenceFormSnapshot(w, e, reference[i], refTags[i],
 				frame, ackSeq, serverTime, backlog, frameEvents)
 			reference[i], refTags[i] = newBase, newTag
-			got, st := scratch.FormSnapshot(w, e, &pooled[i],
+			got, st := scratch.FormSnapshot(w, nil, e, &pooled[i],
 				frame, ackSeq, serverTime, backlog, frameEvents, 0)
 			if !bytes.Equal(want, got) {
 				t.Fatalf("frame %d player %d: pooled datagram differs from reference\nreference: %x\npooled:    %x",
@@ -95,17 +98,32 @@ func TestGoldenReplyStream(t *testing.T) {
 				t.Errorf("frame %d player %d: ReplyStats.Bytes=%d, datagram is %d bytes",
 					frame, i, st.Bytes, len(got))
 			}
+			gotIdx, stIdx := idxScratch.FormSnapshot(w, &vis, e, &indexed[i],
+				frame, ackSeq, serverTime, backlog, frameEvents, 0)
+			if !bytes.Equal(want, gotIdx) {
+				t.Fatalf("frame %d player %d: indexed datagram differs from reference\nreference: %x\nindexed:   %x",
+					frame, i, want, gotIdx)
+			}
+			if st.Work.Visible != stIdx.Work.Visible {
+				t.Errorf("frame %d player %d: indexed Visible=%d, naive Visible=%d",
+					frame, i, stIdx.Work.Visible, st.Work.Visible)
+			}
 		}
 	}
 
 	// Invalidation mid-stream must resend full state and stay identical
 	// to a reference client whose baseline is likewise cleared.
 	pooled[0].Invalidate()
+	indexed[0].Invalidate()
 	reference[0] = nil
 	want, _, _ := ReferenceFormSnapshot(w, players[0], reference[0], 0, 999, 1, 0, nil, nil)
-	got, _ := scratch.FormSnapshot(w, players[0], &pooled[0], 999, 1, 0, nil, nil, 0)
+	got, _ := scratch.FormSnapshot(w, nil, players[0], &pooled[0], 999, 1, 0, nil, nil, 0)
 	if !bytes.Equal(want, got) {
 		t.Fatalf("post-invalidation datagram differs from reference")
+	}
+	gotIdx, _ := idxScratch.FormSnapshot(w, &vis, players[0], &indexed[0], 999, 1, 0, nil, nil, 0)
+	if !bytes.Equal(want, gotIdx) {
+		t.Fatalf("post-invalidation indexed datagram differs from reference")
 	}
 }
 
@@ -130,7 +148,7 @@ func TestFormSnapshotSteadyStateAllocFree(t *testing.T) {
 	form := func() int {
 		allocs := 0
 		for i, e := range players {
-			_, st := scratch.FormSnapshot(w, e, &baselines[i], 1, 1, 1, events, events, 0)
+			_, st := scratch.FormSnapshot(w, nil, e, &baselines[i], 1, 1, 1, events, events, 0)
 			allocs += st.Allocs
 		}
 		return allocs
@@ -217,7 +235,7 @@ func TestBaselineSurvivesMigration(t *testing.T) {
 			want, newBase, newTag := ReferenceFormSnapshot(w, e, reference[i], refTags[i],
 				frame, ackSeq, serverTime, nil, nil)
 			reference[i], refTags[i] = newBase, newTag
-			got, st := threadScratch[thread].FormSnapshot(w, e, &pooled[i],
+			got, st := threadScratch[thread].FormSnapshot(w, nil, e, &pooled[i],
 				frame, ackSeq, serverTime, nil, nil, 0)
 			if !bytes.Equal(want, got) {
 				t.Fatalf("frame %d player %d (thread %d): datagram differs across migration\nreference: %x\nmigrated:  %x",

@@ -95,6 +95,10 @@ type Parallel struct {
 	// Scratch for the master's shed-far computation.
 	shedClients []*client
 	shedDists   []float64
+
+	// vis coordinates the once-per-frame visibility-index build that the
+	// workers partition among themselves at the reply barrier.
+	vis *visBuilder
 }
 
 // WedgeRecord describes one watchdog detection: which worker was stuck,
@@ -194,6 +198,7 @@ func NewParallel(cfg Config) (*Parallel, error) {
 		prov:     locking.NewMutexProvider(cfg.World.Tree.NumNodes()),
 		frameLog: metrics.NewFrameLog(cfg.World.Tree.NumLeaves()),
 		stop:     make(chan struct{}),
+		vis:      newVisBuilder(),
 	}
 	for i := 0; i < cfg.Threads; i++ {
 		w := &worker{
@@ -868,6 +873,14 @@ func (s *Parallel) handleDisconnect(w *worker, from transport.Addr) {
 // reading global state but writing only private (per-client) reply
 // messages".
 func (s *Parallel) sendReplies(w *worker) {
+	// Build (or help build) the frame's shared visibility index first.
+	// Every worker passes through here after the request barrier, so the
+	// encode shards are split across all threads; acquire wall time is
+	// the worker's share of the cache build (idle waiting included).
+	buildT0 := time.Now()
+	vi := s.vis.acquire(s.fc.frameNumber(), s.world)
+	w.bd.SnapBuildNs += time.Since(buildT0).Nanoseconds()
+
 	w.frameEv = s.snapshotFrameEvents(w.frameEv[:0])
 	frame := uint32(s.fc.frameNumber())
 	serverTime := uint32(s.world.Time * 1000)
@@ -898,9 +911,10 @@ func (s *Parallel) sendReplies(w *worker) {
 		}
 		w.serving.Store(int32(c.id) + 1)
 		w.backlogBuf = c.drainBacklog(w.backlogBuf[:0])
-		data, st := w.reply.FormSnapshot(s.world, ent, &c.baseline,
+		data, st := w.reply.FormSnapshot(s.world, vi, ent, &c.baseline,
 			frame, c.lastSeq, serverTime, w.backlogBuf, w.frameEv, entityLimit)
 		w.serving.Store(0)
+		w.bd.SnapMergeNs += st.SnapNs
 		if data == nil {
 			return
 		}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"time"
+
 	"qserve/internal/entity"
 	"qserve/internal/game"
 	"qserve/internal/protocol"
@@ -58,11 +60,14 @@ func (b *Baseline) Tag() uint32 { return b.tag }
 
 // ReplyStats reports one FormSnapshot call's volume: datagram size,
 // buffer growths (zero in steady state), entities truncated by the
-// overload cap, and the snapshot-formation work counters.
+// overload cap, the snapshot-formation work counters, and the wall time
+// spent assembling the visible-entity set (SnapNs), which the engines
+// aggregate into the frame breakdown's snapshot-merge sub-phase.
 type ReplyStats struct {
 	Bytes  int
 	Allocs int
 	Capped int
+	SnapNs int64
 	Work   game.SnapshotWork
 }
 
@@ -85,12 +90,19 @@ type ReplyScratch struct {
 // built entity set by buffer swap (the old baseline buffer becomes the
 // next call's scratch), so callers never copy entity states.
 //
+// vi, when non-nil, is the frame's shared visibility index: the visible
+// set is assembled by filtering the index's precomputed entity-state
+// cache (byte-identical to the naive scan) instead of re-scanning and
+// re-encoding the entity table per client. A nil vi keeps the naive
+// path. Either way the states are copied into the scratch, so the
+// baseline-swap ownership dance below never aliases the shared index.
+//
 // entityLimit, when positive, caps the visible-entity set (the overload
 // ladder's level-2 degradation). Truncation stays delta-consistent: the
 // baseline advances to the truncated set, so entities dropped by the cap
 // produce DRemove deltas and reappear as DNew when the cap lifts.
 func (rs *ReplyScratch) FormSnapshot(
-	w *game.World, viewer *entity.Entity, base *Baseline,
+	w *game.World, vi *game.VisIndex, viewer *entity.Entity, base *Baseline,
 	frame, ackSeq, serverTime uint32,
 	backlog, frameEvents []protocol.GameEvent,
 	entityLimit int,
@@ -100,7 +112,15 @@ func (rs *ReplyScratch) FormSnapshot(
 	capEvents := cap(rs.events)
 	capBuf := cap(rs.writer.Buf)
 
-	states, work := w.BuildSnapshot(viewer, rs.states[:0])
+	snapStart := time.Now()
+	var states []protocol.EntityState
+	var work game.SnapshotWork
+	if vi != nil {
+		states, work = vi.AppendVisible(viewer, rs.states[:0])
+	} else {
+		states, work = w.BuildSnapshot(viewer, rs.states[:0])
+	}
+	snapNs := time.Since(snapStart).Nanoseconds()
 	capped := 0
 	if entityLimit > 0 && len(states) > entityLimit {
 		capped = len(states) - entityLimit
@@ -122,7 +142,7 @@ func (rs *ReplyScratch) FormSnapshot(
 	}
 	rs.writer.Reset()
 	if err := protocol.Encode(&rs.writer, &rs.snap); err != nil {
-		return nil, ReplyStats{Work: work}
+		return nil, ReplyStats{SnapNs: snapNs, Work: work}
 	}
 
 	// Advance the baseline by swapping buffers: base now holds the entity
@@ -132,7 +152,7 @@ func (rs *ReplyScratch) FormSnapshot(
 	base.states, rs.states = rs.states, base.states
 	base.tag = frame + 1
 
-	st := ReplyStats{Bytes: len(rs.writer.Buf), Capped: capped, Work: work}
+	st := ReplyStats{Bytes: len(rs.writer.Buf), Capped: capped, SnapNs: snapNs, Work: work}
 	if cap(base.states) > capStates {
 		st.Allocs++
 	}

@@ -36,9 +36,11 @@ type Sequential struct {
 	stash   []byte
 
 	// Reply-phase scratch, reused across clients and frames (see
-	// reply.go for the ownership rules).
+	// reply.go for the ownership rules). vis is the per-frame visibility
+	// index, rebuilt serially at the top of each reply phase.
 	reply      ReplyScratch
 	backlogBuf []protocol.GameEvent
+	vis        game.VisIndex
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -316,6 +318,12 @@ func (s *Sequential) handleConnect(m *protocol.Connect, from transport.Addr) {
 }
 
 func (s *Sequential) sendReplies() {
+	// Build the frame's visibility index once; every client's snapshot
+	// below is a merge over it instead of a fresh table scan.
+	buildT0 := time.Now()
+	s.vis.Build(s.world)
+	s.bd.SnapBuildNs += time.Since(buildT0).Nanoseconds()
+
 	frame := uint32(s.frames)
 	serverTime := uint32(s.world.Time * 1000)
 	level := s.shed.current()
@@ -344,9 +352,10 @@ func (s *Sequential) sendReplies() {
 		}
 		s.serving = c
 		s.backlogBuf = c.drainBacklog(s.backlogBuf[:0])
-		data, st := s.reply.FormSnapshot(s.world, ent, &c.baseline,
+		data, st := s.reply.FormSnapshot(s.world, &s.vis, ent, &c.baseline,
 			frame, c.lastSeq, serverTime, s.backlogBuf, s.frameEvents, entityLimit)
 		s.serving = nil
+		s.bd.SnapMergeNs += st.SnapNs
 		if data == nil {
 			return
 		}

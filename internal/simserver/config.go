@@ -99,6 +99,18 @@ type Config struct {
 	// drain). With Script this makes runs exactly reproducible move for
 	// move.
 	MaxMoves int64
+
+	// IndexedSnapshots charges the reply phase as the frame-coherent
+	// visibility index (one shared build per frame, per-client Considered
+	// shrunk to the candidate set) instead of the paper server's naive
+	// per-client full-table scan. Off by default: the paper-reproduction
+	// figures model the published server, and — like batching, dynamic
+	// region assignment, and load balancing — the improvement is an
+	// opt-in ablation arm (`qbench -exp visibility`). Wire output is
+	// byte-identical either way; only the charged costs differ. (The
+	// *live* engines always use the index: identical bytes, strictly
+	// less wall time.)
+	IndexedSnapshots bool
 }
 
 // PhaseSpan is one traced interval of a thread's execution.

@@ -84,6 +84,13 @@ type engine struct {
 
 	fc simFrameCtl
 
+	// Frame-coherent visibility index, built once per frame by the first
+	// thread to enter its reply phase (procs run one at a time, so the
+	// frame stamp needs no synchronization). Only charged when
+	// cfg.IndexedSnapshots opts in (the visibility A/B study).
+	vis      game.VisIndex
+	visFrame uint64
+
 	frameEvents  int
 	frameLog     *metrics.FrameLog
 	resp         metrics.ResponseStats
@@ -416,7 +423,7 @@ func (e *engine) advance(p *sim.Proc, ns int64, c metrics.Component) {
 // join the frame), while the physics tick is rate-limited by
 // minWorldTickNs.
 func (e *engine) runWorld(p *sim.Proc) {
-	p.Advance(e.model.FramePreamble(e.world.Ents.HighWater()))
+	p.Advance(e.model.FramePreamble(e.world.Ents.Active()))
 	elapsed := p.Now() - e.lastWorldNs
 	if e.lastWorldNs != 0 && elapsed < minWorldTickNs {
 		return
@@ -523,16 +530,35 @@ func (e *engine) globalBufferAppend(p *sim.Proc, n int) {
 func (e *engine) sendReplies(p *sim.Proc) {
 	rs := &e.replies[p.ID]
 	bd := &e.bds[p.ID]
+
+	// Build the frame's shared visibility index on the first thread to
+	// reach its reply phase; later threads reuse it for free, mirroring
+	// the live parallel engine's cooperative build. The builder pays the
+	// once-per-frame cost from the model.
+	var vi *game.VisIndex
+	if e.cfg.IndexedSnapshots {
+		if e.visFrame != e.fc.frame+1 {
+			e.vis.Build(e.world)
+			e.visFrame = e.fc.frame + 1
+			build := e.model.SnapshotBuildCost(e.vis.Len())
+			p.Advance(build)
+			bd.SnapBuildNs += build
+		}
+		vi = &e.vis
+	}
+
 	for _, c := range e.byThread[p.ID] {
 		if !c.pending {
 			continue
 		}
 		c.pending = false
-		data, st := rs.FormSnapshot(e.world, c.ent, &c.baseline,
+		data, st := rs.FormSnapshot(e.world, vi, c.ent, &c.baseline,
 			uint32(e.fc.frame), 0, uint32(e.world.Time*1000), nil, nil, 0)
 		events := c.backlog + e.frameEvents
 		c.backlog = 0
 		p.Advance(e.model.SnapshotCost(st.Work, events))
+		bd.SnapMergeNs += int64(st.Work.Considered)*e.model.SnapConsider +
+			int64(st.Work.Visible)*e.model.SnapVisible
 		bd.ReplyBytes += int64(len(data))
 		bd.ReplyDatagrams++
 		bd.ReplyAllocs += int64(st.Allocs)
