@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench vis conformance chaos cover ci
+.PHONY: all build test race vet bench vis conformance chaos cover lint ci
 
 all: build
 
@@ -52,4 +52,16 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-ci: vet build race bench conformance chaos
+# lint builds the repo's own static analyzers (tools/qvet — a separate
+# module, so the engine itself stays stdlib-only) and runs them over the
+# tree: lock-guard discipline, frame-phase call compatibility, atomic
+# field hygiene, //qvet:noalloc escape gates, and annotation rot. The
+# final guard proves the tools module's dependencies never leak into the
+# engine's go.mod.
+lint:
+	$(GO) build -C tools -o bin/qvet ./qvet
+	./tools/bin/qvet ./...
+	@! grep -E '^(require|replace)' go.mod || \
+		{ echo 'lint: root go.mod must stay dependency-free (tool deps live in tools/go.mod)'; exit 1; }
+
+ci: vet build lint race bench conformance chaos

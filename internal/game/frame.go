@@ -14,6 +14,8 @@ import (
 // master — with the phase barriers guaranteeing exclusive world access,
 // so it takes no locks (§3.3: "there is no need for intra-phase
 // synchronization in the first stage").
+//
+//qvet:phase=physics
 func (w *World) RunWorldFrame(dt float64) MoveResult {
 	var res MoveResult
 	if dt <= 0 {

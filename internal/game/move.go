@@ -145,6 +145,8 @@ const maxCandidates = 128
 //  5. relink the player, release the region;
 //  6. execute long-range interactions (weapon fire) under their own
 //     expanded/directional/whole-map region locks.
+//
+//qvet:phase=exec
 func (w *World) ExecuteMove(e *entity.Entity, cmd *protocol.MoveCmd, lc *LockContext) MoveResult {
 	var res MoveResult
 	if e == nil {

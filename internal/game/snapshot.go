@@ -31,6 +31,9 @@ const visCutoff = 320.0
 // returned slice past the next BuildSnapshot into the same scratch —
 // copy it out (or swap ownership of whole buffers, as
 // server.ReplyScratch does with its baseline) before reusing dst.
+//
+//qvet:phase=reply
+//qvet:noalloc
 func (w *World) BuildSnapshot(viewer *entity.Entity, dst []protocol.EntityState) ([]protocol.EntityState, SnapshotWork) {
 	var work SnapshotWork
 	viewerRoom := viewer.RoomID

@@ -72,6 +72,9 @@ func (vi *VisIndex) Len() int { return len(vi.ids) }
 // The buckets line up with the two extra tail slots of each visClass
 // row, so the merge resolves any entry with one table lookup. Must be
 // called before EncodeShard; single-threaded.
+//
+//qvet:phase=reply
+//qvet:noalloc
 func (vi *VisIndex) Begin(w *World) {
 	vi.w = w
 	nRooms := len(w.Map.Rooms)
@@ -101,7 +104,11 @@ func (vi *VisIndex) Begin(w *World) {
 	}
 	n := len(vi.ids)
 	if cap(vi.states) < n {
+		// Entry-array growth is amortized: both arrays are reused across
+		// frames and only regrow when the eligible population does.
+		//qvet:allow=noalloc amortized entry-array growth
 		vi.states = make([]protocol.EntityState, n)
+		//qvet:allow=noalloc amortized entry-array growth
 		vi.origins = make([]geom.Vec3, n)
 	}
 	vi.states = vi.states[:n]
@@ -119,6 +126,9 @@ func (vi *VisIndex) Shards() int {
 // concurrently: each writes a disjoint range of the entry arrays and
 // only reads world state, which the reply barrier freezes. Once every
 // shard has run the index is complete.
+//
+//qvet:phase=reply
+//qvet:noalloc
 func (vi *VisIndex) EncodeShard(s int) {
 	lo := s * visShardSize
 	hi := lo + visShardSize
@@ -136,6 +146,9 @@ func (vi *VisIndex) EncodeShard(s int) {
 // Build runs the full pipeline on the calling thread — the sequential
 // fallback used by the sequential and DES engines, tests, and
 // benchmarks.
+//
+//qvet:phase=reply
+//qvet:noalloc
 func (vi *VisIndex) Build(w *World) {
 	vi.Begin(w)
 	for s, n := 0, vi.Shards(); s < n; s++ {
@@ -153,6 +166,9 @@ func (vi *VisIndex) Build(w *World) {
 // Aliasing contract: identical to BuildSnapshot — the returned slice
 // shares dst's backing array; the cached states are copied into it, so
 // dst never aliases the shared index.
+//
+//qvet:phase=reply
+//qvet:noalloc
 func (vi *VisIndex) AppendVisible(viewer *entity.Entity, dst []protocol.EntityState) ([]protocol.EntityState, SnapshotWork) {
 	var work SnapshotWork
 	w := vi.w

@@ -212,6 +212,14 @@ type RegionLocker struct {
 	// panic-containment path calls ReleaseAll to unwind them instead of
 	// deadlocking the next thread that touches the region.
 	held []int32
+
+	// guardFn caches the NodeGuard closure handed out by ParentGuard so
+	// the per-frame scan path does not allocate a fresh closure per call.
+	// guardStats is the stats sink the cached closure reads through; the
+	// locker is single-threaded, so swapping it per ParentGuard call is
+	// safe.
+	guardFn    areanode.NodeGuard
+	guardStats *AcquireStats
 }
 
 // popHeld removes the most recent occurrence of node from the held log.
@@ -303,24 +311,31 @@ func (g *Guard) Release() {
 // held via Acquire). Since only one parent areanode is locked at a time,
 // "there are no deadlock issues when locking parent areanodes".
 func (rl *RegionLocker) ParentGuard(stats *AcquireStats) areanode.NodeGuard {
-	return func(node int32, isLeaf bool, scan func()) {
-		if isLeaf {
+	rl.guardStats = stats
+	if rl.guardFn == nil {
+		// Built once per locker: the closure captures only rl and reads
+		// the stats sink through rl.guardStats, so handing out a guard
+		// every frame stays allocation-free.
+		rl.guardFn = func(node int32, isLeaf bool, scan func()) {
+			if isLeaf {
+				scan()
+				return
+			}
+			rl.Provider.LockNode(node)
+			rl.held = append(rl.held, node)
+			if s := rl.guardStats; s != nil {
+				s.ParentLockOps++
+			}
+			// Deferred so a panic inside the scan still releases the interior
+			// node (and removes it from the held log before any ReleaseAll).
+			defer func() {
+				rl.Provider.UnlockNode(node)
+				rl.popHeld(node)
+			}()
 			scan()
-			return
 		}
-		rl.Provider.LockNode(node)
-		rl.held = append(rl.held, node)
-		if stats != nil {
-			stats.ParentLockOps++
-		}
-		// Deferred so a panic inside the scan still releases the interior
-		// node (and removes it from the held log before any ReleaseAll).
-		defer func() {
-			rl.Provider.UnlockNode(node)
-			rl.popHeld(node)
-		}()
-		scan()
 	}
+	return rl.guardFn
 }
 
 // MutexProvider is the live-engine Provider: one mutex per areanode.

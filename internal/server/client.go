@@ -183,18 +183,36 @@ func (t *clientTable) count() int {
 	return len(t.byID)
 }
 
-// forEach snapshots the client set and visits each entry without holding
-// the lock (visitors may send packets).
-func (t *clientTable) forEach(fn func(*client)) {
+// snapshotInto appends the current client set to buf under the read lock
+// and returns the extended buffer. Callers iterate the snapshot lock-free
+// (visitors may send packets).
+func (t *clientTable) snapshotInto(buf []*client) []*client {
 	t.mu.RLock()
-	snapshot := make([]*client, 0, len(t.byID))
 	for _, c := range t.byID {
-		snapshot = append(snapshot, c)
+		buf = append(buf, c)
 	}
 	t.mu.RUnlock()
-	for _, c := range snapshot {
+	return buf
+}
+
+// forEach snapshots the client set and visits each entry without holding
+// the lock. It allocates the snapshot; per-frame paths use forEachBuf /
+// forThreadBuf with a reused scratch buffer instead.
+func (t *clientTable) forEach(fn func(*client)) {
+	for _, c := range t.snapshotInto(nil) {
 		fn(c)
 	}
+}
+
+// forEachBuf is forEach with a caller-owned snapshot buffer, so steady-
+// state frame sweeps allocate nothing. It returns the (possibly grown)
+// buffer for the caller to stash.
+func (t *clientTable) forEachBuf(buf []*client, fn func(*client)) []*client {
+	buf = t.snapshotInto(buf[:0])
+	for _, c := range buf {
+		fn(c)
+	}
+	return buf
 }
 
 // forThread visits the clients owned by one server thread.
@@ -204,6 +222,17 @@ func (t *clientTable) forThread(thread int, fn func(*client)) {
 			fn(c)
 		}
 	})
+}
+
+// forThreadBuf is forThread with a caller-owned snapshot buffer.
+func (t *clientTable) forThreadBuf(buf []*client, thread int, fn func(*client)) []*client {
+	buf = t.snapshotInto(buf[:0])
+	for _, c := range buf {
+		if c.thread == thread {
+			fn(c)
+		}
+	}
+	return buf
 }
 
 // seqOlder reports whether sequence a is not newer than b under uint32

@@ -53,6 +53,11 @@ type Parallel struct {
 	balLoads   []int64
 	balThreads []int
 
+	// sweepBuf is the master's scratch snapshot for the per-frame client
+	// sweep in masterCleanup; kept separate from balClients so a
+	// rebalance in the same cleanup pass doesn't clobber it.
+	sweepBuf []*client
+
 	stop      chan struct{}
 	stopOnce  sync.Once
 	wg        sync.WaitGroup
@@ -138,6 +143,7 @@ type worker struct {
 	reply      ReplyScratch
 	frameEv    []protocol.GameEvent
 	backlogBuf []protocol.GameEvent
+	clientBuf  []*client
 
 	// Watchdog publication: the phase this worker is executing (wpIdle
 	// when at a barrier or in select), when it entered it, and the client
@@ -591,6 +597,8 @@ const minWorldTick = 12 * time.Millisecond
 // runWorldUpdate performs the master's world-physics phase. Its writes
 // are lockless by the barrier; in degraded mode (outstanding zombie) it
 // holds the world guard exclusively against a waking zombie's request.
+//
+//qvet:phase=physics
 func (s *Parallel) runWorldUpdate() {
 	now := time.Now()
 	dt := now.Sub(s.lastFrame)
@@ -678,6 +686,8 @@ const baselineGapFrames = 64
 // execMove runs one gameplay request, separating exec time from lock
 // time (the lock component accrues inside the timed provider during the
 // call; the difference is pure execution).
+//
+//qvet:phase=exec
 func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
 	// A client's state — sequence tracking, reply flags, baseline — is
 	// owned by one thread; a datagram that reaches another thread's
@@ -761,6 +771,8 @@ func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
 // executeMoveGuarded wraps move execution in the world guard's read side
 // (see worldGuard). The deferred unlock keeps the guard panic-safe: a
 // panic in game code unwinds through here before recoverWorker runs.
+//
+//qvet:phase=exec
 func (s *Parallel) executeMoveGuarded(ent *entity.Entity, cmd *protocol.MoveCmd, lc *game.LockContext) game.MoveResult {
 	s.worldGuard.RLock()
 	defer s.worldGuard.RUnlock()
@@ -872,6 +884,9 @@ func (s *Parallel) handleDisconnect(w *worker, from transport.Addr) {
 // clients that requested during the frame — reply processing "involves
 // reading global state but writing only private (per-client) reply
 // messages".
+//
+//qvet:phase=reply
+//qvet:noalloc
 func (s *Parallel) sendReplies(w *worker) {
 	// Build (or help build) the frame's shared visibility index first.
 	// Every worker passes through here after the request barrier, so the
@@ -889,7 +904,7 @@ func (s *Parallel) sendReplies(w *worker) {
 	if level >= shedEntityCap {
 		entityLimit = s.cfg.OverloadEntityCap
 	}
-	s.clients.forThread(w.id, func(c *client) {
+	w.clientBuf = s.clients.forThreadBuf(w.clientBuf, w.id, func(c *client) {
 		if !c.replyPending || c.quarantined.Load() {
 			return
 		}
@@ -945,7 +960,7 @@ func (s *Parallel) masterCleanup(w *worker) {
 
 	now := time.Now()
 	var stale []*client
-	s.clients.forEach(func(c *client) {
+	s.sweepBuf = s.clients.forEachBuf(s.sweepBuf, func(c *client) {
 		if c.repliedFrame.Load() != frame {
 			c.queueEvents(events)
 		}

@@ -101,6 +101,9 @@ type ReplyScratch struct {
 // ladder's level-2 degradation). Truncation stays delta-consistent: the
 // baseline advances to the truncated set, so entities dropped by the cap
 // produce DRemove deltas and reappear as DNew when the cap lifts.
+//
+//qvet:phase=reply
+//qvet:noalloc
 func (rs *ReplyScratch) FormSnapshot(
 	w *game.World, vi *game.VisIndex, viewer *entity.Entity, base *Baseline,
 	frame, ackSeq, serverTime uint32,

@@ -41,6 +41,9 @@ type Sequential struct {
 	reply      ReplyScratch
 	backlogBuf []protocol.GameEvent
 	vis        game.VisIndex
+	// clientBuf is the reused snapshot scratch for per-frame client
+	// sweeps (sendReplies, event flush); single-threaded, never nested.
+	clientBuf []*client
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -317,6 +320,13 @@ func (s *Sequential) handleConnect(m *protocol.Connect, from transport.Addr) {
 	})
 }
 
+// sendReplies forms and transmits the frame's snapshots. It is the
+// single-threaded analogue of the parallel engine's reply phase and is
+// held to the same static discipline: read-only over the entity table,
+// allocation-free in steady state.
+//
+//qvet:phase=reply
+//qvet:noalloc
 func (s *Sequential) sendReplies() {
 	// Build the frame's visibility index once; every client's snapshot
 	// below is a merge over it instead of a fresh table scan.
@@ -331,7 +341,7 @@ func (s *Sequential) sendReplies() {
 	if level >= shedEntityCap {
 		entityLimit = s.cfg.OverloadEntityCap
 	}
-	s.clients.forEach(func(c *client) {
+	s.clientBuf = s.clients.forEachBuf(s.clientBuf, func(c *client) {
 		if !c.replyPending {
 			return
 		}
@@ -378,7 +388,7 @@ func (s *Sequential) endFrame(frameT0 time.Time) {
 	s.frameEvents = s.frameEvents[:0]
 	now := time.Now()
 	var stale []*client
-	s.clients.forEach(func(c *client) {
+	s.clientBuf = s.clients.forEachBuf(s.clientBuf, func(c *client) {
 		if c.repliedFrame.Load() != frame {
 			c.queueEvents(events)
 		}

@@ -50,6 +50,9 @@ func newVisBuilder() *visBuilder {
 // cooperatively if this is the frame's first acquisition. Safe to call
 // from any number of workers concurrently; every caller blocks until the
 // index is published and all callers return the same pointer.
+//
+//qvet:phase=reply
+//qvet:noalloc
 func (vb *visBuilder) acquire(frame uint64, w *game.World) *game.VisIndex {
 	want := frame + 1
 	vb.mu.Lock()
@@ -86,6 +89,9 @@ func (vb *visBuilder) acquire(frame uint64, w *game.World) *game.VisIndex {
 // Completion bookkeeping runs in a defer so that even a panicking encode
 // (contained by the caller's reply-phase recovery) cannot strand peers
 // waiting for a shard that will never finish.
+//
+//qvet:phase=reply
+//qvet:noalloc
 func (vb *visBuilder) encodeOne(s int) {
 	vb.next++
 	vb.mu.Unlock()

@@ -102,6 +102,8 @@ func (f *FaultConn) Stats() FaultStats {
 func (f *FaultConn) Inner() Conn { return f.inner }
 
 // Send implements Conn, injecting send-side faults.
+//
+//qvet:noalloc
 func (f *FaultConn) Send(to Addr, data []byte) error {
 	if !f.enabled.Load() {
 		return f.inner.Send(to, data)
@@ -185,6 +187,9 @@ func (f *FaultConn) transmit(to Addr, payload []byte, dup bool, cfg FaultConfig)
 		pb := pktPool.Get().(*pktBuf)
 		pb.b = append(pb.b[:0], payload...)
 		inner, d := f.inner, cfg.Delay
+		// The timer closure escapes by design: delay injection is a test
+		// fault mode, never active on the steady-state path.
+		//qvet:allow=noalloc delay-injection timer closure
 		time.AfterFunc(d, func() {
 			_ = inner.Send(to, pb.b)
 			if dup {
@@ -208,6 +213,8 @@ func (f *FaultConn) releaseCopy(pb *pktBuf) {
 }
 
 // Recv implements Conn, injecting receive-side drop and corruption.
+//
+//qvet:noalloc
 func (f *FaultConn) Recv(buf []byte, timeout time.Duration) (int, Addr, error) {
 	if !f.enabled.Load() {
 		return f.inner.Recv(buf, timeout)

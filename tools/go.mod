@@ -1,0 +1,3 @@
+module qserve/tools
+
+go 1.22

@@ -1,0 +1,33 @@
+// Package annotcheck reports annotation rot: //qvet: directives that
+// name a nonexistent phase or check, carry bad grammar, or are attached
+// to a declaration the suite does not understand. Without it a typo'd
+// annotation silently checks nothing; with it, CI fails instead.
+package annotcheck
+
+import (
+	"qserve/tools/qvet/internal/core"
+)
+
+// Analyzer is the annot check.
+var Analyzer = &core.Analyzer{
+	Name:       "annot",
+	Doc:        "every //qvet: directive parses, names a real phase/check, and is attached to an analyzable declaration",
+	RunProgram: runProgram,
+}
+
+func runProgram(prog *core.Program, report core.Reporter) error {
+	// Problems were collected while building the index; they bypass the
+	// allow filter deliberately (a malformed directive must not be able
+	// to suppress its own report), so they are emitted directly.
+	_ = report
+	return nil
+}
+
+// Problems returns the raw index problems; the driver appends them to
+// the diagnostic stream unfiltered.
+func Problems(prog *core.Program) []core.Diagnostic {
+	if prog.Annots == nil {
+		return nil
+	}
+	return prog.Annots.Problems
+}

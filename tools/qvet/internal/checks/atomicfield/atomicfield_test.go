@@ -1,0 +1,13 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"qserve/tools/qvet/internal/analysistest"
+	"qserve/tools/qvet/internal/checks/atomicfield"
+	"qserve/tools/qvet/internal/core"
+)
+
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, "testdata/atomfix", []*core.Analyzer{atomicfield.Analyzer})
+}

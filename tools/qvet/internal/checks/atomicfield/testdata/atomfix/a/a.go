@@ -1,0 +1,71 @@
+// Package a seeds atomicfield violations: mixed plain/atomic field
+// access, a misaligned 64-bit raw atomic, and wholesale assignment to a
+// typed atomic value.
+package a
+
+import "sync/atomic"
+
+// Counters mixes raw-atomic and typed-atomic fields.
+type Counters struct {
+	// Hits is 8-aligned under 32-bit layout (offset 0): clean.
+	Hits int64
+	pad  int32
+	// lost sits at 32-bit offset 12: a 64-bit raw atomic on it faults
+	// on 386/arm before go1.19 field realignment.
+	lost uint64
+	// seq is a typed atomic: Store/Load only, never assignment.
+	seq atomic.Uint32
+}
+
+// Bump uses atomics correctly for Hits, and trips the alignment rule
+// for lost.
+func (c *Counters) Bump() {
+	atomic.AddInt64(&c.Hits, 1)
+	atomic.AddUint64(&c.lost, 1) // want "not 8-byte aligned"
+}
+
+// ReadMixed reads Hits plainly even though Bump accesses it
+// atomically: the race atomicfield exists to catch.
+func (c *Counters) ReadMixed() int64 {
+	return c.Hits // want "accessed atomically"
+}
+
+// WriteMixed writes lost plainly.
+func (c *Counters) WriteMixed() {
+	c.lost = 0 // want "accessed atomically"
+}
+
+// Reset overwrites a typed atomic wholesale instead of calling Store.
+func (c *Counters) Reset(o *Counters) {
+	c.seq = o.seq // want "assigned directly"
+}
+
+// --- correct patterns: must stay silent --------------------------------
+
+// AllAtomic only ever touches its field through sync/atomic.
+type AllAtomic struct {
+	n int64
+}
+
+// Inc is atomic.
+func (a *AllAtomic) Inc() { atomic.AddInt64(&a.n, 1) }
+
+// Load is atomic.
+func (a *AllAtomic) Load() int64 { return atomic.LoadInt64(&a.n) }
+
+// PlainOnly is never atomic, so plain access is fine.
+type PlainOnly struct {
+	n int64
+}
+
+// Touch reads and writes plainly: no atomic use anywhere, no finding.
+func (p *PlainOnly) Touch() int64 {
+	p.n++
+	return p.n
+}
+
+// TypedOK uses the typed atomic correctly.
+func (c *Counters) TypedOK() uint32 {
+	c.seq.Store(1)
+	return c.seq.Load()
+}

@@ -1,0 +1,10 @@
+// Package b proves the check is program-wide: the atomic use lives in
+// package a, the plain access here.
+package b
+
+import "atomfix/a"
+
+// Peek reads a field that package a accesses atomically.
+func Peek(c *a.Counters) int64 {
+	return c.Hits // want "accessed atomically"
+}

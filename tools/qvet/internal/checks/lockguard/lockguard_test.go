@@ -1,0 +1,13 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"qserve/tools/qvet/internal/analysistest"
+	"qserve/tools/qvet/internal/checks/lockguard"
+	"qserve/tools/qvet/internal/core"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "testdata/lockfix", []*core.Analyzer{lockguard.Analyzer})
+}

@@ -1,0 +1,22 @@
+// Package areanode is a fixture stub of the engine's area-node tree:
+// the guarded-link rule matches Link/Unlink methods on receivers from a
+// package named "areanode".
+package areanode
+
+// Item is a linkable tree item.
+type Item struct{ node int32 }
+
+// Tree mirrors the real tree's linking API surface.
+type Tree struct{ n int }
+
+// Link links without parent guards (legal only in the physics phase).
+func (t *Tree) Link(it *Item) { t.n++ }
+
+// Unlink unlinks without parent guards.
+func (t *Tree) Unlink(it *Item) { t.n-- }
+
+// LinkGuarded links under a transient parent guard.
+func (t *Tree) LinkGuarded(it *Item, guard func(int32)) { t.n++ }
+
+// UnlinkGuarded unlinks under a transient parent guard.
+func (t *Tree) UnlinkGuarded(it *Item, guard func(int32)) { t.n-- }

@@ -1,0 +1,24 @@
+// Package locking is a fixture stub of the engine's region-locking API:
+// lockguard matches the Guard type by package name + type name, so the
+// fixture never has to import the real (internal) engine packages.
+package locking
+
+// Guard mirrors qserve/internal/locking.Guard.
+type Guard struct {
+	leaves []int32
+}
+
+// Release mirrors the real idempotent release.
+func (g Guard) Release() {}
+
+// Covers is a read-only guard query.
+func (g Guard) Covers(leaf int32) bool { return len(g.leaves) > 0 }
+
+// RegionLocker mirrors the real locker's Acquire shape.
+type RegionLocker struct{ held []int32 }
+
+// Acquire returns a Guard over the requested region.
+func (rl *RegionLocker) Acquire(region int) Guard {
+	rl.held = append(rl.held, int32(region))
+	return Guard{leaves: rl.held}
+}

@@ -1,0 +1,13 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"qserve/tools/qvet/internal/analysistest"
+	"qserve/tools/qvet/internal/checks/noalloc"
+	"qserve/tools/qvet/internal/core"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata/allocfix", []*core.Analyzer{noalloc.Analyzer})
+}

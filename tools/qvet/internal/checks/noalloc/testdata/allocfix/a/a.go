@@ -1,0 +1,78 @@
+// Package a seeds noalloc violations: heap escapes in annotated
+// functions, directly and through helper chains, next to the pooled
+// patterns the engine's reply path actually uses.
+package a
+
+var sink *int
+
+// Direct escapes in its own body: new(int) is stored in a global, so
+// escape analysis moves it to the heap.
+//
+//qvet:noalloc
+func Direct() {
+	p := new(int) // want "heap escape in //qvet:noalloc function Direct"
+	sink = p
+}
+
+// Transitive reaches an allocation two helpers deep. The helpers are
+// noinline so the escape verdict stays attributed to inner (inlining
+// would replay the verdict at every inline site, which the live engine
+// tolerates but would make this fixture nondeterministic).
+//
+//qvet:noalloc
+func Transitive() int {
+	return outer()
+}
+
+//go:noinline
+func outer() int { return inner() }
+
+//go:noinline
+func inner() int {
+	buf := make([]int, 9000) // want "heap escape reached from //qvet:noalloc function Transitive via outer"
+	return len(buf) + cap(buf)
+}
+
+// Allowed has a blessed warm-up allocation: the pool-growth pattern.
+//
+//qvet:noalloc
+func Allowed(pool [][]byte, n int) [][]byte {
+	for len(pool) < n {
+		pool = append(pool, make([]byte, 1<<16)) //qvet:allow=noalloc pool warm-up growth
+	}
+	return pool
+}
+
+// --- correct patterns: must stay silent --------------------------------
+
+type scratch struct {
+	buf []byte
+}
+
+// Reuse appends into pooled storage: append growth is amortized pool
+// state, not a steady-state escape, and -m does not report it.
+//
+//qvet:noalloc
+func (s *scratch) Reuse(b []byte) int {
+	s.buf = append(s.buf[:0], b...)
+	return len(s.buf)
+}
+
+// Trusted calls another annotated function; the callee's own check
+// covers its body, so the caller does not re-traverse it.
+//
+//qvet:noalloc
+func Trusted(s *scratch, b []byte) int {
+	return s.Reuse(b)
+}
+
+// stackOnly allocates but it stays on the stack: no verdict, no report.
+//
+//qvet:noalloc
+func StackOnly() int {
+	var local [64]int
+	for i := range local {
+		local[i] = i
+	}
+	return local[63]
+}

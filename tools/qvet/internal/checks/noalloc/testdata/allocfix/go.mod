@@ -1,0 +1,3 @@
+module allocfix
+
+go 1.22

@@ -1,0 +1,216 @@
+// Package phasecheck enforces the barrier-phase discipline of the
+// paper's frame pipeline (§3.2): a function annotated
+// //qvet:phase=reply|physics|exec must never reach — through any chain
+// of unannotated helpers — a function annotated with a different phase,
+// because the barriers that make each phase's memory access pattern safe
+// only hold within a phase. Additionally, reply-phase code is read-only
+// over world structure: it must not reach any entity.Table mutator
+// (Alloc/Free and their internal helpers), since every worker reads the
+// frozen table concurrently during the reply phase.
+//
+// Mutators are computed structurally, not by name: a method of
+// entity.Table is a mutator if its body writes through the receiver
+// (directly or by calling another mutator method), so new Table methods
+// are classified automatically.
+//
+// Soundness gap (documented): the closure runs over the static call
+// graph, so calls through interfaces and function values are invisible.
+package phasecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"qserve/tools/qvet/internal/core"
+)
+
+// Analyzer is the phasecheck check.
+var Analyzer = &core.Analyzer{
+	Name:       "phasecheck",
+	Doc:        "phase-annotated functions only reach compatible phases; reply phase never reaches entity.Table mutators",
+	RunProgram: runProgram,
+}
+
+func runProgram(prog *core.Program, report core.Reporter) error {
+	g := prog.EnsureGraph()
+	mutators := tableMutators(prog, g)
+
+	for _, fi := range g.Funcs {
+		if fi.Annot == nil || fi.Annot.Phase == "" {
+			continue
+		}
+		checkRoot(g, fi, mutators, report)
+	}
+	return nil
+}
+
+// checkRoot walks the call closure from one phase-annotated root through
+// unannotated functions, stopping at annotated ones (each annotated
+// function is its own root, so its subtree is covered by its own check).
+type pathEntry struct {
+	fi  *core.FuncInfo
+	via *core.Call
+}
+
+func checkRoot(g *core.Graph, root *core.FuncInfo, mutators map[string]bool, report core.Reporter) {
+	visited := map[string]bool{root.Key: true}
+	var walk func(fi *core.FuncInfo, path []pathEntry)
+	walk = func(fi *core.FuncInfo, path []pathEntry) {
+		for i := range fi.Calls {
+			call := &fi.Calls[i]
+			callee := g.Funcs[call.CalleeKey]
+			if callee == nil {
+				continue // stdlib, interface method, or bodyless: no edge
+			}
+			if mutators[callee.Key] && root.Annot.Phase == core.PhaseReply {
+				report(call.Pos, "reply-phase function %s reaches entity.Table mutator %s%s; the reply phase must be read-only over the entity table", root.Name, callee.Name, chainString(path))
+				continue // one report per mutator chain; don't re-report its internals
+			}
+			if callee.Annot != nil && callee.Annot.Phase != "" {
+				if callee.Annot.Phase != root.Annot.Phase {
+					report(call.Pos, "//qvet:phase=%s function %s reaches //qvet:phase=%s function %s%s; cross-phase calls violate the barrier discipline", root.Annot.Phase, root.Name, callee.Annot.Phase, callee.Name, chainString(path))
+				}
+				continue // annotated callee is its own root
+			}
+			if visited[callee.Key] {
+				continue
+			}
+			visited[callee.Key] = true
+			walk(callee, append(path, pathEntry{fi: callee, via: call}))
+		}
+	}
+	walk(root, nil)
+}
+
+func chainString(path []pathEntry) string {
+	if len(path) == 0 {
+		return ""
+	}
+	s := " via "
+	for i, e := range path {
+		if i > 0 {
+			s += " -> "
+		}
+		s += e.fi.Name
+	}
+	return s
+}
+
+// tableMutators finds the entity package's Table type and classifies its
+// methods: a method is a mutator when it assigns through the receiver or
+// calls another mutator method on the receiver, computed to fixpoint.
+func tableMutators(prog *core.Program, g *core.Graph) map[string]bool {
+	var entPkg *core.Package
+	for _, pkg := range prog.Packages {
+		if pkg.Name == "entity" {
+			entPkg = pkg
+			break
+		}
+	}
+	if entPkg == nil {
+		return nil
+	}
+
+	// Gather Table methods declared in the entity package.
+	type method struct {
+		fi   *core.FuncInfo
+		recv *types.Var // receiver object, for write detection
+	}
+	var methods []method
+	byKey := make(map[string]*method)
+	for _, fi := range g.Funcs {
+		if fi.Pkg != entPkg || fi.Decl.Recv == nil || len(fi.Decl.Recv.List) == 0 {
+			continue
+		}
+		recvField := fi.Decl.Recv.List[0]
+		tv, ok := fi.Pkg.Info.Types[recvField.Type]
+		if !ok {
+			continue
+		}
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Name() != "Table" {
+			continue
+		}
+		var recvObj *types.Var
+		if len(recvField.Names) > 0 {
+			recvObj, _ = fi.Pkg.Info.Defs[recvField.Names[0]].(*types.Var)
+		}
+		methods = append(methods, method{fi: fi, recv: recvObj})
+		byKey[fi.Key] = &methods[len(methods)-1]
+	}
+
+	mutators := make(map[string]bool)
+	for _, m := range methods {
+		if m.recv != nil && writesThrough(m.fi, m.recv) {
+			mutators[m.fi.Key] = true
+		}
+	}
+	// Transitive: a Table method calling a mutator Table method mutates.
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			if mutators[m.fi.Key] {
+				continue
+			}
+			for _, call := range m.fi.Calls {
+				if mutators[call.CalleeKey] {
+					mutators[m.fi.Key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return mutators
+}
+
+// writesThrough reports whether the method body assigns to storage
+// rooted at the receiver (t.f = x, t.f[i] = x, t.f++, ...). Reads that
+// return interior pointers (Get) do not count: the reply rule targets
+// table-structure mutation, and entity-field writes are the exec phase's
+// separately-guarded business.
+func writesThrough(fi *core.FuncInfo, recv *types.Var) bool {
+	info := fi.Pkg.Info
+	rootedAtRecv := func(e ast.Expr) bool {
+		for {
+			switch x := e.(type) {
+			case *ast.Ident:
+				return info.Uses[x] == recv
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			default:
+				return false
+			}
+		}
+	}
+	found := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if rootedAtRecv(lhs) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if rootedAtRecv(n.X) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,13 @@
+package phasecheck_test
+
+import (
+	"testing"
+
+	"qserve/tools/qvet/internal/analysistest"
+	"qserve/tools/qvet/internal/checks/phasecheck"
+	"qserve/tools/qvet/internal/core"
+)
+
+func TestPhasecheck(t *testing.T) {
+	analysistest.Run(t, "testdata/phasefix", []*core.Analyzer{phasecheck.Analyzer})
+}

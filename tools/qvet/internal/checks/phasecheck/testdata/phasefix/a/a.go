@@ -1,0 +1,85 @@
+// Package a seeds phase-discipline violations: cross-phase call chains
+// and reply-phase code reaching entity.Table mutators through helpers.
+package a
+
+import "phasefix/entity"
+
+var tab entity.Table
+
+// --- seeded violations -------------------------------------------------
+
+// evict hides the mutation one call deep; the closure walks through it.
+func evict(id int) {
+	tab.Free(id) // want "reaches entity.Table mutator .*Free via evict"
+}
+
+// SendReplies is reply-phase and must be read-only over the table.
+//
+//qvet:phase=reply
+func SendReplies() {
+	for _, id := range tab.ActiveIDs() {
+		if id < 0 {
+			evict(id)
+		}
+	}
+}
+
+// DirectMutation violates without any intermediate helper.
+//
+//qvet:phase=reply
+func DirectMutation() {
+	tab.Alloc() // want "reaches entity.Table mutator .*Alloc"
+}
+
+// RunPhysics reaching an exec-phase function crosses the barrier. The
+// report lands on the edge into the annotated callee, inside step.
+//
+//qvet:phase=physics
+func RunPhysics() {
+	step()
+}
+
+func step() {
+	ExecMove() // want "physics function RunPhysics reaches //qvet:phase=exec function ExecMove via step"
+}
+
+// ExecMove is exec-phase.
+//
+//qvet:phase=exec
+func ExecMove() {
+	e := tab.Get(1)
+	if e != nil {
+		e.Active = true
+	}
+}
+
+// --- correct patterns: must stay silent --------------------------------
+
+// FormSnapshot is reply-phase calling reply-phase: compatible.
+//
+//qvet:phase=reply
+func FormSnapshot() {
+	AppendVisible()
+}
+
+// AppendVisible only reads.
+//
+//qvet:phase=reply
+func AppendVisible() {
+	_ = tab.CountActive()
+	_ = tab.Get(2)
+}
+
+// Unannotated helpers may mutate freely; the rule binds annotated roots
+// only (safeSendReplies' recovery path relies on this).
+func Cleanup() {
+	tab.Free(9)
+}
+
+// ExecAlloc: exec-phase code may mutate the table (it holds region
+// locks); only the reply phase is read-only.
+//
+//qvet:phase=exec
+func ExecAlloc() {
+	tab.Alloc()
+}

@@ -1,0 +1,59 @@
+// Package entity is a fixture stub of the engine's entity table:
+// phasecheck classifies Table methods as mutators structurally (writes
+// through the receiver, directly or transitively), so the stub only
+// needs representative shapes, not the real implementation.
+package entity
+
+// Entity is a minimal entity record.
+type Entity struct {
+	ID     int
+	Active bool
+}
+
+// Table mirrors qserve/internal/entity.Table's mutator/reader split.
+type Table struct {
+	ents   []Entity
+	active []int
+	n      int
+}
+
+// Alloc mutates directly (writes receiver fields).
+func (t *Table) Alloc() int {
+	t.n++
+	t.insertActive(t.n)
+	return t.n
+}
+
+// Free mutates transitively (calls removeActive).
+func (t *Table) Free(id int) {
+	t.removeActive(id)
+}
+
+func (t *Table) insertActive(id int) { t.active = append(t.active, id) }
+
+func (t *Table) removeActive(id int) {
+	for i, a := range t.active {
+		if a == id {
+			t.active[i] = t.active[len(t.active)-1]
+			t.active = t.active[:len(t.active)-1]
+			return
+		}
+	}
+}
+
+// Get is a reader: returning an interior pointer is not table-structure
+// mutation.
+func (t *Table) Get(id int) *Entity {
+	for i := range t.ents {
+		if t.ents[i].ID == id {
+			return &t.ents[i]
+		}
+	}
+	return nil
+}
+
+// ActiveIDs is a reader.
+func (t *Table) ActiveIDs() []int { return t.active }
+
+// CountActive is a reader that calls another reader.
+func (t *Table) CountActive() int { return len(t.ActiveIDs()) }

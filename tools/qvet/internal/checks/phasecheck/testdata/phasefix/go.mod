@@ -1,0 +1,3 @@
+module phasefix
+
+go 1.22

@@ -1,0 +1,36 @@
+// Package checks registers the qvet analyzer suite.
+package checks
+
+import (
+	"qserve/tools/qvet/internal/checks/annotcheck"
+	"qserve/tools/qvet/internal/checks/atomicfield"
+	"qserve/tools/qvet/internal/checks/lockguard"
+	"qserve/tools/qvet/internal/checks/noalloc"
+	"qserve/tools/qvet/internal/checks/phasecheck"
+	"qserve/tools/qvet/internal/core"
+)
+
+// All returns every analyzer in suite order.
+func All() []*core.Analyzer {
+	return []*core.Analyzer{
+		annotcheck.Analyzer,
+		lockguard.Analyzer,
+		atomicfield.Analyzer,
+		phasecheck.Analyzer,
+		noalloc.Analyzer,
+	}
+}
+
+// ValidChecks is the closed set of names //qvet:allow may reference.
+// The annot meta-check is excluded on purpose: allow must not be able
+// to suppress annotation-rot reports.
+func ValidChecks() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name == "annot" {
+			continue
+		}
+		m[a.Name] = true
+	}
+	return m
+}

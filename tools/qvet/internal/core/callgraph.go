@@ -1,0 +1,158 @@
+package core
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The call graph is static and name-resolved: an edge exists where a
+// CallExpr's callee resolves to a concrete *types.Func (package function
+// or method on a concrete receiver). Calls through interfaces, function
+// values, and reflection produce no edge — a documented soundness gap
+// (DESIGN.md §9); the frame pipeline's hot paths call concrete methods,
+// which is what makes the phase and noalloc closures checkable at all.
+//
+// Nodes are keyed by a world-independent string (package path + receiver
+// type name + method name) because the same function is represented by
+// different types.Func objects depending on whether its package was
+// type-checked from source or loaded from export data as a dependency.
+
+// Call is one resolved static call site.
+type Call struct {
+	CalleeKey string
+	Pos       token.Pos
+}
+
+// FuncInfo is one function with a body in a target package.
+type FuncInfo struct {
+	Key   string
+	Name  string // human-readable, e.g. (*World).ExecuteMove
+	Decl  *ast.FuncDecl
+	Pkg   *Package
+	Annot *FuncAnnot // nil when unannotated
+	Calls []Call
+	File      string // absolute path of the defining file
+	StartLine int    // first line of the declaration
+	EndLine   int    // last line of the body
+}
+
+// Graph is the program call graph over target-package functions.
+type Graph struct {
+	Funcs map[string]*FuncInfo
+}
+
+// EnsureGraph builds (once) and returns the program call graph.
+func (prog *Program) EnsureGraph() *Graph {
+	if prog.Graph != nil {
+		return prog.Graph
+	}
+	g := &Graph{Funcs: make(map[string]*FuncInfo)}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				start := prog.Fset.Position(fd.Pos())
+				end := prog.Fset.Position(fd.Body.End())
+				fi := &FuncInfo{
+					Key:       FuncKey(obj),
+					Name:      prettyName(obj),
+					Decl:      fd,
+					Pkg:       pkg,
+					Annot:     prog.Annots.FuncOf(fd),
+					File:      start.Filename,
+					StartLine: start.Line,
+					EndLine:   end.Line,
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := CalleeOf(pkg.Info, call); callee != nil {
+						fi.Calls = append(fi.Calls, Call{CalleeKey: FuncKey(callee), Pos: call.Pos()})
+					}
+					return true
+				})
+				g.Funcs[fi.Key] = fi
+			}
+		}
+	}
+	prog.Graph = g
+	return g
+}
+
+// CalleeOf resolves a call expression to its static callee, or nil for
+// dynamic calls (interface methods resolve to the interface's method
+// object, which has no body in the graph and therefore dangles).
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f.Origin()
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f.Origin()
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f.Origin()
+		}
+	}
+	return nil
+}
+
+// FuncKey returns the world-independent node key for f.
+func FuncKey(f *types.Func) string {
+	f = f.Origin()
+	pkg := ""
+	if f.Pkg() != nil {
+		pkg = f.Pkg().Path()
+	}
+	if recv := recvTypeName(f); recv != "" {
+		return pkg + "." + recv + "." + f.Name()
+	}
+	return pkg + "." + f.Name()
+}
+
+func prettyName(f *types.Func) string {
+	if recv := recvTypeName(f); recv != "" {
+		return "(*" + recv + ")." + f.Name()
+	}
+	return f.Name()
+}
+
+func recvTypeName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return types.TypeString(t, nil)
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,58 @@
+package driver_test
+
+import (
+	"bytes"
+	"testing"
+
+	"qserve/tools/qvet/internal/analysistest"
+	"qserve/tools/qvet/internal/driver"
+)
+
+// TestDriverFindsRot runs the full pipeline end to end over a fixture
+// whose every //qvet: directive is broken, and checks exit code and
+// report formatting.
+func TestDriverFindsRot(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := driver.Main([]string{"-C", "testdata/rotfix", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	analysistest.MustFind(t, stdout.String(),
+		"rot.go:5:1: annot: //qvet:phase=render names a nonexistent phase",
+		`unknown //qvet: directive "frobnicate"`,
+		`//qvet:allow references unknown check "spellcheck"`,
+		"//qvet:phase directive is not attached to a function declaration",
+	)
+}
+
+// TestDriverCleanTree exits 0 with no output on a conforming module.
+func TestDriverCleanTree(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := driver.Main([]string{"-C", "testdata/clean", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("expected no output, got:\n%s", stdout.String())
+	}
+}
+
+// TestDriverSubset runs a named subset and rejects unknown checks.
+func TestDriverSubset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := driver.Main([]string{"-C", "testdata/clean", "-checks", "lockguard,noalloc", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("subset run: exit %d, stderr: %s", code, stderr.String())
+	}
+	if code := driver.Main([]string{"-checks", "nosuchcheck"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown check: exit %d, want 2", code)
+	}
+}
+
+// TestDriverList prints the suite.
+func TestDriverList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := driver.Main([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list: exit %d", code)
+	}
+	analysistest.MustFind(t, stdout.String(), "lockguard", "phasecheck", "atomicfield", "noalloc", "annot")
+}

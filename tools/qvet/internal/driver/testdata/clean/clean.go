@@ -1,0 +1,15 @@
+// Package clean passes every check: one well-formed annotation of each
+// kind, no violations.
+package clean
+
+// Sum is allocation-free and reply-phase.
+//
+//qvet:phase=reply
+//qvet:noalloc
+func Sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

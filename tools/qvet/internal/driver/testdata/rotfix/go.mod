@@ -1,0 +1,3 @@
+module rotfix
+
+go 1.22

@@ -1,0 +1,27 @@
+// Package rotfix seeds annotation rot: every directive here is broken
+// in a different way and must fail the annot check.
+package rotfix
+
+//qvet:phase=render
+func badPhase() {}
+
+//qvet:frobnicate
+func badDirective() {}
+
+//qvet:allow=spellcheck whatever
+var x = 1
+
+// The type below carries a phase directive, which only func
+// declarations may.
+//
+//qvet:phase=reply
+type notAFunc struct{}
+
+func use() {
+	badPhase()
+	badDirective()
+	_ = x
+	_ = notAFunc{}
+}
+
+var _ = use

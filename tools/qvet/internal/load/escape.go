@@ -1,0 +1,76 @@
+package load
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"qserve/tools/qvet/internal/core"
+)
+
+// escapeLine matches the gc compiler's -m escape findings. Only actual
+// heap verdicts count — "does not escape", inlining notes, and "leaking
+// param" annotations (which describe the signature, not an allocation)
+// are ignored.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*(?:escapes to heap|moved to heap).*)$`)
+
+// Escapes builds the escape-analysis index for the packages matched by
+// patterns under dir by running `go build -gcflags=-m`. The build cache
+// replays compiler output on cache hits, so repeated runs stay cheap and
+// still see the full escape listing. Binaries for main packages are
+// discarded into a temp directory.
+func Escapes(dir string, patterns []string) (*core.EscapeIndex, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := os.MkdirTemp("", "qvet-noalloc-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	run := func(extra ...string) (string, error) {
+		args := append(append([]string{"build", "-gcflags=-m"}, extra...), patterns...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = absDir
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		err := cmd.Run()
+		return out.String(), err
+	}
+	// -o diverts main-package binaries away from the working tree, but
+	// go build rejects it when the patterns match no main package — in
+	// that case a plain build writes nothing anyway.
+	text, err := run("-o", tmp)
+	if err != nil && strings.Contains(text, "no main packages") {
+		text, err = run()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, text)
+	}
+
+	ix := &core.EscapeIndex{ByFile: make(map[string]map[int][]string)}
+	for _, line := range strings.Split(text, "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(absDir, file)
+		}
+		n, _ := strconv.Atoi(m[2])
+		if ix.ByFile[file] == nil {
+			ix.ByFile[file] = make(map[int][]string)
+		}
+		ix.ByFile[file][n] = append(ix.ByFile[file][n], m[4])
+	}
+	return ix, nil
+}
