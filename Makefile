@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench vis conformance chaos cover lint ci
+.PHONY: all build test race vet bench vis conformance chaos cover lint lockwall ci
 
 all: build
 
@@ -46,6 +46,13 @@ conformance:
 chaos:
 	$(GO) test -race -v -run 'TestChaosSoak|TestWatchdog|TestPanicContainment|TestOverloadShedLadder|TestGracefulShutdown|TestFrameCtl' ./internal/server/
 	$(GO) test -race -run 'TestDecodeSurvivesFaultInjector|Fuzz' ./internal/protocol/
+
+# lockwall runs the work-stealing ablation (DESIGN.md §10): the paper's
+# worst case — conservative locking, 160 players, 2/4/8 threads — with
+# the static per-owner request scheduler vs the conflict-aware
+# work-stealing scheduler, reporting the 8T lock-share reduction.
+lockwall:
+	$(GO) run ./cmd/qbench -exp lockwall -dur 5
 
 # cover prints the per-function coverage table's total line.
 cover:

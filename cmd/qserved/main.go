@@ -42,6 +42,7 @@ func main() {
 	mapSeed := flag.Int64("mapseed", 1, "seed for the generated map")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	bal := flag.Bool("balance", false, "enable dynamic client->thread load balancing (parallel engine)")
+	steal := flag.Bool("steal", false, "conflict-aware work-stealing request execution (parallel engine)")
 	watchdog := flag.Duration("watchdog", 0, "frame watchdog deadline per phase (0 disables)")
 	quarantine := flag.Bool("quarantine", false, "watchdog also quarantines the client a wedged thread was serving")
 	budget := flag.Duration("budget", 0, "frame-time budget for overload shedding (0 disables)")
@@ -101,6 +102,7 @@ func main() {
 		WatchdogDeadline: *watchdog,
 		QuarantineWedged: *quarantine,
 		FrameBudget:      *budget,
+		Stealing:         *steal,
 	}
 	if *bal {
 		cfg.Balance = balance.Policy{Enabled: true}
@@ -113,6 +115,9 @@ func main() {
 	} else {
 		eng, err = server.NewParallel(cfg)
 		mode = fmt.Sprintf("parallel x%d (%s locking)", *threads, strat.Name())
+		if *steal {
+			mode += " +stealing"
+		}
 	}
 	if err != nil {
 		fatal(err)

@@ -28,6 +28,7 @@ func main() {
 	batch := flag.Int64("batch", 0, "request batching delay in microseconds (0 = off)")
 	trace := flag.Int("trace", 0, "render an execution timeline of the first N frames")
 	bal := flag.Bool("balance", false, "enable dynamic client->thread load balancing at the frame barrier")
+	steal := flag.Bool("steal", false, "conflict-aware work-stealing request execution")
 	cluster := flag.Int("cluster", 0, "pin the first N players to room 0 (skewed workload)")
 	loss := flag.Float64("loss", 0, "per-request network loss probability (0..1)")
 	flag.Parse()
@@ -62,6 +63,7 @@ func main() {
 	if *bal {
 		cfg.Balance = balance.Policy{Enabled: true}
 	}
+	cfg.Stealing = *steal
 	res, err := simserver.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

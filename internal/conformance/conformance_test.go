@@ -114,8 +114,9 @@ type liveEngine interface {
 }
 
 // runLive drives the scenario through a live engine over the mem
-// transport. threads == 0 selects the sequential engine.
-func runLive(t *testing.T, sc *Scenario, threads int, pol balance.Policy) []PlayerState {
+// transport. threads == 0 selects the sequential engine; stealing turns
+// on the work-stealing request scheduler.
+func runLive(t *testing.T, sc *Scenario, threads int, pol balance.Policy, stealing bool) []PlayerState {
 	t.Helper()
 	world, err := game.NewWorld(game.Config{Map: sc.Map, Seed: sc.WorldSeed})
 	if err != nil {
@@ -141,6 +142,7 @@ func runLive(t *testing.T, sc *Scenario, threads int, pol balance.Policy) []Play
 		MaxClients:    sc.Players + 2,
 		SelectTimeout: 2 * time.Millisecond,
 		Balance:       pol,
+		Stealing:      stealing,
 	}
 	var eng liveEngine
 	var par *server.Parallel
@@ -195,7 +197,7 @@ func runLive(t *testing.T, sc *Scenario, threads int, pol balance.Policy) []Play
 }
 
 // runDES drives the scenario through the discrete-event engine.
-func runDES(t *testing.T, sc *Scenario, threads int, sequential bool, pol balance.Policy) []PlayerState {
+func runDES(t *testing.T, sc *Scenario, threads int, sequential bool, pol balance.Policy, stealing bool) []PlayerState {
 	t.Helper()
 	res, err := simserver.Run(simserver.Config{
 		Map:           sc.Map,
@@ -208,6 +210,7 @@ func runDES(t *testing.T, sc *Scenario, threads int, sequential bool, pol balanc
 		Script:        sc.Script,
 		MaxMoves:      int64(sc.Moves),
 		Balance:       pol,
+		Stealing:      stealing,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -227,7 +230,7 @@ func runDES(t *testing.T, sc *Scenario, threads int, sequential bool, pol balanc
 // tables. The live sequential engine is the reference.
 func TestCrossEngineConformance(t *testing.T) {
 	sc := scenario(t)
-	want := runLive(t, sc, 0, balance.Policy{})
+	want := runLive(t, sc, 0, balance.Policy{}, false)
 	if len(want) != sc.Players {
 		t.Fatalf("reference run has %d players, want %d", len(want), sc.Players)
 	}
@@ -245,27 +248,29 @@ func TestCrossEngineConformance(t *testing.T) {
 
 	for _, threads := range []int{2, 4, 8} {
 		for _, balanced := range []bool{false, true} {
-			pol := balance.Policy{}
-			if balanced {
-				pol = forcedBalance()
+			for _, stealing := range []bool{false, true} {
+				pol := balance.Policy{}
+				if balanced {
+					pol = forcedBalance()
+				}
+				threads, pol, stealing := threads, pol, stealing
+				t.Run(fmt.Sprintf("live-parallel/threads=%d/balance=%v/steal=%v", threads, balanced, stealing), func(t *testing.T) {
+					got := runLive(t, sc, threads, pol, stealing)
+					if d := Diff(want, got); d != "" {
+						t.Fatalf("parallel live diverged from sequential reference:\n%s", d)
+					}
+				})
+				t.Run(fmt.Sprintf("des/threads=%d/balance=%v/steal=%v", threads, balanced, stealing), func(t *testing.T) {
+					got := runDES(t, sc, threads, false, pol, stealing)
+					if d := Diff(want, got); d != "" {
+						t.Fatalf("DES diverged from sequential reference:\n%s", d)
+					}
+				})
 			}
-			threads, pol := threads, pol
-			t.Run(fmt.Sprintf("live-parallel/threads=%d/balance=%v", threads, balanced), func(t *testing.T) {
-				got := runLive(t, sc, threads, pol)
-				if d := Diff(want, got); d != "" {
-					t.Fatalf("parallel live diverged from sequential reference:\n%s", d)
-				}
-			})
-			t.Run(fmt.Sprintf("des/threads=%d/balance=%v", threads, balanced), func(t *testing.T) {
-				got := runDES(t, sc, threads, false, pol)
-				if d := Diff(want, got); d != "" {
-					t.Fatalf("DES diverged from sequential reference:\n%s", d)
-				}
-			})
 		}
 	}
 	t.Run("des/sequential", func(t *testing.T) {
-		got := runDES(t, sc, 1, true, balance.Policy{})
+		got := runDES(t, sc, 1, true, balance.Policy{}, false)
 		if d := Diff(want, got); d != "" {
 			t.Fatalf("sequential DES diverged from sequential reference:\n%s", d)
 		}

@@ -128,6 +128,10 @@ func (e Event) WireEvent() protocol.GameEvent {
 type MoveResult struct {
 	Work   Work
 	Events []Event
+	// Parked is set when LockContext.TryFirst was requested and the
+	// short-range region was contended: the move executed no side effects
+	// (only the region calculation in Work was spent) and must be retried.
+	Parked bool
 }
 
 // maxCandidates bounds the per-move obstacle scratch list.
@@ -177,8 +181,21 @@ func (w *World) ExecuteMove(e *entity.Entity, cmd *protocol.MoveCmd, lc *LockCon
 	}
 	res.Work.RegionCalc++
 
-	// Step 2: lock the short-range region and gather candidates.
-	guard := lc.acquire(w, req, locking.KindShortRange)
+	// Step 2: lock the short-range region and gather candidates. This is
+	// the first acquisition and precedes every entity mutation, so a
+	// TryFirst refusal is a clean abort point: the caller may park the
+	// request and re-execute it later from scratch.
+	var guard locking.Guard
+	if lc.TryFirst {
+		var ok bool
+		guard, ok = lc.tryAcquire(w, req, locking.KindShortRange)
+		if !ok {
+			res.Parked = true
+			return res
+		}
+	} else {
+		guard = lc.acquire(w, req, locking.KindShortRange)
+	}
 	workAtAcquire := res.Work
 	if !e.Active || e.Class != entity.ClassPlayer {
 		// Removed (disconnect) between dispatch and lock acquisition.

@@ -340,6 +340,14 @@ type LockContext struct {
 	// lock hold durations reflect execution cost; the live engine leaves
 	// it nil because real time passes on its own.
 	OnWork func(Work)
+	// TryFirst makes the *first* region acquisition of the move — the
+	// short-range lock, taken before any entity state is mutated —
+	// non-blocking: if the region is contended, ExecuteMove returns with
+	// MoveResult.Parked set and zero side effects, so a work-stealing
+	// scheduler can shelve the request and execute a non-conflicting one
+	// instead of queueing. Later acquisitions (weapon fire) still block:
+	// by then the move has mutated the world and must run to completion.
+	TryFirst bool
 }
 
 // chargeHeld reports held-region work to the engine, if it listens.
@@ -364,14 +372,34 @@ func (lc *LockContext) acquire(w *World, req locking.Request, kind locking.Kind)
 	}
 	region := lc.strategy().Region(w.Map.Bounds, req, kind)
 	g := lc.Locker.Acquire(region, lc.Stats)
-	if lc.LeafMask != nil {
-		for _, ni := range g.Leaves() {
-			if ord := w.Tree.Node(ni).LeafOrdinal; ord >= 0 && ord < 64 {
-				*lc.LeafMask |= 1 << uint(ord)
-			}
+	lc.noteLeaves(w, &g)
+	return g
+}
+
+// tryAcquire is acquire without blocking; ok is false when the region is
+// contended (nothing held). With locking disabled it always succeeds.
+func (lc *LockContext) tryAcquire(w *World, req locking.Request, kind locking.Kind) (locking.Guard, bool) {
+	if lc.Locker == nil {
+		return locking.Guard{}, true
+	}
+	region := lc.strategy().Region(w.Map.Bounds, req, kind)
+	g, ok := lc.Locker.TryAcquire(region, lc.Stats)
+	if !ok {
+		return locking.Guard{}, false
+	}
+	lc.noteLeaves(w, &g)
+	return g, true
+}
+
+func (lc *LockContext) noteLeaves(w *World, g *locking.Guard) {
+	if lc.LeafMask == nil {
+		return
+	}
+	for _, ni := range g.Leaves() {
+		if ord := w.Tree.Node(ni).LeafOrdinal; ord >= 0 && ord < 64 {
+			*lc.LeafMask |= 1 << uint(ord)
 		}
 	}
-	return g
 }
 
 // parentGuard returns the transient interior-node guard, or nil when

@@ -184,6 +184,17 @@ type Provider interface {
 	UnlockNode(node int32)
 }
 
+// TryProvider extends Provider with a non-blocking acquisition attempt.
+// Work-stealing execution probes it through RegionLocker.TryAcquire so a
+// thief can park a request whose region is contended instead of queueing
+// behind the holder.
+type TryProvider interface {
+	Provider
+	// TryLockNode acquires node if it is free and reports success. It
+	// never blocks.
+	TryLockNode(node int32) bool
+}
+
 // AcquireStats counts lock protocol operations for one request, feeding
 // the Fig. 7 analyses.
 type AcquireStats struct {
@@ -270,6 +281,43 @@ func (rl *RegionLocker) Acquire(region geom.AABB, stats *AcquireStats) Guard {
 	}
 	leaves := append([]int32(nil), rl.leafBuf...)
 	return Guard{rl: rl, leaves: leaves, region: region}
+}
+
+// TryAcquire attempts Acquire without blocking. It probes each leaf in
+// the same ascending node order; on the first busy leaf it unlocks
+// everything taken so far (in reverse order) and reports failure, leaving
+// the provider exactly as it found it. It requires a TryProvider; with a
+// blocking-only provider it degrades to Acquire (ok is always true), so
+// callers can enable stealing unconditionally.
+func (rl *RegionLocker) TryAcquire(region geom.AABB, stats *AcquireStats) (Guard, bool) {
+	tp, hasTry := rl.Provider.(TryProvider)
+	if !hasTry {
+		return rl.Acquire(region, stats), true
+	}
+	rl.leafBuf = rl.Tree.LeavesTouching(region, rl.leafBuf[:0])
+	for i, ni := range rl.leafBuf {
+		if tp.TryLockNode(ni) {
+			rl.held = append(rl.held, ni)
+			continue
+		}
+		// Conflict: roll back in reverse acquisition order.
+		for j := i - 1; j >= 0; j-- {
+			rl.Provider.UnlockNode(rl.leafBuf[j])
+			rl.popHeld(rl.leafBuf[j])
+		}
+		if stats != nil {
+			// Count the probe work that was wasted: each leaf we touched,
+			// plus the one that refused us.
+			stats.LeafLockOps += i + 1
+		}
+		return Guard{}, false
+	}
+	if stats != nil {
+		stats.LeafLockOps += len(rl.leafBuf)
+		stats.DistinctLeaves = len(rl.leafBuf)
+	}
+	leaves := append([]int32(nil), rl.leafBuf...)
+	return Guard{rl: rl, leaves: leaves, region: region}, true
 }
 
 // Leaves returns the node indices of the held leaves (ascending).
@@ -362,6 +410,16 @@ func (m *chanMutex) init() { m.ch = make(chan struct{}, 1) }
 func (m *chanMutex) Lock()   { m.ch <- struct{}{} }
 func (m *chanMutex) Unlock() { <-m.ch }
 
+// TryLock acquires the mutex if free and reports success.
+func (m *chanMutex) TryLock() bool {
+	select {
+	case m.ch <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
 // NewMutexProvider creates a provider with one lock per tree node.
 func NewMutexProvider(numNodes int) *MutexProvider {
 	p := &MutexProvider{locks: make([]nodeMutex, numNodes)}
@@ -376,6 +434,9 @@ func (p *MutexProvider) LockNode(node int32) { p.locks[node].mu.Lock() }
 
 // UnlockNode implements Provider.
 func (p *MutexProvider) UnlockNode(node int32) { p.locks[node].mu.Unlock() }
+
+// TryLockNode implements TryProvider.
+func (p *MutexProvider) TryLockNode(node int32) bool { return p.locks[node].mu.TryLock() }
 
 // NopProvider performs no locking; the sequential server uses it so the
 // same game code runs lock-free single-threaded.

@@ -329,3 +329,97 @@ func BenchmarkAcquireRelease(b *testing.B) {
 		g.Release()
 	}
 }
+
+func TestTryAcquireSuccessAndConflict(t *testing.T) {
+	tr := areanode.NewTree(world(), areanode.DefaultDepth)
+	p := NewMutexProvider(tr.NumNodes())
+	rl := &RegionLocker{Tree: tr, Provider: p}
+
+	small := geom.BoxAt(geom.V(100, 100, 50), geom.V(20, 20, 20))
+	var stats AcquireStats
+	g, ok := rl.TryAcquire(small, &stats)
+	if !ok {
+		t.Fatal("TryAcquire failed on uncontended locks")
+	}
+	if len(g.Leaves()) == 0 || stats.DistinctLeaves != len(g.Leaves()) {
+		t.Fatalf("guard leaves=%d stats=%+v", len(g.Leaves()), stats)
+	}
+	// A second locker over the same provider must be refused while the
+	// guard holds, and succeed after release.
+	rl2 := &RegionLocker{Tree: tr, Provider: p}
+	if _, ok := rl2.TryAcquire(small, nil); ok {
+		t.Fatal("TryAcquire succeeded on a held region")
+	}
+	g.Release()
+	g2, ok := rl2.TryAcquire(small, nil)
+	if !ok {
+		t.Fatal("TryAcquire failed after the region was released")
+	}
+	g2.Release()
+}
+
+func TestTryAcquireRollsBackOnConflict(t *testing.T) {
+	tr := areanode.NewTree(world(), areanode.DefaultDepth)
+	p := NewMutexProvider(tr.NumNodes())
+	rl := &RegionLocker{Tree: tr, Provider: p}
+
+	region := geom.BoxAt(geom.V(800, 800, 50), geom.V(400, 400, 50))
+	leaves := tr.LeavesTouching(region, nil)
+	if len(leaves) < 2 {
+		t.Fatalf("test region touches %d leaves, need >= 2 for a rollback", len(leaves))
+	}
+	// Pre-lock the last leaf in ascending order: TryAcquire takes every
+	// earlier leaf first, so refusal happens with the most state to undo.
+	last := leaves[len(leaves)-1]
+	p.LockNode(last)
+
+	var stats AcquireStats
+	if _, ok := rl.TryAcquire(region, &stats); ok {
+		t.Fatal("TryAcquire succeeded over a pre-locked leaf")
+	}
+	if want := len(leaves); stats.LeafLockOps != want {
+		t.Errorf("probe ops = %d, want %d (each earlier leaf plus the refusal)", stats.LeafLockOps, want)
+	}
+	if n := rl.ReleaseAll(); n != 0 {
+		t.Errorf("locker still held %d leaves after a failed TryAcquire", n)
+	}
+	// Every leaf but the pre-locked one must be free again.
+	for _, ni := range leaves[:len(leaves)-1] {
+		if !p.TryLockNode(ni) {
+			t.Fatalf("leaf %d left locked after rollback", ni)
+		}
+		p.UnlockNode(ni)
+	}
+	if p.TryLockNode(last) {
+		t.Fatal("rollback unlocked the conflicting leaf it never acquired")
+	}
+	p.UnlockNode(last)
+}
+
+func TestTryAcquireDegradesWithoutTryProvider(t *testing.T) {
+	tr := areanode.NewTree(world(), areanode.DefaultDepth)
+	var seq []int32
+	rl := &RegionLocker{Tree: tr, Provider: &recordingProvider{events: &seq}}
+	small := geom.BoxAt(geom.V(100, 100, 50), geom.V(20, 20, 20))
+	g, ok := rl.TryAcquire(small, nil)
+	if !ok {
+		t.Fatal("TryAcquire with a blocking-only provider must degrade to Acquire")
+	}
+	g.Release()
+}
+
+func TestChanMutexTryLock(t *testing.T) {
+	var m chanMutex
+	m.init()
+	if !m.TryLock() {
+		t.Fatal("TryLock failed on a free mutex")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock succeeded on a held mutex")
+	}
+	m.Unlock()
+	if !m.TryLock() {
+		t.Fatal("TryLock failed after unlock")
+	}
+	m.Unlock()
+}

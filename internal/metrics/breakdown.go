@@ -103,6 +103,16 @@ type Breakdown struct {
 	// cost, and reports use it to normalize exec time per command.
 	ExecCmds int64
 
+	// Work-stealing execution counters: Steals is the number of requests
+	// this thread executed on behalf of another thread's client, StealsNs
+	// the execution time it spent doing so (a subset of CompExec — stolen
+	// work is still exec time), and StealConflicts the number of times a
+	// steal attempt parked because the request's region was contended
+	// (the conflict-aware scheduler then picked different work).
+	Steals         int64
+	StealsNs       int64
+	StealConflicts int64
+
 	// Robustness counters from the failure-model layer: panics contained
 	// by the per-thread recover wrappers, wedged-phase detections by the
 	// frame watchdog, replies and entities shed by the overload ladder,
@@ -129,6 +139,9 @@ func (b *Breakdown) Add(o *Breakdown) {
 	b.SnapBuildNs += o.SnapBuildNs
 	b.SnapMergeNs += o.SnapMergeNs
 	b.ExecCmds += o.ExecCmds
+	b.Steals += o.Steals
+	b.StealsNs += o.StealsNs
+	b.StealConflicts += o.StealConflicts
 	b.PanicsRecovered += o.PanicsRecovered
 	b.WedgesDetected += o.WedgesDetected
 	b.RepliesShed += o.RepliesShed
@@ -206,6 +219,9 @@ func (b *Breakdown) Scale(f float64) {
 	b.SnapBuildNs = int64(float64(b.SnapBuildNs) * f)
 	b.SnapMergeNs = int64(float64(b.SnapMergeNs) * f)
 	b.ExecCmds = int64(float64(b.ExecCmds) * f)
+	b.Steals = int64(float64(b.Steals) * f)
+	b.StealsNs = int64(float64(b.StealsNs) * f)
+	b.StealConflicts = int64(float64(b.StealConflicts) * f)
 	b.PanicsRecovered = int64(float64(b.PanicsRecovered) * f)
 	b.WedgesDetected = int64(float64(b.WedgesDetected) * f)
 	b.RepliesShed = int64(float64(b.RepliesShed) * f)

@@ -34,8 +34,11 @@ type client struct {
 	thread int
 
 	// loadNs is the client's decayed execute-phase cost, the balancer's
-	// input. Written by the owning thread during the request phase, read
-	// and decayed by the master at the barrier. Atomic because a wedged
+	// input. Charged by whichever thread executes the client's request —
+	// the owner, or a thief under work stealing; either way the cost
+	// names the serving client, so migration plans reflect who is
+	// expensive, not who ran them. Read and decayed (by atomic
+	// subtraction) by the master at the barrier. Atomic because a wedged
 	// thread abandoned by the watchdog may still be mid-write when the
 	// master reads.
 	loadNs atomic.Int64
@@ -51,11 +54,49 @@ type client struct {
 	// through its reply phase cannot race the master.
 	repliedFrame atomic.Uint32
 
+	// claim serializes request execution for this client under work
+	// stealing: an executor CASes it from 0 to its worker id+1 before
+	// running one of the client's pooled requests and stores 0 after the
+	// commit. At most one request per client is ever in flight, and pool
+	// scans take a client's oldest entry first, so the claim preserves
+	// per-client FIFO execution — the order static assignment provided
+	// for free. The CAS/store pair also gives release/acquire ordering
+	// for the thief's plain writes to replyPending/lastSeq before the
+	// owner's reply phase reads them (the owner observes the completion
+	// counter that is decremented after the claim release). Unused (0)
+	// when stealing is off.
+	claim atomic.Int32
+
+	// leafHint caches the leaf-ordinal bitmask of the client's last
+	// executed move (the frameLeafMask vocabulary of Fig. 7c). The
+	// stealing scheduler reads it to skip stealing requests whose region
+	// probably conflicts with work other threads are executing right now.
+	// Purely a heuristic: correctness comes from the region locks, and 0
+	// (no information) permits stealing.
+	leafHint atomic.Uint64
+
+	// gone marks a removed client: its entity slot has been (or is about
+	// to be) freed and may already be recycled as some other entity, so
+	// pooled requests of this client still in flight must complete as
+	// no-ops without touching it. Set while holding the client's claim
+	// (claimForRemoval), so the claim-release/claim-acquire pair orders
+	// the flag before any later executor's entity reads.
+	gone atomic.Bool
+
 	// quarantined marks a client whose request wedged its owning thread:
 	// the watchdog sets it when it abandons the thread, every thread drops
 	// the client's traffic, and the recovering thread evicts it. Also set
 	// by panic containment between the recover and the eviction.
 	quarantined atomic.Bool
+
+	// quarantinedBy records which worker (id+1) quarantined the client,
+	// so the recovery path evicts exactly the clients it condemned. With
+	// stealing, the wedged request's client may belong to a *different*
+	// thread than the executor the watchdog abandoned; keying recovery on
+	// ownership alone would leave such a client quarantined forever.
+	// 0 means unattributed (legacy paths); rolled back together with
+	// quarantined when an abandonment attempt fails.
+	quarantinedBy atomic.Int32
 
 	// shedFar marks the client as far from the action centroid: under
 	// overload (shed level >= 1) its snapshot rate is halved. Computed by

@@ -39,6 +39,28 @@ type Config struct {
 	// assignment.
 	Balance balance.Policy
 
+	// BatchDelay, when positive, has the frame master hold the frame
+	// open for this long before the world update, so other threads'
+	// selects can return and join the frame — the live counterpart of
+	// simserver's BatchDelayNs (the paper's §5.2 "wait for a period of
+	// time before starting the frame" suggestion). Zero by default:
+	// frames form exactly as the published server's do. Multi-thread
+	// frames are a precondition for work stealing to engage, so the
+	// stealing stress tests and the lockwall live arm set it.
+	BatchDelay time.Duration
+
+	// Stealing enables conflict-aware work-stealing request execution
+	// (parallel engine only): workers place their clients' move commands
+	// in per-worker frame pools, drain their own pool first, then steal
+	// pending requests from other workers instead of idling at the
+	// request barrier. A request whose region is contended is parked and
+	// retried, so stolen work rarely blocks on region locks. Off by
+	// default: the paper's figures model static assignment, and stealing
+	// is the ablation arm (`qbench -exp lockwall`). Per-client request
+	// order — the only order the wire protocol can observe — is
+	// preserved; see DESIGN.md §10.
+	Stealing bool
+
 	// WatchdogDeadline arms the frame watchdog (parallel engine only): a
 	// worker stuck in its request or reply phase longer than this is
 	// reported as wedged. Zero disables the watchdog.
@@ -91,6 +113,13 @@ func (c *Config) fill(needThreads bool) error {
 	}
 	if needThreads && len(c.Conns) != c.Threads {
 		return fmt.Errorf("server: %d conns for %d threads", len(c.Conns), c.Threads)
+	}
+	if needThreads && c.Threads > maxThreads {
+		// The frame controller tracks request-barrier passage in a uint64
+		// bitmask (frameCtl.reqDoneBy); a worker id past 63 would silently
+		// fall outside it and disable the abandonment protocol for that
+		// thread. Refuse loudly instead.
+		return fmt.Errorf("server: %d threads exceeds the supported maximum of %d (frame-control bitmask width)", c.Threads, maxThreads)
 	}
 	if c.Strategy == nil {
 		c.Strategy = locking.Conservative{}

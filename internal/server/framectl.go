@@ -15,6 +15,13 @@ const (
 	stReply
 )
 
+// maxThreads is the widest worker pool the frame controller supports:
+// reqDoneBy tracks request-barrier passage as a uint64 bitmask indexed by
+// worker id. Config validation rejects larger pools up front, because a
+// worker beyond the mask would be invisible to the abandonment protocol's
+// stalled-in-request verification.
+const maxThreads = 64
+
 // Worker roles for one frame.
 type frameRole int
 
@@ -56,6 +63,14 @@ type frameCtl struct {
 	// to verify a worker it observed as wedged has not in fact finished
 	// the phase between observation and abandonment.
 	reqDoneBy uint64
+	// drainDone counts participants that have completed their receive
+	// drain this frame (work-stealing only). A participant that has
+	// received requests but not yet pooled them is invisible to the
+	// outstanding counters, so a steal scan cannot tell "no work yet"
+	// from "no work ever"; once drainDone covers every active
+	// participant, the frame's pooled work can only shrink and an empty
+	// scan means the steal phase is truly over.
+	drainDone int
 
 	// active is the number of participants not abandoned this frame.
 	active int
@@ -98,6 +113,7 @@ func (fc *frameCtl) join(worker int) frameRole {
 		fc.participants = append(fc.participants, worker)
 		fc.reqDone, fc.repDone = 0, 0
 		fc.reqDoneBy = 0
+		fc.drainDone = 0
 		fc.active = 1
 		fc.masterID = worker
 		fc.masterGone = false
@@ -158,7 +174,7 @@ func (fc *frameCtl) doneRequests(worker int) bool {
 		return false
 	}
 	fc.reqDone++
-	if worker >= 0 && worker < 64 {
+	if worker >= 0 && worker < maxThreads {
 		fc.reqDoneBy |= 1 << uint(worker)
 	}
 	if fc.reqDone >= fc.active && fc.state == stRequest {
@@ -252,7 +268,7 @@ func (fc *frameCtl) abandon(worker int) bool {
 func (fc *frameCtl) abandonRequestStalled(worker int) bool {
 	fc.mu.Lock()
 	if fc.state != stRequest || fc.zombies[worker] || !fc.isParticipantLocked(worker) ||
-		worker < 0 || worker >= 64 || fc.reqDoneBy&(1<<uint(worker)) != 0 {
+		worker < 0 || worker >= maxThreads || fc.reqDoneBy&(1<<uint(worker)) != 0 {
 		fc.mu.Unlock()
 		return false
 	}
@@ -260,6 +276,28 @@ func (fc *frameCtl) abandonRequestStalled(worker int) bool {
 	fc.mu.Unlock()
 	fc.cond.Broadcast()
 	return true
+}
+
+// doneDraining marks one participant's receive drain complete: the
+// worker will pool no further entries this frame. Stealing workers call
+// it between the receive drain and the steal phase.
+func (fc *frameCtl) doneDraining(worker int) {
+	fc.mu.Lock()
+	if !fc.zombies[worker] {
+		fc.drainDone++
+	}
+	fc.mu.Unlock()
+}
+
+// allDrained reports whether every active participant has finished its
+// receive drain, i.e. no new request work can be pooled this frame. An
+// abandoned participant that never finished draining stops counting
+// against the bound (abandon decrements active), so its zombie wedge
+// cannot pin thieves in their scan loops forever.
+func (fc *frameCtl) allDrained() bool {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.drainDone >= fc.active
 }
 
 func (fc *frameCtl) isParticipantLocked(worker int) bool {

@@ -28,6 +28,10 @@ type Parallel struct {
 	clients *clientTable
 	prov    *locking.MutexProvider
 	workers []*worker
+	// stealing caches Config.Stealing && Threads > 1: with one worker
+	// there is nobody to steal from and the pool indirection is pure
+	// overhead.
+	stealing bool
 
 	// globalMu is the single lock serializing the global state buffer
 	// (§3.3: "All accesses to the global state buffer are synchronized
@@ -134,6 +138,17 @@ type worker struct {
 	frameLockOps  int
 	frameExecNs   int64
 
+	// Work-stealing state (Config.Stealing). pool holds this worker's
+	// clients' move commands for the current frame; poolIdx stamps their
+	// arrival order; outstanding counts pooled entries not yet executed
+	// (by anyone) — the worker's request barrier waits for it to reach
+	// zero. activeHint publishes the leaf mask of the request being
+	// executed right now so other workers' steal scans avoid conflicts.
+	pool        stealPool
+	poolIdx     int
+	outstanding atomic.Int64
+	activeHint  atomic.Uint64
+
 	writer protocol.Writer
 	stash  []byte
 	recvBf []byte
@@ -206,6 +221,7 @@ func NewParallel(cfg Config) (*Parallel, error) {
 		stop:     make(chan struct{}),
 		vis:      newVisBuilder(),
 	}
+	s.stealing = cfg.Stealing && cfg.Threads > 1
 	for i := 0; i < cfg.Threads; i++ {
 		w := &worker{
 			id:     i,
@@ -345,6 +361,14 @@ func (s *Parallel) workerLoop(w *worker) {
 		}
 
 		if role == roleMaster {
+			if d := s.cfg.BatchDelay; d > 0 {
+				// Request batching (§5.2 future work): hold the frame
+				// open so more threads and requests join it. Deliberate
+				// idling, not synchronization wait — as in select.
+				t0 = time.Now()
+				time.Sleep(d)
+				w.bd.Charge(metrics.CompIdle, time.Since(t0).Nanoseconds())
+			}
 			s.frameT0 = time.Now()
 			t0 = s.frameT0
 			s.runWorldUpdate()
@@ -362,8 +386,12 @@ func (s *Parallel) workerLoop(w *worker) {
 
 		// Request phase: the stashed packet, then drain the queue. The
 		// zombie poll lets an abandoned worker stop mid-drain instead of
-		// racing the frame that moved on without it.
+		// racing the frame that moved on without it. With stealing on, the
+		// drain only pools move commands (connection traffic is still
+		// handled inline); the pooled work executes in the steal phase
+		// below, overlapped with other workers still draining.
 		w.frameReqs, w.frameLeafMask, w.frameLockOps, w.frameExecNs = 0, 0, 0, 0
+		w.poolIdx = 0
 		w.beginPhase(wpRequest)
 		s.safeProcessPacket(w, w.stash, from)
 		for !w.zombie.Load() {
@@ -375,6 +403,10 @@ func (s *Parallel) workerLoop(w *worker) {
 			}
 			s.bytesIn.Add(int64(n))
 			s.safeProcessPacket(w, w.recvBf[:n], from)
+		}
+		if s.stealing {
+			s.fc.doneDraining(w.id)
+			s.runStealPhase(w)
 		}
 		w.endPhase()
 
@@ -412,19 +444,34 @@ func (s *Parallel) workerLoop(w *worker) {
 }
 
 // zombieRecover is the path a worker takes after discovering the
-// watchdog abandoned it: unwind any locks a wedge left stranded, evict
-// the quarantined clients it owns (their requests are what wedged it),
+// watchdog abandoned it: unwind any locks a wedge left stranded, discard
+// the pooled requests of the frame that moved on without it, evict the
+// quarantined clients it condemned (their requests are what wedged it),
 // clear the zombie mark, and return to the loop to rejoin the next
-// frame. The worker evicts its own quarantined clients — not the master
-// — because eviction takes region locks the wedged thread itself may
-// have been holding.
+// frame. The worker evicts the clients *it quarantined* — not simply the
+// ones it owns — because under stealing the request that wedged it may
+// have been a stolen one; eviction runs here (not on the master) because
+// it takes region locks the wedged thread itself may have been holding.
 func (s *Parallel) zombieRecover(w *worker) {
 	w.endPhase()
 	w.serving.Store(0)
+	w.activeHint.Store(0)
 	released := w.locker.ReleaseAll()
+	if dropped := w.pool.drain(); dropped > 0 {
+		// The dropped entries were never executed; settle the barrier
+		// arithmetic so next frame's outstanding count starts clean.
+		// (Entries of this pool claimed by live thieves are not in the
+		// pool anymore and complete normally on the thief.)
+		w.outstanding.Add(-int64(dropped))
+	}
+	me := int32(w.id) + 1
 	var evict []*client
-	s.clients.forThread(w.id, func(c *client) {
-		if c.quarantined.Load() {
+	s.clients.forEach(func(c *client) {
+		if !c.quarantined.Load() {
+			return
+		}
+		by := c.quarantinedBy.Load()
+		if by == me || (by == 0 && c.thread == w.id) {
 			evict = append(evict, c)
 		}
 	})
@@ -440,6 +487,9 @@ func (s *Parallel) zombieRecover(w *worker) {
 // evictClient removes a client the containment paths decided is at
 // fault, notifying it with a Disconnected message.
 func (s *Parallel) evictClient(w *worker, c *client, reason string) {
+	if !s.claimForRemoval(w, c) {
+		return
+	}
 	s.clients.remove(c)
 	if s.mux != nil {
 		s.mux.Unroute(c.addr)
@@ -487,6 +537,7 @@ func (s *Parallel) recoverWorker(w *worker, phase string) {
 	w.serving.Store(0)
 	if victim != nil {
 		victim.quarantined.Store(true)
+		victim.quarantinedBy.Store(int32(w.id) + 1)
 		if phase == "request" {
 			// Request phase: world writes are lock-protected, evict inline.
 			s.evictClient(w, victim, "server error handling your request")
@@ -519,7 +570,10 @@ func (s *Parallel) watchdog() {
 	}
 	tk := time.NewTicker(tick)
 	defer tk.Stop()
-	// One detection per wedge: keyed by the phase-start stamp.
+	// One detection per wedge: keyed by the phase-start stamp, which the
+	// execution paths refresh per request — so the dedup is per stalled
+	// request, and a worker that wedges on a second request after
+	// surviving a first is detected again.
 	fired := make([]int64, len(s.workers))
 	for {
 		select {
@@ -576,12 +630,18 @@ func (s *Parallel) watchdog() {
 					qc = s.clients.lookupID(uint16(cid - 1))
 				}
 				if qc != nil {
+					// Attribute the quarantine to the executing worker: with
+					// stealing, the stalled request's client may belong to a
+					// different thread, and recovery must evict the clients
+					// this worker condemned, not the ones it owns.
 					qc.quarantined.Store(true)
+					qc.quarantinedBy.Store(int32(w.id) + 1)
 				}
 				w.zombie.Store(true)
 				if !s.fc.abandonRequestStalled(w.id) {
 					w.zombie.Store(false)
 					if qc != nil {
+						qc.quarantinedBy.Store(0)
 						qc.quarantined.Store(false)
 					}
 				}
@@ -661,6 +721,10 @@ func (s *Parallel) processPacket(w *worker, data []byte, from transport.Addr) {
 			}
 			return
 		}
+		if s.stealing {
+			s.enqueueMove(w, c, m)
+			return
+		}
 		s.execMove(w, c, m)
 	case *protocol.Connect:
 		w.bd.Charge(metrics.CompRecv, time.Since(t0).Nanoseconds())
@@ -696,6 +760,10 @@ func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
 	if c.thread != w.id {
 		return
 	}
+	// Re-stamp the watchdog clock per request so the deadline measures a
+	// single stalled request, not an accumulating healthy phase, and a
+	// wedge record's serving client is the request that actually stalled.
+	w.phaseStart.Store(time.Now().UnixNano())
 	// Drop duplicates and reordered datagrams: UDP may replay an old
 	// move, and executing it would rewind the player's intent. The
 	// engine's netchan does the same with its sequence check. Wild
@@ -872,6 +940,9 @@ func (s *Parallel) handleDisconnect(w *worker, from transport.Addr) {
 	if c == nil || c.quarantined.Load() {
 		return // quarantined: the recovering thread owns the removal
 	}
+	if !s.claimForRemoval(w, c) {
+		return
+	}
 	s.clients.remove(c)
 	if s.mux != nil {
 		s.mux.Unroute(c.addr)
@@ -975,6 +1046,9 @@ func (s *Parallel) masterCleanup(w *worker) {
 		}
 	})
 	for _, c := range stale {
+		if !s.claimForRemoval(w, c) {
+			continue
+		}
 		s.clients.remove(c)
 		if s.mux != nil {
 			s.mux.Unroute(c.addr)
@@ -1069,12 +1143,17 @@ func (s *Parallel) rebalance() int {
 		// it now would re-route the datagram again and let it chase the
 		// assignment across barriers indefinitely. Stamps far older than
 		// any plausible delivery mean the datagram was dropped — expire
-		// them so the client does not stay pinned forever.
+		// them so the client does not stay pinned forever. The clear must
+		// CAS against the stamp we judged stale: in degraded mode a
+		// straggling zombie can forward (and re-stamp) concurrently with
+		// this sweep, and a plain store would erase its fresh freeze.
 		if f := c.fwdFrame.Load(); f != 0 {
-			if frame-f < fwdFreezeFrames {
+			if !fwdFreezeExpired(f, frame) {
 				continue
 			}
-			c.fwdFrame.Store(0)
+			if !c.fwdFrame.CompareAndSwap(f, 0) {
+				continue // re-stamped under us: freshly frozen again
+			}
 		}
 		c.thread = mg.To
 		if s.mux != nil {
@@ -1083,9 +1162,14 @@ func (s *Parallel) rebalance() int {
 		applied++
 	}
 	// Decay the load window so the balancer tracks recent cost: halving
-	// gives an exponential moving sum with a few-frame horizon.
+	// gives an exponential moving sum with a few-frame horizon. Decay by
+	// atomic subtraction, not store: a straggling zombie — or, with
+	// stealing, a thief finishing a stolen request — may Add concurrently,
+	// and a load-store pair would silently drop its charge and starve the
+	// client's migration priority.
 	for _, c := range cs {
-		c.loadNs.Store(c.loadNs.Load() >> 1)
+		v := c.loadNs.Load()
+		c.loadNs.Add(v>>1 - v)
 	}
 	s.migrations.Add(int64(applied))
 	return applied
@@ -1095,6 +1179,20 @@ func (s *Parallel) rebalance() int {
 // forwarded datagram never arrived (dropped on queue overflow): after
 // this many frames the stamp is considered stale and expires.
 const fwdFreezeFrames = 64
+
+// fwdFreezeExpired reports whether a forward stamp is stale at the given
+// rebalance frame (both in the stamp's frameNumber+1 coordinates). A
+// stamp from the future — possible when a zombie straggler forwards just
+// after endFrame advanced the counter past the sweep's snapshot — keeps
+// the freeze: unsigned frame-f would otherwise wrap to a huge value and
+// expire a freshly frozen client. Frame counters are uint64, so
+// legitimate stamps never wrap within a server's lifetime.
+func fwdFreezeExpired(stamp, frame uint64) bool {
+	if stamp > frame {
+		return false
+	}
+	return frame-stamp >= fwdFreezeFrames
+}
 
 func (s *Parallel) send(w *worker, to transport.Addr, msg any) {
 	w.writer.Reset()

@@ -1,0 +1,328 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qserve/internal/balance"
+	"qserve/internal/game"
+	"qserve/internal/locking"
+	"qserve/internal/protocol"
+	"qserve/internal/transport"
+	"qserve/internal/worldmap"
+)
+
+// assignAllToZero pins every client to thread 0, so threads 1..N-1 can
+// only ever execute requests by stealing them — the strongest forcing of
+// the work-stealing scheduler the rig can express.
+func assignAllToZero(int, int, int) int { return 0 }
+
+// stealSum totals the steal counters across worker breakdowns.
+func stealSum(par *Parallel) (steals, conflicts int64) {
+	for _, b := range par.Breakdowns() {
+		steals += b.Steals
+		conflicts += b.StealConflicts
+	}
+	return
+}
+
+// TestStealingRaceStress exists to be run under -race: stealing forced
+// (every client owned by thread 0, so all other threads serve purely by
+// stealing), the balancer migrating every frame (ownership, routing, and
+// reply baselines churn under the thieves), and a churn goroutine
+// spraying connects, stale-ack moves, and disconnects at every endpoint.
+// Liveness plus actually-stolen work are asserted; the race detector does
+// the real checking.
+func TestStealingRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const (
+		threads = 4
+		numBots = 20
+		frames  = 120
+	)
+	rig := newRigCfg(t, threads, numBots, locking.Optimized{}, func(cfg *Config) {
+		cfg.Stealing = true
+		cfg.Assign = assignAllToZero
+		cfg.Balance = balance.Policy{Enabled: true, EveryFrame: true, MaxMigrations: 8}
+		// Hold frames open so other threads' selects join them — stealing
+		// needs multi-thread frames to engage at all.
+		cfg.BatchDelay = 3 * time.Millisecond
+		// Deschedule mid-execution so pools stay claimable while their
+		// owner works. On a multi-core host the thieves run concurrently
+		// anyway; on a single-CPU CI host the owner would otherwise drain
+		// its whole pool in one scheduling quantum and thieves would only
+		// ever see empty pools.
+		cfg.Hooks.PreExec = func(int, uint16) { time.Sleep(20 * time.Microsecond) }
+	})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := rig.net.Listen("churn-steal:0")
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var w protocol.Writer
+		send := func(to string, msg any) {
+			w.Reset()
+			if protocol.Encode(&w, msg) == nil {
+				_ = conn.Send(transport.MemAddr(to), w.Bytes())
+			}
+		}
+		seq := uint32(1)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			target := fmt.Sprintf("srv:%d", i%threads)
+			switch i % 5 {
+			case 0:
+				send(target, &protocol.Connect{Name: "churn-steal", ProtocolVer: protocol.Version})
+			case 1, 2, 3:
+				seq++
+				send(target, &protocol.Move{
+					Seq: seq, Ack: 1, // ancient ack: exercises gap invalidation off-owner
+					Cmd: protocol.MoveCmd{Forward: 320, Msec: 33, Buttons: protocol.BtnFire},
+				})
+			case 4:
+				send(target, &protocol.Disconnect{})
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	rig.drive(frames, time.Millisecond)
+	close(stop)
+	wg.Wait()
+	rig.engine.Stop()
+
+	if rig.engine.Frames() == 0 {
+		t.Fatal("no frames executed")
+	}
+	if rig.engine.Replies() == 0 {
+		t.Fatal("no replies sent")
+	}
+	par := rig.engine.(*Parallel)
+	if par.Migrations() == 0 {
+		t.Fatal("balancer never migrated a client during the stress run")
+	}
+	steals, _ := stealSum(par)
+	if steals == 0 {
+		t.Fatal("no request was ever stolen: the scheduler under test never engaged")
+	}
+	for i, b := range rig.bots {
+		if b.Snapshots == 0 {
+			t.Errorf("bot %d received no snapshots under stealing+migration", i)
+		}
+	}
+}
+
+// TestStealingPanicOnStolenRequest is the chaos arm: a request panics
+// exactly when a thief executes it (PreExec reports a thread other than
+// the owner, and every client is owned by thread 0). The victim client
+// must be evicted, the thief must survive and keep serving, and the
+// server must end the run with every other client intact.
+func TestStealingPanicOnStolenRequest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const (
+		threads = 4
+		numBots = 12
+		frames  = 150
+	)
+	var panicFired atomic.Bool
+	var victim atomic.Int32 // clientID+1
+	var panicThread atomic.Int32
+	rig := newRigCfg(t, threads, numBots, locking.Optimized{}, func(cfg *Config) {
+		cfg.Stealing = true
+		cfg.Assign = assignAllToZero
+		cfg.BatchDelay = 3 * time.Millisecond
+		cfg.Hooks.PreExec = func(thread int, id uint16) {
+			// Deschedule so pooled entries stay claimable while thread 0
+			// works (see TestStealingRaceStress); all clients are owned by
+			// thread 0, so any other executing thread means the request
+			// was stolen.
+			time.Sleep(20 * time.Microsecond)
+			if thread != 0 && panicFired.CompareAndSwap(false, true) {
+				victim.Store(int32(id) + 1)
+				panicThread.Store(int32(thread))
+				panic("steal-test: injected fault on stolen request")
+			}
+		}
+	})
+
+	// Threads 1..3 own no clients (the mux routes every bot's gameplay
+	// traffic to thread 0), so without unrouted traffic at their endpoints
+	// they would never wake into a frame to steal. Ping them continuously.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := rig.net.Listen("pinger-steal:0")
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var w protocol.Writer
+		var nonce uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 1; i < threads; i++ {
+				nonce++
+				w.Reset()
+				if protocol.Encode(&w, &protocol.Ping{Nonce: nonce}) == nil {
+					_ = conn.Send(transport.MemAddr(fmt.Sprintf("srv:%d", i)), w.Bytes())
+				}
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	rig.drive(frames, time.Millisecond)
+	close(stop)
+	wg.Wait()
+	rig.engine.Stop()
+	par := rig.engine.(*Parallel)
+
+	if !panicFired.Load() {
+		t.Fatal("no request was ever stolen: the injected fault never fired")
+	}
+	waitCond(t, 5*time.Second, func() bool { return par.FaultEvictions() == 1 },
+		"stolen-request panic did not evict exactly its victim")
+	if n := par.NumClients(); n != numBots-1 {
+		t.Errorf("clients after stolen-request fault = %d, want %d", n, numBots-1)
+	}
+	var recovered int64
+	for _, b := range par.Breakdowns() {
+		recovered += b.PanicsRecovered
+	}
+	if recovered != 1 {
+		t.Errorf("PanicsRecovered = %d, want exactly the injected one", recovered)
+	}
+	// The thief survived: the run kept producing frames and replies long
+	// after the fault (the fault fires on the first steal, which the
+	// forced assignment makes happen within the first frames).
+	if rig.engine.Replies() == 0 {
+		t.Fatal("no replies sent")
+	}
+	victimID := int(victim.Load() - 1)
+	alive := 0
+	for i, b := range rig.bots {
+		if i == victimID {
+			continue
+		}
+		if b.Snapshots > 0 {
+			alive++
+		}
+	}
+	if alive != numBots-1 {
+		t.Errorf("only %d/%d surviving bots kept receiving snapshots", alive, numBots-1)
+	}
+}
+
+// TestConfigRejectsTooManyThreads pins the frame controller's bitmask
+// bound: a worker pool wider than 64 must be refused up front (worker 64
+// would be invisible to reqDoneBy and the abandonment protocol).
+func TestConfigRejectsTooManyThreads(t *testing.T) {
+	net := transport.NewNetwork(transport.NetworkConfig{QueueLen: 64})
+	const threads = maxThreads + 1
+	conns := make([]transport.Conn, threads)
+	for i := range conns {
+		c, err := net.Listen(fmt.Sprintf("wide:%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+	m := worldmap.MustGenerate(worldmap.DefaultConfig())
+	w, err := game.NewWorld(game.Config{Map: m, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewParallel(Config{World: w, Conns: conns, Threads: threads})
+	if err == nil {
+		t.Fatalf("NewParallel accepted %d threads; reqDoneBy tracks only %d", threads, maxThreads)
+	}
+	// At the boundary the pool must still be accepted.
+	conns64 := conns[:maxThreads]
+	if _, err := NewParallel(Config{World: w, Conns: conns64, Threads: maxThreads}); err != nil {
+		t.Fatalf("NewParallel rejected the documented maximum of %d threads: %v", maxThreads, err)
+	}
+}
+
+// TestFwdFreezeExpired pins the forward-stamp expiry arithmetic the
+// rebalance sweep relies on: fresh stamps freeze, the boundary falls
+// exactly at fwdFreezeFrames, and a stamp from the future (a zombie
+// straggler forwarding after the sweep snapshotted the frame counter)
+// must keep the freeze instead of wrapping uint64 and expiring it.
+func TestFwdFreezeExpired(t *testing.T) {
+	cases := []struct {
+		name         string
+		stamp, frame uint64
+		expired      bool
+	}{
+		{"fresh stamp frozen", 100, 100, false},
+		{"one frame old", 100, 101, false},
+		{"just inside window", 100, 100 + fwdFreezeFrames - 1, false},
+		{"exactly at window", 100, 100 + fwdFreezeFrames, true},
+		{"far past window", 100, 100 + 10*fwdFreezeFrames, true},
+		{"future stamp stays frozen", 101, 100, false},
+		{"far-future stamp stays frozen", 100 + fwdFreezeFrames, 100, false},
+		{"would-wrap delta stays frozen", ^uint64(0), 1, false},
+		{"early frames, inside window", 1, fwdFreezeFrames, false},
+		{"early frames, at window", 1, fwdFreezeFrames + 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := fwdFreezeExpired(tc.stamp, tc.frame); got != tc.expired {
+				t.Errorf("fwdFreezeExpired(%d, %d) = %v, want %v", tc.stamp, tc.frame, got, tc.expired)
+			}
+		})
+	}
+}
+
+// TestFwdFreezeClearIsCAS pins the clear protocol around an expired
+// stamp: the sweep must only clear the exact stamp it judged stale, so a
+// concurrent re-stamp (a straggling zombie forwarding again) is never
+// erased — the CAS fails and the client stays frozen under the fresh
+// stamp.
+func TestFwdFreezeClearIsCAS(t *testing.T) {
+	var c client
+	stale := uint64(10)
+	c.fwdFrame.Store(stale)
+	frame := stale + fwdFreezeFrames
+
+	if !fwdFreezeExpired(stale, frame) {
+		t.Fatalf("stamp %d at frame %d should be expired", stale, frame)
+	}
+	// Re-stamp lands between the staleness judgment and the clear.
+	fresh := frame + 1
+	c.fwdFrame.Store(fresh)
+	if c.fwdFrame.CompareAndSwap(stale, 0) {
+		t.Fatal("CAS cleared a re-stamped freeze: fresh stamp erased")
+	}
+	if got := c.fwdFrame.Load(); got != fresh {
+		t.Fatalf("fwdFrame = %d, want the fresh stamp %d", got, fresh)
+	}
+	// Without interference the expired stamp clears.
+	c.fwdFrame.Store(stale)
+	if !c.fwdFrame.CompareAndSwap(stale, 0) {
+		t.Fatal("CAS failed to clear an undisturbed expired stamp")
+	}
+}

@@ -1,0 +1,485 @@
+package server
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"qserve/internal/entity"
+	"qserve/internal/game"
+	"qserve/internal/locking"
+	"qserve/internal/metrics"
+	"qserve/internal/protocol"
+)
+
+// Work-stealing request execution (DESIGN.md §10).
+//
+// The paper's static design executes each request on the thread that owns
+// the client, so at 8T/160 players the request phase is dominated by lock
+// stalls and barrier idling (Fig. 5/6: 31% lock time, 9–22% inter-frame
+// wait). This scheduler breaks that wall: during the request phase each
+// worker appends its clients' move commands to a per-worker frame pool
+// instead of executing them inline, then drains its own pool first and
+// steals pending entries from other workers' pools when its own work is
+// done. Execution is conflict-aware twice over: a pool scan skips entries
+// whose cached leaf mask intersects regions other threads are executing
+// right now, and the first region acquisition of every pooled move is a
+// try-acquire — on contention the entry is parked back in its owner's
+// pool (to be retried, eventually with a blocking acquire) and the worker
+// takes a non-conflicting entry instead of queueing.
+//
+// Determinism: every entry is stamped with its commit order — the owning
+// worker and the arrival index within that worker's frame — and the pool
+// is a FIFO honoring that stamp. A per-client claim (client.claim)
+// guarantees at most one of a client's requests is in flight at a time,
+// and scans always take a client's oldest entry first, so each client's
+// commands execute in exactly the arrival order static assignment gave
+// them. Cross-client interleaving may differ from the static schedule,
+// but it was never deterministic there either (it is a race between
+// threads for region locks); per-client order is the only order the wire
+// protocol — and hence the conformance suite — can observe.
+
+// poolEntry is one pooled move command, stamped with its deterministic
+// commit order (owner worker, arrival index).
+type poolEntry struct {
+	c     *client
+	m     protocol.Move // by value: the receive buffer is reused per datagram
+	owner int           // owning worker id (commit-order major key)
+	idx   int           // arrival index within the owner's frame (minor key)
+	hint  uint64        // leaf-ordinal mask of the client's last move, 0 = unknown
+	parks uint8         // times this entry parked on a contended first acquire
+}
+
+// stealPool is one worker's per-frame request deque. The owner pushes at
+// the tail during its receive drain; the owner and thieves remove entries
+// head-first under the mutex. Entries parked on lock conflict re-enter
+// the pool (front, or tail when deferral cannot reorder the client).
+type stealPool struct {
+	mu sync.Mutex
+	q  []poolEntry
+	// head indexes the first live entry; popping advances it instead of
+	// shifting the slice, and push compacts when the pool empties, so the
+	// steady-state frame loop does not allocate.
+	head int
+}
+
+// push appends an entry at the tail (owner only, during receive drain).
+//
+//qvet:noalloc
+func (p *stealPool) push(e poolEntry) {
+	p.mu.Lock()
+	if p.head == len(p.q) {
+		p.q = p.q[:0]
+		p.head = 0
+	}
+	p.q = append(p.q, e)
+	p.mu.Unlock()
+}
+
+// maxStealParks is how many contended first acquisitions an entry may
+// dodge (park, recompute, retry) before it falls back to a blocking
+// acquire. One try is not enough under a lock wall — at 8T/160 players
+// most requests hit a busy region on the first probe and a single park
+// would immediately re-queue them into the same blocking wait the static
+// design pays; a few retries let the contended moment pass. Bounded so a
+// permanently contended region cannot livelock an entry: past the cap the
+// owner executes it with a plain Acquire, which always completes.
+const maxStealParks = 12
+
+// scanBlockMax bounds the per-scan "blocked client" memo. A scan that
+// skips an entry without claiming it (a blocking-mode deferral or a
+// conflict-hint skip) must also skip every later entry of that client to
+// preserve per-client FIFO order; the memo records those clients without
+// allocating. Scans deeper than this simply stop — correctness is
+// unaffected, the entries just wait for the owner.
+const scanBlockMax = 16
+
+// take removes and returns the first claimable entry, scanning head to
+// tail. Per-client order is preserved three ways: a claimed client's
+// later entries fail the same CAS; an entry skipped by a scan rule
+// blocks the client for the rest of the scan; and removal shifts the
+// remaining entries so relative order never changes.
+//
+// Every scan skips entries whose hint intersects avoid — regions other
+// workers are executing right now. Probing such an entry's region would
+// either queue on a busy lock or burn a park; deferring it until the
+// conflicting execution ends costs the same wall time and touches no
+// lock. This is the conflict-awareness the scheduler exists for, and it
+// applies to the owner exactly as to a thief: the phase loop re-scans
+// after a yield, and the conflict clears as soon as the executing worker
+// publishes a zero mask (an executor always finishes, so deferral cannot
+// deadlock).
+//
+// Both scans also defer blocking-mode entries (parked maxStealParks
+// times): executing one means queueing on the very lock that parked it,
+// so it should run as late as possible, when the contenders that refused
+// it have drained. The owner falls back to them once nothing else in its
+// pool is claimable (the second, deferBlocked=false scan); a thief never
+// takes them — stalling a thief defeats the point of stealing.
+//
+//qvet:noalloc
+func (p *stealPool) take(self *worker, asThief bool, avoid uint64) (poolEntry, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.takeScan(self, true, avoid); ok {
+		return e, true
+	}
+	if asThief {
+		return poolEntry{}, false
+	}
+	return p.takeScan(self, false, avoid)
+}
+
+// takeScan is one pass of take, run under the pool mutex.
+//
+//qvet:noalloc
+func (p *stealPool) takeScan(self *worker, deferBlocked bool, avoid uint64) (poolEntry, bool) {
+	var blocked [scanBlockMax]*client
+	nblocked := 0
+scan:
+	for i := p.head; i < len(p.q); i++ {
+		e := &p.q[i]
+		for j := 0; j < nblocked; j++ {
+			if blocked[j] == e.c {
+				continue scan
+			}
+		}
+		if (deferBlocked && e.parks >= maxStealParks) ||
+			(e.hint != 0 && e.hint&avoid != 0) {
+			if nblocked == scanBlockMax {
+				break
+			}
+			blocked[nblocked] = e.c
+			nblocked++
+			continue
+		}
+		if !e.c.claim.CompareAndSwap(0, int32(self.id)+1) {
+			continue
+		}
+		out := *e
+		copy(p.q[i:], p.q[i+1:])
+		p.q = p.q[:len(p.q)-1]
+		return out, true
+	}
+	return poolEntry{}, false
+}
+
+// requeue returns a parked entry to the pool. The caller still holds the
+// client's claim, so no scan can take a later entry of the same client
+// while we decide where to put it: at the tail when this is the client's
+// only pooled entry (deferring it cannot reorder the client), else at the
+// front (it must stay ahead of the client's later entries).
+//
+//qvet:noalloc
+func (p *stealPool) requeue(e poolEntry) {
+	p.mu.Lock()
+	sole := true
+	for i := p.head; i < len(p.q); i++ {
+		if p.q[i].c == e.c {
+			sole = false
+			break
+		}
+	}
+	if sole {
+		if p.head == len(p.q) {
+			p.q = p.q[:0]
+			p.head = 0
+		}
+		p.q = append(p.q, e)
+	} else if p.head > 0 {
+		p.head--
+		p.q[p.head] = e
+	} else {
+		p.q = append(p.q, poolEntry{})
+		copy(p.q[1:], p.q)
+		p.q[0] = e
+	}
+	p.mu.Unlock()
+}
+
+// drain empties the pool and returns how many entries it removed — the
+// zombie-recovery path discarding work a dead frame will never commit.
+func (p *stealPool) drain() int {
+	p.mu.Lock()
+	n := len(p.q) - p.head
+	p.q = p.q[:0]
+	p.head = 0
+	p.mu.Unlock()
+	return n
+}
+
+// enqueueMove stamps a move command with its commit order and adds it to
+// the worker's frame pool. outstanding gates the worker's request
+// barrier: it passes only when every entry it pooled this frame has been
+// executed (by anyone).
+//
+//qvet:phase=exec
+func (s *Parallel) enqueueMove(w *worker, c *client, m *protocol.Move) {
+	e := poolEntry{
+		c:     c,
+		m:     *m,
+		owner: w.id,
+		idx:   w.poolIdx,
+		hint:  c.leafHint.Load(),
+	}
+	w.poolIdx++
+	w.outstanding.Add(1)
+	w.pool.push(e)
+}
+
+// runStealPhase executes pooled requests until every entry this worker
+// pooled has completed: its own pool head-first, then steals from the
+// other workers. It is the worker's replacement for the inline execution
+// of the static design, sitting between the receive drain and the
+// request barrier.
+//
+//qvet:phase=exec
+func (s *Parallel) runStealPhase(w *worker) {
+	for !w.zombie.Load() && !s.stopping() {
+		if e, ok := w.pool.take(w, false, s.activeRegionHints(w)); ok {
+			s.runPoolEntry(w, e)
+			continue
+		}
+		if e, ok := s.stealWork(w); ok {
+			s.runPoolEntry(w, e)
+			continue
+		}
+		if w.outstanding.Load() == 0 && s.totalOutstanding() == 0 && s.fc.allDrained() {
+			// Nothing left to execute anywhere and nobody can pool more:
+			// the time this worker would have idled at the request
+			// barrier was spent above, executing other workers' requests.
+			return
+		}
+		// Work remains (or may still be pooled by a participant that has
+		// not finished its receive drain) but none is claimable right
+		// now. Yield and re-check; if an executor truly wedges holding a
+		// claim, the watchdog sees this worker's stale request-phase
+		// stamp and abandons it out of the spin.
+		runtime.Gosched()
+	}
+}
+
+// totalOutstanding sums the live workers' uncommitted pooled entries —
+// the frame-wide amount of request work still to execute. While it is
+// nonzero, a worker whose own pool is drained keeps scanning for steals
+// instead of parking at the request barrier (the lock wall's idle share,
+// which this scheduler exists to convert into execution). Zombies are
+// excluded: their leftover counts are torn down by their own recovery.
+func (s *Parallel) totalOutstanding() int64 {
+	var n int64
+	for _, o := range s.workers {
+		if !o.zombie.Load() {
+			n += o.outstanding.Load()
+		}
+	}
+	return n
+}
+
+// stealWork scans the other workers' pools for a steal candidate,
+// starting after this worker's id so victims rotate. Zombie victims are
+// skipped: their pools are torn down by their own recovery path.
+//
+//qvet:phase=exec
+func (s *Parallel) stealWork(w *worker) (poolEntry, bool) {
+	avoid := s.activeRegionHints(w)
+	n := len(s.workers)
+	for i := 1; i < n; i++ {
+		v := s.workers[(w.id+i)%n]
+		if v.zombie.Load() {
+			continue
+		}
+		if e, ok := v.pool.take(w, true, avoid); ok {
+			return e, true
+		}
+	}
+	return poolEntry{}, false
+}
+
+// activeRegionHints unions the leaf masks other workers have published
+// for the requests they are executing right now — the conflict-awareness
+// input of every pool scan. Zombies are skipped: an abandoned worker
+// wedged mid-execution never clears its published mask, and honoring it
+// would make every healthy worker defer against the corpse forever.
+func (s *Parallel) activeRegionHints(w *worker) uint64 {
+	var m uint64
+	for _, o := range s.workers {
+		if o != w && !o.zombie.Load() {
+			m |= o.activeHint.Load()
+		}
+	}
+	return m
+}
+
+// claimForRemoval wrests the client's execution claim from the stealing
+// scheduler before the client's entity is freed. Freeing recycles the
+// entity slot, and a pooled executor reads its entity before taking any
+// region lock (ExecuteMove's pre-lock bounding-box read — safe under
+// static assignment, where only the owning thread ever ran the client's
+// requests), so removal must not overlap an in-flight execution. Winning
+// the claim excludes executors; setting gone before releasing it makes
+// every later claimant complete the client's remaining pooled entries
+// without touching the entity. A caller that already holds the claim —
+// panic containment evicting the client whose request it was executing —
+// proceeds directly; its normal completion path releases the claim after
+// the eviction. Returns false when the engine is stopping and the claim
+// never freed up: the caller skips the removal (the session is being
+// torn down wholesale).
+func (s *Parallel) claimForRemoval(w *worker, c *client) bool {
+	if !s.stealing {
+		return true
+	}
+	me := int32(w.id) + 1
+	for !c.claim.CompareAndSwap(0, me) {
+		if c.claim.Load() == me {
+			c.gone.Store(true)
+			return true
+		}
+		if s.stopping() {
+			return false
+		}
+		runtime.Gosched()
+	}
+	c.gone.Store(true)
+	c.claim.Store(0)
+	return true
+}
+
+// runPoolEntry executes one pooled entry, handling the park protocol and
+// the completion accounting. The claim is released only after the entry
+// is back in a pool (parked) or fully committed, and the owner's
+// outstanding count is decremented last — the release/acquire pair that
+// orders a thief's client-state writes before the owner's reply phase.
+//
+//qvet:phase=exec
+func (s *Parallel) runPoolEntry(w *worker, e poolEntry) {
+	if s.safeExecPoolEntry(w, e) {
+		w.bd.StealConflicts++
+		e.parks++
+		s.workers[e.owner].pool.requeue(e)
+		e.c.claim.Store(0)
+		return
+	}
+	e.c.claim.Store(0)
+	s.workers[e.owner].outstanding.Add(-1)
+}
+
+// safeExecPoolEntry contains a panic in a pooled request to the client
+// that caused it, exactly like safeProcessPacket does for inline
+// execution; the executing worker — thief or owner — recovers, and the
+// served client is evicted. A panic counts as completed (not parked), so
+// the deferred accounting in runPoolEntry still releases the claim and
+// the barrier.
+//
+//qvet:phase=exec
+func (s *Parallel) safeExecPoolEntry(w *worker, e poolEntry) (parked bool) {
+	defer s.recoverWorker(w, "request")
+	// A panic unwinds past execPoolEntry's own hint clear, and a stale
+	// nonzero mask would keep other workers deferring against an
+	// execution that no longer exists.
+	defer w.activeHint.Store(0)
+	return s.execPoolEntry(w, e)
+}
+
+// execPoolEntry is execMove for a pooled entry: the same sequence filter,
+// baseline bookkeeping, watchdog publication, and commit, plus the
+// try-first acquisition that makes stolen work park instead of block.
+// Reports parked=true when the entry must be retried (no side effects
+// were applied).
+//
+//qvet:phase=exec
+func (s *Parallel) execPoolEntry(w *worker, e poolEntry) (parked bool) {
+	c, m := e.c, &e.m
+	// The watchdog deadline measures a single request, not the whole
+	// phase: a worker that executes many stolen requests in one frame is
+	// busy, not wedged, and the wedge record must name the request that
+	// actually stalled.
+	w.phaseStart.Store(time.Now().UnixNano())
+	if c.gone.Load() || c.quarantined.Load() {
+		return false
+	}
+	if m.Seq != 0 && (seqOlder(m.Seq, c.lastSeq) || seqWild(m.Seq, c.lastSeq)) {
+		return false
+	}
+	if m.Ack != 0 && c.repliedFrame.Load()-m.Ack > baselineGapFrames {
+		c.baseline.Invalidate()
+	}
+	ent := s.world.Ents.Get(c.entID)
+	if ent == nil {
+		return false
+	}
+	w.serving.Store(int32(c.id) + 1)
+	if s.cfg.Hooks.PreExec != nil {
+		s.cfg.Hooks.PreExec(w.id, c.id)
+	}
+	if w.zombie.Load() {
+		w.serving.Store(0)
+		return false
+	}
+	var stats locking.AcquireStats
+	var mask uint64
+	w.lockCtx.Stats = &stats
+	w.lockCtx.LeafMask = &mask
+	w.lockCtx.TryFirst = e.parks < maxStealParks
+	w.activeHint.Store(e.hint)
+
+	lockBefore := w.bd.Ns[metrics.CompLock]
+	t0 := time.Now()
+	res, committed := s.executePoolMoveGuarded(w, e, ent)
+	span := time.Since(t0).Nanoseconds()
+	w.lockCtx.TryFirst = false
+	w.activeHint.Store(0)
+	lockDelta := w.bd.Ns[metrics.CompLock] - lockBefore
+	w.serving.Store(0)
+	if res.Parked {
+		return true
+	}
+	if exec := span - lockDelta; exec > 0 {
+		w.bd.Charge(metrics.CompExec, exec)
+		w.frameExecNs += exec
+		// Balance accounting names the serving client: the cost charges
+		// the client whose request this was, never the thief that
+		// happened to execute it.
+		c.loadNs.Add(exec)
+		if e.owner != w.id {
+			w.bd.Steals++
+			w.bd.StealsNs += exec
+		}
+	}
+	w.bd.ExecCmds++
+	if len(res.Events) > 0 {
+		s.appendEvents(res.Events)
+	}
+	// Frame instrumentation stays with the executing worker — it records
+	// what each thread did, and the thief did this work.
+	w.frameReqs++
+	w.frameLeafMask |= mask
+	w.frameLockOps += stats.LeafLockOps
+	if committed && mask != 0 {
+		c.leafHint.Store(mask)
+	}
+	return false
+}
+
+// executePoolMoveGuarded runs the move and, when it executed (not
+// parked, not dead), commits the client's reply state inside the same
+// world-guard read section. Inline execution commits outside the guard —
+// safe because only the owner touches those fields — but a pooled commit
+// may come from a thief, and in degraded (zombie-outstanding) mode the
+// owner's reply pass synchronizes with concurrent request work only
+// through the world guard.
+//
+//qvet:phase=exec
+func (s *Parallel) executePoolMoveGuarded(w *worker, e poolEntry, ent *entity.Entity) (res game.MoveResult, committed bool) {
+	s.worldGuard.RLock()
+	defer s.worldGuard.RUnlock()
+	res = s.world.ExecuteMove(ent, &e.m.Cmd, &w.lockCtx)
+	if res.Parked {
+		return res, false
+	}
+	c := e.c
+	c.replyPending = true
+	c.lastSeq = e.m.Seq
+	c.touch(time.Now())
+	c.fwdFrame.Store(0)
+	return res, true
+}

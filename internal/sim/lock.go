@@ -34,6 +34,23 @@ func (l *Lock) Lock(p *Proc) int64 {
 	return wait
 }
 
+// TryLock attempts to acquire the lock for p without queueing. Like Lock
+// it first syncs to virtual-time order, so whether the lock is free is
+// decided at a deterministic point; it then either takes the lock (true)
+// or leaves the state untouched (false). Contended is incremented on
+// failure so refusal shows up in lock statistics.
+func (l *Lock) TryLock(p *Proc) bool {
+	p.syncToOrder()
+	if l.held {
+		l.Contended++
+		return false
+	}
+	l.Acquisitions++
+	l.held = true
+	l.holder = p
+	return true
+}
+
 // Unlock releases the lock, granting it to the earliest waiter if any.
 func (l *Lock) Unlock(p *Proc) {
 	if !l.held || l.holder != p {

@@ -394,3 +394,50 @@ func TestBodyPanicSurfacesAsError(t *testing.T) {
 		t.Fatal("panic in proc body not surfaced")
 	}
 }
+
+func TestTryLockRefusesWithoutQueueing(t *testing.T) {
+	s := New(Config{Procs: 2})
+	var l Lock
+	results := make([]bool, 2)
+	waits := make([]int64, 2)
+	body := func(p *Proc) {
+		if p.ID == 0 {
+			l.Lock(p)
+			p.Advance(100)
+			l.Unlock(p)
+			return
+		}
+		// Proc 1 probes at t=50, mid-hold: refused without advancing.
+		p.Advance(50)
+		before := p.Now()
+		results[1] = l.TryLock(p)
+		waits[1] = p.Now() - before
+		// Probe again after the release point.
+		p.AdvanceTo(200)
+		results[0] = l.TryLock(p)
+		if results[0] {
+			l.Unlock(p)
+		}
+	}
+	if err := s.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	if results[1] {
+		t.Error("TryLock acquired a held lock")
+	}
+	if waits[1] != 0 {
+		t.Errorf("refused TryLock advanced the clock by %d ns; refusal must not queue", waits[1])
+	}
+	if !results[0] {
+		t.Error("TryLock failed on a free lock")
+	}
+	if l.Contended != 1 {
+		t.Errorf("Contended = %d, want the single refusal", l.Contended)
+	}
+	if l.Acquisitions != 2 {
+		t.Errorf("Acquisitions = %d, want lock + successful probe", l.Acquisitions)
+	}
+	if l.Held() {
+		t.Error("lock still held after run")
+	}
+}

@@ -111,6 +111,18 @@ type Config struct {
 	// *live* engines always use the index: identical bytes, strictly
 	// less wall time.)
 	IndexedSnapshots bool
+
+	// Stealing enables the conflict-aware work-stealing request
+	// scheduler: workers pool their clients' move commands per frame,
+	// drain their own pool first, then steal pending entries from other
+	// threads' pools; a stolen (or pooled) request whose first region
+	// acquisition is contended parks and the worker takes a
+	// non-conflicting entry instead of queueing on the lock. Off by
+	// default — the paper-reproduction figures model static execution,
+	// and the lock-wall study (`qbench -exp lockwall`) is the A/B arm.
+	// Per-client request order is preserved (see DESIGN.md §10), so
+	// script-driven runs stay move-for-move comparable.
+	Stealing bool
 }
 
 // PhaseSpan is one traced interval of a thread's execution.

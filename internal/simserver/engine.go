@@ -53,6 +53,13 @@ type simClient struct {
 	loadNs int64
 	home   geom.Vec3
 	pinned bool
+
+	// Work-stealing state (Config.Stealing). claimed marks an entry of
+	// this client mid-execution, so pool scans skip the client and
+	// per-client order is preserved; lastMask is the leaf mask of the
+	// client's last committed move, the steal scans' conflict hint.
+	claimed  bool
+	lastMask uint64
 }
 
 type simRequest struct {
@@ -66,6 +73,9 @@ type simWorker struct {
 	frameMask    uint64
 	frameLockOps int
 	frameExecNs  int64
+	// poolIdx stamps pooled entries with their arrival order under the
+	// stealing scheduler (commit-order bookkeeping; reset per frame).
+	poolIdx int
 }
 
 type engine struct {
@@ -83,6 +93,14 @@ type engine struct {
 	replies   []server.ReplyScratch // per-thread pooled reply pipelines
 
 	fc simFrameCtl
+
+	// Work-stealing pools (Config.Stealing): per-thread entry queues,
+	// per-thread counts of pooled-but-uncommitted entries, and the leaf
+	// mask each thread is currently executing in (the steal scans'
+	// conflict-avoidance signal). Nil when stealing is off.
+	stealQ      []desQueue
+	outstanding []int
+	activeMask  []uint64
 
 	// Frame-coherent visibility index, built once per frame by the first
 	// thread to enter its reply phase (procs run one at a time, so the
@@ -207,6 +225,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.LossProb > 0 {
 		e.lossRng = rand.New(rand.NewSource(cfg.Seed*7919 + 11))
+	}
+	if e.stealing() {
+		e.stealQ = make([]desQueue, cfg.Threads)
+		e.outstanding = make([]int, cfg.Threads)
+		e.activeMask = make([]uint64, cfg.Threads)
 	}
 
 	if err := e.buildClients(); err != nil {
@@ -378,14 +401,38 @@ func (e *engine) workerBody(p *sim.Proc) {
 
 		w := &e.workers[p.ID]
 		w.frameReqs, w.frameMask, w.frameLockOps, w.frameExecNs = 0, 0, 0, 0
+		w.poolIdx = 0
 		t0 = p.Now()
-		e.processRequest(p, arr.Payload.(*simRequest), arr.At)
-		for {
-			a, ok := p.Poll(e.ports[p.ID])
-			if !ok {
-				break
+		if e.stealing() {
+			// Pooled scheduler: receive everything queued, execute with
+			// stealing, then re-poll — arrivals that landed while the
+			// pool drained join this frame, exactly as the inline path's
+			// drain loop admits them.
+			e.poolRequest(p, arr.Payload.(*simRequest), arr.At)
+			for {
+				for {
+					a, ok := p.Poll(e.ports[p.ID])
+					if !ok {
+						break
+					}
+					e.poolRequest(p, a.Payload.(*simRequest), a.At)
+				}
+				e.runStealPhase(p)
+				a, ok := p.Poll(e.ports[p.ID])
+				if !ok {
+					break
+				}
+				e.poolRequest(p, a.Payload.(*simRequest), a.At)
 			}
-			e.processRequest(p, a.Payload.(*simRequest), a.At)
+		} else {
+			e.processRequest(p, arr.Payload.(*simRequest), arr.At)
+			for {
+				a, ok := p.Poll(e.ports[p.ID])
+				if !ok {
+					break
+				}
+				e.processRequest(p, a.Payload.(*simRequest), a.At)
+			}
 		}
 		e.span(p, "requests", t0)
 

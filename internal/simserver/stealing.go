@@ -1,0 +1,326 @@
+package simserver
+
+import (
+	"math/bits"
+
+	"qserve/internal/game"
+	"qserve/internal/locking"
+	"qserve/internal/metrics"
+	"qserve/internal/protocol"
+	"qserve/internal/sim"
+)
+
+// Work-stealing request execution on the simulated machine — the DES
+// cost-model arm of the lock-wall study (Config.Stealing; the live
+// counterpart is internal/server/stealing.go). The mechanics mirror the
+// live scheduler exactly, but because the discrete-event machine runs one
+// context at a time everything is plain data: no claim CAS, no pool
+// mutex, no memory-model argument.
+//
+// Per frame, each thread pools its clients' arrivals as desEntry records
+// (the move command is decided at receive time, so a parked retry replays
+// the same command), then drains its own pool oldest-first, stealing from
+// other threads' pools when its own runs dry. Fresh entries execute with
+// LockContext.TryFirst: a contended first acquisition parks the entry
+// back on its owner's pool instead of queueing on the lock; past
+// maxStealParks parks the retry blocks. A thread leaves its request phase only when its own
+// outstanding count reaches zero, so every pooled entry — including
+// parked retries requeued by thieves — completes before the barrier, and
+// reply phases always see a finished frame.
+//
+// Determinism: procs interleave in virtual-time order, scans are
+// oldest-first with victims visited in a fixed rotation, and idle waits
+// advance the clock by a fixed quantum, so the same configuration yields
+// the same schedule, the same steal counts, and the same world. Per-client
+// order is FIFO by construction (one entry per client per frame at most
+// under the periodic sources, and scans take a client's oldest entry
+// first regardless), so script-driven runs stay move-for-move identical
+// to the static scheduler's.
+
+// maxStealParks mirrors the live scheduler's park cap: a contended first
+// acquisition may park and retry this many times before the entry falls
+// back to a blocking acquire (see internal/server/stealing.go).
+const maxStealParks = 12
+
+// stealSpinNs is the virtual-time quantum an idle thread waits before
+// re-checking for claimable or stealable work while entries it owns are
+// still in flight on other threads. Charged as intra-frame wait: the
+// thread is blocked on the frame's remaining request work.
+const stealSpinNs = 1_000
+
+// desEntry is one pooled move command awaiting execution.
+type desEntry struct {
+	c         *simClient
+	cmd       protocol.MoveCmd
+	seq       int64
+	arrivedAt int64
+	owner     int    // pooling thread: completion decrements its outstanding count
+	idx       int    // arrival index on the owner, stamping commit order
+	hint      uint64 // owner-recorded leaf mask of the client's last move (0 = none)
+	parks     uint8  // times this entry parked on a contended first acquire
+}
+
+// desQueue is one thread's pool: a FIFO with a head index so pops are
+// O(1) and the backing array is reused across frames.
+type desQueue struct {
+	q    []desEntry
+	head int
+}
+
+func (q *desQueue) push(e desEntry) {
+	if q.head == len(q.q) {
+		q.q = q.q[:0]
+		q.head = 0
+	}
+	q.q = append(q.q, e)
+}
+
+func (q *desQueue) empty() bool { return q.head == len(q.q) }
+
+// take removes and returns the oldest eligible entry, mirroring the live
+// pool's scan rules: entries whose leaf hint intersects avoid (regions
+// other threads are executing right now) are skipped by owner and thief
+// alike — deferring them until the conflicting execution ends touches no
+// lock — and blocking-mode entries (parked maxStealParks times) are
+// deferred too, with the owner falling back to them in a second pass once
+// nothing else is claimable; a thief never takes them. Every skip blocks
+// the entry's client for the rest of the scan so a later entry of the
+// same client cannot overtake (per-client FIFO). Claimed clients — an
+// entry mid-execution on another thread — are skipped unconditionally,
+// which blocks every remaining entry of that client by definition.
+func (q *desQueue) take(asThief bool, avoid uint64) (desEntry, bool) {
+	if e, ok := q.takeScan(true, avoid); ok {
+		return e, true
+	}
+	if asThief {
+		return desEntry{}, false
+	}
+	return q.takeScan(false, avoid)
+}
+
+// takeScan is one pass of take.
+func (q *desQueue) takeScan(deferBlocked bool, avoid uint64) (desEntry, bool) {
+	var blocked []*simClient
+scan:
+	for i := q.head; i < len(q.q); i++ {
+		e := q.q[i]
+		if e.c.claimed {
+			continue
+		}
+		for _, b := range blocked {
+			if b == e.c {
+				continue scan
+			}
+		}
+		if (deferBlocked && e.parks >= maxStealParks) || e.hint&avoid != 0 {
+			blocked = append(blocked, e.c)
+			continue
+		}
+		e.c.claimed = true
+		copy(q.q[q.head+1:i+1], q.q[q.head:i])
+		q.q[q.head] = desEntry{}
+		q.head++
+		return e, true
+	}
+	return desEntry{}, false
+}
+
+// requeue returns a parked entry to the pool. If it is the client's only
+// entry it goes to the tail (other clients' work runs first); otherwise
+// it must go to the front to stay ahead of the client's younger entries.
+func (q *desQueue) requeue(e desEntry) {
+	for i := q.head; i < len(q.q); i++ {
+		if q.q[i].c == e.c {
+			if q.head > 0 {
+				q.head--
+				q.q[q.head] = e
+			} else {
+				q.q = append(q.q, desEntry{})
+				copy(q.q[1:], q.q)
+				q.q[0] = e
+			}
+			return
+		}
+	}
+	q.push(e)
+}
+
+// stealing reports whether the pooled scheduler is active for this run.
+func (e *engine) stealing() bool {
+	return e.cfg.Stealing && !e.cfg.Sequential && e.cfg.Threads > 1
+}
+
+// poolRequest is the receive half of processRequest under stealing: it
+// pays the receive cost, decides the command, and pools the entry for the
+// execute loop. Loss and the request count are settled here, once — a
+// parked retry is the same request, not a new one.
+func (e *engine) poolRequest(p *sim.Proc, req *simRequest, arrivedAt int64) {
+	if e.lossRng != nil && e.lossRng.Float64() < e.cfg.LossProb {
+		e.lost++
+		return
+	}
+	e.requests++
+	e.advance(p, e.model.RecvPacket, metrics.CompRecv)
+
+	c := req.client
+	w := &e.workers[p.ID]
+	e.stealQ[p.ID].push(desEntry{
+		c:         c,
+		cmd:       c.decide(e, req.seq),
+		seq:       req.seq,
+		arrivedAt: arrivedAt,
+		owner:     p.ID,
+		idx:       w.poolIdx,
+		hint:      c.lastMask,
+	})
+	w.poolIdx++
+	e.outstanding[p.ID]++
+}
+
+// runStealPhase drains the thread's pooled work: own entries first, then
+// steals. It returns only when every pooled entry frame-wide has
+// committed — not just its own: while any thread still has uncommitted
+// work this thread keeps scanning for steals instead of parking at the
+// request barrier, converting the static design's barrier idle into
+// execution. Waiting (for in-flight entries, or for victims that have
+// not pooled their arrivals yet) advances the clock in stealSpinNs hops,
+// charged as intra-frame wait.
+func (e *engine) runStealPhase(p *sim.Proc) {
+	for {
+		if en, ok := e.stealQ[p.ID].take(false, e.avoidMask(p)); ok {
+			e.execPooled(p, en)
+			continue
+		}
+		if en, ok := e.stealFrom(p); ok {
+			e.execPooled(p, en)
+			continue
+		}
+		total := 0
+		for _, n := range e.outstanding {
+			total += n
+		}
+		if total == 0 {
+			return
+		}
+		t0 := p.Now()
+		p.AdvanceTo(p.Now() + stealSpinNs)
+		e.bds[p.ID].Charge(metrics.CompIntraWait, p.Now()-t0)
+	}
+}
+
+// avoidMask unions the leaf masks of the requests other threads are
+// executing right now — the conflict-awareness input of every pool scan.
+func (e *engine) avoidMask(p *sim.Proc) uint64 {
+	var avoid uint64
+	for i, m := range e.activeMask {
+		if i != p.ID {
+			avoid |= m
+		}
+	}
+	return avoid
+}
+
+// stealFrom scans the other threads' pools in a fixed rotation starting
+// after this thread, avoiding entries whose leaf hint intersects a region
+// some other thread is executing in right now.
+func (e *engine) stealFrom(p *sim.Proc) (desEntry, bool) {
+	avoid := e.avoidMask(p)
+	n := len(e.stealQ)
+	for i := 1; i < n; i++ {
+		if en, ok := e.stealQ[(p.ID+i)%n].take(true, avoid); ok {
+			return en, true
+		}
+	}
+	return desEntry{}, false
+}
+
+// execPooled is the execute half of processRequest under stealing: it
+// runs one pooled entry with a non-blocking first acquisition (unless the
+// entry already parked once), parking it back on its owner on contention.
+func (e *engine) execPooled(p *sim.Proc, en desEntry) {
+	c := en.c
+	bd := &e.bds[p.ID]
+	execBefore := bd.Ns[metrics.CompExec]
+
+	var stats locking.AcquireStats
+	var mask uint64
+	held := int64(0)
+	lc := game.LockContext{
+		Locker: &locking.RegionLocker{
+			Tree:     e.world.Tree,
+			Provider: &simProvider{e: e, p: p},
+		},
+		Strategy: e.cfg.Strategy,
+		Stats:    &stats,
+		LeafMask: &mask,
+		TryFirst: en.parks < maxStealParks,
+		OnWork: func(wk game.Work) {
+			ns := e.model.WorkCost(wk)
+			held += ns
+			e.advance(p, ns, metrics.CompExec)
+		},
+	}
+	e.activeMask[p.ID] = en.hint
+	res := e.world.ExecuteMove(c.ent, &en.cmd, &lc)
+	e.activeMask[p.ID] = 0
+	if res.Parked {
+		// The region determination ran before the refused probe; the
+		// probe itself was charged by TryLockNode. The retry recomputes
+		// the region, so this charge does not double-count.
+		e.advance(p, e.model.RegionOverhead(res.Work), metrics.CompExec)
+		bd.StealConflicts++
+		en.parks++
+		e.stealQ[en.owner].requeue(en)
+		c.claimed = false
+		return
+	}
+	total := e.model.MoveCost(res.Work) + e.model.RegionOverhead(res.Work)
+	if rest := total - held; rest > 0 {
+		e.advance(p, rest, metrics.CompExec)
+	}
+
+	execDelta := bd.Ns[metrics.CompExec] - execBefore
+	c.loadNs += execDelta
+	bd.ExecCmds++
+	if en.owner != p.ID {
+		bd.Steals++
+		bd.StealsNs += execDelta
+	}
+
+	if n := len(res.Events); n > 0 {
+		e.globalBufferAppend(p, n)
+	}
+
+	c.pending = true
+	c.lastArrival = en.arrivedAt
+	if mask != 0 {
+		c.lastMask = mask
+	}
+
+	w := &e.workers[p.ID]
+	w.frameExecNs += execDelta
+	w.frameReqs++
+	w.frameMask |= mask
+	w.frameLockOps += stats.LeafLockOps
+
+	e.locks.Moves++
+	e.locks.LeafLockOps += int64(stats.LeafLockOps)
+	e.locks.ParentLockOps += int64(stats.ParentLockOps)
+	e.locks.DistinctLeaves += int64(bits.OnesCount64(mask))
+
+	c.claimed = false
+	e.outstanding[en.owner]--
+}
+
+// TryLockNode implements locking.TryProvider on the virtual locks: the
+// probe syncs to virtual-time order and either takes the node or refuses
+// without queueing. Both outcomes pay the acquisition overhead — a
+// refused probe is real work the lock-wall study must see.
+func (sp *simProvider) TryLockNode(n int32) bool {
+	leaf := sp.e.world.Tree.Node(n).IsLeaf()
+	ok := sp.e.nodeLocks[n].TryLock(sp.p)
+	t0 := sp.p.Now()
+	sp.p.Advance(sp.e.model.LockAcquire)
+	sp.e.bds[sp.p.ID].ChargeLock(sp.p.Now()-t0, leaf)
+	return ok
+}
