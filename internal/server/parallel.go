@@ -392,6 +392,17 @@ func (s *Parallel) workerLoop(w *worker) {
 		// below, overlapped with other workers still draining.
 		w.frameReqs, w.frameLeafMask, w.frameLockOps, w.frameExecNs = 0, 0, 0, 0
 		w.poolIdx = 0
+		if s.stealing {
+			// Leftover pool entries at frame start are stale by
+			// construction (a healthy steal phase only ends with every
+			// pool empty): a thief parked a stolen entry after this
+			// worker's zombie recovery had already drained the pool and
+			// cleared the flag. Drop them — their frame is dead — and
+			// settle the barrier arithmetic they still hold.
+			if dropped := w.pool.drain(); dropped > 0 {
+				w.outstanding.Add(-int64(dropped))
+			}
+		}
 		w.beginPhase(wpRequest)
 		s.safeProcessPacket(w, w.stash, from)
 		for !w.zombie.Load() {
@@ -460,8 +471,13 @@ func (s *Parallel) zombieRecover(w *worker) {
 	if dropped := w.pool.drain(); dropped > 0 {
 		// The dropped entries were never executed; settle the barrier
 		// arithmetic so next frame's outstanding count starts clean.
-		// (Entries of this pool claimed by live thieves are not in the
-		// pool anymore and complete normally on the thief.)
+		// Entries of this pool claimed by live thieves are not in the
+		// pool anymore: the thief either commits them normally or — on a
+		// park while this worker is marked zombie — completes them as
+		// drops (parkPoolEntry), settling their outstanding counts
+		// itself. A park that slips in after this drain AND after the
+		// zombie flag clears is swept by the frame-start leftover drain
+		// in workerLoop before it could execute a frame late.
 		w.outstanding.Add(-int64(dropped))
 	}
 	me := int32(w.id) + 1

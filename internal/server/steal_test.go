@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -233,6 +234,233 @@ func TestStealingPanicOnStolenRequest(t *testing.T) {
 	}
 	if alive != numBots-1 {
 		t.Errorf("only %d/%d surviving bots kept receiving snapshots", alive, numBots-1)
+	}
+}
+
+// TestPoolScanBlocksClientOnFailedClaim is the deterministic regression
+// for a real ordering bug: a scan whose claim CAS failed used to just
+// skip that entry, assuming the client's later entries would fail the
+// same CAS. But claims are released without the pool mutex, so the
+// holder (a thief finishing the client's earlier request) can release
+// mid-scan, and the same scan would then claim a LATER entry — the
+// later move commits first, and the overtaken one is silently dropped
+// by the seq filter. The test hooks exactly that window: the claim is
+// released the moment the scan observes it held, and the scan must
+// still refuse every later entry of the client.
+func TestPoolScanBlocksClientOnFailedClaim(t *testing.T) {
+	c := &client{}
+	var p stealPool
+	p.push(poolEntry{c: c, owner: 0, idx: 0})
+	p.push(poolEntry{c: c, owner: 0, idx: 1})
+
+	// An earlier request of this client is in flight on another worker.
+	c.claim.Store(99)
+	poolScanClaimHook = func(hc *client) {
+		// ... and it completes immediately after the scan sees the claim.
+		hc.claim.Store(0)
+	}
+	defer func() { poolScanClaimHook = nil }()
+
+	// A thief's take is a single scan: the failed CAS at idx 0 must
+	// block the client outright, never fall through to idx 1.
+	thief := &worker{id: 1}
+	if e, ok := p.take(thief, true, 0); ok {
+		t.Fatalf("thief scan claimed idx=%d of a client blocked at its oldest entry", e.idx)
+	}
+
+	// An owner's take retries with a fresh scan, which may legitimately
+	// claim the now-released client — but only at its OLDEST entry. The
+	// buggy scan claimed idx 1 here, committing it ahead of idx 0.
+	c.claim.Store(99)
+	w := &worker{id: 0}
+	e, ok := p.take(w, false, 0)
+	if !ok {
+		t.Fatal("owner take found nothing despite the released claim")
+	}
+	if e.idx != 0 {
+		t.Fatalf("scan claimed idx=%d ahead of the client's oldest entry", e.idx)
+	}
+	c.claim.Store(0)
+	poolScanClaimHook = nil
+	if e, ok := p.take(w, false, 0); !ok || e.idx != 1 {
+		t.Fatalf("remaining entry = (%v, idx=%d), want idx=1", ok, e.idx)
+	}
+}
+
+// TestPoolScanPreservesPerClientFIFO is the stress arm of the same
+// ordering regression: two executors hammer one client's pool, holding
+// each claim across a reschedule so the other's scans keep colliding
+// with it, and the recorded commit order must be exactly the arrival
+// order. On a multi-core host this also exercises the real wall-clock
+// race the deterministic hook test above pins.
+func TestPoolScanPreservesPerClientFIFO(t *testing.T) {
+	const entries = 2000
+	c := &client{}
+	var p stealPool
+	for i := 0; i < entries; i++ {
+		p.push(poolEntry{c: c, owner: 0, idx: i})
+	}
+
+	var mu sync.Mutex
+	var got []int
+	deadline := time.Now().Add(30 * time.Second)
+	run := func(w *worker) {
+		for {
+			e, ok := p.take(w, false, 0)
+			if !ok {
+				mu.Lock()
+				done := len(got) == entries
+				mu.Unlock()
+				if done {
+					return
+				}
+				if time.Now().After(deadline) {
+					return
+				}
+				runtime.Gosched()
+				continue
+			}
+			mu.Lock()
+			got = append(got, e.idx)
+			mu.Unlock()
+			// Hold the claim across a reschedule so the other executor's
+			// scans keep observing it held, then release mid-whatever scan
+			// is running — the exact window the memo must cover.
+			runtime.Gosched()
+			c.claim.Store(0)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, w := range []*worker{{id: 0}, {id: 1}} {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			run(w)
+		}(w)
+	}
+	wg.Wait()
+
+	if len(got) != entries {
+		t.Fatalf("executed %d/%d entries before the deadline", len(got), entries)
+	}
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("per-client FIFO violated: position %d committed entry %d", i, idx)
+		}
+	}
+}
+
+// newIdleParallel builds an unstarted Parallel for unit-testing the
+// scheduler's bookkeeping paths directly (no worker goroutines run).
+func newIdleParallel(t *testing.T, threads int) *Parallel {
+	t.Helper()
+	net := transport.NewNetwork(transport.NetworkConfig{QueueLen: 64})
+	conns := make([]transport.Conn, threads)
+	for i := range conns {
+		c, err := net.Listen(fmt.Sprintf("idle:%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+	m := worldmap.MustGenerate(worldmap.DefaultConfig())
+	w, err := game.NewWorld(game.Config{Map: m, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewParallel(Config{World: w, Conns: conns, Threads: threads, Stealing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestParkPoolEntryDropsForZombieOwner pins the park path against a
+// drained pool: an entry parked while its owner is marked zombie must
+// complete as a drop (claim released, outstanding settled, nothing
+// requeued) — requeueing would carry a stale previous-frame entry, and
+// its outstanding count, into the recovered owner's next frame.
+func TestParkPoolEntryDropsForZombieOwner(t *testing.T) {
+	s := newIdleParallel(t, 2)
+	owner, thief := s.workers[0], s.workers[1]
+	c := &client{}
+	c.claim.Store(int32(thief.id) + 1)
+	owner.outstanding.Store(1)
+	owner.zombie.Store(true)
+
+	s.parkPoolEntry(thief, poolEntry{c: c, owner: owner.id, idx: 0})
+
+	if got := owner.outstanding.Load(); got != 0 {
+		t.Errorf("outstanding = %d after zombie-owner park, want 0", got)
+	}
+	if got := c.claim.Load(); got != 0 {
+		t.Errorf("claim = %d after zombie-owner park, want released", got)
+	}
+	if _, ok := owner.pool.take(owner, false, 0); ok {
+		t.Error("zombie owner's pool received a requeued entry; park must drop instead")
+	}
+
+	// Healthy owner: the same park requeues and keeps the barrier count.
+	owner.zombie.Store(false)
+	owner.outstanding.Store(1)
+	c.claim.Store(int32(thief.id) + 1)
+	s.parkPoolEntry(thief, poolEntry{c: c, owner: owner.id, idx: 0})
+	if got := owner.outstanding.Load(); got != 1 {
+		t.Errorf("outstanding = %d after healthy park, want 1 (entry still pending)", got)
+	}
+	if got := c.claim.Load(); got != 0 {
+		t.Errorf("claim = %d after healthy park, want released", got)
+	}
+	if e, ok := owner.pool.take(owner, false, 0); !ok {
+		t.Error("healthy park did not requeue the entry")
+	} else if e.parks != 1 {
+		t.Errorf("requeued entry parks = %d, want 1", e.parks)
+	}
+	if got := thief.bd.StealConflicts; got != 1 {
+		t.Errorf("StealConflicts = %d, want 1 (healthy park only)", got)
+	}
+}
+
+// TestClaimForRemovalBoundedSpin pins the removal path's escape hatch:
+// when a claim holder never releases (a wedged executor with the
+// watchdog disabled), claimForRemoval must give up within its timeout
+// and report false instead of wedging the removing worker too.
+func TestClaimForRemovalBoundedSpin(t *testing.T) {
+	s := newIdleParallel(t, 2)
+	w := s.workers[0]
+
+	// Unclaimed client: removal wins the claim, marks gone, releases.
+	c := &client{}
+	if !s.claimForRemoval(w, c) {
+		t.Fatal("claimForRemoval failed on an unclaimed client")
+	}
+	if !c.gone.Load() || c.claim.Load() != 0 {
+		t.Fatalf("after removal claim: gone=%v claim=%d, want true/0", c.gone.Load(), c.claim.Load())
+	}
+
+	// Caller already holds the claim (panic containment evicting the
+	// client it was serving): proceed without touching the claim.
+	c2 := &client{}
+	c2.claim.Store(int32(w.id) + 1)
+	if !s.claimForRemoval(w, c2) {
+		t.Fatal("claimForRemoval failed for the claim holder itself")
+	}
+	if !c2.gone.Load() || c2.claim.Load() != int32(w.id)+1 {
+		t.Fatalf("holder path must keep its claim: gone=%v claim=%d", c2.gone.Load(), c2.claim.Load())
+	}
+
+	// A claim wedged by another worker: give up within the timeout.
+	c3 := &client{}
+	c3.claim.Store(int32(s.workers[1].id) + 1)
+	start := time.Now()
+	if s.claimForRemoval(w, c3) {
+		t.Fatal("claimForRemoval succeeded against a never-released claim")
+	}
+	if waited := time.Since(start); waited > 10*claimRemovalTimeout {
+		t.Fatalf("claimForRemoval spun %v, want bounded near %v", waited, claimRemovalTimeout)
+	}
+	if c3.gone.Load() {
+		t.Error("timed-out removal must not mark the client gone")
 	}
 }
 

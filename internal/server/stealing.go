@@ -87,18 +87,24 @@ func (p *stealPool) push(e poolEntry) {
 const maxStealParks = 12
 
 // scanBlockMax bounds the per-scan "blocked client" memo. A scan that
-// skips an entry without claiming it (a blocking-mode deferral or a
-// conflict-hint skip) must also skip every later entry of that client to
-// preserve per-client FIFO order; the memo records those clients without
-// allocating. Scans deeper than this simply stop — correctness is
-// unaffected, the entries just wait for the owner.
+// skips an entry without claiming it (a blocking-mode deferral, a
+// conflict-hint skip, or a failed claim CAS) must also skip every later
+// entry of that client to preserve per-client FIFO order; the memo
+// records those clients without allocating. Scans deeper than this
+// simply stop — correctness is unaffected, the entries just wait for
+// the owner.
 const scanBlockMax = 16
 
 // take removes and returns the first claimable entry, scanning head to
-// tail. Per-client order is preserved three ways: a claimed client's
-// later entries fail the same CAS; an entry skipped by a scan rule
-// blocks the client for the rest of the scan; and removal shifts the
-// remaining entries so relative order never changes.
+// tail. Per-client order is preserved two ways: an entry skipped
+// without being claimed — by a scan rule or a failed claim CAS — blocks
+// the client for the rest of the scan, and removal shifts the remaining
+// entries so relative order never changes. The CAS failure MUST block
+// the client rather than just skip the entry: claims are released
+// without the pool mutex (runPoolEntry, after commit or park), so a
+// claim observed held at one entry can be free by the time the same
+// scan reaches the client's next entry, and claiming that one would
+// commit it ahead of its predecessor.
 //
 // Every scan skips entries whose hint intersects avoid — regions other
 // workers are executing right now. Probing such an entry's region would
@@ -130,6 +136,13 @@ func (p *stealPool) take(self *worker, asThief bool, avoid uint64) (poolEntry, b
 	return p.takeScan(self, false, avoid)
 }
 
+// poolScanClaimHook, when non-nil, runs after a scan observes a claim
+// CAS failure. Test-only seam: the FIFO regression test uses it to
+// release the claim at exactly that point — the mid-scan completion
+// window the blocked memo exists to cover — which wall-clock timing
+// cannot force deterministically. Always nil in production.
+var poolScanClaimHook func(c *client)
+
 // takeScan is one pass of take, run under the pool mutex.
 //
 //qvet:noalloc
@@ -154,6 +167,18 @@ scan:
 			continue
 		}
 		if !e.c.claim.CompareAndSwap(0, int32(self.id)+1) {
+			if poolScanClaimHook != nil {
+				poolScanClaimHook(e.c)
+			}
+			// The claim is in flight elsewhere. Block the client for the
+			// rest of the scan: the holder may release mid-scan (claim
+			// stores don't take the pool mutex), and claiming a later
+			// entry of this client after that would violate its FIFO.
+			if nblocked == scanBlockMax {
+				break
+			}
+			blocked[nblocked] = e.c
+			nblocked++
 			continue
 		}
 		out := *e
@@ -321,14 +346,20 @@ func (s *Parallel) activeRegionHints(w *worker) uint64 {
 // without touching the entity. A caller that already holds the claim —
 // panic containment evicting the client whose request it was executing —
 // proceeds directly; its normal completion path releases the claim after
-// the eviction. Returns false when the engine is stopping and the claim
-// never freed up: the caller skips the removal (the session is being
-// torn down wholesale).
+// the eviction. Returns false without removing when the engine is
+// stopping, or when the claim holder does not release within
+// claimRemovalTimeout: a healthy executor holds a claim for one request
+// (microseconds, or a bounded region-lock wait), so a hold that long
+// means the executor is wedged — with the watchdog off
+// (WatchdogDeadline=0) nothing will ever break it, and spinning on
+// would just wedge this worker too. The caller skips the removal; the
+// periodic paths (stale sweep) retry on later frames.
 func (s *Parallel) claimForRemoval(w *worker, c *client) bool {
 	if !s.stealing {
 		return true
 	}
 	me := int32(w.id) + 1
+	var deadline time.Time
 	for !c.claim.CompareAndSwap(0, me) {
 		if c.claim.Load() == me {
 			c.gone.Store(true)
@@ -337,12 +368,24 @@ func (s *Parallel) claimForRemoval(w *worker, c *client) bool {
 		if s.stopping() {
 			return false
 		}
+		if deadline.IsZero() {
+			deadline = time.Now().Add(claimRemovalTimeout)
+		} else if time.Now().After(deadline) {
+			return false
+		}
 		runtime.Gosched()
 	}
 	c.gone.Store(true)
 	c.claim.Store(0)
 	return true
 }
+
+// claimRemovalTimeout bounds how long a removal path will wait for an
+// executor to release a client's claim before giving up on the removal.
+// Generous against descheduling and contended blocking acquires, tiny
+// against the alternative: an executor wedged forever (watchdog
+// disabled) converting the removing worker into a second stuck thread.
+const claimRemovalTimeout = 100 * time.Millisecond
 
 // runPoolEntry executes one pooled entry, handling the park protocol and
 // the completion accounting. The claim is released only after the entry
@@ -353,14 +396,38 @@ func (s *Parallel) claimForRemoval(w *worker, c *client) bool {
 //qvet:phase=exec
 func (s *Parallel) runPoolEntry(w *worker, e poolEntry) {
 	if s.safeExecPoolEntry(w, e) {
-		w.bd.StealConflicts++
-		e.parks++
-		s.workers[e.owner].pool.requeue(e)
-		e.c.claim.Store(0)
+		s.parkPoolEntry(w, e)
 		return
 	}
 	e.c.claim.Store(0)
 	s.workers[e.owner].outstanding.Add(-1)
+}
+
+// parkPoolEntry returns a parked entry to its owner's pool — unless the
+// owner was abandoned, in which case its recovery has drained (or is
+// about to drain) that pool and a requeue would smuggle a stale
+// previous-frame entry into the owner's next frame. Such entries
+// complete as drops instead: claim released, outstanding settled — the
+// same accounting the recovery drain applies to the entries it did find
+// in the pool (a claimed entry is never pool-resident, so the two paths
+// can't double-settle). The residual race — recovery finishes and
+// clears the zombie flag before this check — is closed by the owner's
+// frame-start leftover drain (workerLoop): the park happens-before the
+// parking worker's request barrier in the dead frame, which
+// happens-before the recovered owner rejoins a later frame.
+//
+//qvet:phase=exec
+func (s *Parallel) parkPoolEntry(w *worker, e poolEntry) {
+	owner := s.workers[e.owner]
+	if owner.zombie.Load() {
+		e.c.claim.Store(0)
+		owner.outstanding.Add(-1)
+		return
+	}
+	w.bd.StealConflicts++
+	e.parks++
+	owner.pool.requeue(e)
+	e.c.claim.Store(0)
 }
 
 // safeExecPoolEntry contains a panic in a pooled request to the client
