@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench vis conformance chaos cover lint lockwall ci
+.PHONY: all build test race vet bench vis conformance chaos cover lint lockwall replay ci
 
 all: build
 
@@ -54,6 +54,18 @@ chaos:
 lockwall:
 	$(GO) run ./cmd/qbench -exp lockwall -dur 5
 
+# replay runs the deterministic record/replay acceptance set
+# (DESIGN.md §11): bit-identity of a session recorded on parallel 8T
+# (balance+stealing) replayed across sequential, parallel {2,4,8}T, and
+# DES; the delta-debugging shrinker; the static determinism audit; the
+# log-decoder fuzz seeds; the checked-in minimal-repro regression; and
+# the recorder overhead gates (0 allocs/op, <5% of move cost).
+replay:
+	$(GO) test -race -v -run 'TestRecordSession|TestReplayBit|TestReplayDES|TestReplayWith|TestReplayIs|TestShrink|TestMinimalLog|TestChaosSoakReplay|TestDeterminismAudit|TestEncodeDecode|TestDecodeRejects|TestValidateCatches|TestRecorderZeroAllocs|FuzzDecodeLog' ./internal/replay/
+	$(GO) test -race -v -run 'TestRecordReplayConformance' ./internal/conformance/
+	$(GO) test -v -run 'TestRecorderOverheadBudget' ./internal/replay/
+	$(GO) test -run=NONE -bench=BenchmarkRecorderOverhead -benchmem -benchtime=10000x ./internal/replay/
+
 # cover prints the per-function coverage table's total line.
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -71,4 +83,4 @@ lint:
 	@! grep -E '^(require|replace)' go.mod || \
 		{ echo 'lint: root go.mod must stay dependency-free (tool deps live in tools/go.mod)'; exit 1; }
 
-ci: vet build lint race bench conformance chaos
+ci: vet build lint race bench conformance chaos replay

@@ -1,0 +1,241 @@
+// qreplay operates on recorded session logs (.qrl files, produced by
+// qserved -record or the replay package): verify a log's integrity,
+// re-run it bit-identically through any engine, shrink a failing log to
+// a minimal reproducer, or dump its record stream.
+//
+// Usage:
+//
+//	qreplay verify session.qrl
+//	qreplay replay [-threads N] [-balance] [-steal] [-des] [-all] session.qrl
+//	qreplay shrink [-health N] [-o minimal.qrl] session.qrl
+//	qreplay dump [-n N] session.qrl
+//
+// replay re-runs the log and reports the entity-table and reply-stream
+// digests plus whether they match the digest recorded at capture time.
+// -all sweeps the full engine matrix (sequential, parallel {2,4,8}T ×
+// balance × stealing, DES) and fails unless every engine agrees.
+//
+// shrink delta-debugs the log against a failure predicate — by default
+// "some player ends at or below -health hit points" — and writes the
+// minimal log that still reproduces it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qserve/internal/entity"
+	"qserve/internal/replay"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "verify":
+		cmdVerify(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
+	case "shrink":
+		cmdShrink(os.Args[2:])
+	case "dump":
+		cmdDump(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: qreplay <verify|replay|shrink|dump> [flags] <session.qrl>")
+	os.Exit(2)
+}
+
+func load(fs *flag.FlagSet) *replay.Log {
+	if fs.NArg() != 1 {
+		usage()
+	}
+	lg, err := replay.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	return lg
+}
+
+func cmdVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs.Parse(args)
+	lg := load(fs)
+	if err := lg.Validate(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ok: %d items (%d moves, %d ticks, %d clients), map %q, seed %d\n",
+		len(lg.Items), lg.Moves(), lg.Ticks(), len(lg.Clients()), lg.Map.Name, lg.WorldSeed)
+	if lg.HasEnd {
+		fmt.Printf("end record: %d frames, world digest %016x\n", lg.EndFrames, lg.EndDigest)
+	} else {
+		fmt.Println("no end record (session was not finished cleanly)")
+	}
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	threads := fs.Int("threads", 0, "engine threads (0 = sequential)")
+	bal := fs.Bool("balance", false, "forced per-frame balancing")
+	steal := fs.Bool("steal", false, "work-stealing request execution")
+	des := fs.Bool("des", false, "replay on the discrete-event engine instead of live")
+	all := fs.Bool("all", false, "sweep the full engine matrix and require bit-identity")
+	fs.Parse(args)
+	lg := load(fs)
+
+	if *all {
+		sweep(lg)
+		return
+	}
+	lc := replay.LiveConfig{Threads: *threads, Balance: *bal, Stealing: *steal}
+	var (
+		res *replay.Result
+		err error
+	)
+	if *des {
+		res, err = replay.ReplayDES(lg, lc)
+	} else {
+		res, err = replay.ReplayLive(lg, lc)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	report(res, *des)
+}
+
+func sweep(lg *replay.Log) {
+	ref, err := replay.ReplayLive(lg, replay.LiveConfig{Threads: 0})
+	if err != nil {
+		fatal(fmt.Errorf("sequential reference: %w", err))
+	}
+	report(ref, false)
+	bad := 0
+	for _, threads := range []int{2, 4, 8} {
+		for _, bal := range []bool{false, true} {
+			for _, steal := range []bool{false, true} {
+				lc := replay.LiveConfig{Threads: threads, Balance: bal, Stealing: steal}
+				res, err := replay.ReplayLive(lg, lc)
+				if err != nil {
+					fatal(fmt.Errorf("%s: %w", lc, err))
+				}
+				ok := res.TableDigest == ref.TableDigest && res.StreamDigest == ref.StreamDigest
+				if !ok {
+					bad++
+				}
+				fmt.Printf("%-44s table %016x stream %016x %s\n",
+					lc, res.TableDigest, res.StreamDigest, mark(ok))
+				dres, err := replay.ReplayDES(lg, lc)
+				if err != nil {
+					fatal(fmt.Errorf("des %s: %w", lc, err))
+				}
+				ok = dres.TableDigest == ref.TableDigest
+				if !ok {
+					bad++
+				}
+				fmt.Printf("des/%-40s table %016x %s\n", lc, dres.TableDigest, mark(ok))
+			}
+		}
+	}
+	if bad > 0 {
+		fatal(fmt.Errorf("%d engine configurations diverged from the sequential reference", bad))
+	}
+	fmt.Println("all engines bit-identical")
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "DIVERGED"
+}
+
+func report(res *replay.Result, des bool) {
+	fmt.Printf("engine %s: %d moves, %d ticks, table digest %016x", res.Config, res.Moves, res.Ticks, res.TableDigest)
+	if !des {
+		fmt.Printf(", stream digest %016x (%d replies)", res.StreamDigest, res.Replies)
+	}
+	fmt.Println()
+	if res.EndDigestMatch {
+		fmt.Println("matches the digest recorded at capture time")
+	} else {
+		fmt.Println("does NOT match the recorded end digest (free-running capture, truncated, or diverged)")
+	}
+}
+
+func cmdShrink(args []string) {
+	fs := flag.NewFlagSet("shrink", flag.ExitOnError)
+	health := fs.Int("health", 99, "failure predicate: some player ends with at most this health")
+	out := fs.String("o", "minimal.qrl", "output path for the shrunk log")
+	fs.Parse(args)
+	lg := load(fs)
+
+	pred := func(cand *replay.Log) bool {
+		res, err := replay.ReplayLive(cand, replay.LiveConfig{Threads: 0})
+		if err != nil {
+			return false
+		}
+		hit := false
+		res.World.Ents.ForEachClass(entity.ClassPlayer, func(e *entity.Entity) {
+			if e.Health <= *health {
+				hit = true
+			}
+		})
+		return hit
+	}
+	shrunk, err := replay.Shrink(lg, pred)
+	if err != nil {
+		fatal(err)
+	}
+	if err := shrunk.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("shrunk %d items → %d (%d→%d ticks, %d→%d moves), wrote %s\n",
+		len(lg.Items), len(shrunk.Items), lg.Ticks(), shrunk.Ticks(),
+		lg.Moves(), shrunk.Moves(), *out)
+}
+
+func cmdDump(args []string) {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	limit := fs.Int("n", 0, "dump at most this many items (0 = all)")
+	fs.Parse(args)
+	lg := load(fs)
+	fmt.Printf("map %q seed %d proto v%d, %d items\n", lg.Map.Name, lg.WorldSeed, lg.ProtoVer, len(lg.Items))
+	for i := range lg.Items {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("... %d more\n", len(lg.Items)-i)
+			break
+		}
+		it := &lg.Items[i]
+		switch it.Kind {
+		case replay.KindTick:
+			fmt.Printf("%6d tick dt=%.3fms\n", i, float64(it.DtNs)/1e6)
+		case replay.KindMove:
+			fmt.Printf("%6d move client=%d seq=%d fwd=%d side=%d yaw=%d buttons=%02x impulse=%d\n",
+				i, it.Client, it.Seq, it.Cmd.Forward, it.Cmd.Side, it.Cmd.Yaw, it.Cmd.Buttons, it.Cmd.Impulse)
+		case replay.KindConnect:
+			fmt.Printf("%6d connect client=%d ent=%d thread=%d name=%q\n", i, it.Client, it.Ent, it.Thread, it.Name)
+		case replay.KindDisconnect:
+			fmt.Printf("%6d disconnect client=%d reason=%d\n", i, it.Client, it.Reason)
+		case replay.KindMigrate:
+			fmt.Printf("%6d migrate client=%d to=%d\n", i, it.Client, it.To)
+		case replay.KindShed:
+			fmt.Printf("%6d shed level=%d\n", i, it.Level)
+		case replay.KindFrame:
+			fmt.Printf("%6d frame %d\n", i, it.Frame)
+		}
+	}
+	if lg.HasEnd {
+		fmt.Printf("   end frames=%d digest=%016x\n", lg.EndFrames, lg.EndDigest)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qreplay:", err)
+	os.Exit(1)
+}

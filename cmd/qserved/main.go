@@ -28,6 +28,7 @@ import (
 	"qserve/internal/game"
 	"qserve/internal/locking"
 	"qserve/internal/metrics"
+	"qserve/internal/replay"
 	"qserve/internal/server"
 	"qserve/internal/transport"
 	"qserve/internal/worldmap"
@@ -51,6 +52,7 @@ func main() {
 	reorderP := flag.Float64("faultreorder", 0, "chaos: per-datagram reorder probability")
 	corruptP := flag.Float64("faultcorrupt", 0, "chaos: per-datagram bit-flip probability")
 	faultSeed := flag.Int64("faultseed", 1, "chaos: fault stream seed")
+	recordPath := flag.String("record", "", "record the session's deterministic input stream to this file (replay with qreplay)")
 	flag.Parse()
 
 	m, err := loadMap(*mapPath, *mapSeed)
@@ -107,6 +109,14 @@ func main() {
 	if *bal {
 		cfg.Balance = balance.Policy{Enabled: true}
 	}
+	var rec *replay.Recorder
+	if *recordPath != "" {
+		if rec, err = replay.NewRecorder(m, *mapSeed); err != nil {
+			fatal(err)
+		}
+		cfg.Record = rec
+		fmt.Printf("qserved: recording session to %s\n", *recordPath)
+	}
 
 	var eng server.Engine
 	mode := "sequential"
@@ -151,6 +161,17 @@ func main() {
 				g.Shutdown()
 			} else {
 				eng.Stop()
+			}
+			if rec != nil {
+				// The engine is stopped, so the world is quiescent: seal
+				// the log with the final table digest and write it out.
+				lg := rec.Finish(world)
+				if err := lg.WriteFile(*recordPath); err != nil {
+					fmt.Fprintln(os.Stderr, "qserved: writing recording:", err)
+				} else {
+					fmt.Printf("recorded %d moves, %d ticks, %d clients to %s\n",
+						lg.Moves(), lg.Ticks(), len(lg.Clients()), *recordPath)
+				}
 			}
 			printBreakdowns(eng)
 			return

@@ -1,0 +1,150 @@
+package conformance
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"qserve/internal/entity"
+	"qserve/internal/geom"
+	"qserve/internal/protocol"
+	"qserve/internal/replay"
+	"qserve/internal/worldmap"
+)
+
+// The record/replay conformance arm extends TestCrossEngineConformance
+// to INTERACTING workloads. The separated scenario above must avoid all
+// player contact because free-running engines may interleave interacting
+// commands differently; record/replay removes that restriction — the log
+// fixes one global commit order and every engine must reproduce it
+// bit-for-bit (DESIGN.md §11). Here players fight at close quarters:
+// combat damage, projectiles, and deaths flow through the recorded
+// stream, and the entity tables must still converge to one digest on
+// every engine × thread count × balancing × stealing.
+
+var (
+	rrOnce sync.Once
+	rrLog  *replay.Log
+	rrRes  *replay.Result
+	rrErr  error
+)
+
+func recordedBrawl(t *testing.T) (*replay.Log, *replay.Result) {
+	t.Helper()
+	rrOnce.Do(func() {
+		m, err := worldmap.GenerateArena(worldmap.DefaultArenaConfig())
+		if err != nil {
+			rrErr = err
+			return
+		}
+		const players = 6
+		yaw := make([]int16, players)
+		for i := range yaw {
+			from := m.Spawns[i].Pos
+			to := m.Spawns[(i+1)%players].Pos
+			yaw[i] = protocol.AngleToWire(geom.VecToAngles(to.Sub(from)).Y)
+		}
+		rrLog, rrRes, rrErr = replay.RecordSession(m, 1337,
+			replay.LiveConfig{Threads: 8, Balance: true, Stealing: true},
+			replay.SessionScript{
+				Players: players,
+				Moves:   40,
+				TickNs:  33_000_000,
+				Cmd: func(idx int, seq int64) protocol.MoveCmd {
+					cmd := protocol.MoveCmd{Yaw: yaw[idx], Forward: 100, Msec: 33}
+					if (seq/4)%2 == 1 {
+						cmd.Forward = -100
+					}
+					if seq == 1 && idx%2 == 0 {
+						cmd.Impulse = 2
+					}
+					if seq%3 == int64(idx%3) {
+						cmd.Buttons |= protocol.BtnFire
+					}
+					return cmd
+				},
+			})
+	})
+	if rrErr != nil {
+		t.Fatal(rrErr)
+	}
+	return rrLog, rrRes
+}
+
+// TestRecordReplayConformance records one interacting brawl on the
+// widest live configuration and replays it through the full engine
+// matrix, asserting bit-identical entity tables everywhere and
+// bit-identical reply streams on the live engines.
+func TestRecordReplayConformance(t *testing.T) {
+	lg, rec := recordedBrawl(t)
+
+	// The brawl must actually interact, or this arm proves nothing
+	// beyond the separated scenario.
+	damaged := false
+	rec.World.Ents.ForEachClass(entity.ClassPlayer, func(e *entity.Entity) {
+		if e.Health < 100 || e.Deaths > 0 {
+			damaged = true
+		}
+	})
+	if !damaged {
+		t.Fatal("brawl scenario produced no damage; the interaction claim is untested")
+	}
+	if !rec.EndDigestMatch {
+		t.Fatal("recording does not match its own end digest")
+	}
+
+	t.Run("live-sequential", func(t *testing.T) {
+		assertReplayMatches(t, lg, rec, replay.LiveConfig{Threads: 0})
+	})
+	for _, threads := range []int{2, 4, 8} {
+		for _, balanced := range []bool{false, true} {
+			for _, stealing := range []bool{false, true} {
+				lc := replay.LiveConfig{Threads: threads, Balance: balanced, Stealing: stealing}
+				t.Run(fmt.Sprintf("live-parallel/threads=%d/balance=%v/steal=%v", threads, balanced, stealing), func(t *testing.T) {
+					assertReplayMatches(t, lg, rec, lc)
+				})
+				t.Run(fmt.Sprintf("des/threads=%d/balance=%v/steal=%v", threads, balanced, stealing), func(t *testing.T) {
+					res, err := replay.ReplayDES(lg, lc)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.TableDigest != rec.TableDigest {
+						t.Fatalf("DES entity table diverged: recorded %016x, got %016x", rec.TableDigest, res.TableDigest)
+					}
+					if !res.EndDigestMatch {
+						t.Fatal("DES replay does not match the log's end digest")
+					}
+				})
+			}
+		}
+	}
+	t.Run("des/sequential", func(t *testing.T) {
+		res, err := replay.ReplayDES(lg, replay.LiveConfig{Threads: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TableDigest != rec.TableDigest {
+			t.Fatalf("sequential DES diverged: recorded %016x, got %016x", rec.TableDigest, res.TableDigest)
+		}
+	})
+}
+
+func assertReplayMatches(t *testing.T, lg *replay.Log, rec *replay.Result, lc replay.LiveConfig) {
+	t.Helper()
+	res, err := replay.ReplayLive(lg, lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TableDigest != rec.TableDigest {
+		t.Fatalf("entity table diverged: recorded %016x, got %016x", rec.TableDigest, res.TableDigest)
+	}
+	if res.StreamDigest != rec.StreamDigest {
+		t.Fatalf("reply stream diverged: recorded %016x, got %016x", rec.StreamDigest, res.StreamDigest)
+	}
+	if !res.EndDigestMatch {
+		t.Fatal("replay does not match the log's end digest")
+	}
+	if res.IDMismatches != 0 {
+		t.Fatalf("%d entity-ID mismatches in a lockstep-recorded log", res.IDMismatches)
+	}
+}

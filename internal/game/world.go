@@ -13,7 +13,6 @@ package game
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 
 	"qserve/internal/areanode"
@@ -31,7 +30,10 @@ type Config struct {
 	AreanodeDepth int // leaf depth; areanode.DefaultDepth when zero
 	MaxEntities   int // entity table capacity; derived when zero
 	Physics       physics.Params
-	Seed          int64
+	// Seed is accepted for configuration compatibility but currently
+	// unused: gameplay is deterministic by design (see World.Time's
+	// determinism note) and seeds only the map generator upstream.
+	Seed int64
 }
 
 // World owns all mutable game state: the entity table, the areanode tree,
@@ -46,9 +48,14 @@ type World struct {
 
 	// Time is the server clock in seconds, advanced by the world-physics
 	// phase at the start of each frame.
+	//
+	// Determinism note: gameplay is rule-driven and uses no randomness —
+	// the world's evolution is a pure function of the map, the spawn/
+	// connect/disconnect sequence, the committed move commands, and the
+	// tick dts. internal/replay depends on this (DESIGN.md §11), and the
+	// detcheck test in that package enforces it (no math/rand, no
+	// time.Now in frame logic).
 	Time float64
-
-	rng *rand.Rand
 
 	// spawnCursor rotates through spawn points.
 	spawnCursor int
@@ -118,7 +125,6 @@ func NewWorld(cfg Config) (*World, error) {
 		Tree:    areanode.NewTree(cfg.Map.Bounds, depth),
 		Ents:    entity.NewTable(maxEnts),
 		Phys:    cfg.Physics,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
 
 	for i, it := range cfg.Map.Items {

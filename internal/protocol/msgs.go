@@ -200,6 +200,11 @@ func wireSum(data []byte) uint16 {
 	return uint16(h ^ h>>16)
 }
 
+// Fold16 exposes the wire checksum fold for other length-prefixed
+// formats: the replay log (internal/replay) reuses it for its header
+// and per-record checksums so both framings share one corruption model.
+func Fold16(data []byte) uint16 { return wireSum(data) }
+
 // Encode serializes any message type into w, including the datagram
 // header and the trailing checksum.
 func Encode(w *Writer, msg any) error {

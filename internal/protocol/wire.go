@@ -74,6 +74,9 @@ func (w *Writer) I16(v int16) { w.U16(uint16(v)) }
 // I32 appends a little-endian int32.
 func (w *Writer) I32(v int32) { w.U32(uint32(v)) }
 
+// I64 appends a little-endian int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
 // F32 appends a little-endian float32.
 func (w *Writer) F32(v float32) { w.U32(math.Float32bits(v)) }
 
@@ -158,6 +161,9 @@ func (r *Reader) I16() int16 { return int16(r.U16()) }
 
 // I32 reads a little-endian int32.
 func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
 
 // F32 reads a little-endian float32.
 func (r *Reader) F32() float32 { return math.Float32frombits(r.U32()) }

@@ -1,0 +1,145 @@
+package replay
+
+import (
+	"math"
+
+	"qserve/internal/entity"
+	"qserve/internal/game"
+)
+
+// fnv64 is the 64-bit FNV-1a fold all replay digests use — the same
+// hash family as the wire checksum, widened so a whole session's state
+// folds without birthday trouble.
+type fnv64 uint64
+
+const fnv64Offset fnv64 = 14695981039346656037
+const fnv64Prime fnv64 = 1099511628211
+
+func (h fnv64) byte(b byte) fnv64 {
+	h ^= fnv64(b)
+	return h * fnv64Prime
+}
+
+func (h fnv64) u64(v uint64) fnv64 {
+	for i := 0; i < 8; i++ {
+		h = h.byte(byte(v >> (8 * i)))
+	}
+	return h
+}
+
+func (h fnv64) u32(v uint32) fnv64 {
+	for i := 0; i < 4; i++ {
+		h = h.byte(byte(v >> (8 * i)))
+	}
+	return h
+}
+
+func (h fnv64) i64(v int64) fnv64   { return h.u64(uint64(v)) }
+func (h fnv64) f64(v float64) fnv64 { return h.u64(math.Float64bits(v)) }
+func (h fnv64) bool(v bool) fnv64 {
+	if v {
+		return h.byte(1)
+	}
+	return h.byte(0)
+}
+
+func (h fnv64) bytes(b []byte) fnv64 {
+	for _, c := range b {
+		h = h.byte(c)
+	}
+	return h
+}
+
+// TableDigest folds the complete mutable world state — every active
+// entity's fields in ID order, plus the world clock — into one 64-bit
+// value. Two worlds with equal digests went through the same evolution
+// bit for bit: positions and velocities are folded as raw float64 bits,
+// so even a ULP of drift between engines is caught.
+func TableDigest(w *game.World) uint64 {
+	h := fnv64Offset
+	h = h.f64(w.Time)
+	w.Ents.ForEach(func(e *entity.Entity) {
+		h = h.u32(uint32(e.ID))
+		h = h.byte(byte(e.Class))
+		h = h.f64(e.Origin.X).f64(e.Origin.Y).f64(e.Origin.Z)
+		h = h.f64(e.Velocity.X).f64(e.Velocity.Y).f64(e.Velocity.Z)
+		h = h.f64(e.Angles.X).f64(e.Angles.Y).f64(e.Angles.Z)
+		h = h.bool(e.OnGround)
+		h = h.i64(int64(e.Health)).i64(int64(e.Armor))
+		h = h.i64(int64(e.Frags)).i64(int64(e.Deaths))
+		h = h.byte(e.Weapon).u32(uint32(e.Weapons)).i64(int64(e.Ammo))
+		h = h.bool(e.HasPowerup).f64(e.PowerupUntil)
+		h = h.byte(byte(e.ItemClass)).i64(int64(e.ItemSpawn)).f64(e.RespawnAt)
+		h = h.u32(uint32(e.Owner)).i64(int64(e.Damage)).f64(e.DieAt)
+		h = h.f64(e.RespawnTime).f64(e.RefireAt).f64(e.NextThink)
+	})
+	return uint64(h)
+}
+
+// streamDigest accumulates a client's normalized reply stream. Snapshot
+// datagrams are folded raw — every byte the server sent — except the
+// two fields that legitimately differ across engines while representing
+// the same information:
+//
+//   - Frame: engines disagree on absolute frame numbers (a parallel
+//     frame forms per datagram group, a DES frame per virtual-time
+//     batch). It is rewritten to the client's reply ordinal.
+//   - BaseFrame: names the snapshot that established the delta baseline
+//     as Frame+1; rewritten through the same ordinal map.
+//
+// Everything else — AckSeq, ServerTime, the player state, the delta
+// set, events, even field order — must match exactly or the digests
+// diverge.
+type streamDigest struct {
+	h        fnv64
+	replies  uint32
+	frameOrd map[uint32]uint32 // recorded Frame+1 → reply ordinal
+}
+
+func newStreamDigest() *streamDigest {
+	return &streamDigest{h: fnv64Offset, frameOrd: make(map[uint32]uint32)}
+}
+
+// Snapshot wire offsets (after the 3-byte magic/version/type prefix):
+// Frame u32, AckSeq u32, BaseFrame u32, ServerTime u32, then state. The
+// trailing 2 bytes are the wire checksum, excluded from the fold (it
+// covers the raw Frame/BaseFrame values being rewritten).
+const (
+	snapFrameOff = 3
+	snapBaseOff  = 11
+	snapTailSum  = 2
+)
+
+// addSnapshot folds one received snapshot datagram. data is the raw
+// datagram; frame and baseFrame are its decoded header fields.
+func (sd *streamDigest) addSnapshot(data []byte, frame, baseFrame uint32) {
+	sd.replies++
+	ord := sd.replies
+	sd.frameOrd[frame+1] = ord
+	baseOrd := uint32(0)
+	if baseFrame != 0 {
+		baseOrd = sd.frameOrd[baseFrame] // 0 when unknown: still deterministic
+	}
+	for i, b := range data[:len(data)-snapTailSum] {
+		switch {
+		case i >= snapFrameOff && i < snapFrameOff+4:
+			b = byte(ord >> (8 * (i - snapFrameOff)))
+		case i >= snapBaseOff && i < snapBaseOff+4:
+			b = byte(baseOrd >> (8 * (i - snapBaseOff)))
+		}
+		sd.h = sd.h.byte(b)
+	}
+}
+
+func (sd *streamDigest) sum() uint64 { return uint64(sd.h) }
+
+// combineStreams folds per-client stream digests, in recorded-client-id
+// order, into the session stream digest.
+func combineStreams(ids []uint16, digests map[uint16]uint64) uint64 {
+	h := fnv64Offset
+	for _, id := range ids {
+		h = h.u32(uint32(id))
+		h = h.u64(digests[id])
+	}
+	return uint64(h)
+}

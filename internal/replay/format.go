@@ -1,0 +1,467 @@
+// Package replay implements deterministic record/replay for the game
+// server: a Recorder that taps the frame pipeline's deterministic input
+// stream (ticks, committed moves, connects/disconnects, migration and
+// shed decisions) into a compact length-prefixed binary log, a Replayer
+// that re-runs a log through any engine — sequential, parallel, or DES —
+// and checks bit-identical world state and normalized reply streams, and
+// a delta-debugging Shrinker that reduces a failing log to a minimal
+// reproducer. See DESIGN.md §11 for the determinism contract.
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"qserve/internal/protocol"
+	"qserve/internal/worldmap"
+)
+
+// Log file layout (all integers little-endian):
+//
+//	magic   "QRPL"
+//	version u16 (currently 1)
+//	header record: [len u32][payload][sum u16]
+//	    payload: worldSeed i64, protoVer u8, mapJSON bytes
+//	records: [kind u8][len u16][payload][sum u16] ...
+//
+// Each sum is the wire v3 FNV-1a 16-bit fold (protocol.Fold16) over
+// everything that precedes it in the record, framing bytes included, so
+// a flipped kind or length byte is caught exactly like flipped payload.
+// The map is embedded as the qmap JSON serialization: replay must not
+// depend on regenerating the map from a config (arena maps and
+// hand-edited maps have no generator config).
+
+// Record kinds.
+const (
+	KindTick       uint8 = 1 // world-physics step: dtNs i64
+	KindMove       uint8 = 2 // committed move: client u16, seq u32, cmd (13 bytes)
+	KindConnect    uint8 = 3 // admission: client u16, ent i32, thread u8, name string
+	KindDisconnect uint8 = 4 // removal: client u16, reason u8
+	KindMigrate    uint8 = 5 // balance decision: client u16, to u8
+	KindShed       uint8 = 6 // overload ladder level: level u8
+	KindFrame      uint8 = 7 // frame-end marker: frame u64
+	KindEnd        uint8 = 8 // session end: frames u64, world digest u64
+)
+
+// FormatVersion is the current log format version.
+const FormatVersion = 1
+
+var logMagic = [4]byte{'Q', 'R', 'P', 'L'}
+
+// Decode errors. All are wrapped with position context; none of the
+// decode paths panic, whatever the input.
+var (
+	ErrBadMagic    = errors.New("replay: not a replay log (bad magic)")
+	ErrBadVersion  = errors.New("replay: unsupported log version")
+	ErrTruncated   = errors.New("replay: truncated log")
+	ErrChecksum    = errors.New("replay: record checksum mismatch")
+	ErrBadRecord   = errors.New("replay: malformed record")
+	ErrOutOfOrder  = errors.New("replay: record out of order")
+	ErrNoHeader    = errors.New("replay: missing header")
+	ErrLogTooLarge = errors.New("replay: log exceeds size limits")
+)
+
+// Item is one decoded log record. Kind selects which fields are
+// meaningful; the struct is flat (no interface, no pointer) so a log's
+// items pack into one slice and the recorder appends without allocating.
+type Item struct {
+	Kind   uint8
+	Client uint16
+	Thread uint8
+	Reason uint8
+	To     uint8
+	Level  uint8
+	Seq    uint32
+	Ent    int32
+	DtNs   int64
+	Frame  uint64
+	Cmd    protocol.MoveCmd
+	Name   string
+}
+
+// Log is a fully decoded replay log.
+type Log struct {
+	WorldSeed int64
+	ProtoVer  uint8
+	// Map is the session's world map, embedded in the log so a replay
+	// needs nothing but the log file.
+	Map *worldmap.Map
+	// mapJSON caches the exact serialized form for re-encoding.
+	mapJSON []byte
+	Items   []Item
+	// End-of-session summary, present when the recorder was finished
+	// cleanly (HasEnd): total frames and the recording world's table
+	// digest, the target a faithful replay must reproduce.
+	HasEnd    bool
+	EndFrames uint64
+	EndDigest uint64
+}
+
+// Ticks counts the world-physics steps in the log — the "frame" count
+// in the shrinker's reduction metric.
+func (lg *Log) Ticks() int {
+	n := 0
+	for i := range lg.Items {
+		if lg.Items[i].Kind == KindTick {
+			n++
+		}
+	}
+	return n
+}
+
+// Moves counts committed move records.
+func (lg *Log) Moves() int {
+	n := 0
+	for i := range lg.Items {
+		if lg.Items[i].Kind == KindMove {
+			n++
+		}
+	}
+	return n
+}
+
+// Clients returns the distinct client ids that connect in the log, in
+// first-connect order.
+func (lg *Log) Clients() []uint16 {
+	seen := make(map[uint16]bool)
+	var out []uint16
+	for i := range lg.Items {
+		it := &lg.Items[i]
+		if it.Kind == KindConnect && !seen[it.Client] {
+			seen[it.Client] = true
+			out = append(out, it.Client)
+		}
+	}
+	return out
+}
+
+// maxRecordPayload bounds one record's payload; the u16 length field
+// enforces it structurally.
+const maxRecordPayload = 1<<16 - 1
+
+// maxMapJSON bounds the embedded map blob (default maps are ~100KB of
+// JSON; 64MB is far past any map qmap can emit but small enough that a
+// corrupted length field cannot drive a giant allocation).
+const maxMapJSON = 64 << 20
+
+// Encode serializes the log. The inverse of Decode; Encode∘Decode is
+// the identity on the byte level (the map blob is carried verbatim).
+func (lg *Log) Encode() ([]byte, error) {
+	mapJSON := lg.mapJSON
+	if mapJSON == nil {
+		if lg.Map == nil {
+			return nil, fmt.Errorf("replay: log has no map")
+		}
+		var mb bytes.Buffer
+		if err := lg.Map.Save(&mb); err != nil {
+			return nil, fmt.Errorf("replay: serializing map: %w", err)
+		}
+		mapJSON = mb.Bytes()
+	}
+
+	var w protocol.Writer
+	w.Buf = make([]byte, 0, 64+len(mapJSON)+len(lg.Items)*16)
+	w.Buf = append(w.Buf, logMagic[:]...)
+	w.U16(FormatVersion)
+
+	// Header record.
+	hdrStart := len(w.Buf)
+	w.U32(0) // length placeholder
+	w.I64(lg.WorldSeed)
+	w.U8(lg.ProtoVer)
+	w.Buf = append(w.Buf, mapJSON...)
+	putU32(w.Buf[hdrStart:], uint32(len(w.Buf)-hdrStart-4))
+	w.U16(protocol.Fold16(w.Buf[hdrStart:]))
+
+	scratch := make([]byte, 0, 32)
+	for i := range lg.Items {
+		var err error
+		w.Buf, scratch, err = appendRecord(w.Buf, scratch, &lg.Items[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	if lg.HasEnd {
+		end := Item{Kind: KindEnd, Frame: lg.EndFrames, DtNs: int64(lg.EndDigest)}
+		var err error
+		w.Buf, scratch, err = appendRecord(w.Buf, scratch, &end)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return w.Buf, nil
+}
+
+// appendRecord appends one framed record to dst, using scratch for the
+// payload encoding; returns the grown dst and scratch.
+func appendRecord(dst, scratch []byte, it *Item) ([]byte, []byte, error) {
+	p := protocol.Writer{Buf: scratch[:0]}
+	switch it.Kind {
+	case KindTick:
+		p.I64(it.DtNs)
+	case KindMove:
+		p.U16(it.Client)
+		p.U32(it.Seq)
+		encodeCmd(&p, &it.Cmd)
+	case KindConnect:
+		p.U16(it.Client)
+		p.I32(it.Ent)
+		p.U8(it.Thread)
+		p.String(it.Name)
+	case KindDisconnect:
+		p.U16(it.Client)
+		p.U8(it.Reason)
+	case KindMigrate:
+		p.U16(it.Client)
+		p.U8(it.To)
+	case KindShed:
+		p.U8(it.Level)
+	case KindFrame:
+		p.U64(it.Frame)
+	case KindEnd:
+		p.U64(it.Frame)        // total frames
+		p.U64(uint64(it.DtNs)) // world digest (EndDigest aliased into DtNs)
+	default:
+		return dst, p.Buf, fmt.Errorf("%w: unknown kind %d", ErrBadRecord, it.Kind)
+	}
+	if len(p.Buf) > maxRecordPayload {
+		return dst, p.Buf, fmt.Errorf("%w: record payload %d bytes", ErrLogTooLarge, len(p.Buf))
+	}
+	start := len(dst)
+	dst = append(dst, it.Kind)
+	dst = append(dst, byte(len(p.Buf)), byte(len(p.Buf)>>8))
+	dst = append(dst, p.Buf...)
+	sum := protocol.Fold16(dst[start:])
+	dst = append(dst, byte(sum), byte(sum>>8))
+	return dst, p.Buf, nil
+}
+
+func encodeCmd(w *protocol.Writer, c *protocol.MoveCmd) {
+	w.I16(c.Pitch)
+	w.I16(c.Yaw)
+	w.I16(c.Forward)
+	w.I16(c.Side)
+	w.I16(c.Up)
+	w.U8(c.Buttons)
+	w.U8(c.Impulse)
+	w.U8(c.Msec)
+}
+
+func decodeCmd(r *protocol.Reader, c *protocol.MoveCmd) {
+	c.Pitch = r.I16()
+	c.Yaw = r.I16()
+	c.Forward = r.I16()
+	c.Side = r.I16()
+	c.Up = r.I16()
+	c.Buttons = r.U8()
+	c.Impulse = r.U8()
+	c.Msec = r.U8()
+}
+
+// Decode parses a complete log. It is total: any input — truncated,
+// bit-flipped, reordered, or adversarial — yields an error, never a
+// panic, and never a partially-poisoned Log (on error the returned Log
+// is nil).
+func Decode(data []byte) (*Log, error) {
+	if len(data) < len(logMagic)+2 {
+		return nil, ErrTruncated
+	}
+	if !bytes.Equal(data[:4], logMagic[:]) {
+		return nil, ErrBadMagic
+	}
+	version := uint16(data[4]) | uint16(data[5])<<8
+	if version != FormatVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	pos := 6
+
+	// Header record: [len u32][payload][sum u16].
+	if len(data)-pos < 4 {
+		return nil, fmt.Errorf("%w: header length", ErrTruncated)
+	}
+	hlen := int(uint32(data[pos]) | uint32(data[pos+1])<<8 | uint32(data[pos+2])<<16 | uint32(data[pos+3])<<24)
+	if hlen < 9 || hlen > maxMapJSON {
+		return nil, fmt.Errorf("%w: header payload %d bytes", ErrBadRecord, hlen)
+	}
+	if len(data)-pos < 4+hlen+2 {
+		return nil, fmt.Errorf("%w: header body", ErrTruncated)
+	}
+	framed := data[pos : pos+4+hlen]
+	sum := uint16(data[pos+4+hlen]) | uint16(data[pos+4+hlen+1])<<8
+	if protocol.Fold16(framed) != sum {
+		return nil, fmt.Errorf("%w: header", ErrChecksum)
+	}
+	hr := protocol.NewReader(framed[4:])
+	lg := &Log{}
+	lg.WorldSeed = hr.I64()
+	lg.ProtoVer = hr.U8()
+	mapJSON := framed[4+9:]
+	m, err := worldmap.Load(bytes.NewReader(mapJSON))
+	if err != nil {
+		return nil, fmt.Errorf("replay: embedded map: %w", err)
+	}
+	lg.Map = m
+	lg.mapJSON = append([]byte(nil), mapJSON...)
+	pos += 4 + hlen + 2
+
+	// Body records.
+	sawEnd := false
+	for pos < len(data) {
+		if sawEnd {
+			return nil, fmt.Errorf("%w: records after end marker", ErrOutOfOrder)
+		}
+		if len(data)-pos < 3 {
+			return nil, fmt.Errorf("%w: record header at %d", ErrTruncated, pos)
+		}
+		kind := data[pos]
+		plen := int(uint16(data[pos+1]) | uint16(data[pos+2])<<8)
+		if len(data)-pos < 3+plen+2 {
+			return nil, fmt.Errorf("%w: record body at %d", ErrTruncated, pos)
+		}
+		framed := data[pos : pos+3+plen]
+		sum := uint16(data[pos+3+plen]) | uint16(data[pos+3+plen+1])<<8
+		if protocol.Fold16(framed) != sum {
+			return nil, fmt.Errorf("%w: record at %d", ErrChecksum, pos)
+		}
+		it, end, err := decodeRecord(kind, framed[3:])
+		if err != nil {
+			return nil, fmt.Errorf("%w (at %d)", err, pos)
+		}
+		if end {
+			lg.HasEnd = true
+			lg.EndFrames = it.Frame
+			lg.EndDigest = uint64(it.DtNs)
+			sawEnd = true
+		} else {
+			lg.Items = append(lg.Items, it)
+		}
+		pos += 3 + plen + 2
+	}
+	return lg, nil
+}
+
+// decodeRecord parses one record payload. end reports a KindEnd record,
+// which is folded into the Log summary rather than the item stream.
+func decodeRecord(kind uint8, payload []byte) (it Item, end bool, err error) {
+	r := protocol.NewReader(payload)
+	it.Kind = kind
+	switch kind {
+	case KindTick:
+		it.DtNs = r.I64()
+		if it.DtNs <= 0 {
+			return it, false, fmt.Errorf("%w: non-positive tick dt", ErrBadRecord)
+		}
+	case KindMove:
+		it.Client = r.U16()
+		it.Seq = r.U32()
+		decodeCmd(r, &it.Cmd)
+	case KindConnect:
+		it.Client = r.U16()
+		it.Ent = r.I32()
+		it.Thread = r.U8()
+		it.Name = r.String()
+	case KindDisconnect:
+		it.Client = r.U16()
+		it.Reason = r.U8()
+	case KindMigrate:
+		it.Client = r.U16()
+		it.To = r.U8()
+	case KindShed:
+		it.Level = r.U8()
+	case KindFrame:
+		it.Frame = r.U64()
+	case KindEnd:
+		it.Frame = r.U64()
+		it.DtNs = int64(r.U64())
+		end = true
+	default:
+		return it, false, fmt.Errorf("%w: unknown kind %d", ErrBadRecord, kind)
+	}
+	if r.Err() != nil {
+		return it, false, fmt.Errorf("%w: kind %d payload: %v", ErrBadRecord, kind, r.Err())
+	}
+	if r.Remaining() != 0 {
+		return it, false, fmt.Errorf("%w: kind %d has %d trailing payload bytes", ErrBadRecord, kind, r.Remaining())
+	}
+	return it, end, nil
+}
+
+// Validate checks the log's internal consistency beyond framing: every
+// move/disconnect names a connected client, connects don't repeat while
+// connected, and per-client move sequences advance within the live
+// engines' acceptance window. The replayer runs it before driving an
+// engine so a corrupt-but-well-framed log fails fast instead of hanging
+// a lockstep await.
+func (lg *Log) Validate() error {
+	connected := make(map[uint16]bool)
+	lastSeq := make(map[uint16]uint32)
+	for i := range lg.Items {
+		it := &lg.Items[i]
+		switch it.Kind {
+		case KindConnect:
+			if connected[it.Client] {
+				return fmt.Errorf("%w: item %d: client %d connects twice", ErrOutOfOrder, i, it.Client)
+			}
+			connected[it.Client] = true
+		case KindDisconnect:
+			if !connected[it.Client] {
+				return fmt.Errorf("%w: item %d: disconnect of unconnected client %d", ErrOutOfOrder, i, it.Client)
+			}
+			delete(connected, it.Client)
+		case KindMove:
+			if !connected[it.Client] {
+				return fmt.Errorf("%w: item %d: move of unconnected client %d", ErrOutOfOrder, i, it.Client)
+			}
+			if last, ok := lastSeq[it.Client]; ok && it.Seq != 0 {
+				if it.Seq == last || int32(it.Seq-last) < 0 {
+					return fmt.Errorf("%w: item %d: client %d seq %d not after %d", ErrOutOfOrder, i, it.Client, it.Seq, last)
+				}
+				if it.Seq-last > 1<<12 {
+					return fmt.Errorf("%w: item %d: client %d seq jumps %d→%d past the acceptance window", ErrOutOfOrder, i, it.Client, last, it.Seq)
+				}
+			}
+			if it.Seq != 0 {
+				lastSeq[it.Client] = it.Seq
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFile encodes the log to path.
+func (lg *Log) WriteFile(path string) error {
+	data, err := lg.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile decodes a log from path.
+func ReadFile(path string) (*Log, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// WriteTo implements io.WriterTo over the encoded form.
+func (lg *Log) WriteTo(w io.Writer) (int64, error) {
+	data, err := lg.Encode()
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}

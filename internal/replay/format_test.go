@@ -1,0 +1,176 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"qserve/internal/protocol"
+	"qserve/internal/server"
+	"qserve/internal/worldmap"
+)
+
+func testLog(t *testing.T) *Log {
+	t.Helper()
+	m, err := worldmap.GenerateArena(worldmap.DefaultArenaConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Log{
+		WorldSeed: 99,
+		ProtoVer:  protocol.Version,
+		Map:       m,
+		Items: []Item{
+			{Kind: KindConnect, Client: 1, Ent: 3, Thread: 0, Name: "alice"},
+			{Kind: KindConnect, Client: 2, Ent: 4, Thread: 1, Name: "bob"},
+			{Kind: KindTick, DtNs: 16_000_000},
+			{Kind: KindMove, Client: 1, Seq: 1, Cmd: protocol.MoveCmd{Yaw: 120, Forward: 240, Buttons: protocol.BtnFire, Msec: 33}},
+			{Kind: KindMove, Client: 2, Seq: 1, Cmd: protocol.MoveCmd{Pitch: -45, Side: -100, Impulse: 2, Msec: 16}},
+			{Kind: KindMigrate, Client: 2, To: 3},
+			{Kind: KindShed, Level: 1},
+			{Kind: KindFrame, Frame: 7},
+			{Kind: KindTick, DtNs: 33_000_000},
+			{Kind: KindMove, Client: 1, Seq: 2},
+			{Kind: KindDisconnect, Client: 2, Reason: server.DiscReasonTimeout},
+		},
+		HasEnd:    true,
+		EndFrames: 12,
+		EndDigest: 0xDEADBEEFCAFE,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	lg := testLog(t)
+	data, err := lg.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WorldSeed != lg.WorldSeed || got.ProtoVer != lg.ProtoVer {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !got.HasEnd || got.EndFrames != lg.EndFrames || got.EndDigest != lg.EndDigest {
+		t.Fatalf("end summary mismatch: %+v", got)
+	}
+	if len(got.Items) != len(lg.Items) {
+		t.Fatalf("item count %d, want %d", len(got.Items), len(lg.Items))
+	}
+	for i := range lg.Items {
+		if got.Items[i] != lg.Items[i] {
+			t.Fatalf("item %d: got %+v, want %+v", i, got.Items[i], lg.Items[i])
+		}
+	}
+	// Byte-level identity of the re-encode (the map blob is carried
+	// verbatim on the decode side).
+	again, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("Encode∘Decode is not the identity")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	lg := testLog(t)
+	data, err := lg.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrTruncated},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrBadMagic},
+		{"bad version", func(b []byte) []byte { b[4] = 0x77; return b }, ErrBadVersion},
+		{"truncated header", func(b []byte) []byte { return b[:8] }, ErrTruncated},
+		{"truncated mid-record", func(b []byte) []byte { return b[:len(b)-3] }, ErrTruncated},
+		{"flipped payload bit", func(b []byte) []byte { b[len(b)-10] ^= 0x01; return b }, ErrChecksum},
+		{"flipped header bit", func(b []byte) []byte { b[20] ^= 0x01; return b }, ErrChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mut := tc.mutate(append([]byte(nil), data...))
+			got, err := Decode(mut)
+			if err == nil {
+				t.Fatal("corrupted log decoded cleanly")
+			}
+			if got != nil {
+				t.Fatal("error decode returned a non-nil log")
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateCatchesOrderingViolations(t *testing.T) {
+	m, err := worldmap.GenerateArena(worldmap.DefaultArenaConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(items ...Item) *Log { return &Log{Map: m, Items: items} }
+	cases := []struct {
+		name string
+		lg   *Log
+		ok   bool
+	}{
+		{"move before connect", mk(Item{Kind: KindMove, Client: 1, Seq: 1}), false},
+		{"double connect", mk(
+			Item{Kind: KindConnect, Client: 1},
+			Item{Kind: KindConnect, Client: 1}), false},
+		{"disconnect unconnected", mk(Item{Kind: KindDisconnect, Client: 1}), false},
+		{"seq regress", mk(
+			Item{Kind: KindConnect, Client: 1},
+			Item{Kind: KindMove, Client: 1, Seq: 5},
+			Item{Kind: KindMove, Client: 1, Seq: 4}), false},
+		{"seq repeat", mk(
+			Item{Kind: KindConnect, Client: 1},
+			Item{Kind: KindMove, Client: 1, Seq: 5},
+			Item{Kind: KindMove, Client: 1, Seq: 5}), false},
+		{"seq window jump", mk(
+			Item{Kind: KindConnect, Client: 1},
+			Item{Kind: KindMove, Client: 1, Seq: 1},
+			Item{Kind: KindMove, Client: 1, Seq: 1 + 1<<13}), false},
+		{"clean stream", mk(
+			Item{Kind: KindConnect, Client: 1},
+			Item{Kind: KindMove, Client: 1, Seq: 1},
+			Item{Kind: KindMove, Client: 1, Seq: 2},
+			Item{Kind: KindDisconnect, Client: 1},
+			Item{Kind: KindConnect, Client: 1},
+			Item{Kind: KindMove, Client: 1, Seq: 3}), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.lg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("valid log rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("invalid log accepted")
+			}
+		})
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	lg := testLog(t)
+	path := t.TempDir() + "/session.qrl"
+	if err := lg.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != len(lg.Items) || got.EndDigest != lg.EndDigest {
+		t.Fatal("file round trip lost records")
+	}
+}

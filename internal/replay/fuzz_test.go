@@ -1,0 +1,79 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+
+	"qserve/internal/protocol"
+	"qserve/internal/worldmap"
+)
+
+// FuzzDecodeLog drives Decode with arbitrary bytes. The decoder's
+// contract: any input — truncated, bit-flipped, reordered, adversarial —
+// yields an error or a well-formed Log, and NEVER panics. The seed
+// corpus is recorder-produced (a real session log plus structured
+// mutations of it), so coverage starts deep inside the record framing
+// rather than at the magic check.
+func FuzzDecodeLog(f *testing.F) {
+	m, err := worldmap.GenerateArena(worldmap.DefaultArenaConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	lg := &Log{
+		WorldSeed: 5,
+		ProtoVer:  protocol.Version,
+		Map:       m,
+		Items: []Item{
+			{Kind: KindConnect, Client: 0, Ent: 1, Name: "fuzz"},
+			{Kind: KindTick, DtNs: 16_000_000},
+			{Kind: KindMove, Client: 0, Seq: 1, Cmd: protocol.MoveCmd{Forward: 100, Msec: 33}},
+			{Kind: KindMigrate, Client: 0, To: 1},
+			{Kind: KindShed, Level: 2},
+			{Kind: KindFrame, Frame: 1},
+			{Kind: KindDisconnect, Client: 0},
+		},
+		HasEnd:    true,
+		EndFrames: 2,
+		EndDigest: 42,
+	}
+	seed, err := lg.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])    // truncated mid-stream
+	f.Add(seed[:7])              // truncated header
+	f.Add([]byte{})              // empty
+	f.Add([]byte("QRPL"))        // magic only
+	f.Add(bytes.Repeat(seed, 2)) // records after end marker
+	corrupt := append([]byte(nil), seed...)
+	corrupt[len(corrupt)/2] ^= 0x40 // flipped bit mid-log
+	f.Add(corrupt)
+	swapped := append([]byte(nil), seed...)
+	swapped[4], swapped[5] = 2, 0 // future version
+	f.Add(swapped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data)
+		if err != nil {
+			if got != nil {
+				t.Fatal("Decode returned both a log and an error")
+			}
+			return
+		}
+		// A successfully decoded log must survive re-encoding, and the
+		// re-encode must decode to the same item stream (the codec is a
+		// bijection on its valid range).
+		out, err := got.Encode()
+		if err != nil {
+			t.Fatalf("decoded log does not re-encode: %v", err)
+		}
+		back, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-encoded log does not decode: %v", err)
+		}
+		if len(back.Items) != len(got.Items) {
+			t.Fatalf("re-encode changed item count: %d → %d", len(got.Items), len(back.Items))
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package replay
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+
+	"qserve/internal/game"
+	"qserve/internal/protocol"
+	"qserve/internal/server"
+	"qserve/internal/worldmap"
+)
+
+// Recorder implements server.Recorder: it accumulates the session's
+// input stream in memory and serializes it on Finish. One mutex
+// serializes taps from all worker threads; the per-item cost is the
+// lock plus a struct store into a pre-grown slice — zero allocations in
+// steady state (the overhead tests gate this), well under the cost of
+// the move execution it rides on.
+//
+// Ordering: calls for one client are already serialized by the engine's
+// per-client commit discipline, so the log preserves per-client FIFO —
+// the only order the wire can observe (DESIGN.md §10). Cross-client
+// interleaving is the mutex's acquisition order: one legal serialization
+// of a free-running session, and the exact global order of a
+// lockstep-driven one (DESIGN.md §11).
+type Recorder struct {
+	mu    sync.Mutex
+	items []Item
+	// ticks mirrors the KindTick count, readable without the mutex: the
+	// replay driver polls it to learn that a pending virtual-clock
+	// advance has actually been consumed by a world update.
+	ticks atomic.Int64
+	// lastShed dedups RecordShed: engines report the level every frame,
+	// the log only carries changes.
+	lastShed int32
+
+	worldSeed int64
+	mapJSON   []byte
+	m         *worldmap.Map
+}
+
+var _ server.Recorder = (*Recorder)(nil)
+
+// NewRecorder builds a recorder for a session on the given map. The map
+// is serialized immediately (it is immutable) so Finish cannot fail on
+// it later; worldSeed is game.Config.Seed, carried for header
+// compatibility.
+func NewRecorder(m *worldmap.Map, worldSeed int64) (*Recorder, error) {
+	var mb bytes.Buffer
+	if err := m.Save(&mb); err != nil {
+		return nil, err
+	}
+	return &Recorder{
+		items:     make([]Item, 0, 4096),
+		lastShed:  -1,
+		worldSeed: worldSeed,
+		mapJSON:   mb.Bytes(),
+		m:         m,
+	}, nil
+}
+
+// Reserve pre-grows the item buffer so the next n taps are guaranteed
+// allocation-free (the overhead benchmarks use it; sessions that
+// outgrow it just pay the amortized slice growth).
+func (r *Recorder) Reserve(n int) {
+	r.mu.Lock()
+	if free := cap(r.items) - len(r.items); free < n {
+		grown := make([]Item, len(r.items), len(r.items)+n)
+		copy(grown, r.items)
+		r.items = grown
+	}
+	r.mu.Unlock()
+}
+
+func (r *Recorder) append(it Item) {
+	r.mu.Lock()
+	r.items = append(r.items, it)
+	r.mu.Unlock()
+}
+
+// RecordTick implements server.Recorder.
+func (r *Recorder) RecordTick(dtNs int64) {
+	r.append(Item{Kind: KindTick, DtNs: dtNs})
+	r.ticks.Add(1)
+}
+
+// TickCount returns how many world ticks have been recorded; the tap
+// runs after RunWorldFrame returns, so a count increment proves the
+// corresponding world update completed.
+func (r *Recorder) TickCount() int64 { return r.ticks.Load() }
+
+// RecordMove implements server.Recorder.
+func (r *Recorder) RecordMove(clientID uint16, seq uint32, cmd *protocol.MoveCmd) {
+	r.append(Item{Kind: KindMove, Client: clientID, Seq: seq, Cmd: *cmd})
+}
+
+// RecordConnect implements server.Recorder.
+func (r *Recorder) RecordConnect(clientID uint16, entID int32, thread int, name string) {
+	r.append(Item{Kind: KindConnect, Client: clientID, Ent: entID, Thread: uint8(thread), Name: name})
+}
+
+// RecordDisconnect implements server.Recorder.
+func (r *Recorder) RecordDisconnect(clientID uint16, reason uint8) {
+	r.append(Item{Kind: KindDisconnect, Client: clientID, Reason: reason})
+}
+
+// RecordMigrate implements server.Recorder.
+func (r *Recorder) RecordMigrate(clientID uint16, to int) {
+	r.append(Item{Kind: KindMigrate, Client: clientID, To: uint8(to)})
+}
+
+// RecordShed implements server.Recorder; only level changes are logged.
+func (r *Recorder) RecordShed(level int) {
+	r.mu.Lock()
+	if int32(level) != r.lastShed {
+		r.lastShed = int32(level)
+		r.items = append(r.items, Item{Kind: KindShed, Level: uint8(level)})
+	}
+	r.mu.Unlock()
+}
+
+// RecordFrameEnd implements server.Recorder.
+func (r *Recorder) RecordFrameEnd(frame uint64) {
+	r.append(Item{Kind: KindFrame, Frame: frame})
+}
+
+// Items returns the number of records captured so far.
+func (r *Recorder) Items() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.items)
+}
+
+// Finish seals the recording into a Log. When world is non-nil its
+// table digest is stamped into the end record — the fidelity target a
+// replay of this log reports against. Call after the engine stopped
+// (the world must be quiescent); the recorder may be reused afterwards
+// only for inspection, not further recording.
+func (r *Recorder) Finish(world *game.World) *Log {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lg := &Log{
+		WorldSeed: r.worldSeed,
+		ProtoVer:  protocol.Version,
+		Map:       r.m,
+		mapJSON:   r.mapJSON,
+		Items:     r.items,
+	}
+	frames := uint64(0)
+	for i := len(r.items) - 1; i >= 0; i-- {
+		if r.items[i].Kind == KindFrame {
+			frames = r.items[i].Frame + 1
+			break
+		}
+	}
+	lg.HasEnd = true
+	lg.EndFrames = frames
+	if world != nil {
+		lg.EndDigest = TableDigest(world)
+	}
+	return lg
+}

@@ -1,0 +1,268 @@
+package replay
+
+import (
+	"sync"
+	"testing"
+
+	"qserve/internal/entity"
+	"qserve/internal/geom"
+	"qserve/internal/protocol"
+	"qserve/internal/worldmap"
+)
+
+// interactScript builds a deliberately interacting session on the given
+// map: each player aims at the next player's spawn and fires — rockets
+// and rails cross the arena, so combat damage enters the recorded state
+// evolution. Between shots the players oscillate along their aim line.
+// The determinism argument is NOT separation (as the conformance
+// scenario's is) but the global-lockstep drive discipline: commit order
+// equals log order, so interaction is fair game.
+func interactScript(m *worldmap.Map, players int) func(idx int, seq int64) protocol.MoveCmd {
+	yaw := make([]int16, players)
+	for i := range yaw {
+		from := m.Spawns[i].Pos
+		to := m.Spawns[(i+1)%players].Pos
+		yaw[i] = protocol.AngleToWire(geom.VecToAngles(to.Sub(from)).Y)
+	}
+	return func(idx int, seq int64) protocol.MoveCmd {
+		cmd := protocol.MoveCmd{Yaw: yaw[idx], Forward: 80, Msec: 33}
+		if (seq/3)%2 == 1 {
+			cmd.Forward = -80
+		}
+		if seq == 1 && idx%2 == 1 {
+			cmd.Impulse = 2 // odd players switch to the railgun: hitscan
+		}
+		if seq%4 == int64(idx%4) {
+			cmd.Buttons |= protocol.BtnFire
+		}
+		if seq%16 == 9 {
+			cmd.Buttons |= protocol.BtnJump
+		}
+		return cmd
+	}
+}
+
+const (
+	sessPlayers = 4
+	sessMoves   = 48
+)
+
+var (
+	sessOnce sync.Once
+	sessLog  *Log
+	sessRes  *Result
+	sessErr  error
+)
+
+// recordedSession records the shared test session once: an interacting
+// script captured on the widest live configuration (8 threads, forced
+// balancing, work stealing) — the configuration most likely to expose
+// ordering races if the recorder tapped anywhere but the commit points.
+func recordedSession(t *testing.T) (*Log, *Result) {
+	t.Helper()
+	sessOnce.Do(func() {
+		m, err := worldmap.GenerateArena(worldmap.DefaultArenaConfig())
+		if err != nil {
+			sessErr = err
+			return
+		}
+		sessLog, sessRes, sessErr = RecordSession(m, 42,
+			LiveConfig{Threads: 8, Balance: true, Stealing: true},
+			SessionScript{
+				Players: sessPlayers, Moves: sessMoves,
+				Cmd:    interactScript(m, sessPlayers),
+				TickNs: 33_000_000,
+			})
+	})
+	if sessErr != nil {
+		t.Fatal(sessErr)
+	}
+	return sessLog, sessRes
+}
+
+func TestRecordSessionProducesCompleteLog(t *testing.T) {
+	lg, res := recordedSession(t)
+	if got := lg.Moves(); got != sessPlayers*sessMoves {
+		t.Fatalf("recorded %d moves, want %d", got, sessPlayers*sessMoves)
+	}
+	if got := lg.Ticks(); got != sessMoves {
+		t.Fatalf("recorded %d ticks, want %d", got, sessMoves)
+	}
+	if got := len(lg.Clients()); got != sessPlayers {
+		t.Fatalf("recorded %d clients, want %d", got, sessPlayers)
+	}
+	if !lg.HasEnd {
+		t.Fatal("log has no end record")
+	}
+	if !res.EndDigestMatch {
+		t.Fatal("recording session's own digest does not match its end record")
+	}
+	if err := lg.Validate(); err != nil {
+		t.Fatalf("recorded log does not validate: %v", err)
+	}
+	// The session must actually interact, or the bit-identity claim
+	// degenerates into the (already proven) separated-conformance one.
+	damaged := false
+	res.World.Ents.ForEachClass(entity.ClassPlayer, func(e *entity.Entity) {
+		if e.Health < 100 || e.Deaths > 0 {
+			damaged = true
+		}
+	})
+	if !damaged {
+		t.Fatal("interacting scenario produced no damage; combat never happened")
+	}
+}
+
+// TestReplayBitIdentityAcrossLiveEngines is the tentpole claim: a
+// session recorded on parallel 8T (balance+stealing) replays
+// bit-identically — entity table AND reply streams — on the sequential
+// engine and parallel {2,4,8}T with balancing and stealing toggled.
+func TestReplayBitIdentityAcrossLiveEngines(t *testing.T) {
+	lg, rec := recordedSession(t)
+	configs := []LiveConfig{
+		{Threads: 0},
+		{Threads: 2}, {Threads: 2, Balance: true}, {Threads: 2, Stealing: true},
+		{Threads: 4, Balance: true, Stealing: true},
+		{Threads: 8}, {Threads: 8, Balance: true, Stealing: true},
+	}
+	for _, lc := range configs {
+		lc := lc
+		t.Run(lc.String(), func(t *testing.T) {
+			res, err := ReplayLive(lg, lc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TableDigest != rec.TableDigest {
+				t.Fatalf("table digest diverged: recorded %016x, replay %016x", rec.TableDigest, res.TableDigest)
+			}
+			if res.StreamDigest != rec.StreamDigest {
+				t.Fatalf("reply-stream digest diverged: recorded %016x, replay %016x", rec.StreamDigest, res.StreamDigest)
+			}
+			if !res.EndDigestMatch {
+				t.Fatal("replay does not match the log's end digest")
+			}
+			if res.IDMismatches != 0 {
+				t.Fatalf("%d entity-ID mismatches in a lockstep-recorded log", res.IDMismatches)
+			}
+			if res.Replies != sessPlayers*sessMoves {
+				t.Fatalf("replay folded %d replies, want %d", res.Replies, sessPlayers*sessMoves)
+			}
+		})
+	}
+}
+
+// TestReplayDESMatchesLive extends the claim to the third engine: the
+// same log evolves the same entity table on the discrete-event server,
+// sequential and parallel, balanced and stealing.
+func TestReplayDESMatchesLive(t *testing.T) {
+	lg, rec := recordedSession(t)
+	configs := []LiveConfig{
+		{Threads: 0},
+		{Threads: 2}, {Threads: 4, Balance: true}, {Threads: 8, Stealing: true},
+	}
+	for _, lc := range configs {
+		lc := lc
+		t.Run("des-"+lc.String(), func(t *testing.T) {
+			res, err := ReplayDES(lg, lc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TableDigest != rec.TableDigest {
+				t.Fatalf("DES table digest diverged: recorded %016x, got %016x", rec.TableDigest, res.TableDigest)
+			}
+			if !res.EndDigestMatch {
+				t.Fatal("DES replay does not match the log's end digest")
+			}
+		})
+	}
+}
+
+// TestReplayWithDisconnects drives connect/move/disconnect interleaving
+// through the driver directly and checks the log replays everywhere,
+// including the reconnect-after-disconnect path.
+func TestReplayWithDisconnects(t *testing.T) {
+	m, err := worldmap.GenerateArena(worldmap.DefaultArenaConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewRecorder(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := newLiveDriver(m, 7, LiveConfig{Threads: 4, Balance: true}, rec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.stop()
+	a0, err := d.connectProbe("dis-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := d.connectProbe("dis-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := interactScript(m, 2)
+	for k := 0; k < 6; k++ {
+		if err := d.tick(16_000_000); err != nil {
+			t.Fatal(err)
+		}
+		cmd := sc(0, int64(k))
+		if err := d.move(a0.ClientID, uint32(k+1), &cmd); err != nil {
+			t.Fatal(err)
+		}
+		cmd = sc(1, int64(k))
+		if err := d.move(a1.ClientID, uint32(k+1), &cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.disconnect(a1.ClientID); err != nil {
+		t.Fatal(err)
+	}
+	for k := 6; k < 10; k++ {
+		if err := d.tick(16_000_000); err != nil {
+			t.Fatal(err)
+		}
+		cmd := sc(0, int64(k))
+		if err := d.move(a0.ClientID, uint32(k+1), &cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.stop()
+	lg := rec.Finish(d.world)
+	want := TableDigest(d.world)
+
+	for _, lc := range []LiveConfig{{Threads: 0}, {Threads: 4, Stealing: true}} {
+		res, err := ReplayLive(lg, lc)
+		if err != nil {
+			t.Fatalf("%s: %v", lc, err)
+		}
+		if res.TableDigest != want {
+			t.Fatalf("%s: table digest diverged after disconnects", lc)
+		}
+	}
+	res, err := ReplayDES(lg, LiveConfig{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TableDigest != want {
+		t.Fatal("DES: table digest diverged after disconnects")
+	}
+}
+
+// TestReplayIsRepeatable replays the same log twice on the same config
+// and requires identical digests — determinism of the replayer itself.
+func TestReplayIsRepeatable(t *testing.T) {
+	lg, _ := recordedSession(t)
+	a, err := ReplayLive(lg, LiveConfig{Threads: 4, Balance: true, Stealing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplayLive(lg, LiveConfig{Threads: 4, Balance: true, Stealing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TableDigest != b.TableDigest || a.StreamDigest != b.StreamDigest {
+		t.Fatal("two replays of the same log diverged")
+	}
+}

@@ -1,0 +1,249 @@
+package replay
+
+import "fmt"
+
+// Shrink delta-debugs a failing log down to a minimal reproducer. The
+// failing predicate re-runs a candidate log (typically through ReplayLive
+// or ReplayDES) and reports whether the failure of interest still
+// reproduces; Shrink returns the smallest candidate it found for which
+// the predicate stayed true. The reduction follows ddmin's structure at
+// two granularities matched to the log's shape:
+//
+//  1. Frame spans: each world tick plus the moves committed after it
+//     forms one span; spans are removed in ever-finer chunks.
+//  2. Requests: the surviving moves are removed individually, then the
+//     surviving ticks, then whole clients (a client's connect,
+//     disconnect, and any remaining moves go together).
+//
+// Candidates stay structurally valid by construction: per-client move
+// sequences are renumbered from 1 so Validate's monotonic-window check
+// holds after arbitrary drops, scheduling annotations (frame markers,
+// migrations, shed levels — replayers ignore them) are dropped outright,
+// and the end-of-session summary is cleared (the original's digest no
+// longer describes the mutated stream, and a failure predicate must not
+// depend on it).
+//
+// The predicate must be deterministic — replay is, so any predicate
+// computed from a replay result qualifies. A predicate that errors
+// should return false (the candidate did not reproduce the failure);
+// candidates Shrink builds always Validate, so replay errors indicate
+// an environmental problem, not a malformed candidate.
+func Shrink(lg *Log, failing func(*Log) bool) (*Log, error) {
+	base := shrinkState{lg: lg, failing: failing}
+	if !failing(base.candidate(nil)) {
+		return nil, fmt.Errorf("replay: shrink: the original log does not reproduce the failure")
+	}
+
+	// Phase 1: tick-delimited spans.
+	spans := base.spans()
+	kept := ddmin(indices(len(spans)), func(keep []int) bool {
+		drop := make(map[int]bool)
+		for _, s := range complementOf(keep, len(spans)) {
+			for _, idx := range spans[s] {
+				drop[idx] = true
+			}
+		}
+		return failing(base.candidate(drop))
+	})
+	drop := make(map[int]bool)
+	for _, s := range complementOf(kept, len(spans)) {
+		for _, idx := range spans[s] {
+			drop[idx] = true
+		}
+	}
+
+	// Phase 2: individual moves.
+	base.minimizeKind(drop, KindMove)
+	// Phase 3: individual ticks (a span survives as long as any of its
+	// moves matters; its tick may still be droppable).
+	base.minimizeKind(drop, KindTick)
+	// Phase 4: whole clients.
+	base.minimizeClients(drop)
+
+	return base.candidate(drop), nil
+}
+
+// shrinkState carries the original log and predicate through the phases.
+type shrinkState struct {
+	lg      *Log
+	failing func(*Log) bool
+}
+
+// spans groups item indices into tick-delimited frame spans: a span is
+// one KindTick and every KindMove up to the next tick. Moves before the
+// first tick form a leading tickless span. Other kinds are handled by
+// candidate() and belong to no span.
+func (s *shrinkState) spans() [][]int {
+	var spans [][]int
+	cur := -1
+	for i := range s.lg.Items {
+		switch s.lg.Items[i].Kind {
+		case KindTick:
+			spans = append(spans, []int{i})
+			cur = len(spans) - 1
+		case KindMove:
+			if cur < 0 {
+				spans = append(spans, nil)
+				cur = 0
+			}
+			spans[cur] = append(spans[cur], i)
+		}
+	}
+	return spans
+}
+
+// minimizeKind removes surviving items of one kind individually, in
+// ddmin's shrinking-chunk order.
+func (s *shrinkState) minimizeKind(drop map[int]bool, kind uint8) {
+	var alive []int
+	for i := range s.lg.Items {
+		if s.lg.Items[i].Kind == kind && !drop[i] {
+			alive = append(alive, i)
+		}
+	}
+	kept := ddmin(indices(len(alive)), func(keep []int) bool {
+		trial := cloneSet(drop)
+		for _, u := range complementOf(keep, len(alive)) {
+			trial[alive[u]] = true
+		}
+		return s.failing(s.candidate(trial))
+	})
+	for _, u := range complementOf(kept, len(alive)) {
+		drop[alive[u]] = true
+	}
+}
+
+// minimizeClients tries to remove each client entirely — its connect,
+// disconnect, and any moves still alive — one at a time.
+func (s *shrinkState) minimizeClients(drop map[int]bool) {
+	byClient := make(map[uint16][]int)
+	var order []uint16
+	for i := range s.lg.Items {
+		it := &s.lg.Items[i]
+		switch it.Kind {
+		case KindConnect, KindDisconnect, KindMove:
+			if _, ok := byClient[it.Client]; !ok {
+				order = append(order, it.Client)
+			}
+			byClient[it.Client] = append(byClient[it.Client], i)
+		}
+	}
+	for _, c := range order {
+		trial := cloneSet(drop)
+		for _, idx := range byClient[c] {
+			trial[idx] = true
+		}
+		if s.failing(s.candidate(trial)) {
+			for _, idx := range byClient[c] {
+				drop[idx] = true
+			}
+		}
+	}
+}
+
+// candidate builds a structurally valid log from the original minus the
+// dropped item set. Frame/migrate/shed annotations are always dropped;
+// per-client move sequences are renumbered from 1; the end summary is
+// cleared.
+func (s *shrinkState) candidate(drop map[int]bool) *Log {
+	out := &Log{
+		WorldSeed: s.lg.WorldSeed,
+		ProtoVer:  s.lg.ProtoVer,
+		Map:       s.lg.Map,
+		mapJSON:   s.lg.mapJSON,
+	}
+	seq := make(map[uint16]uint32)
+	for i := range s.lg.Items {
+		if drop[i] {
+			continue
+		}
+		it := s.lg.Items[i]
+		switch it.Kind {
+		case KindFrame, KindMigrate, KindShed:
+			continue
+		case KindMove:
+			seq[it.Client]++
+			it.Seq = seq[it.Client]
+		case KindDisconnect:
+			// A reconnect under the same client id starts a fresh
+			// sequence stream, exactly as the recorder saw it.
+			delete(seq, it.Client)
+		}
+		out.Items = append(out.Items, it)
+	}
+	return out
+}
+
+// ddmin is the complement-reduction half of Zeller's delta debugging:
+// split the surviving units into n chunks, try dropping each chunk; on
+// success restart from the reduced set, otherwise double the
+// granularity until single-unit chunks have all been tried.
+func ddmin(units []int, pred func(keep []int) bool) []int {
+	n := 2
+	for len(units) >= 2 {
+		chunk := (len(units) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(units); start += chunk {
+			end := start + chunk
+			if end > len(units) {
+				end = len(units)
+			}
+			keep := make([]int, 0, len(units)-(end-start))
+			keep = append(keep, units[:start]...)
+			keep = append(keep, units[end:]...)
+			if len(keep) < len(units) && pred(keep) {
+				units = keep
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(units) {
+				break
+			}
+			n *= 2
+			if n > len(units) {
+				n = len(units)
+			}
+		}
+	}
+	if len(units) == 1 && pred(nil) {
+		return nil
+	}
+	return units
+}
+
+// indices returns [0, 1, ... n-1].
+func indices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// complementOf returns the unit numbers of [0,n) missing from keep,
+// which must be sorted ascending (ddmin preserves order).
+func complementOf(keep []int, n int) []int {
+	out := make([]int, 0, n-len(keep))
+	k := 0
+	for i := 0; i < n; i++ {
+		if k < len(keep) && keep[k] == i {
+			k++
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+func cloneSet(s map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package replay
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qserve/internal/entity"
+	"qserve/internal/geom"
+	"qserve/internal/protocol"
+	"qserve/internal/worldmap"
+)
+
+var updateMinimal = flag.Bool("update-minimal", false, "regenerate testdata/minimal.qrl from the shrinker's output")
+
+// failingSession records a long, mostly-idle two-player session with one
+// buried event of interest: around the midpoint, player 0 switches to
+// the railgun and snipes player 1 (standing at spawn) for railDamage=45,
+// leaving them at 55 health. Everything else — dozens of ticks and idle
+// moves on both sides — is noise the shrinker must strip away.
+func failingSession(t *testing.T) *Log {
+	t.Helper()
+	m, err := worldmap.GenerateArena(worldmap.DefaultArenaConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	yaw := protocol.AngleToWire(geom.VecToAngles(m.Spawns[1].Pos.Sub(m.Spawns[0].Pos)).Y)
+	lg, _, err := RecordSession(m, 11, LiveConfig{Threads: 2},
+		SessionScript{
+			Players: 2,
+			Moves:   80,
+			Cmd: func(idx int, seq int64) protocol.MoveCmd {
+				cmd := protocol.MoveCmd{Msec: 33}
+				if idx == 0 {
+					cmd.Yaw = yaw
+					if seq == 38 {
+						cmd.Impulse = 2
+					}
+					if seq == 40 {
+						cmd.Buttons = protocol.BtnFire
+					}
+				}
+				return cmd
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lg
+}
+
+// railHit is the failure predicate: replaying the log leaves some player
+// at 55 health or worse (one railgun hit from full health).
+func railHit(lg *Log) bool {
+	res, err := ReplayLive(lg, LiveConfig{Threads: 0})
+	if err != nil {
+		return false
+	}
+	hit := false
+	res.World.Ents.ForEachClass(entity.ClassPlayer, func(e *entity.Entity) {
+		if e.Health <= 100-45 {
+			hit = true
+		}
+	})
+	return hit
+}
+
+func TestShrinkReducesFailingLog(t *testing.T) {
+	lg := failingSession(t)
+	if !railHit(lg) {
+		t.Fatal("the injected rail hit did not land; the session script is broken")
+	}
+	shrunk, err := Shrink(lg, railHit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !railHit(shrunk) {
+		t.Fatal("shrunk log no longer reproduces the failure")
+	}
+	if err := shrunk.Validate(); err != nil {
+		t.Fatalf("shrunk log does not validate: %v", err)
+	}
+	origTicks, gotTicks := lg.Ticks(), shrunk.Ticks()
+	if gotTicks*10 > origTicks {
+		t.Fatalf("shrinker kept %d of %d ticks; want ≥90%% reduction", gotTicks, origTicks)
+	}
+	origMoves, gotMoves := lg.Moves(), shrunk.Moves()
+	if gotMoves*10 > origMoves {
+		t.Fatalf("shrinker kept %d of %d moves; want ≥90%% reduction", gotMoves, origMoves)
+	}
+	t.Logf("shrunk %d ticks → %d, %d moves → %d, %d items → %d",
+		origTicks, gotTicks, origMoves, gotMoves, len(lg.Items), len(shrunk.Items))
+
+	// The shrunk log is still an ordinary log: it must survive the
+	// encode/decode round trip and replay identically on other engines.
+	data, err := shrunk.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !railHit(back) {
+		t.Fatal("re-decoded shrunk log no longer reproduces the failure")
+	}
+
+	if *updateMinimal {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := shrunk.WriteFile(filepath.Join("testdata", "minimal.qrl")); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("wrote testdata/minimal.qrl")
+	}
+}
+
+// TestMinimalLogRegression pins the checked-in shrinker output: the
+// minimal reproducer must keep decoding, validating, and reproducing
+// its failure — the rail hit — on every engine.
+func TestMinimalLogRegression(t *testing.T) {
+	lg, err := ReadFile(filepath.Join("testdata", "minimal.qrl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !railHit(lg) {
+		t.Fatal("checked-in minimal log no longer reproduces the rail hit")
+	}
+	seq, err := ReplayLive(lg, LiveConfig{Threads: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ReplayLive(lg, LiveConfig{Threads: 4, Stealing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	des, err := ReplayDES(lg, LiveConfig{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.TableDigest != par.TableDigest || seq.TableDigest != des.TableDigest {
+		t.Fatalf("minimal log diverges across engines: seq %016x par %016x des %016x",
+			seq.TableDigest, par.TableDigest, des.TableDigest)
+	}
+}

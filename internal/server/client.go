@@ -170,10 +170,19 @@ func (c *client) drainBacklog(dst []protocol.GameEvent) []protocol.GameEvent {
 
 // clientTable is the server-wide registry. Connection handling mutates
 // it; frame phases only read, so an RWMutex suffices.
+//
+// ordered mirrors byID sorted by client id. Every per-frame sweep
+// (events, stale eviction, shed-far, rebalance input) iterates this
+// slice instead of ranging the map: Go's randomized map iteration order
+// would otherwise leak into eviction order, event-queue order, and —
+// through entity-slot recycling — the world state itself, breaking
+// bit-identical replay. Maintained on add/remove; adds are O(1) in the
+// common case because ids are assigned in increasing order.
 type clientTable struct {
 	mu      sync.RWMutex
 	byAddr  map[string]*client
 	byID    map[uint16]*client
+	ordered []*client
 	nextID  uint16
 	maxSize int
 }
@@ -208,14 +217,32 @@ func (t *clientTable) add(c *client) bool {
 	t.nextID++
 	t.byAddr[c.addr.String()] = c
 	t.byID[c.id] = c
+	// Sorted insert; ids are handed out in increasing order, so this is
+	// an append unless nextID wrapped around.
+	pos := len(t.ordered)
+	for pos > 0 && t.ordered[pos-1].id > c.id {
+		pos--
+	}
+	t.ordered = append(t.ordered, nil)
+	copy(t.ordered[pos+1:], t.ordered[pos:])
+	t.ordered[pos] = c
 	return true
 }
 
 func (t *clientTable) remove(c *client) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.byID[c.id] != c {
+		return // already removed (idempotent paths race benignly)
+	}
 	delete(t.byAddr, c.addr.String())
 	delete(t.byID, c.id)
+	for i, o := range t.ordered {
+		if o == c {
+			t.ordered = append(t.ordered[:i], t.ordered[i+1:]...)
+			break
+		}
+	}
 }
 
 func (t *clientTable) count() int {
@@ -226,12 +253,11 @@ func (t *clientTable) count() int {
 
 // snapshotInto appends the current client set to buf under the read lock
 // and returns the extended buffer. Callers iterate the snapshot lock-free
-// (visitors may send packets).
+// (visitors may send packets). The snapshot is in client-id order — a
+// determinism requirement, not a convenience (see clientTable).
 func (t *clientTable) snapshotInto(buf []*client) []*client {
 	t.mu.RLock()
-	for _, c := range t.byID {
-		buf = append(buf, c)
-	}
+	buf = append(buf, t.ordered...)
 	t.mu.RUnlock()
 	return buf
 }

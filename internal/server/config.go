@@ -88,8 +88,35 @@ type Config struct {
 	// shed level 2+. Default 16.
 	OverloadEntityCap int
 
+	// Record, when non-nil, receives the session's deterministic input
+	// stream — ticks, committed moves, connects/disconnects, migrations
+	// and shed decisions — for later bit-identical replay (see
+	// internal/replay and DESIGN.md §11). Nil in production unless
+	// recording was requested; the taps are branch-predictable nil
+	// checks when off.
+	Record Recorder
+
+	// Clock, when non-nil, replaces time.Now for the world-physics dt
+	// computation only (the single wall-clock input that reaches frame
+	// logic). The replayer injects a virtual clock here and advances it
+	// by recorded tick dts, reproducing the original World.Time
+	// evolution exactly. Metrics, timeouts, and select deadlines keep
+	// using the real clock.
+	Clock func() time.Time
+
 	// Hooks are test seams; nil in production.
 	Hooks Hooks
+}
+
+// timeNow is the frame-logic clock: Config.Clock when set, else
+// time.Now. Only the world-physics dt may consult it — everything else
+// (metrics, staleness, select timeouts) stays on the real clock so a
+// frozen virtual clock cannot stall the server.
+func (c *Config) timeNow() time.Time {
+	if c.Clock != nil {
+		return c.Clock()
+	}
+	return time.Now()
 }
 
 // Hooks exposes fault-injection seams for the chaos tests. All fields

@@ -256,7 +256,7 @@ func NewParallel(cfg Config) (*Parallel, error) {
 // initialization time").
 func (s *Parallel) Start() {
 	s.started = time.Now()
-	s.lastFrame = s.started
+	s.lastFrame = s.cfg.timeNow()
 	s.frameT0 = s.started
 	for _, w := range s.workers {
 		s.wg.Add(1)
@@ -511,6 +511,9 @@ func (s *Parallel) evictClient(w *worker, c *client, reason string) {
 		s.mux.Unroute(c.addr)
 	}
 	s.removePlayerLocked(w, c.entID)
+	if r := s.cfg.Record; r != nil {
+		r.RecordDisconnect(c.id, DiscReasonEvict)
+	}
 	s.send(w, c.addr, &protocol.Disconnected{Reason: reason})
 	s.faultEvictions.Add(1)
 }
@@ -676,7 +679,9 @@ const minWorldTick = 12 * time.Millisecond
 //
 //qvet:phase=physics
 func (s *Parallel) runWorldUpdate() {
-	now := time.Now()
+	// The dt comes from the frame-logic clock (Config.Clock when
+	// replaying) — the only wall-clock input world evolution sees.
+	now := s.cfg.timeNow()
 	dt := now.Sub(s.lastFrame)
 	if dt < minWorldTick {
 		return
@@ -687,6 +692,9 @@ func (s *Parallel) runWorldUpdate() {
 		defer s.worldGuard.Unlock()
 	}
 	res := s.world.RunWorldFrame(dt.Seconds())
+	if r := s.cfg.Record; r != nil {
+		r.RecordTick(dt.Nanoseconds())
+	}
 	if len(res.Events) > 0 {
 		s.appendEvents(res.Events)
 	}
@@ -847,6 +855,9 @@ func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
 	c.replyPending = true
 	c.lastSeq = m.Seq
 	c.touch(time.Now())
+	if r := s.cfg.Record; r != nil {
+		r.RecordMove(c.id, m.Seq, &m.Cmd)
+	}
 	// The client's forwarded datagram (if this was one) has landed; lift
 	// the migration freeze.
 	c.fwdFrame.Store(0)
@@ -924,6 +935,9 @@ func (s *Parallel) handleConnect(w *worker, m *protocol.Connect, from transport.
 		// which endpoint they arrive at; migrations re-route later.
 		s.mux.Route(from, c.thread)
 	}
+	if r := s.cfg.Record; r != nil {
+		r.RecordConnect(c.id, int32(ent.ID), c.thread, m.Name)
+	}
 	s.send(w, from, &protocol.Accept{
 		ClientID: c.id,
 		EntityID: int32(ent.ID),
@@ -964,6 +978,9 @@ func (s *Parallel) handleDisconnect(w *worker, from transport.Addr) {
 		s.mux.Unroute(c.addr)
 	}
 	s.removePlayerLocked(w, c.entID)
+	if r := s.cfg.Record; r != nil {
+		r.RecordDisconnect(c.id, DiscReasonClient)
+	}
 	s.send(w, from, &protocol.Disconnected{Reason: "bye"})
 }
 
@@ -1070,6 +1087,9 @@ func (s *Parallel) masterCleanup(w *worker) {
 			s.mux.Unroute(c.addr)
 		}
 		s.removePlayerLocked(w, c.entID)
+		if r := s.cfg.Record; r != nil {
+			r.RecordDisconnect(c.id, DiscReasonTimeout)
+		}
 	}
 
 	// Evictions decided during the reply phase (reply-side panics) were
@@ -1109,6 +1129,10 @@ func (s *Parallel) masterCleanup(w *worker) {
 		rec.Migrations = s.rebalance()
 	}
 	s.frameLog.Append(rec)
+	if r := s.cfg.Record; r != nil {
+		r.RecordShed(int(level))
+		r.RecordFrameEnd(s.fc.frameNumber())
+	}
 }
 
 // computeShedFar refreshes the shed-far flags for this engine's clients.
@@ -1174,6 +1198,9 @@ func (s *Parallel) rebalance() int {
 		c.thread = mg.To
 		if s.mux != nil {
 			s.mux.Route(c.addr, mg.To)
+		}
+		if r := s.cfg.Record; r != nil {
+			r.RecordMigrate(c.id, mg.To)
 		}
 		applied++
 	}

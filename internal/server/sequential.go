@@ -83,7 +83,7 @@ func NewSequential(cfg Config) (*Sequential, error) {
 // Start launches the server loop goroutine.
 func (s *Sequential) Start() {
 	s.started = time.Now()
-	s.last = s.started
+	s.last = s.cfg.timeNow()
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -157,10 +157,16 @@ func (s *Sequential) loop() {
 		s.stash = append(s.stash[:0], s.recvBuf[:n]...)
 
 		// P: world physics, rate-limited like QuakeWorld's sv_mintic.
+		// The dt comes from the frame-logic clock (Config.Clock when
+		// replaying) — the only wall-clock input world evolution sees.
 		t0 = time.Now()
-		if dt := t0.Sub(s.last); dt >= minWorldTick {
+		nowv := s.cfg.timeNow()
+		if dt := nowv.Sub(s.last); dt >= minWorldTick {
 			res := s.world.RunWorldFrame(dt.Seconds())
-			s.last = t0
+			s.last = nowv
+			if r := s.cfg.Record; r != nil {
+				r.RecordTick(dt.Nanoseconds())
+			}
 			s.frameEvents = append(s.frameEvents, wireEvents(res.Events)...)
 		}
 		s.bd.Charge(metrics.CompWorld, time.Since(t0).Nanoseconds())
@@ -214,6 +220,9 @@ func (s *Sequential) recoverLoop(phase string) {
 	if victim != nil {
 		s.clients.remove(victim)
 		s.world.RemovePlayer(victim.entID)
+		if rec := s.cfg.Record; rec != nil {
+			rec.RecordDisconnect(victim.id, DiscReasonEvict)
+		}
 		s.send(victim.addr, &protocol.Disconnected{Reason: "server error handling your request"})
 		s.faultEvictions.Add(1)
 	}
@@ -256,12 +265,18 @@ func (s *Sequential) processPacket(data []byte, from transport.Addr) {
 		c.replyPending = true
 		c.lastSeq = m.Seq
 		c.touch(time.Now())
+		if r := s.cfg.Record; r != nil {
+			r.RecordMove(c.id, m.Seq, &m.Cmd)
+		}
 	case *protocol.Connect:
 		s.handleConnect(m, from)
 	case *protocol.Disconnect:
 		if c := s.clients.lookup(from); c != nil {
 			s.clients.remove(c)
 			s.world.RemovePlayer(c.entID)
+			if r := s.cfg.Record; r != nil {
+				r.RecordDisconnect(c.id, DiscReasonClient)
+			}
 			s.send(from, &protocol.Disconnected{Reason: "bye"})
 		}
 	case *protocol.Ping:
@@ -311,6 +326,9 @@ func (s *Sequential) handleConnect(m *protocol.Connect, from transport.Addr) {
 		s.world.RemovePlayer(ent.ID)
 		s.send(from, &protocol.Reject{Reason: "server full"})
 		return
+	}
+	if r := s.cfg.Record; r != nil {
+		r.RecordConnect(c.id, int32(ent.ID), 0, m.Name)
 	}
 	s.send(from, &protocol.Accept{
 		ClientID: c.id,
@@ -399,9 +417,16 @@ func (s *Sequential) endFrame(frameT0 time.Time) {
 	for _, c := range stale {
 		s.clients.remove(c)
 		s.world.RemovePlayer(c.entID)
+		if r := s.cfg.Record; r != nil {
+			r.RecordDisconnect(c.id, DiscReasonTimeout)
+		}
 	}
 	if level := s.shed.observe(time.Since(frameT0).Nanoseconds()); level >= shedFarHalf {
 		s.shedClients, s.shedDists = markShedFar(s.world, s.clients, s.shedClients, s.shedDists)
+	}
+	if r := s.cfg.Record; r != nil {
+		r.RecordShed(int(s.shed.current()))
+		r.RecordFrameEnd(s.frames)
 	}
 	s.frames++
 }

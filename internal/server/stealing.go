@@ -547,6 +547,11 @@ func (s *Parallel) executePoolMoveGuarded(w *worker, e poolEntry, ent *entity.En
 	c.replyPending = true
 	c.lastSeq = e.m.Seq
 	c.touch(time.Now())
+	if r := s.cfg.Record; r != nil {
+		// Tap at the commit, never on a park: parked entries re-execute
+		// and would otherwise be recorded twice.
+		r.RecordMove(c.id, e.m.Seq, &e.m.Cmd)
+	}
 	c.fwdFrame.Store(0)
 	return res, true
 }

@@ -15,6 +15,7 @@ import (
 	"qserve/internal/locking"
 	"qserve/internal/metrics"
 	"qserve/internal/protocol"
+	"qserve/internal/server"
 	"qserve/internal/worldmap"
 )
 
@@ -112,6 +113,19 @@ type Config struct {
 	// less wall time.)
 	IndexedSnapshots bool
 
+	// Playback, when non-nil, replays a recorded input stream instead of
+	// running bot clients: players spawn from recorded connects, moves
+	// replay in log order with one item in flight server-wide, and world
+	// physics runs exactly the recorded tick dts (see internal/replay
+	// and DESIGN.md §11). Players/Script/MaxMoves/LossProb are ignored;
+	// the run ends when the stream drains.
+	Playback *Playback
+	// Record, when non-nil, receives the run's deterministic input
+	// stream (committed moves, world ticks, spawns, migrations) exactly
+	// as the live engines' Config.Record does, so DES sessions can be
+	// captured and replayed too.
+	Record server.Recorder
+
 	// Stealing enables the conflict-aware work-stealing request
 	// scheduler: workers pool their clients' move commands per frame,
 	// drain their own pool first, then steal pending entries from other
@@ -162,7 +176,7 @@ func (a AssignPolicy) String() string {
 }
 
 func (c *Config) fill() error {
-	if c.Players <= 0 {
+	if c.Players <= 0 && c.Playback == nil {
 		return fmt.Errorf("simserver: need players")
 	}
 	if c.Sequential {

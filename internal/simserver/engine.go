@@ -109,6 +109,10 @@ type engine struct {
 	vis      game.VisIndex
 	visFrame uint64
 
+	// pbs is non-nil when this run replays a recorded stream
+	// (Config.Playback); it gates the ports to one in-flight item.
+	pbs *playbackState
+
 	frameEvents  int
 	frameLog     *metrics.FrameLog
 	resp         metrics.ResponseStats
@@ -155,6 +159,9 @@ type clientPort struct {
 
 // Peek implements sim.Source.
 func (p *clientPort) Peek() int64 {
+	if ps := p.e.pbs; ps != nil {
+		return ps.peek(p.thread)
+	}
 	best := int64(sim.Infinity)
 	for _, c := range p.e.byThread[p.thread] {
 		if t := c.src.Peek(); t < best {
@@ -166,6 +173,9 @@ func (p *clientPort) Peek() int64 {
 
 // Pop implements sim.Source.
 func (p *clientPort) Pop() sim.Arrival {
+	if ps := p.e.pbs; ps != nil {
+		return ps.pop()
+	}
 	best := int64(sim.Infinity)
 	var pick *simClient
 	for _, c := range p.e.byThread[p.thread] {
@@ -231,12 +241,32 @@ func Run(cfg Config) (*Result, error) {
 		e.outstanding = make([]int, cfg.Threads)
 		e.activeMask = make([]uint64, cfg.Threads)
 	}
+	if cfg.Playback != nil {
+		e.pbs = &playbackState{
+			pb:       cfg.Playback,
+			byClient: make([]*simClient, cfg.Playback.Clients),
+		}
+		// The run lasts exactly as long as the stream needs — workers
+		// exit when the cursor drains — with a generous scaled backstop
+		// replacing DurationS so a stalled stream still terminates.
+		e.endNs = e.pbs.at(len(cfg.Playback.Items)) +
+			int64(len(cfg.Playback.Items))*playItemBudgetNs + playDrainSlackNs
+	}
 
 	if err := e.buildClients(); err != nil {
 		return nil, err
 	}
 	if err := e.machine.Run(e.workerBody); err != nil {
 		return nil, fmt.Errorf("simserver: %w", err)
+	}
+	if e.pbs != nil {
+		if e.pbs.err != nil {
+			return nil, fmt.Errorf("simserver: %w", e.pbs.err)
+		}
+		if e.pbs.cursor != len(cfg.Playback.Items) {
+			return nil, fmt.Errorf("simserver: playback stalled at item %d of %d",
+				e.pbs.cursor, len(cfg.Playback.Items))
+		}
 	}
 
 	res := &Result{
@@ -270,9 +300,18 @@ func Run(cfg Config) (*Result, error) {
 // ("clients send requests in an asynchronous manner").
 func (e *engine) buildClients() error {
 	cfg := e.cfg
+	e.byThread = make([][]*simClient, cfg.Threads)
+	e.ports = make([]*clientPort, cfg.Threads)
+	for t := range e.ports {
+		e.ports[t] = &clientPort{e: e, thread: t}
+	}
+	if e.pbs != nil {
+		// Playback spawns clients from recorded connect items, in log
+		// order, so entity IDs repeat the recorded session's.
+		return nil
+	}
 	periodNs := int64(cfg.ClientFrameMs * 1e6)
 	stagger := rand.New(rand.NewSource(cfg.Seed + 7))
-	e.byThread = make([][]*simClient, cfg.Threads)
 	for i := 0; i < cfg.Players; i++ {
 		ent, err := e.world.SpawnPlayer()
 		if err != nil {
@@ -308,10 +347,9 @@ func (e *engine) buildClients() error {
 		}
 		e.clients = append(e.clients, c)
 		e.byThread[c.thread] = append(e.byThread[c.thread], c)
-	}
-	e.ports = make([]*clientPort, cfg.Threads)
-	for t := range e.ports {
-		e.ports[t] = &clientPort{e: e, thread: t}
+		if r := cfg.Record; r != nil {
+			r.RecordConnect(uint16(i), int32(ent.ID), thread, fmt.Sprintf("sim-%d", i))
+		}
 	}
 	return nil
 }
@@ -357,6 +395,9 @@ func sortClients(cs []*simClient, leafOf func(*simClient) int32) {
 func (e *engine) workerBody(p *sim.Proc) {
 	bd := &e.bds[p.ID]
 	for p.Now() < e.endNs {
+		if e.pbs != nil && e.pbs.drained() {
+			break
+		}
 		t0 := p.Now()
 		arr, ok := p.Recv(e.ports[p.ID], selectTimeoutNs)
 		bd.Charge(metrics.CompIdle, p.Now()-t0)
@@ -407,31 +448,32 @@ func (e *engine) workerBody(p *sim.Proc) {
 			// Pooled scheduler: receive everything queued, execute with
 			// stealing, then re-poll — arrivals that landed while the
 			// pool drained join this frame, exactly as the inline path's
-			// drain loop admits them.
-			e.poolRequest(p, arr.Payload.(*simRequest), arr.At)
+			// drain loop admits them. (handleArrival pools moves and runs
+			// playback control items inline.)
+			e.handleArrival(p, arr)
 			for {
 				for {
 					a, ok := p.Poll(e.ports[p.ID])
 					if !ok {
 						break
 					}
-					e.poolRequest(p, a.Payload.(*simRequest), a.At)
+					e.handleArrival(p, a)
 				}
 				e.runStealPhase(p)
 				a, ok := p.Poll(e.ports[p.ID])
 				if !ok {
 					break
 				}
-				e.poolRequest(p, a.Payload.(*simRequest), a.At)
+				e.handleArrival(p, a)
 			}
 		} else {
-			e.processRequest(p, arr.Payload.(*simRequest), arr.At)
+			e.handleArrival(p, arr)
 			for {
 				a, ok := p.Poll(e.ports[p.ID])
 				if !ok {
 					break
 				}
-				e.processRequest(p, a.Payload.(*simRequest), a.At)
+				e.handleArrival(p, a)
 			}
 		}
 		e.span(p, "requests", t0)
@@ -471,6 +513,12 @@ func (e *engine) advance(p *sim.Proc, ns int64, c metrics.Component) {
 // minWorldTickNs.
 func (e *engine) runWorld(p *sim.Proc) {
 	p.Advance(e.model.FramePreamble(e.world.Ents.Active()))
+	if e.pbs != nil {
+		// Playback: world physics is driven exclusively by recorded tick
+		// items (playControl), never by elapsed virtual time — the same
+		// substitution the live replayer makes through Config.Clock.
+		return
+	}
 	elapsed := p.Now() - e.lastWorldNs
 	if e.lastWorldNs != 0 && elapsed < minWorldTickNs {
 		return
@@ -479,11 +527,14 @@ func (e *engine) runWorld(p *sim.Proc) {
 	res := e.world.RunWorldFrame(float64(elapsed) / 1e9)
 	p.Advance(e.model.WorldCost(res.Work))
 	e.frameEvents += len(res.Events)
+	if r := e.cfg.Record; r != nil {
+		r.RecordTick(elapsed)
+	}
 }
 
 // processRequest executes one move command.
 func (e *engine) processRequest(p *sim.Proc, req *simRequest, arrivedAt int64) {
-	if e.lossRng != nil && e.lossRng.Float64() < e.cfg.LossProb {
+	if e.lossRng != nil && e.pbs == nil && e.lossRng.Float64() < e.cfg.LossProb {
 		// Lost upstream of the server: no receive cost, no execution; the
 		// client misses one reply. (Procs run one at a time in the
 		// discrete-event machine, so one engine-level stream stays
@@ -545,6 +596,12 @@ func (e *engine) processRequest(p *sim.Proc, req *simRequest, arrivedAt int64) {
 
 	c.pending = true
 	c.lastArrival = arrivedAt
+	if r := e.cfg.Record; r != nil {
+		r.RecordMove(uint16(c.idx), e.moveSeq(req.seq), &cmd)
+	}
+	if e.pbs != nil {
+		e.pbs.commit()
+	}
 
 	w := &e.workers[p.ID]
 	w.frameExecNs += execDelta
@@ -654,6 +711,9 @@ func (e *engine) masterCleanup(p *sim.Proc) {
 		rec.Migrations = e.rebalance()
 	}
 	e.frameLog.Append(rec)
+	if r := e.cfg.Record; r != nil {
+		r.RecordFrameEnd(e.fc.frame)
+	}
 }
 
 // rebalance mirrors the live engine's barrier rebalance: it runs in
@@ -673,6 +733,9 @@ func (e *engine) rebalance() int {
 	migs := e.bal.Plan(loads, threads, len(e.workers))
 	for _, mg := range migs {
 		e.clients[mg.Client].thread = mg.To
+		if r := e.cfg.Record; r != nil {
+			r.RecordMigrate(uint16(e.clients[mg.Client].idx), mg.To)
+		}
 	}
 	if len(migs) > 0 {
 		for t := range e.byThread {
@@ -692,6 +755,10 @@ func (e *engine) rebalance() int {
 // decide produces the client's next move command: the conformance
 // script when one is configured, otherwise the bot policy.
 func (c *simClient) decide(e *engine, seq int64) protocol.MoveCmd {
+	if e.pbs != nil {
+		// seq is the playback cursor index of this move item.
+		return e.pbs.pb.Items[seq].Cmd
+	}
 	if e.cfg.Script != nil {
 		return e.cfg.Script(c.idx, seq)
 	}

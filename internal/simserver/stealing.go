@@ -155,7 +155,7 @@ func (e *engine) stealing() bool {
 // execute loop. Loss and the request count are settled here, once — a
 // parked retry is the same request, not a new one.
 func (e *engine) poolRequest(p *sim.Proc, req *simRequest, arrivedAt int64) {
-	if e.lossRng != nil && e.lossRng.Float64() < e.cfg.LossProb {
+	if e.lossRng != nil && e.pbs == nil && e.lossRng.Float64() < e.cfg.LossProb {
 		e.lost++
 		return
 	}
@@ -295,6 +295,14 @@ func (e *engine) execPooled(p *sim.Proc, en desEntry) {
 	c.lastArrival = en.arrivedAt
 	if mask != 0 {
 		c.lastMask = mask
+	}
+	// Commit point: the tap and the playback cursor advance belong here,
+	// never on the park path above — a parked entry re-executes.
+	if r := e.cfg.Record; r != nil {
+		r.RecordMove(uint16(c.idx), e.moveSeq(en.seq), &en.cmd)
+	}
+	if e.pbs != nil {
+		e.pbs.commit()
 	}
 
 	w := &e.workers[p.ID]
