@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench vis conformance chaos cover lint lockwall replay ci
+.PHONY: all build test race vet bench vis conformance chaos cover lint lockwall replay durability ci
 
 all: build
 
@@ -66,6 +66,23 @@ replay:
 	$(GO) test -v -run 'TestRecorderOverheadBudget' ./internal/replay/
 	$(GO) test -run=NONE -bench=BenchmarkRecorderOverhead -benchmem -benchtime=10000x ./internal/replay/
 
+# durability runs the crash-recovery acceptance set (DESIGN.md §12):
+# the kill -9 chaos soak (recovery from checkpoint + torn redo tail,
+# digest-exact against from-genesis replay on every engine, live restart
+# with survivor reconnect), the reconnect handshake matrix, the format /
+# recovery unit suites with a decoder fuzz smoke, and the two overhead
+# gates — the capture path must stay at 0 allocs/op and the per-capture
+# charge under 2% of the frame budget on the deterministic DES clock.
+durability:
+	$(GO) test -race -v -run 'TestCrashRecoverySoak' ./internal/replay/
+	$(GO) test -race -v -run 'TestReconnect|TestParkedClientsReaped' ./internal/server/
+	$(GO) test -race -run 'TestWriter|TestMerge|TestDecode|TestEncodeDecodeIdentity|TestLoadLatest|TestRestoredWorld|TestFileNameParse|FuzzDecodeCheckpoint' ./internal/checkpoint/
+	$(GO) test -race -run 'TestDigestMatchesReplay|TestRecoverCrossEngine|TestRecoverDES|TestStreamRecorder|TestDecodePrefixTorn' ./internal/replay/
+	$(GO) test -fuzz=FuzzDecodeCheckpoint -fuzztime=10s -run=NONE ./internal/checkpoint/
+	$(GO) test -v -run 'TestWriterCaptureAllocs' ./internal/checkpoint/
+	$(GO) test -v -run 'TestCheckpointOverheadDES' ./internal/simserver/
+	$(GO) test -run=NONE -bench=BenchmarkWriterCapture -benchmem -benchtime=100x ./internal/checkpoint/
+
 # cover prints the per-function coverage table's total line.
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -83,4 +100,4 @@ lint:
 	@! grep -E '^(require|replace)' go.mod || \
 		{ echo 'lint: root go.mod must stay dependency-free (tool deps live in tools/go.mod)'; exit 1; }
 
-ci: vet build lint race bench conformance chaos replay
+ci: vet build lint race bench conformance chaos replay durability

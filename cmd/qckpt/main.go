@@ -1,0 +1,359 @@
+// qckpt operates on durable world checkpoints (.qck files, produced by
+// qserved -checkpoint or the checkpoint package): inspect a file or a
+// checkpoint directory, verify integrity and digests, diff two
+// checkpoints, or convert one into a header-only replay seed log.
+//
+// Usage:
+//
+//	qckpt inspect [-clients] <ckpt.qck | dir>
+//	qckpt verify <ckpt.qck | dir>
+//	qckpt diff <a.qck> <b.qck>
+//	qckpt seed [-o seed.qrl] <ckpt.qck | dir>
+//
+// inspect prints the header, counters, and section sizes; with a
+// directory it lists every checkpoint file and summarizes the newest
+// recoverable image. Delta checkpoints are resolved against their base
+// full image in the same directory wherever a merged view is needed.
+//
+// verify decodes, validates, and digest-checks every named checkpoint
+// (the whole directory when given a dir) and exits non-zero if any file
+// is corrupt — the offline counterpart of the recovery path's
+// corrupt-skip fallback.
+//
+// diff compares two checkpoints entity by entity and client by client —
+// useful for asking "what changed between these two recovery points".
+//
+// seed writes a header-only .qrl carrying the checkpoint's map and
+// world seed: the recording lineage for a restarted server, so a redo
+// log recorded after -restore shares the session's exact header.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"qserve/internal/checkpoint"
+	"qserve/internal/replay"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "inspect":
+		cmdInspect(os.Args[2:])
+	case "verify":
+		cmdVerify(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	case "seed":
+		cmdSeed(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: qckpt <inspect|verify|diff|seed> [flags] <ckpt.qck | dir> ...")
+	os.Exit(2)
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// loadResolved reads the checkpoint at path and, for a delta, merges it
+// with its base full image found in the same directory, so the caller
+// always gets a complete world image.
+func loadResolved(path string) (*checkpoint.Checkpoint, error) {
+	ck, err := checkpoint.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if ck.Full {
+		return ck, nil
+	}
+	basePath := filepath.Join(filepath.Dir(path), checkpoint.FileName(ck.BaseFrame, true))
+	base, err := checkpoint.ReadFile(basePath)
+	if err != nil {
+		return nil, fmt.Errorf("delta frame %d: base image %s: %w", ck.Frame, basePath, err)
+	}
+	return checkpoint.Merge(base, ck)
+}
+
+func cmdInspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	clients := fs.Bool("clients", false, "also list the checkpointed clients")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
+	if isDir(path) {
+		files, err := checkpoint.ListDir(path)
+		if err != nil {
+			fatal(err)
+		}
+		if len(files) == 0 {
+			fatal(fmt.Errorf("no checkpoint files in %s", path))
+		}
+		for _, fi := range files {
+			kind := "delta"
+			if fi.Full {
+				kind = "full "
+			}
+			size := int64(0)
+			if st, err := os.Stat(fi.Path); err == nil {
+				size = st.Size()
+			}
+			fmt.Printf("%s  frame %8d  %s  %7d bytes\n", kind, fi.Frame, filepath.Base(fi.Path), size)
+		}
+		ck, err := checkpoint.LoadLatest(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("newest recoverable image:\n")
+		printCheckpoint(ck, *clients)
+		return
+	}
+	ck, err := checkpoint.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	printCheckpoint(ck, *clients)
+}
+
+func printCheckpoint(ck *checkpoint.Checkpoint, clients bool) {
+	kind := "full"
+	if !ck.Full {
+		kind = fmt.Sprintf("delta (base frame %d)", ck.BaseFrame)
+	}
+	fmt.Printf("  %s checkpoint, frame %d, world time %.3fs\n", kind, ck.Frame, ck.WorldTime)
+	fmt.Printf("  map %q (%d rooms), world seed %d, proto v%d\n",
+		ck.Map.Name, len(ck.Map.Rooms), ck.WorldSeed, ck.ProtoVer)
+	fmt.Printf("  entity table: %d/%d high water, tree depth %d, spawn cursor %d\n",
+		ck.HighWater, ck.Capacity, ck.TreeDepth, ck.SpawnCursor)
+	fmt.Printf("  sections: %d entities, %d gone, %d free, %d clients\n",
+		len(ck.Entities), len(ck.Gone), len(ck.Free), len(ck.Clients))
+	fmt.Printf("  counters: next client id %d, join idx %d, redo-log cut %d items\n",
+		ck.NextClientID, ck.JoinIdx, ck.RecItems)
+	fmt.Printf("  digest %016x", ck.Digest)
+	if ck.Full {
+		if err := ck.VerifyDigest(); err != nil {
+			fmt.Printf(" (MISMATCH: %v)", err)
+		} else {
+			fmt.Printf(" (verified)")
+		}
+	} else {
+		fmt.Printf(" (post-merge; verify against the base image)")
+	}
+	fmt.Println()
+	if clients {
+		for i := range ck.Clients {
+			c := &ck.Clients[i]
+			fmt.Printf("  client %3d %-16q ent %4d thread %d lastSeq %6d replied %6d addr %q (%d baseline ents)\n",
+				c.ID, c.Name, c.EntID, c.Thread, c.LastSeq, c.RepliedFrame, c.Addr, len(c.Baseline))
+		}
+	}
+}
+
+func cmdVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
+	paths := []string{path}
+	if isDir(path) {
+		files, err := checkpoint.ListDir(path)
+		if err != nil {
+			fatal(err)
+		}
+		if len(files) == 0 {
+			fatal(fmt.Errorf("no checkpoint files in %s", path))
+		}
+		paths = paths[:0]
+		for _, fi := range files {
+			paths = append(paths, fi.Path)
+		}
+	}
+	bad := 0
+	for _, p := range paths {
+		ck, err := loadResolved(p)
+		if err == nil {
+			err = ck.VerifyDigest()
+		}
+		if err != nil {
+			bad++
+			fmt.Printf("%-40s CORRUPT: %v\n", filepath.Base(p), err)
+			continue
+		}
+		fmt.Printf("%-40s ok: frame %d, %d entities, %d clients, digest %016x\n",
+			filepath.Base(p), ck.Frame, len(ck.Entities), len(ck.Clients), ck.Digest)
+	}
+	if bad > 0 {
+		fatal(fmt.Errorf("%d of %d checkpoints failed verification", bad, len(paths)))
+	}
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+	}
+	a, err := loadResolved(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	b, err := loadResolved(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("a: frame %d, %d entities, %d clients, digest %016x\n",
+		a.Frame, len(a.Entities), len(a.Clients), a.Digest)
+	fmt.Printf("b: frame %d, %d entities, %d clients, digest %016x\n",
+		b.Frame, len(b.Entities), len(b.Clients), b.Digest)
+	if a.WorldSeed != b.WorldSeed || a.Map.Name != b.Map.Name {
+		fmt.Printf("DIFFERENT SESSIONS: seed %d/%d, map %q/%q\n",
+			a.WorldSeed, b.WorldSeed, a.Map.Name, b.Map.Name)
+	}
+	if a.Digest == b.Digest && a.Frame == b.Frame {
+		fmt.Println("identical world state")
+		return
+	}
+
+	ae := entsByID(a)
+	be := entsByID(b)
+	var added, removed, changed int
+	for id, er := range be {
+		ar, ok := ae[id]
+		switch {
+		case !ok:
+			added++
+			fmt.Printf("+ entity %d class %d at (%.1f %.1f %.1f)\n",
+				id, er.Class, er.Origin.X, er.Origin.Y, er.Origin.Z)
+		case *ar != *er:
+			changed++
+			fmt.Printf("~ entity %d: %s\n", id, describeEntDiff(ar, er))
+		}
+	}
+	for id, ar := range ae {
+		if _, ok := be[id]; !ok {
+			removed++
+			fmt.Printf("- entity %d class %d\n", id, ar.Class)
+		}
+	}
+	ac := clientsByID(a)
+	bc := clientsByID(b)
+	for id, cr := range bc {
+		prev, ok := ac[id]
+		switch {
+		case !ok:
+			fmt.Printf("+ client %d %q ent %d\n", id, cr.Name, cr.EntID)
+		case prev.EntID != cr.EntID || prev.Thread != cr.Thread || prev.LastSeq != cr.LastSeq:
+			fmt.Printf("~ client %d %q: ent %d→%d thread %d→%d lastSeq %d→%d\n",
+				id, cr.Name, prev.EntID, cr.EntID, prev.Thread, cr.Thread, prev.LastSeq, cr.LastSeq)
+		}
+	}
+	for id, cr := range ac {
+		if _, ok := bc[id]; !ok {
+			fmt.Printf("- client %d %q\n", id, cr.Name)
+		}
+	}
+	fmt.Printf("%d entities added, %d removed, %d changed across %d frames\n",
+		added, removed, changed, int64(b.Frame)-int64(a.Frame))
+}
+
+func entsByID(ck *checkpoint.Checkpoint) map[uint32]*checkpoint.EntityRec {
+	m := make(map[uint32]*checkpoint.EntityRec, len(ck.Entities))
+	for i := range ck.Entities {
+		m[ck.Entities[i].ID] = &ck.Entities[i]
+	}
+	return m
+}
+
+func clientsByID(ck *checkpoint.Checkpoint) map[uint16]*checkpoint.ClientRec {
+	m := make(map[uint16]*checkpoint.ClientRec, len(ck.Clients))
+	for i := range ck.Clients {
+		m[ck.Clients[i].ID] = &ck.Clients[i]
+	}
+	return m
+}
+
+// describeEntDiff names the fields that differ between two entity
+// records — enough to orient, not a full dump.
+func describeEntDiff(a, b *checkpoint.EntityRec) string {
+	var out []byte
+	add := func(s string) {
+		if len(out) > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, s...)
+	}
+	if a.Origin != b.Origin {
+		add(fmt.Sprintf("pos (%.1f %.1f %.1f)→(%.1f %.1f %.1f)",
+			a.Origin.X, a.Origin.Y, a.Origin.Z, b.Origin.X, b.Origin.Y, b.Origin.Z))
+	}
+	if a.Health != b.Health {
+		add(fmt.Sprintf("health %d→%d", a.Health, b.Health))
+	}
+	if a.Armor != b.Armor {
+		add(fmt.Sprintf("armor %d→%d", a.Armor, b.Armor))
+	}
+	if a.Frags != b.Frags {
+		add(fmt.Sprintf("frags %d→%d", a.Frags, b.Frags))
+	}
+	if a.Deaths != b.Deaths {
+		add(fmt.Sprintf("deaths %d→%d", a.Deaths, b.Deaths))
+	}
+	if a.Weapon != b.Weapon || a.Weapons != b.Weapons || a.Ammo != b.Ammo {
+		add(fmt.Sprintf("weapon %d/%04x/%d→%d/%04x/%d",
+			a.Weapon, a.Weapons, a.Ammo, b.Weapon, b.Weapons, b.Ammo))
+	}
+	if a.RoomID != b.RoomID {
+		add(fmt.Sprintf("room %d→%d", a.RoomID, b.RoomID))
+	}
+	if len(out) == 0 {
+		return "other fields"
+	}
+	return string(out)
+}
+
+func cmdSeed(args []string) {
+	fs := flag.NewFlagSet("seed", flag.ExitOnError)
+	out := fs.String("o", "seed.qrl", "output path for the seed log")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
+	var (
+		ck  *checkpoint.Checkpoint
+		err error
+	)
+	if isDir(path) {
+		ck, err = checkpoint.LoadLatest(path)
+	} else {
+		ck, err = loadResolved(path)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	lg := &replay.Log{WorldSeed: ck.WorldSeed, ProtoVer: ck.ProtoVer, Map: ck.Map}
+	if err := lg.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: empty redo log for map %q seed %d (checkpoint frame %d)\n",
+		*out, ck.Map.Name, ck.WorldSeed, ck.Frame)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qckpt:", err)
+	os.Exit(1)
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"qserve/internal/balance"
+	"qserve/internal/checkpoint"
 	"qserve/internal/game"
 	"qserve/internal/locking"
 	"qserve/internal/metrics"
@@ -52,16 +53,45 @@ func main() {
 	reorderP := flag.Float64("faultreorder", 0, "chaos: per-datagram reorder probability")
 	corruptP := flag.Float64("faultcorrupt", 0, "chaos: per-datagram bit-flip probability")
 	faultSeed := flag.Int64("faultseed", 1, "chaos: fault stream seed")
-	recordPath := flag.String("record", "", "record the session's deterministic input stream to this file (replay with qreplay)")
+	recordPath := flag.String("record", "", "stream the session's deterministic input stream to this file as it runs (durable redo log; replay with qreplay)")
+	ckptDir := flag.String("checkpoint", "", "checkpoint directory: capture durable world checkpoints at the reply barrier (enables -restore after a crash)")
+	ckptInterval := flag.Uint64("checkpoint-interval", checkpoint.DefaultInterval, "frames between checkpoints")
+	ckptDelta := flag.Int("checkpoint-delta", checkpoint.DefaultDeltaEvery, "delta checkpoints between full images (0 = every checkpoint full)")
+	restore := flag.Bool("restore", false, "cold-start from the newest valid checkpoint in -checkpoint; survivors reconnect onto their entities")
+	restoreLog := flag.String("restore-log", "", "redo log (.qrl) from the crashed run, replayed past the checkpoint to the exact pre-crash frame")
 	flag.Parse()
 
-	m, err := loadMap(*mapPath, *mapSeed)
-	if err != nil {
-		fatal(err)
-	}
-	world, err := game.NewWorld(game.Config{Map: m, Seed: *mapSeed})
-	if err != nil {
-		fatal(err)
+	var (
+		m         *worldmap.Map
+		world     *game.World
+		rs        *server.RestoreState
+		worldSeed = *mapSeed
+		err       error
+	)
+	if *restore {
+		if *ckptDir == "" {
+			fatal(fmt.Errorf("-restore requires -checkpoint <dir>"))
+		}
+		t0 := time.Now()
+		rv, err := replay.Recover(*ckptDir, *restoreLog)
+		if err != nil {
+			fatal(err)
+		}
+		// The checkpoint carries the authoritative map and world seed;
+		// -map/-mapseed are ignored on a restore.
+		world = rv.World
+		m = rv.Checkpoint.Map
+		worldSeed = rv.Checkpoint.WorldSeed
+		rs = rv.RestoreState(time.Since(t0).Nanoseconds())
+		fmt.Printf("qserved: recovered frame %d from %s (+%d redo items, %d bytes torn, %d survivors parked)\n",
+			rv.Frames, *ckptDir, rv.TailItems, rv.TailDropped, len(rv.Clients))
+	} else {
+		if m, err = loadMap(*mapPath, *mapSeed); err != nil {
+			fatal(err)
+		}
+		if world, err = game.NewWorld(game.Config{Map: m, Seed: *mapSeed}); err != nil {
+			fatal(err)
+		}
 	}
 
 	var strat locking.Strategy = locking.Conservative{}
@@ -109,13 +139,32 @@ func main() {
 	if *bal {
 		cfg.Balance = balance.Policy{Enabled: true}
 	}
-	var rec *replay.Recorder
+	cfg.Restore = rs
+	// The stream recorder flushes every completed frame, so the log on
+	// disk is a valid redo tail even after a kill -9 (a torn in-flight
+	// frame is cut at the last intact record on recovery).
+	var rec *replay.StreamRecorder
 	if *recordPath != "" {
-		if rec, err = replay.NewRecorder(m, *mapSeed); err != nil {
+		if rec, err = replay.NewStreamRecorder(*recordPath, m, worldSeed); err != nil {
 			fatal(err)
 		}
 		cfg.Record = rec
-		fmt.Printf("qserved: recording session to %s\n", *recordPath)
+		fmt.Printf("qserved: streaming session log to %s\n", *recordPath)
+	}
+	var ckw *checkpoint.Writer
+	if *ckptDir != "" {
+		if ckw, err = checkpoint.NewWriter(checkpoint.Config{
+			Dir:        *ckptDir,
+			Interval:   *ckptInterval,
+			DeltaEvery: *ckptDelta,
+			WorldSeed:  worldSeed,
+			Map:        m,
+		}); err != nil {
+			fatal(err)
+		}
+		cfg.Checkpoint = ckw
+		fmt.Printf("qserved: checkpointing to %s every %d frames (1 full per %d deltas)\n",
+			*ckptDir, *ckptInterval, *ckptDelta)
 	}
 
 	var eng server.Engine
@@ -163,14 +212,16 @@ func main() {
 				eng.Stop()
 			}
 			if rec != nil {
-				// The engine is stopped, so the world is quiescent: seal
-				// the log with the final table digest and write it out.
-				lg := rec.Finish(world)
-				if err := lg.WriteFile(*recordPath); err != nil {
-					fmt.Fprintln(os.Stderr, "qserved: writing recording:", err)
+				if err := rec.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "qserved: closing session log:", err)
 				} else {
-					fmt.Printf("recorded %d moves, %d ticks, %d clients to %s\n",
-						lg.Moves(), lg.Ticks(), len(lg.Clients()), *recordPath)
+					fmt.Printf("recorded %d items (%d ticks) to %s\n",
+						rec.Items(), rec.TickCount(), *recordPath)
+				}
+			}
+			if ckw != nil {
+				if err := ckw.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "qserved: checkpoint writer:", err)
 				}
 			}
 			printBreakdowns(eng)

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"qserve/internal/balance"
+	"qserve/internal/checkpoint"
 	"qserve/internal/experiments"
 	"qserve/internal/locking"
 	"qserve/internal/metrics"
@@ -31,6 +32,9 @@ func main() {
 	steal := flag.Bool("steal", false, "conflict-aware work-stealing request execution")
 	cluster := flag.Int("cluster", 0, "pin the first N players to room 0 (skewed workload)")
 	loss := flag.Float64("loss", 0, "per-request network loss probability (0..1)")
+	ckptDir := flag.String("checkpoint", "", "capture durable checkpoints into this directory during the run")
+	ckptInterval := flag.Uint64("checkpoint-interval", checkpoint.DefaultInterval, "frames between checkpoints")
+	ckptDelta := flag.Int("checkpoint-delta", checkpoint.DefaultDeltaEvery, "delta checkpoints between full images")
 	flag.Parse()
 
 	cfg := simserver.Config{
@@ -64,6 +68,31 @@ func main() {
 		cfg.Balance = balance.Policy{Enabled: true}
 	}
 	cfg.Stealing = *steal
+	var ckw *checkpoint.Writer
+	if *ckptDir != "" {
+		// Resolve the map up front (the same way simserver.Run would) so
+		// the writer can embed it in every checkpoint file.
+		if cfg.Map == nil {
+			mc := cfg.MapConfig
+			if mc.Rows == 0 {
+				mc = worldmap.DefaultConfig()
+				mc.Seed = cfg.Seed + 1
+			}
+			cfg.Map = worldmap.MustGenerate(mc)
+		}
+		var err error
+		if ckw, err = checkpoint.NewWriter(checkpoint.Config{
+			Dir:        *ckptDir,
+			Interval:   *ckptInterval,
+			DeltaEvery: *ckptDelta,
+			WorldSeed:  cfg.Seed,
+			Map:        cfg.Map,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Checkpoint = ckw
+	}
 	res, err := simserver.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -101,6 +130,31 @@ func main() {
 		im, sd, res.Locks.AvgDistinctLeavesPerRequest(), res.Locks.RelockFraction())
 	fmt.Printf("  exec load max/mean=%.2f migrations=%d\n",
 		res.FrameLog.ExecLoadRatio(), res.Migrations)
+	if ckw != nil {
+		if err := ckw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	// Durability counters are captured by the barrier master alone, so sum
+	// across threads rather than using the per-thread average.
+	var dsum metrics.Breakdown
+	for i := range res.PerThread {
+		dsum.Add(&res.PerThread[i])
+	}
+	if dsum.Checkpoints > 0 || dsum.RecoveryNs > 0 {
+		per := int64(0)
+		if dsum.Checkpoints > 0 {
+			per = dsum.CheckpointNs / dsum.Checkpoints
+		}
+		fmt.Printf("  durability: %d checkpoints (%s capture, %s each), %dKB written, delta ratio %.2f, %d skips",
+			dsum.Checkpoints, metrics.Dur(dsum.CheckpointNs), metrics.Dur(per),
+			dsum.CheckpointBytes/1024, dsum.DeltaRatio(), dsum.CheckpointSkips)
+		if dsum.RecoveryNs > 0 {
+			fmt.Printf(", recovery %s", metrics.Dur(dsum.RecoveryNs))
+		}
+		fmt.Println()
+	}
 	if *trace > 0 {
 		fmt.Println()
 		fmt.Print(experiments.RenderTimeline(res.Trace, res.Threads, 96))

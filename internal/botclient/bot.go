@@ -338,3 +338,6 @@ func (b *Bot) Pos() geom.Vec3 { return b.pos }
 
 // EntityID returns the server-assigned entity ID.
 func (b *Bot) EntityID() int32 { return b.entityID }
+
+// ClientID returns the server-assigned client ID (valid after Connect).
+func (b *Bot) ClientID() uint16 { return b.clientID }

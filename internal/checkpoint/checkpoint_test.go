@@ -1,0 +1,150 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"qserve/internal/entity"
+	"qserve/internal/game"
+	"qserve/internal/protocol"
+	"qserve/internal/worldmap"
+)
+
+// liveWorld builds an arena world with three players driven through
+// enough frames to scatter positions, projectiles, and item state, plus
+// a free-list hole from a removed player — the state shapes a checkpoint
+// must carry.
+func liveWorld(t testing.TB) (*game.World, *worldmap.Map, []entity.ID) {
+	t.Helper()
+	m, err := worldmap.GenerateArena(worldmap.DefaultArenaConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := game.NewWorld(game.Config{Map: m, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	players := make([]*entity.Entity, 0, 4)
+	for i := 0; i < 4; i++ {
+		e, err := w.SpawnPlayer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		players = append(players, e)
+	}
+	ids := make([]entity.ID, 0, 3)
+	stepWorld(w, []entity.ID{players[0].ID, players[1].ID, players[2].ID, players[3].ID}, 0, 30)
+	w.RemovePlayer(players[3].ID)
+	for _, e := range players[:3] {
+		ids = append(ids, e.ID)
+	}
+	return w, m, ids
+}
+
+// stepWorld advances frames [from, to) with a fixed deterministic move
+// script, so a restored world can be driven through the identical
+// trajectory as the original.
+func stepWorld(w *game.World, ids []entity.ID, from, to int) {
+	lc := &game.LockContext{}
+	for f := from; f < to; f++ {
+		for pi, id := range ids {
+			e := w.Ents.Get(id)
+			if e == nil {
+				continue
+			}
+			cmd := protocol.MoveCmd{
+				Forward: 320,
+				Side:    int16((f%5 - 2) * 60),
+				Yaw:     protocol.AngleToWire(float64((pi*120 + f*7) % 360)),
+				Buttons: uint8(f % 2),
+				Msec:    16,
+			}
+			w.ExecuteMove(e, &cmd, lc)
+		}
+		w.RunWorldFrame(0.033)
+	}
+}
+
+// snapshotRecs packs the live entity table into records, for comparing
+// world states without going through a file.
+func snapshotRecs(w *game.World) []EntityRec {
+	var recs []EntityRec
+	w.Ents.ForEach(func(e *entity.Entity) {
+		var rec EntityRec
+		recFromEntity(e, &rec)
+		recs = append(recs, rec)
+	})
+	return recs
+}
+
+func worldDigest(w *game.World) uint64 {
+	return DigestEntities(w.Time, snapshotRecs(w))
+}
+
+// sampleClients builds client records pointing at the given player
+// entities, with small quantized baselines.
+func sampleClients(ids []entity.ID) []ClientRec {
+	out := make([]ClientRec, 0, len(ids))
+	for i, id := range ids {
+		out = append(out, ClientRec{
+			ID:           uint16(i),
+			EntID:        int32(id),
+			Thread:       uint8(i % 2),
+			LastSeq:      uint32(100 + i),
+			RepliedFrame: uint32(30 + i),
+			LoadNs:       int64(50_000 * (i + 1)),
+			Name:         "player-" + string(rune('a'+i)),
+			Addr:         "bot:" + string(rune('0'+i)),
+			BaselineTag:  uint32(31 + i),
+			Baseline: []protocol.EntityState{
+				{ID: uint16(id), Class: 1, X: int16(10 * i), Y: -3, Z: 7, Yaw: 12, Frame: 1, Effects: 2},
+				{ID: uint16(id) + 8, Class: 3, X: 100, Y: 50},
+			},
+		})
+	}
+	return out
+}
+
+// capture runs one Begin/AddClient/Commit cycle, waiting out the
+// flusher if it still owns both buffers from earlier captures.
+func capture(t testing.TB, w *Writer, world *game.World, meta Meta, clients []ClientRec) Stats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !w.Begin(world, meta) {
+		if time.Now().After(deadline) {
+			t.Fatalf("capture of frame %d skipped for 5s", meta.Frame)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, c := range clients {
+		w.AddClient(c)
+	}
+	return w.Commit()
+}
+
+// waitFile waits for the flusher's atomic rename to land.
+func waitFile(t testing.TB, path string) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		if _, err := os.Stat(path); err == nil {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("checkpoint file %s never appeared", path)
+}
+
+func captureToFile(t testing.TB, world *game.World, m *worldmap.Map, ids []entity.ID, dir string, frame uint64) string {
+	t.Helper()
+	wr, err := NewWriter(Config{Dir: dir, WorldSeed: 7, Map: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture(t, wr, world, Meta{Frame: frame, RecItems: 40, JoinIdx: 4, NextClientID: 3}, sampleClients(ids))
+	if err := wr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, FileName(frame, true))
+}

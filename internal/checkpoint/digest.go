@@ -1,0 +1,75 @@
+package checkpoint
+
+import "math"
+
+// The digest here is the same fold as replay.TableDigest, over entity
+// records instead of live entities. It is duplicated rather than
+// imported because the dependency arrow points the other way — replay
+// builds servers (and thus imports this package for recovery), so
+// checkpoint cannot import replay. TestDigestMatchesReplay in the replay
+// package pins the two folds together bit for bit.
+
+type fnv64 uint64
+
+const fnv64Offset fnv64 = 14695981039346656037
+const fnv64Prime fnv64 = 1099511628211
+
+func (h fnv64) byte(b byte) fnv64 {
+	h ^= fnv64(b)
+	return h * fnv64Prime
+}
+
+func (h fnv64) u64(v uint64) fnv64 {
+	for i := 0; i < 8; i++ {
+		h = h.byte(byte(v >> (8 * i)))
+	}
+	return h
+}
+
+func (h fnv64) u32(v uint32) fnv64 {
+	for i := 0; i < 4; i++ {
+		h = h.byte(byte(v >> (8 * i)))
+	}
+	return h
+}
+
+func (h fnv64) i64(v int64) fnv64   { return h.u64(uint64(v)) }
+func (h fnv64) f64(v float64) fnv64 { return h.u64(math.Float64bits(v)) }
+func (h fnv64) bool(v bool) fnv64 {
+	if v {
+		return h.byte(1)
+	}
+	return h.byte(0)
+}
+
+// foldEntity folds one record exactly as replay.TableDigest folds the
+// corresponding live entity: same fields, same order, same widths.
+func (h fnv64) foldEntity(e *EntityRec) fnv64 {
+	h = h.u32(e.ID)
+	h = h.byte(e.Class)
+	h = h.f64(e.Origin.X).f64(e.Origin.Y).f64(e.Origin.Z)
+	h = h.f64(e.Velocity.X).f64(e.Velocity.Y).f64(e.Velocity.Z)
+	h = h.f64(e.Angles.X).f64(e.Angles.Y).f64(e.Angles.Z)
+	h = h.bool(e.Flags&FlagOnGround != 0)
+	h = h.i64(e.Health).i64(e.Armor)
+	h = h.i64(e.Frags).i64(e.Deaths)
+	h = h.byte(e.Weapon).u32(uint32(e.Weapons)).i64(e.Ammo)
+	h = h.bool(e.Flags&FlagHasPowerup != 0).f64(e.PowerupUntil)
+	h = h.byte(e.ItemClass).i64(e.ItemSpawn).f64(e.RespawnAt)
+	h = h.u32(uint32(e.Owner)).i64(e.Damage).f64(e.DieAt)
+	h = h.f64(e.RespawnTime).f64(e.RefireAt).f64(e.NextThink)
+	return h
+}
+
+// DigestEntities folds a world clock and a full entity-record set (in
+// ascending ID order, as the Entities section is stored) into the world
+// digest — equal to replay.TableDigest of the world those records
+// restore.
+func DigestEntities(worldTime float64, ents []EntityRec) uint64 {
+	h := fnv64Offset
+	h = h.f64(worldTime)
+	for i := range ents {
+		h = h.foldEntity(&ents[i])
+	}
+	return uint64(h)
+}

@@ -1,0 +1,284 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"qserve/internal/protocol"
+	"qserve/internal/worldmap"
+)
+
+// literalCheckpoint builds a small, valid full checkpoint by hand, for
+// format tests that need precise control over every section.
+func literalCheckpoint(t testing.TB) *Checkpoint {
+	t.Helper()
+	m, err := worldmap.GenerateArena(worldmap.DefaultArenaConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents := []EntityRec{
+		{ID: 0, Class: 1, Flags: FlagOnGround | FlagLinked, Health: 100, Armor: 50, Weapon: 2, Weapons: 0b111, Ammo: 25, RoomID: 1},
+		{ID: 2, Class: 3, Flags: FlagSnapEligible, ItemClass: 2, ItemSpawn: 4, RespawnAt: 12.5},
+	}
+	ck := &Checkpoint{
+		WorldSeed:    7,
+		ProtoVer:     protocol.Version,
+		Map:          m,
+		Frame:        120,
+		WorldTime:    3.96,
+		SpawnCursor:  2,
+		HighWater:    3,
+		Capacity:     64,
+		TreeDepth:    2,
+		NextClientID: 5,
+		JoinIdx:      4,
+		RecItems:     987,
+		Full:         true,
+		Entities:     ents,
+		Free:         []uint32{1},
+		Clients: []ClientRec{
+			{ID: 1, EntID: 0, Thread: 0, LastSeq: 44, RepliedFrame: 119, LoadNs: 80_000,
+				Name: "alice", Addr: "bot:1", BaselineTag: 120,
+				Baseline: []protocol.EntityState{{ID: 2, Class: 3, X: 5, Y: -9, Z: 1, Yaw: 3, Frame: 1, Effects: 4}}},
+			{ID: 3, EntID: 2, Thread: 1, Name: "bob", Addr: "bot:3", Baseline: []protocol.EntityState{}},
+		},
+	}
+	ck.Digest = DigestEntities(ck.WorldTime, ents)
+	return ck
+}
+
+// TestEncodeDecodeIdentity pins Encode∘Decode as the identity, both on
+// the byte level (re-encoding a decoded checkpoint reproduces the input
+// exactly) and on the field level.
+func TestEncodeDecodeIdentity(t *testing.T) {
+	ck := literalCheckpoint(t)
+	data, err := ck.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("re-encode differs: %d vs %d bytes", len(data), len(data2))
+	}
+	if got.Frame != ck.Frame || got.WorldTime != ck.WorldTime || got.SpawnCursor != ck.SpawnCursor ||
+		got.HighWater != ck.HighWater || got.Capacity != ck.Capacity || got.TreeDepth != ck.TreeDepth ||
+		got.NextClientID != ck.NextClientID || got.JoinIdx != ck.JoinIdx || got.RecItems != ck.RecItems ||
+		got.Full != ck.Full || got.WorldSeed != ck.WorldSeed || got.Digest != ck.Digest {
+		t.Fatalf("meta fields did not round-trip:\n got %+v\nwant %+v", got, ck)
+	}
+	if !reflect.DeepEqual(got.Entities, ck.Entities) {
+		t.Fatalf("entity section did not round-trip")
+	}
+	if !reflect.DeepEqual(got.Free, ck.Free) {
+		t.Fatalf("free section did not round-trip: %v vs %v", got.Free, ck.Free)
+	}
+	if !reflect.DeepEqual(got.Clients, ck.Clients) {
+		t.Fatalf("client section did not round-trip:\n got %+v\nwant %+v", got.Clients, ck.Clients)
+	}
+	if err := got.VerifyDigest(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMerge reconstructs a full image from a base plus a delta and
+// checks the replace/insert/remove cases entity by entity.
+func TestMerge(t *testing.T) {
+	base := literalCheckpoint(t)
+	changed := base.Entities[0]
+	changed.Health = 40
+	changed.Origin.X = 99
+	inserted := EntityRec{ID: 3, Class: 4, Owner: -1, Damage: 20, DieAt: 5.5}
+	delta := &Checkpoint{
+		WorldSeed: base.WorldSeed, ProtoVer: base.ProtoVer, Map: base.Map,
+		Frame: 150, WorldTime: 4.95, SpawnCursor: 3,
+		HighWater: 4, Capacity: 64, TreeDepth: 2,
+		NextClientID: 6, JoinIdx: 5, RecItems: 1200,
+		Full: false, BaseFrame: base.Frame,
+		Entities: []EntityRec{changed, inserted},
+		Gone:     []uint32{2},
+		Free:     []uint32{1, 2},
+		Clients:  base.Clients[:1],
+	}
+	wantEnts := []EntityRec{changed, inserted}
+	delta.Digest = DigestEntities(delta.WorldTime, wantEnts)
+
+	// Round-trip the delta through its encoding first: Gone records only
+	// exist on this path.
+	data, err := delta.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err = Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := Merge(base, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Full || merged.BaseFrame != 0 {
+		t.Fatalf("merge result not a full image: full=%v base=%d", merged.Full, merged.BaseFrame)
+	}
+	if merged.Frame != delta.Frame || merged.WorldTime != delta.WorldTime {
+		t.Fatalf("merge did not take the delta's meta")
+	}
+	if !reflect.DeepEqual(merged.Entities, wantEnts) {
+		t.Fatalf("merged entities wrong:\n got %+v\nwant %+v", merged.Entities, wantEnts)
+	}
+	if err := merged.VerifyDigest(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mismatched pairings must be refused.
+	if _, err := Merge(delta, delta); err == nil {
+		t.Fatal("merge accepted a delta as base")
+	}
+	if _, err := Merge(base, base); err == nil {
+		t.Fatal("merge accepted a full image as delta")
+	}
+	wrong := *delta
+	wrong.BaseFrame = base.Frame + 1
+	if _, err := Merge(base, &wrong); err == nil {
+		t.Fatal("merge accepted a delta based on a different frame")
+	}
+}
+
+// TestDecodeRejects feeds Decode structurally invalid checkpoints —
+// encodable but semantically broken — and requires an error for each.
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(ck *Checkpoint)
+		want error
+	}{
+		{"entities out of order", func(ck *Checkpoint) {
+			ck.Entities[0].ID, ck.Entities[1].ID = ck.Entities[1].ID, ck.Entities[0].ID
+		}, ErrOutOfOrder},
+		{"entity past capacity", func(ck *Checkpoint) {
+			ck.Capacity = 2
+			ck.HighWater = 2
+		}, ErrBadRecord},
+		{"free id above high water", func(ck *Checkpoint) {
+			ck.Free = []uint32{40}
+		}, ErrBadRecord},
+		{"free id twice", func(ck *Checkpoint) {
+			ck.HighWater = 4
+			ck.Free = []uint32{1, 1}
+		}, ErrBadRecord},
+		{"free id active", func(ck *Checkpoint) {
+			ck.Free = []uint32{2}
+		}, ErrBadRecord},
+		{"full with gone ids", func(ck *Checkpoint) {
+			ck.Gone = []uint32{1}
+		}, ErrBadRecord},
+		{"tiling mismatch", func(ck *Checkpoint) {
+			ck.HighWater = 5
+			ck.Capacity = 64
+		}, ErrBadRecord},
+		{"clients out of order", func(ck *Checkpoint) {
+			ck.Clients[0].ID, ck.Clients[1].ID = ck.Clients[1].ID, ck.Clients[0].ID
+		}, ErrOutOfOrder},
+		{"zero capacity", func(ck *Checkpoint) {
+			ck.Capacity = 0
+		}, ErrBadRecord},
+		{"full naming a base frame", func(ck *Checkpoint) {
+			ck.BaseFrame = 77
+		}, ErrBadRecord},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ck := literalCheckpoint(t)
+			tc.mut(ck)
+			data, err := ck.Encode()
+			if err != nil {
+				t.Fatalf("encode refused before decode could: %v", err)
+			}
+			_, err = Decode(data)
+			if err == nil {
+				t.Fatal("decode accepted an invalid checkpoint")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("wrong error class: got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeTotal exercises framing-level corruption: every strict
+// prefix must error, and no single-bit flip may panic or half-apply.
+func TestDecodeTotal(t *testing.T) {
+	ck := literalCheckpoint(t)
+	data, err := ck.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stride through the larger files (the embedded map JSON dominates)
+	// but cover the structural region around every record boundary.
+	stride := 1
+	if len(data) > 4096 {
+		stride = 37
+	}
+	for cut := 0; cut < len(data); cut += stride {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Fatalf("decode accepted a %d-byte prefix of a %d-byte file", cut, len(data))
+		}
+	}
+	for pos := 0; pos < len(data); pos += stride {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x40
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decode panicked on bit flip at %d: %v", pos, r)
+				}
+			}()
+			// A 16-bit fold cannot detect every flip; the contract is no
+			// panic and no invalid result, not guaranteed detection.
+			if got, err := Decode(mut); err == nil {
+				if verr := got.validate(); verr != nil {
+					t.Fatalf("bit flip at %d decoded to an invalid checkpoint: %v", pos, verr)
+				}
+			}
+		}()
+	}
+
+	if _, err := Decode([]byte("QRPL")); !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[4], bad[5] = 0xFF, 0x7F
+	if _, err := Decode(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("future version accepted: %v", err)
+	}
+	trailing := append(append([]byte(nil), data...), data[len(data)-20:]...)
+	if _, err := Decode(trailing); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("records after end marker accepted: %v", err)
+	}
+}
+
+func TestFileNameParse(t *testing.T) {
+	for _, tc := range []struct {
+		frame uint64
+		full  bool
+	}{{0, true}, {120, false}, {1 << 40, true}} {
+		frame, full, ok := parseFileName(FileName(tc.frame, tc.full))
+		if !ok || frame != tc.frame || full != tc.full {
+			t.Fatalf("FileName(%d,%v) did not parse back: %d %v %v", tc.frame, tc.full, frame, full, ok)
+		}
+	}
+	for _, bad := range []string{"ckpt-12-full.qrl", "snap-12-full.qck", "ckpt-x-full.qck", "ckpt-12.qck"} {
+		if _, _, ok := parseFileName(bad); ok {
+			t.Fatalf("parsed junk name %q", bad)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeCheckpoint drives Decode with arbitrary bytes. The
+// decoder's contract (see Decode): any input — truncated, bit-flipped,
+// reordered, adversarial — yields an error or a fully validated
+// Checkpoint, and NEVER panics or half-applies. The seed corpus is
+// writer-produced (a real full image, a real delta, and structured
+// mutations of both), so coverage starts deep inside the record framing
+// rather than at the magic check.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	world, m, ids := liveWorld(f)
+	dir := f.TempDir()
+	wr, err := NewWriter(Config{Dir: dir, WorldSeed: 7, Map: m, DeltaEvery: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	capture(f, wr, world, Meta{Frame: 30, RecItems: 12}, sampleClients(ids))
+	stepWorld(world, ids, 30, 40)
+	capture(f, wr, world, Meta{Frame: 40, RecItems: 24}, sampleClients(ids))
+	if err := wr.Close(); err != nil {
+		f.Fatal(err)
+	}
+	full, err := readSeed(dir, 30, true)
+	if err != nil {
+		f.Fatal(err)
+	}
+	delta, err := readSeed(dir, 40, false)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(full)
+	f.Add(delta)
+	f.Add(full[:len(full)/2])    // truncated mid-stream
+	f.Add(full[:7])              // truncated header
+	f.Add([]byte{})              // empty
+	f.Add([]byte("QCKP"))        // magic only
+	f.Add(bytes.Repeat(full, 2)) // records after end marker
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)/2] ^= 0x40 // flipped bit mid-file
+	f.Add(corrupt)
+	swapped := append([]byte(nil), full...)
+	swapped[4], swapped[5] = 2, 0 // future version
+	f.Add(swapped)
+	spliced := append(append([]byte(nil), full[:len(full)-30]...), delta[len(delta)-30:]...)
+	f.Add(spliced) // one file's body, another's tail
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data)
+		if err != nil {
+			if got != nil {
+				t.Fatal("Decode returned both a checkpoint and an error")
+			}
+			return
+		}
+		// A successfully decoded checkpoint is valid by construction and
+		// must survive a re-encode/decode cycle with identical content.
+		// (Byte identity is not required here: the decoder accepts any
+		// id-chunk sizes, the encoder normalizes them.)
+		if verr := got.validate(); verr != nil {
+			t.Fatalf("Decode returned an invalid checkpoint: %v", verr)
+		}
+		out, err := got.Encode()
+		if err != nil {
+			t.Fatalf("decoded checkpoint does not re-encode: %v", err)
+		}
+		back, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(back.Entities, got.Entities) ||
+			!reflect.DeepEqual(back.Gone, got.Gone) ||
+			!reflect.DeepEqual(back.Free, got.Free) ||
+			!reflect.DeepEqual(back.Clients, got.Clients) ||
+			back.Digest != got.Digest || back.Frame != got.Frame {
+			t.Fatal("re-encode changed checkpoint content")
+		}
+	})
+}
+
+func readSeed(dir string, frame uint64, full bool) ([]byte, error) {
+	files, err := ListDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, fi := range files {
+		if fi.Frame == frame && fi.Full == full {
+			return os.ReadFile(fi.Path)
+		}
+	}
+	return nil, fmt.Errorf("no seed checkpoint for frame %d full=%v", frame, full)
+}

@@ -1,0 +1,211 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qserve/internal/entity"
+	"qserve/internal/game"
+	"qserve/internal/worldmap"
+)
+
+// RestoreWorld rebuilds a world from a full checkpoint: NewWorld from
+// the embedded map (deriving the static collision tree and visibility
+// tables as usual), then the mutable state — entity table, areanode
+// links, free list, clock, spawn cursor — installed verbatim from the
+// records. The restored world's digest is verified against the recorded
+// one before it is returned, so a checkpoint that decodes cleanly but
+// would not reproduce the captured world is rejected rather than served.
+func (ck *Checkpoint) RestoreWorld() (*game.World, error) {
+	if !ck.Full {
+		return nil, fmt.Errorf("checkpoint: cannot restore from a delta (merge with its base first)")
+	}
+	w, err := game.NewWorld(game.Config{
+		Map:           ck.Map,
+		AreanodeDepth: ck.TreeDepth,
+		MaxEntities:   ck.Capacity,
+		Seed:          ck.WorldSeed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: rebuilding world: %w", err)
+	}
+	w.ResetEntities()
+	for i := range ck.Entities {
+		rec := &ck.Entities[i]
+		err := w.RestoreEntity(entity.ID(rec.ID), rec.Flags&FlagLinked != 0, func(e *entity.Entity) {
+			fillEntity(e, rec)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	free := make([]entity.ID, len(ck.Free))
+	for i, id := range ck.Free {
+		free[i] = entity.ID(id)
+	}
+	if err := w.Ents.SetFreeState(free, ck.HighWater); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	w.Time = ck.WorldTime
+	w.SetSpawnCursor(ck.SpawnCursor)
+	if got := DigestEntities(w.Time, ck.Entities); got != ck.Digest {
+		return nil, fmt.Errorf("%w: restored world folds %016x, checkpoint recorded %016x", ErrDigest, got, ck.Digest)
+	}
+	return w, nil
+}
+
+// fillEntity is the inverse of recFromEntity: install a record's fields
+// on a freshly materialized entity. Link state is handled by the caller.
+func fillEntity(e *entity.Entity, rec *EntityRec) {
+	e.Class = entity.Class(rec.Class)
+	e.Origin = rec.Origin
+	e.Velocity = rec.Velocity
+	e.Angles = rec.Angles
+	e.Mins = rec.Mins
+	e.Maxs = rec.Maxs
+	e.OnGround = rec.Flags&FlagOnGround != 0
+	e.Health = int(rec.Health)
+	e.Armor = int(rec.Armor)
+	e.Frags = int(rec.Frags)
+	e.Deaths = int(rec.Deaths)
+	e.Weapon = rec.Weapon
+	e.Weapons = rec.Weapons
+	e.Ammo = int(rec.Ammo)
+	e.HasPowerup = rec.Flags&FlagHasPowerup != 0
+	e.PowerupUntil = rec.PowerupUntil
+	e.ItemClass = worldmap.ItemClass(rec.ItemClass)
+	e.ItemSpawn = int(rec.ItemSpawn)
+	e.RespawnAt = rec.RespawnAt
+	e.Owner = entity.ID(rec.Owner)
+	e.Damage = int(rec.Damage)
+	e.DieAt = rec.DieAt
+	e.RespawnTime = rec.RespawnTime
+	e.RefireAt = rec.RefireAt
+	e.NextThink = rec.NextThink
+	e.RoomID = int(rec.RoomID)
+	e.SnapEligible = rec.Flags&FlagSnapEligible != 0
+	e.ModelFrame = rec.ModelFrame
+}
+
+// FileInfo describes one checkpoint file found in a directory.
+type FileInfo struct {
+	Path  string
+	Frame uint64
+	Full  bool
+}
+
+// ListDir returns the checkpoint files in dir, oldest first. Files whose
+// names don't match the writer's pattern are ignored.
+func ListDir(dir string) ([]FileInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []FileInfo
+	for _, de := range entries {
+		name := de.Name()
+		frame, full, ok := parseFileName(name)
+		if !ok {
+			continue
+		}
+		out = append(out, FileInfo{Path: filepath.Join(dir, name), Frame: frame, Full: full})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Frame != out[j].Frame {
+			return out[i].Frame < out[j].Frame
+		}
+		return !out[i].Full && out[j].Full // full sorts before the delta of the same frame
+	})
+	return out, nil
+}
+
+func parseFileName(name string) (frame uint64, full bool, ok bool) {
+	rest, found := strings.CutPrefix(name, "ckpt-")
+	if !found {
+		return 0, false, false
+	}
+	switch {
+	case strings.HasSuffix(rest, "-full.qck"):
+		full = true
+		rest = strings.TrimSuffix(rest, "-full.qck")
+	case strings.HasSuffix(rest, "-delta.qck"):
+		rest = strings.TrimSuffix(rest, "-delta.qck")
+	default:
+		return 0, false, false
+	}
+	frame, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false, false
+	}
+	return frame, full, true
+}
+
+// LoadLatest finds the newest recoverable state in dir: the
+// highest-frame checkpoint that decodes, validates, and — for a delta —
+// has a decodable base full image to merge with. Corrupt or torn files
+// (a kill -9 can leave at most a .tmp, never a torn final name, but
+// disks misbehave) are skipped in favor of older ones. The returned
+// checkpoint is always a verified full image.
+func LoadLatest(dir string) (*Checkpoint, error) {
+	files, err := ListDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("checkpoint: no checkpoint files in %s", dir)
+	}
+	var lastErr error
+	// fulls caches decoded full images by frame for delta merging.
+	fulls := make(map[uint64]*Checkpoint)
+	decodeFull := func(frame uint64) *Checkpoint {
+		if ck, ok := fulls[frame]; ok {
+			return ck
+		}
+		for _, fi := range files {
+			if fi.Frame == frame && fi.Full {
+				ck, err := ReadFile(fi.Path)
+				if err != nil {
+					lastErr = fmt.Errorf("%s: %w", fi.Path, err)
+					break
+				}
+				fulls[frame] = ck
+				return ck
+			}
+		}
+		fulls[frame] = nil
+		return nil
+	}
+	for i := len(files) - 1; i >= 0; i-- {
+		fi := files[i]
+		ck, err := ReadFile(fi.Path)
+		if err != nil {
+			lastErr = fmt.Errorf("%s: %w", fi.Path, err)
+			continue
+		}
+		if !ck.Full {
+			base := decodeFull(ck.BaseFrame)
+			if base == nil {
+				continue
+			}
+			merged, err := Merge(base, ck)
+			if err != nil {
+				lastErr = fmt.Errorf("%s: %w", fi.Path, err)
+				continue
+			}
+			ck = merged
+		}
+		if err := ck.VerifyDigest(); err != nil {
+			lastErr = fmt.Errorf("%s: %w", fi.Path, err)
+			continue
+		}
+		return ck, nil
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("checkpoint: no valid checkpoint in %s (last error: %w)", dir, lastErr)
+	}
+	return nil, fmt.Errorf("checkpoint: no valid checkpoint in %s", dir)
+}

@@ -1,0 +1,426 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"qserve/internal/entity"
+	"qserve/internal/game"
+	"qserve/internal/protocol"
+	"qserve/internal/worldmap"
+)
+
+// Default cadence for servers that enable checkpointing without picking
+// one: a full/delta rotation of one full image per eight deltas, with a
+// capture every 120 frames (4s at the 30fps server rate) — frequent
+// enough that the redo tail stays short, rare enough that the capture
+// cost vanishes in the frame budget (<2% gated by TestCheckpointOverheadDES).
+const (
+	DefaultInterval   = 120
+	DefaultDeltaEvery = 8
+)
+
+// Config parameterizes a Writer.
+type Config struct {
+	// Dir is the checkpoint directory; files are written as
+	// ckpt-<frame>-full.qck / ckpt-<frame>-delta.qck via atomic rename.
+	Dir string
+	// Interval is the capture cadence in frames (capture when
+	// frame%Interval == 0). Zero disables Due (manual captures only).
+	Interval uint64
+	// DeltaEvery is the number of delta checkpoints between full images;
+	// zero means every checkpoint is full.
+	DeltaEvery int
+	// WorldSeed and Map go into the file header so recovery can rebuild
+	// the world from the checkpoint alone.
+	WorldSeed int64
+	Map       *worldmap.Map
+}
+
+// Meta carries the engine-side counters a capture must record alongside
+// the world: the completed frame, the replay-log item count at the
+// barrier (the redo-log cut point), and the client-id/join allocation
+// state.
+type Meta struct {
+	Frame        uint64
+	RecItems     uint64
+	JoinIdx      int
+	NextClientID uint16
+}
+
+// Stats summarizes one committed capture.
+type Stats struct {
+	Bytes    int
+	Full     bool
+	Entities int // records emitted (changed+new for a delta)
+	Gone     int
+}
+
+type flushReq struct {
+	buf   []byte
+	frame uint64
+	full  bool
+}
+
+// Writer captures checkpoints at the reply barrier. The capture path —
+// Begin, AddClient per client, Commit — encodes into a preallocated
+// buffer and hands it to a background flusher goroutine; steady-state it
+// performs zero heap allocations (gated by BenchmarkWriterCapture), so
+// the barrier pays only the serialization walk. If the flusher still
+// owns every buffer when a capture comes due, the capture is skipped and
+// counted rather than blocking the frame.
+type Writer struct {
+	cfg    Config
+	header []byte // precomputed magic+version+header record
+
+	// Double-buffered encode targets: capture takes a buffer from free,
+	// the flusher returns it after the rename.
+	free chan []byte
+	reqs chan flushReq
+	done chan struct{}
+
+	// base is the last full image's entity records (ascending ID), the
+	// diff target for delta captures; cur is the scratch the next full
+	// image builds into before the two swap.
+	base      []EntityRec
+	cur       []EntityRec
+	baseTime  float64
+	baseFrame uint64
+	haveBase  bool
+	gone      []uint32
+
+	// In-flight capture state between Begin and Commit.
+	buf       []byte
+	enc       protocol.Writer
+	digest    fnv64
+	meta      Meta
+	full      bool
+	capturing bool
+	nEnts     int
+	nFree     int
+	nClients  int
+
+	captures uint64 // committed captures, for the full/delta cadence
+	skipped  uint64
+
+	mu       sync.Mutex
+	flushErr error
+
+	closeOnce sync.Once
+}
+
+// NewWriter builds a Writer and starts its flusher. The header (with the
+// embedded map) is encoded once here; captures only copy it.
+func NewWriter(cfg Config) (*Writer, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("checkpoint: no directory")
+	}
+	if cfg.Map == nil {
+		return nil, fmt.Errorf("checkpoint: no map")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var mb bytes.Buffer
+	if err := cfg.Map.Save(&mb); err != nil {
+		return nil, fmt.Errorf("checkpoint: serializing map: %w", err)
+	}
+	w := &Writer{
+		cfg:    cfg,
+		header: appendHeader(nil, cfg.WorldSeed, protocol.Version, mb.Bytes()),
+		free:   make(chan []byte, 2),
+		reqs:   make(chan flushReq, 2),
+		done:   make(chan struct{}),
+	}
+	w.free <- make([]byte, 0, len(w.header)+4096)
+	w.free <- make([]byte, 0, len(w.header)+4096)
+	go w.flusher()
+	return w, nil
+}
+
+// Due reports whether a capture is scheduled for the just-completed
+// frame.
+func (w *Writer) Due(frame uint64) bool {
+	return w.cfg.Interval > 0 && frame > 0 && frame%w.cfg.Interval == 0
+}
+
+// Skipped returns how many due captures were dropped because the
+// flusher still owned every buffer.
+func (w *Writer) Skipped() uint64 { return w.skipped }
+
+// Err returns the first flush error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushErr
+}
+
+// Begin starts a capture of world at the reply barrier. It encodes the
+// header, meta, entity, gone and free-list sections; the caller then
+// feeds every connected client through AddClient (ascending client id)
+// and seals the file with Commit. Returns false — capture skipped — when
+// no encode buffer is free. The world must be frame-stable for the whole
+// Begin..Commit window (the reply phase guarantees this).
+//
+//qvet:phase=reply
+//qvet:noalloc
+func (w *Writer) Begin(world *game.World, meta Meta) bool {
+	var buf []byte
+	select {
+	case buf = <-w.free:
+	default:
+		w.skipped++
+		w.capturing = false
+		return false
+	}
+
+	w.meta = meta
+	w.full = !w.haveBase || w.cfg.DeltaEvery <= 0 || w.captures%uint64(w.cfg.DeltaEvery+1) == 0
+	w.buf = append(buf[:0], w.header...)
+	w.digest = fnv64Offset.f64(world.Time)
+	w.nEnts, w.nFree, w.nClients = 0, 0, 0
+	w.gone = w.gone[:0]
+	w.cur = w.cur[:0]
+
+	// Meta record.
+	p := &w.enc
+	p.Reset()
+	p.U64(meta.Frame)
+	wF64(p, world.Time)
+	p.U32(uint32(world.SpawnCursor()))
+	p.U32(uint32(world.Ents.HighWater()))
+	p.U32(uint32(world.Ents.Capacity()))
+	p.U8(uint8(world.Tree.Depth()))
+	p.U16(meta.NextClientID)
+	p.U32(uint32(meta.JoinIdx))
+	p.U64(meta.RecItems)
+	if w.full {
+		p.U8(1)
+		p.U64(0)
+	} else {
+		p.U8(0)
+		p.U64(w.baseFrame)
+	}
+	w.appendRecord(CkMeta)
+
+	// Entity section: walk the live table in ID order, folding the
+	// digest over every entity; full captures emit and retain every
+	// record, deltas emit only records differing from the base image and
+	// collect base IDs no longer live. The ForEach closure does not
+	// escape, so it stays off the heap.
+	if w.full {
+		world.Ents.ForEach(func(e *entity.Entity) {
+			var rec EntityRec
+			recFromEntity(e, &rec)
+			w.digest = w.digest.foldEntity(&rec)
+			w.cur = append(w.cur, rec)
+			p.Reset()
+			encodeEntity(p, &rec)
+			w.appendRecord(CkEntity)
+			w.nEnts++
+		})
+		w.base, w.cur = w.cur, w.base
+		w.baseTime = world.Time
+		w.baseFrame = meta.Frame
+		w.haveBase = true
+	} else {
+		bi := 0
+		world.Ents.ForEach(func(e *entity.Entity) {
+			var rec EntityRec
+			recFromEntity(e, &rec)
+			w.digest = w.digest.foldEntity(&rec)
+			for bi < len(w.base) && w.base[bi].ID < rec.ID {
+				w.gone = append(w.gone, w.base[bi].ID)
+				bi++
+			}
+			changed := true
+			if bi < len(w.base) && w.base[bi].ID == rec.ID {
+				changed = rec != w.base[bi]
+				bi++
+			}
+			if changed {
+				p.Reset()
+				encodeEntity(p, &rec)
+				w.appendRecord(CkEntity)
+				w.nEnts++
+			}
+		})
+		for ; bi < len(w.base); bi++ {
+			w.gone = append(w.gone, w.base[bi].ID)
+		}
+	}
+
+	// Gone and free-list sections, chunked under the record size cap.
+	w.appendIDChunks(CkGone, w.gone)
+	free := world.Ents.FreeList()
+	w.nFree = len(free)
+	for start := 0; start < len(free); start += freeChunk {
+		chunk := free[start:min(start+freeChunk, len(free))]
+		p.Reset()
+		p.U16(uint16(len(chunk)))
+		for _, id := range chunk {
+			p.U32(uint32(id))
+		}
+		w.appendRecord(CkFree)
+	}
+
+	w.capturing = true
+	return true
+}
+
+func (w *Writer) appendIDChunks(kind uint8, ids []uint32) {
+	for start := 0; start < len(ids); start += freeChunk {
+		chunk := ids[start:min(start+freeChunk, len(ids))]
+		w.enc.Reset()
+		w.enc.U16(uint16(len(chunk)))
+		for _, id := range chunk {
+			w.enc.U32(id)
+		}
+		w.appendRecord(kind)
+	}
+}
+
+// appendRecord frames w.enc.Buf as one record of the given kind onto the
+// capture buffer. Payloads are bounded by construction (freeChunk,
+// maxBaseline), so the u16 length cannot overflow.
+func (w *Writer) appendRecord(kind uint8) {
+	payload := w.enc.Buf
+	if len(payload) > maxRecordPayload {
+		//qvet:allow=noalloc unreachable-by-construction panic formatting
+		panic(fmt.Sprintf("checkpoint: record kind %d payload %d bytes", kind, len(payload)))
+	}
+	start := len(w.buf)
+	w.buf = append(w.buf, kind)
+	w.buf = append(w.buf, byte(len(payload)), byte(len(payload)>>8))
+	w.buf = append(w.buf, payload...)
+	sum := protocol.Fold16(w.buf[start:])
+	w.buf = append(w.buf, byte(sum), byte(sum>>8))
+}
+
+// AddClient appends one client record to the in-flight capture. Callers
+// feed clients in ascending client-id order. No-op when Begin skipped.
+//
+//qvet:phase=reply
+//qvet:noalloc
+func (w *Writer) AddClient(rec ClientRec) {
+	if !w.capturing {
+		return
+	}
+	if len(rec.Baseline) > maxBaseline {
+		rec.Baseline = rec.Baseline[:maxBaseline]
+	}
+	p := &w.enc
+	p.Reset()
+	encodeClient(p, &rec)
+	w.appendRecord(CkClient)
+	w.nClients++
+}
+
+// Commit seals the capture — end record with section counts and the
+// world digest — and hands the buffer to the flusher. Returns the
+// capture's stats; zero Stats when Begin skipped.
+//
+//qvet:phase=reply
+//qvet:noalloc
+func (w *Writer) Commit() Stats {
+	if !w.capturing {
+		return Stats{}
+	}
+	w.capturing = false
+	p := &w.enc
+	p.Reset()
+	p.U32(uint32(w.nEnts))
+	p.U32(uint32(len(w.gone)))
+	p.U32(uint32(w.nFree))
+	p.U32(uint32(w.nClients))
+	p.U64(uint64(w.digest))
+	w.appendRecord(CkEnd)
+
+	st := Stats{Bytes: len(w.buf), Full: w.full, Entities: w.nEnts, Gone: len(w.gone)}
+	w.captures++
+	// Never blocks: reqs has the same capacity as free, and this buffer
+	// was taken from free.
+	w.reqs <- flushReq{buf: w.buf, frame: w.meta.Frame, full: w.full}
+	w.buf = nil
+	return st
+}
+
+// FileName returns the on-disk name for a capture of the given frame.
+func FileName(frame uint64, full bool) string {
+	kind := "delta"
+	if full {
+		kind = "full"
+	}
+	return fmt.Sprintf("ckpt-%016d-%s.qck", frame, kind)
+}
+
+func (w *Writer) flusher() {
+	defer close(w.done)
+	for req := range w.reqs {
+		path := filepath.Join(w.cfg.Dir, FileName(req.frame, req.full))
+		if err := atomicWrite(path, req.buf); err != nil {
+			w.mu.Lock()
+			if w.flushErr == nil {
+				w.flushErr = err
+			}
+			w.mu.Unlock()
+		}
+		w.free <- req.buf
+	}
+}
+
+// Close drains the flusher and returns the first flush error. Safe to
+// call more than once; the writer must not be used afterwards.
+func (w *Writer) Close() error {
+	w.closeOnce.Do(func() {
+		close(w.reqs)
+		<-w.done
+	})
+	return w.Err()
+}
+
+// recFromEntity packs a live entity into its checkpoint record.
+func recFromEntity(e *entity.Entity, rec *EntityRec) {
+	rec.ID = uint32(e.ID)
+	rec.Class = uint8(e.Class)
+	rec.Flags = 0
+	if e.OnGround {
+		rec.Flags |= FlagOnGround
+	}
+	if e.HasPowerup {
+		rec.Flags |= FlagHasPowerup
+	}
+	if e.SnapEligible {
+		rec.Flags |= FlagSnapEligible
+	}
+	if e.Link.Linked() {
+		rec.Flags |= FlagLinked
+	}
+	rec.Origin = e.Origin
+	rec.Velocity = e.Velocity
+	rec.Angles = e.Angles
+	rec.Mins = e.Mins
+	rec.Maxs = e.Maxs
+	rec.Health = int64(e.Health)
+	rec.Armor = int64(e.Armor)
+	rec.Frags = int64(e.Frags)
+	rec.Deaths = int64(e.Deaths)
+	rec.Weapon = e.Weapon
+	rec.Weapons = e.Weapons
+	rec.Ammo = int64(e.Ammo)
+	rec.PowerupUntil = e.PowerupUntil
+	rec.ItemClass = uint8(e.ItemClass)
+	rec.ItemSpawn = int64(e.ItemSpawn)
+	rec.RespawnAt = e.RespawnAt
+	rec.Owner = int32(e.Owner)
+	rec.Damage = int64(e.Damage)
+	rec.DieAt = e.DieAt
+	rec.RespawnTime = e.RespawnTime
+	rec.RefireAt = e.RefireAt
+	rec.NextThink = e.NextThink
+	rec.RoomID = int32(e.RoomID)
+	rec.ModelFrame = e.ModelFrame
+}

@@ -60,6 +60,14 @@ type Model struct {
 	// Misc.
 	SelectReturn int64 // cost of returning from select with a packet
 	GlobalBuffer int64 // per access to the global state buffer
+
+	// Durable checkpointing (DESIGN.md §12): the barrier-side cost of one
+	// capture — fixed setup plus per-entity-record encode plus per-output-
+	// byte fold/copy. Only the serialization is charged to frame time; the
+	// file write happens off-thread in the live engines and is free here.
+	CheckpointBase   int64 // per capture
+	CheckpointEntity int64 // per entity record serialized
+	CheckpointByte   int64 // per output byte encoded and checksummed
 }
 
 // Default returns the calibrated model. See EXPERIMENTS.md §Calibration
@@ -98,6 +106,10 @@ func Default() Model {
 
 		SelectReturn: 3_000,
 		GlobalBuffer: 900,
+
+		CheckpointBase:   20_000,
+		CheckpointEntity: 600,
+		CheckpointByte:   2,
 	}
 }
 
@@ -160,6 +172,14 @@ func (m *Model) WorldCost(w game.Work) int64 {
 		int64(w.PhysTraces)*m.PhysTrace +
 		int64(w.TreeNodes)*m.TreeNode +
 		int64(w.TreeChecks)*m.TreeCheck
+}
+
+// CheckpointCost returns the barrier-side serialization cost of one
+// durable checkpoint capture over the given entity and byte counts.
+func (m *Model) CheckpointCost(entities, bytes int) int64 {
+	return m.CheckpointBase +
+		int64(entities)*m.CheckpointEntity +
+		int64(bytes)*m.CheckpointByte
 }
 
 // MachineConfig describes the simulated testbed — Table 1 of the paper,

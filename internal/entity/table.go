@@ -127,6 +127,87 @@ func (t *Table) removeActive(id ID) {
 	t.actIDs = ids[:len(ids)-1]
 }
 
+// FreeList returns the free-list slots in stack order (the next Alloc
+// pops the last element). The slice is the table's internal state:
+// callers must not modify it, and it is valid only until the next Alloc
+// or Free. Checkpointing serializes it so a restored table hands out
+// recycled IDs in exactly the order the original would have.
+func (t *Table) FreeList() []ID { return t.free }
+
+// Reset clears every slot, the free list, and the high-water mark,
+// returning the table to its just-constructed state. Restore-only: the
+// caller must have unlinked every entity first (a linked entity here is
+// the same unrecoverable corruption Free panics on).
+func (t *Table) Reset() {
+	for i := 0; i < t.highWater; i++ {
+		if t.ents[i].Link.Linked() {
+			panic(fmt.Sprintf("entity: resetting table with linked entity %d (%v)", i, t.ents[i].Class))
+		}
+		t.ents[i] = Entity{ID: ID(i)}
+	}
+	t.free = t.free[:0]
+	t.actIDs = t.actIDs[:0]
+	t.active = 0
+	t.highWater = 0
+}
+
+// Materialize activates the exact slot id — the restore-path counterpart
+// of Alloc, which picks the slot itself. The slot's fields are zeroed
+// (the caller fills them from a checkpoint record); the high-water mark
+// grows to cover id. It returns nil when id is out of range or the slot
+// is already active.
+func (t *Table) Materialize(id ID) *Entity {
+	if id < 0 || int(id) >= len(t.ents) {
+		return nil
+	}
+	e := &t.ents[id]
+	if e.Active {
+		return nil
+	}
+	*e = Entity{ID: id, Active: true}
+	if int(id) >= t.highWater {
+		t.highWater = int(id) + 1
+	}
+	t.insertActive(id)
+	t.active++
+	return e
+}
+
+// SetFreeState installs a checkpointed free list (in stack order) and
+// high-water mark after the active entities have been materialized. It
+// validates that the two exactly tile the sub-high-water slots: every
+// inactive slot below highWater appears in free once, no active slot
+// does, and nothing points past highWater. Any violation leaves the
+// table untouched and returns an error — a corrupt checkpoint must not
+// half-apply.
+func (t *Table) SetFreeState(free []ID, highWater int) error {
+	if highWater < t.highWater {
+		return fmt.Errorf("entity: free-state high water %d below materialized high water %d", highWater, t.highWater)
+	}
+	if highWater > len(t.ents) {
+		return fmt.Errorf("entity: free-state high water %d exceeds capacity %d", highWater, len(t.ents))
+	}
+	if t.active+len(free) != highWater {
+		return fmt.Errorf("entity: %d active + %d free does not tile %d slots", t.active, len(free), highWater)
+	}
+	seen := make(map[ID]bool, len(free))
+	for _, id := range free {
+		if id < 0 || int(id) >= highWater {
+			return fmt.Errorf("entity: free slot %d outside high water %d", id, highWater)
+		}
+		if t.ents[id].Active {
+			return fmt.Errorf("entity: free slot %d is active", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("entity: free slot %d listed twice", id)
+		}
+		seen[id] = true
+	}
+	t.free = append(t.free[:0], free...)
+	t.highWater = highWater
+	return nil
+}
+
 // Get returns the entity with the given ID, or nil for out-of-range IDs.
 // The result may be inactive; callers check Active when it matters.
 func (t *Table) Get(id ID) *Entity {

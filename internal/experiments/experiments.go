@@ -573,7 +573,7 @@ func All(o Options) (string, error) {
 	b.WriteString("\n")
 	steps := []func(Options) (string, error){
 		Fig1, Fig2, Fig3, Fig4, Fig5, Fig6, Fig7a, Fig7b, Fig7c,
-		Imbalance, Coverage, WaitAnalysis, MapStudy, Saturation, Ablations, Balance,
+		Imbalance, Coverage, WaitAnalysis, MapStudy, Saturation, Ablations, Balance, Durability,
 	}
 	for _, step := range steps {
 		out, err := step(o)

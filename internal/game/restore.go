@@ -1,0 +1,52 @@
+package game
+
+import (
+	"fmt"
+
+	"qserve/internal/entity"
+)
+
+// This file is the world side of checkpoint recovery (internal/checkpoint,
+// DESIGN.md §12): primitives that rebuild a world's mutable state —
+// entity table, areanode links, clock, spawn rotation — exactly as a
+// checkpoint recorded it. The static state (collision tree, visibility
+// tables) is derived from the map by NewWorld as usual.
+
+// SpawnCursor returns the spawn-point rotation cursor.
+func (w *World) SpawnCursor() int { return w.spawnCursor }
+
+// SetSpawnCursor restores the spawn-point rotation cursor, so players
+// spawning after recovery land where they would have without the crash.
+func (w *World) SetSpawnCursor(n int) { w.spawnCursor = n }
+
+// ResetEntities unlinks every entity and clears the table, preparing a
+// freshly built world to be repopulated from a checkpoint. Restore-only:
+// it must not run while any engine thread can touch the world.
+func (w *World) ResetEntities() {
+	w.Ents.ForEach(func(e *entity.Entity) {
+		if e.Link.Linked() {
+			w.Tree.Unlink(&e.Link)
+		}
+	})
+	w.Ents.Reset()
+}
+
+// RestoreEntity materializes entity id, fills its fields via fill, and —
+// when linked is set — links it into the areanode tree. Unlike the spawn
+// paths it does not refresh RoomID or SnapEligible after linking: fill
+// installs the checkpointed values verbatim, so a restored world is
+// bit-identical to the captured one even where the derived values had
+// drifted from what a fresh derivation would produce.
+func (w *World) RestoreEntity(id entity.ID, linked bool, fill func(*entity.Entity)) error {
+	e := w.Ents.Materialize(id)
+	if e == nil {
+		return fmt.Errorf("game: cannot materialize entity %d (out of range or already active)", id)
+	}
+	fill(e)
+	if linked {
+		e.Link.ID = int32(e.ID)
+		e.Link.Owner = e
+		w.Tree.Link(&e.Link, e.AbsBox())
+	}
+	return nil
+}

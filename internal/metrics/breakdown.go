@@ -124,6 +124,21 @@ type Breakdown struct {
 	EntitiesCapped  int64
 	BusyRejects     int64
 	MuxDrops        int64
+
+	// Durability counters (DESIGN.md §12): checkpoints captured at the
+	// reply barrier and their serialization time (barrier-side only — the
+	// file write happens off-thread), bytes split by full vs. delta
+	// images so the delta compression ratio is reportable, captures
+	// skipped because the flusher still owned every buffer, and the
+	// one-time cost of crash recovery (restore + redo-log tail) when the
+	// engine was seeded from a checkpoint.
+	Checkpoints          int64
+	CheckpointNs         int64
+	CheckpointBytes      int64
+	CheckpointFullBytes  int64
+	CheckpointDeltaBytes int64
+	CheckpointSkips      int64
+	RecoveryNs           int64
 }
 
 // Add accumulates o into b.
@@ -148,6 +163,13 @@ func (b *Breakdown) Add(o *Breakdown) {
 	b.EntitiesCapped += o.EntitiesCapped
 	b.BusyRejects += o.BusyRejects
 	b.MuxDrops += o.MuxDrops
+	b.Checkpoints += o.Checkpoints
+	b.CheckpointNs += o.CheckpointNs
+	b.CheckpointBytes += o.CheckpointBytes
+	b.CheckpointFullBytes += o.CheckpointFullBytes
+	b.CheckpointDeltaBytes += o.CheckpointDeltaBytes
+	b.CheckpointSkips += o.CheckpointSkips
+	b.RecoveryNs += o.RecoveryNs
 }
 
 // Charge adds ns to a component.
@@ -228,6 +250,23 @@ func (b *Breakdown) Scale(f float64) {
 	b.EntitiesCapped = int64(float64(b.EntitiesCapped) * f)
 	b.BusyRejects = int64(float64(b.BusyRejects) * f)
 	b.MuxDrops = int64(float64(b.MuxDrops) * f)
+	b.Checkpoints = int64(float64(b.Checkpoints) * f)
+	b.CheckpointNs = int64(float64(b.CheckpointNs) * f)
+	b.CheckpointBytes = int64(float64(b.CheckpointBytes) * f)
+	b.CheckpointFullBytes = int64(float64(b.CheckpointFullBytes) * f)
+	b.CheckpointDeltaBytes = int64(float64(b.CheckpointDeltaBytes) * f)
+	b.CheckpointSkips = int64(float64(b.CheckpointSkips) * f)
+	b.RecoveryNs = int64(float64(b.RecoveryNs) * f)
+}
+
+// DeltaRatio returns delta-checkpoint bytes as a fraction of full-
+// checkpoint bytes — how much the incremental encoding compresses the
+// durability stream (0 when no full image was written).
+func (b *Breakdown) DeltaRatio() float64 {
+	if b.CheckpointFullBytes == 0 {
+		return 0
+	}
+	return float64(b.CheckpointDeltaBytes) / float64(b.CheckpointFullBytes)
 }
 
 // BytesPerReply returns the average datagram size of the reply phase, or

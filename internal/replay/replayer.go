@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"qserve/internal/balance"
+	"qserve/internal/checkpoint"
 	"qserve/internal/game"
 	"qserve/internal/protocol"
 	"qserve/internal/server"
@@ -25,6 +26,14 @@ type LiveConfig struct {
 	Threads  int
 	Balance  bool
 	Stealing bool
+
+	// Checkpoint, when non-nil, is handed to the engine as
+	// server.Config.Checkpoint, so the driven session captures durable
+	// checkpoints at its frame barriers — the crash-recovery acceptance
+	// arm records a session with this set and then recovers from the
+	// newest checkpoint plus the log tail (DESIGN.md §12). Checkpointing
+	// never changes what the world computes.
+	Checkpoint *checkpoint.Writer
 }
 
 // String names the configuration the way the conformance tables do.
@@ -157,6 +166,7 @@ func newLiveDriver(m *worldmap.Map, seed int64, lc LiveConfig, rec *Recorder, ma
 		Balance:       pol,
 		Stealing:      lc.Stealing,
 		Record:        rec,
+		Checkpoint:    lc.Checkpoint,
 		Clock:         nil,
 	}
 	vc := newVclock()

@@ -27,6 +27,12 @@ type client struct {
 	entID entity.ID
 	name  string
 	addr  transport.Addr
+	// addrStr caches addr.String(): it keys the byAddr index and lets the
+	// checkpoint capture record the address without allocating per frame.
+	// For a client parked by restore (addr == nil until it reconnects) it
+	// holds the checkpointed address, so a survivor returning from the
+	// same endpoint maps straight onto its old record.
+	addrStr string
 	// thread is the owning server thread. Static until the load balancer
 	// migrates the client: the frame master rewrites it at the rebalance
 	// barrier, where no request is in flight and the frame controller's
@@ -112,6 +118,24 @@ type client struct {
 	// the baseline. Any thread may set it (duplicate connects can arrive
 	// on any endpoint); only the owner consumes it.
 	resetBaseline atomic.Bool
+
+	// seqResync suspends the duplicate/wild seq window for the client's
+	// next accepted move, which re-seeds lastSeq instead of being
+	// filtered. Set on restore-parked and drain-resumed clients, whose
+	// peer may have restarted its own seq space (older than lastSeq) or
+	// raced far ahead of the recovered counter; consumed by the owning
+	// thread at its first accepted command. Deliberately NOT set on
+	// ordinary duplicate connects: a mid-session re-handshake must not
+	// open a replay window for stale datagrams.
+	seqResync atomic.Bool
+
+	// awaitingResume marks a client restored from a checkpoint and parked
+	// for its player to reconnect: addr is nil (nothing is sent to it), and
+	// the first Connect matching its address or name rebinds it in place —
+	// keeping its entity, seq state, and identity — instead of admitting a
+	// new player. Aged out by the normal stale-client reaper if the player
+	// never returns.
+	awaitingResume atomic.Bool
 
 	// fwdFrame, when nonzero, records frameNumber+1 of the moment a worker
 	// forwarded one of this client's datagrams to the owning thread. While
@@ -215,10 +239,51 @@ func (t *clientTable) add(c *client) bool {
 	}
 	c.id = t.nextID
 	t.nextID++
-	t.byAddr[c.addr.String()] = c
+	c.addrStr = c.addr.String()
+	t.byAddr[c.addrStr] = c
 	t.byID[c.id] = c
-	// Sorted insert; ids are handed out in increasing order, so this is
-	// an append unless nextID wrapped around.
+	t.insertOrdered(c)
+	return true
+}
+
+// addRestored inserts a checkpointed client under its recorded id. The
+// id allocator advances past it so later joins cannot collide with a
+// restored identity. Restore-time only (no concurrent engine).
+func (t *clientTable) addRestored(c *client) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.byID) >= t.maxSize {
+		return false
+	}
+	if _, dup := t.byID[c.id]; dup {
+		return false
+	}
+	if c.addrStr != "" {
+		t.byAddr[c.addrStr] = c
+	}
+	t.byID[c.id] = c
+	t.insertOrdered(c)
+	if c.id >= t.nextID {
+		t.nextID = c.id + 1
+	}
+	return true
+}
+
+// setNextID advances the id allocator to at least n (the checkpointed
+// counter), so ids of clients that disconnected before the crash are not
+// reissued to post-restore joiners while their player may still try to
+// resume against a stale id.
+func (t *clientTable) setNextID(n uint16) {
+	t.mu.Lock()
+	if n > t.nextID {
+		t.nextID = n
+	}
+	t.mu.Unlock()
+}
+
+// insertOrdered adds c to the id-sorted slice; callers hold t.mu. Ids
+// are normally handed out in increasing order, so this is an append.
+func (t *clientTable) insertOrdered(c *client) {
 	pos := len(t.ordered)
 	for pos > 0 && t.ordered[pos-1].id > c.id {
 		pos--
@@ -226,7 +291,34 @@ func (t *clientTable) add(c *client) bool {
 	t.ordered = append(t.ordered, nil)
 	copy(t.ordered[pos+1:], t.ordered[pos:])
 	t.ordered[pos] = c
-	return true
+}
+
+// rebind points a parked (or roaming) client at a new transport address,
+// rekeying the byAddr index.
+func (t *clientTable) rebind(c *client, addr transport.Addr) {
+	t.mu.Lock()
+	if c.addrStr != "" && t.byAddr[c.addrStr] == c {
+		delete(t.byAddr, c.addrStr)
+	}
+	c.addr = addr
+	c.addrStr = addr.String()
+	t.byAddr[c.addrStr] = c
+	t.mu.Unlock()
+}
+
+// lookupResume finds a parked awaiting-resume client by player name —
+// the fallback match for a survivor reconnecting from a new address
+// (NAT rebind across the restart). Lowest id wins on (unlikely)
+// duplicate names, keeping the match deterministic.
+func (t *clientTable) lookupResume(name string) *client {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, c := range t.ordered {
+		if c.awaitingResume.Load() && c.name == name {
+			return c
+		}
+	}
+	return nil
 }
 
 func (t *clientTable) remove(c *client) {
@@ -235,7 +327,9 @@ func (t *clientTable) remove(c *client) {
 	if t.byID[c.id] != c {
 		return // already removed (idempotent paths race benignly)
 	}
-	delete(t.byAddr, c.addr.String())
+	if t.byAddr[c.addrStr] == c {
+		delete(t.byAddr, c.addrStr)
+	}
 	delete(t.byID, c.id)
 	for i, o := range t.ordered {
 		if o == c {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"qserve/internal/balance"
+	"qserve/internal/checkpoint"
 	"qserve/internal/game"
 	"qserve/internal/locking"
 	"qserve/internal/transport"
@@ -95,6 +96,20 @@ type Config struct {
 	// recording was requested; the taps are branch-predictable nil
 	// checks when off.
 	Record Recorder
+
+	// Checkpoint, when non-nil, captures durable world checkpoints at the
+	// reply barrier every Writer-configured interval (DESIGN.md §12). The
+	// capture runs on the frame master after all replies committed — the
+	// phase where the entity table is read-only — so the snapshot is
+	// race-free by construction and allocation-free in steady state. The
+	// engine drives Begin/AddClient/Commit; the writer flushes off-thread.
+	Checkpoint *checkpoint.Writer
+
+	// Restore, when non-nil, seeds the engine from a recovered session
+	// (replay.Recover): World already holds the restored entity table;
+	// Restore carries the client identities to park for reconnection and
+	// the allocation counters to resume from.
+	Restore *RestoreState
 
 	// Clock, when non-nil, replaces time.Now for the world-physics dt
 	// computation only (the single wall-clock input that reaches frame

@@ -377,6 +377,16 @@ func (fc *frameCtl) frameNumber() uint64 {
 	return fc.frame
 }
 
+// setFrame seeds the frame counter before the pool starts — restore
+// resumes numbering where the recovered session left off so checkpoint
+// file names and replay logs stay monotonic across the restart. Must not
+// be called once workers are running.
+func (fc *frameCtl) setFrame(n uint64) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.frame = n
+}
+
 // currentParticipants returns a copy of the participant set excluding
 // abandoned workers (master use, during reply/cleanup when the set is
 // frozen).

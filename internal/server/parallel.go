@@ -101,6 +101,20 @@ type Parallel struct {
 	pendingMu    sync.Mutex
 	pendingEvict []*client
 
+	// pendingResume holds reconnect handshakes for restore-parked clients
+	// (DESIGN.md §12). A Connect may arrive on any thread's endpoint, but
+	// resuming rewrites client identity state (addr, byAddr key) that the
+	// owning thread and the disconnect paths read — so, like pendingEvict,
+	// the application is deferred to masterCleanup where no request is in
+	// flight. The Accept is sent immediately; moves sent before the resume
+	// lands are dropped and retransmitted by the client's normal tick.
+	resumeMu      sync.Mutex
+	pendingResume []resumePending
+
+	// ckptBuf is the master's client-snapshot scratch for the checkpoint
+	// capture at the frame barrier.
+	ckptBuf []*client
+
 	// Scratch for the master's shed-far computation.
 	shedClients []*client
 	shedDists   []float64
@@ -108,6 +122,13 @@ type Parallel struct {
 	// vis coordinates the once-per-frame visibility-index build that the
 	// workers partition among themselves at the reply barrier.
 	vis *visBuilder
+}
+
+// resumePending is one queued reconnect: the parked client and the
+// address its player is now calling from.
+type resumePending struct {
+	c    *client
+	addr transport.Addr
 }
 
 // WedgeRecord describes one watchdog detection: which worker was stuck,
@@ -248,6 +269,25 @@ func NewParallel(cfg Config) (*Parallel, error) {
 		}
 		s.bal = balance.New(cfg.Balance)
 	}
+	if rs := cfg.Restore; rs != nil {
+		// Crash recovery: resume frame numbering where the recovered
+		// session left off (checkpoint file names and replay logs stay
+		// monotonic), restore the allocation counters, and park the
+		// surviving clients for reconnection. Routing a parked client's
+		// checkpointed address up-front means a survivor calling from the
+		// same endpoint reaches its owning thread immediately.
+		s.fc.setFrame(rs.Frame + 1)
+		s.joinIdx.Store(int64(rs.JoinIdx))
+		parked := parkRestoredClients(s.clients, rs, cfg.Threads, time.Now())
+		if s.mux != nil {
+			for _, c := range parked {
+				if c.addrStr != "" {
+					s.mux.Route(transport.MemAddr(c.addrStr), c.thread)
+				}
+			}
+		}
+		s.workers[0].bd.RecoveryNs = rs.RecoveryNs
+	}
 	s.shed.init(&s.cfg)
 	return s, nil
 }
@@ -304,7 +344,8 @@ func (s *Parallel) Shutdown() {
 	var wr protocol.Writer
 	s.clients.forEach(func(c *client) {
 		wr.Reset()
-		if protocol.Encode(&wr, &protocol.Disconnected{Reason: "server shutting down"}) == nil {
+		if c.addr != nil &&
+			protocol.Encode(&wr, &protocol.Disconnected{Reason: "server shutting down"}) == nil {
 			s.bytesOut.Add(int64(len(wr.Bytes())))
 			_ = s.cfg.Conns[c.thread].Send(c.addr, wr.Bytes())
 		}
@@ -507,15 +548,23 @@ func (s *Parallel) evictClient(w *worker, c *client, reason string) {
 		return
 	}
 	s.clients.remove(c)
-	if s.mux != nil {
-		s.mux.Unroute(c.addr)
-	}
+	s.unroute(c)
 	s.removePlayerLocked(w, c.entID)
 	if r := s.cfg.Record; r != nil {
 		r.RecordDisconnect(c.id, DiscReasonEvict)
 	}
 	s.send(w, c.addr, &protocol.Disconnected{Reason: reason})
 	s.faultEvictions.Add(1)
+}
+
+// unroute forgets a client's mux route, keyed by its cached address
+// string so a restore-parked client (addr nil until reconnect) is handled
+// uniformly.
+func (s *Parallel) unroute(c *client) {
+	if s.mux == nil || c.addrStr == "" {
+		return
+	}
+	s.mux.Unroute(transport.MemAddr(c.addrStr))
 }
 
 // safeProcessPacket contains a panic in request handling to the client
@@ -730,6 +779,14 @@ func (s *Parallel) processPacket(w *worker, data []byte, from transport.Addr) {
 		if c == nil || c.quarantined.Load() {
 			return
 		}
+		if c.awaitingResume.Load() {
+			// Restore-parked client: moves are dropped until the reconnect
+			// handshake (a Connect) lands at the barrier. Unlike the
+			// sequential engine, the parallel engine cannot adopt the
+			// address in place — the owner's addr write would race the
+			// disconnect paths on other threads.
+			return
+		}
 		if c.thread != w.id {
 			// A command for a client another thread owns. With the mux in
 			// place this happens transiently after a migration (a datagram
@@ -792,8 +849,11 @@ func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
 	// move, and executing it would rewind the player's intent. The
 	// engine's netchan does the same with its sequence check. Wild
 	// forward jumps are corrupted datagrams and are dropped *without*
-	// advancing lastSeq, so they cannot poison the filter.
-	if m.Seq != 0 && (seqOlder(m.Seq, c.lastSeq) || seqWild(m.Seq, c.lastSeq)) {
+	// advancing lastSeq, so they cannot poison the filter. A resumed
+	// client's first move re-seeds lastSeq instead (seqResync): its peer's
+	// seq space may have moved arbitrarily while the server was down.
+	if m.Seq != 0 && (seqOlder(m.Seq, c.lastSeq) || seqWild(m.Seq, c.lastSeq)) &&
+		!c.seqResync.Load() {
 		return
 	}
 	if m.Ack != 0 && c.repliedFrame.Load()-m.Ack > baselineGapFrames {
@@ -854,6 +914,7 @@ func (s *Parallel) execMove(w *worker, c *client, m *protocol.Move) {
 
 	c.replyPending = true
 	c.lastSeq = m.Seq
+	c.seqResync.Store(false)
 	c.touch(time.Now())
 	if r := s.cfg.Record; r != nil {
 		r.RecordMove(c.id, m.Seq, &m.Cmd)
@@ -887,6 +948,19 @@ func (s *Parallel) handleConnect(w *worker, m *protocol.Connect, from transport.
 		if existing.quarantined.Load() {
 			return // pending eviction; don't resurrect
 		}
+		if existing.awaitingResume.Load() {
+			// Restore-parked survivor calling back from its checkpointed
+			// address: queue the resume for the barrier (see pendingResume)
+			// and accept immediately — the Accept's contents are all stable.
+			s.queueResume(existing, from)
+			s.send(w, from, &protocol.Accept{
+				ClientID: existing.id,
+				EntityID: int32(existing.entID),
+				MapName:  s.world.Map.Name,
+				Addr:     s.cfg.Conns[existing.thread].LocalAddr().String(),
+			})
+			return
+		}
 		// Duplicate connect (retransmit or client restart): re-accept
 		// idempotently, and flag the delta baseline for reset — a
 		// restarted client has no memory of the entity states the baseline
@@ -899,6 +973,19 @@ func (s *Parallel) handleConnect(w *worker, m *protocol.Connect, from transport.
 			EntityID: int32(existing.entID),
 			MapName:  s.world.Map.Name,
 			Addr:     s.cfg.Conns[existing.thread].LocalAddr().String(),
+		})
+		return
+	}
+	if resume := s.clients.lookupResume(m.Name); resume != nil {
+		// Survivor reconnecting from a new address (NAT rebind across the
+		// restart): matched by name. Resumes at the barrier like the
+		// same-address path; no new client slot is consumed.
+		s.queueResume(resume, from)
+		s.send(w, from, &protocol.Accept{
+			ClientID: resume.id,
+			EntityID: int32(resume.entID),
+			MapName:  s.world.Map.Name,
+			Addr:     s.cfg.Conns[resume.thread].LocalAddr().String(),
 		})
 		return
 	}
@@ -974,9 +1061,7 @@ func (s *Parallel) handleDisconnect(w *worker, from transport.Addr) {
 		return
 	}
 	s.clients.remove(c)
-	if s.mux != nil {
-		s.mux.Unroute(c.addr)
-	}
+	s.unroute(c)
 	s.removePlayerLocked(w, c.entID)
 	if r := s.cfg.Record; r != nil {
 		r.RecordDisconnect(c.id, DiscReasonClient)
@@ -1083,9 +1168,7 @@ func (s *Parallel) masterCleanup(w *worker) {
 			continue
 		}
 		s.clients.remove(c)
-		if s.mux != nil {
-			s.mux.Unroute(c.addr)
-		}
+		s.unroute(c)
 		s.removePlayerLocked(w, c.entID)
 		if r := s.cfg.Record; r != nil {
 			r.RecordDisconnect(c.id, DiscReasonTimeout)
@@ -1128,10 +1211,70 @@ func (s *Parallel) masterCleanup(w *worker) {
 	if s.bal != nil {
 		rec.Migrations = s.rebalance()
 	}
+	s.applyResumes()
 	s.frameLog.Append(rec)
 	if r := s.cfg.Record; r != nil {
 		r.RecordShed(int(level))
 		r.RecordFrameEnd(s.fc.frameNumber())
+	}
+
+	// Durable checkpoint capture (DESIGN.md §12): after every reply
+	// committed and after the frame's record taps ran, so the redo-log cut
+	// names exactly the state the snapshot contains. The entity table is
+	// read-only here by the barrier; in degraded mode the world guard
+	// excludes a waking zombie's writes, like every other barrier-side
+	// reader.
+	if wr := s.cfg.Checkpoint; wr != nil {
+		if frame := s.fc.frameNumber(); wr.Due(frame) {
+			if s.fc.hasZombies() {
+				s.worldGuard.Lock()
+				s.ckptBuf = captureCheckpoint(wr, s.world, s.clients, s.ckptBuf,
+					s.cfg.Record, frame, int(s.joinIdx.Load()), &w.bd)
+				s.worldGuard.Unlock()
+			} else {
+				s.ckptBuf = captureCheckpoint(wr, s.world, s.clients, s.ckptBuf,
+					s.cfg.Record, frame, int(s.joinIdx.Load()), &w.bd)
+			}
+		}
+	}
+}
+
+// queueResume enqueues a parked client's reconnect for the barrier.
+func (s *Parallel) queueResume(c *client, from transport.Addr) {
+	s.resumeMu.Lock()
+	s.pendingResume = append(s.pendingResume, resumePending{c: c, addr: from})
+	s.resumeMu.Unlock()
+}
+
+// applyResumes completes queued reconnect handshakes at the frame
+// barrier: rebind the client to its new address, invalidate the delta
+// baseline, re-route the mux, and lift the parked state. Single-threaded
+// by masterCleanup's position in the frame protocol.
+func (s *Parallel) applyResumes() {
+	s.resumeMu.Lock()
+	pending := s.pendingResume
+	s.pendingResume = nil
+	s.resumeMu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	now := time.Now()
+	for _, pr := range pending {
+		c := pr.c
+		// Retransmitted Connects queue duplicates; the first application
+		// clears awaitingResume and the rest fall through here. A client
+		// reaped or quarantined while queued stays untouched.
+		if !c.awaitingResume.Load() || c.quarantined.Load() || s.clients.lookupID(c.id) != c {
+			continue
+		}
+		old := c.addrStr
+		resumeClient(s.clients, c, pr.addr, now)
+		if s.mux != nil {
+			if old != "" && old != c.addrStr {
+				s.mux.Unroute(transport.MemAddr(old))
+			}
+			s.mux.Route(pr.addr, c.thread)
+		}
 	}
 }
 
@@ -1176,7 +1319,11 @@ func (s *Parallel) rebalance() int {
 		// wedged thread may still be straggling through its request phase,
 		// and migrating its client under it would put two threads on one
 		// client's state. Quarantined clients are pending eviction.
-		if s.workers[c.thread].zombie.Load() || c.quarantined.Load() {
+		// Restore-parked clients are frozen too: their load figure is
+		// pre-crash history and their mux route must keep pointing at the
+		// checkpointed thread until the reconnect handshake lands.
+		if s.workers[c.thread].zombie.Load() || c.quarantined.Load() ||
+			c.awaitingResume.Load() {
 			continue
 		}
 		// A client with a forwarded datagram in flight is frozen: migrating
@@ -1238,6 +1385,9 @@ func fwdFreezeExpired(stamp, frame uint64) bool {
 }
 
 func (s *Parallel) send(w *worker, to transport.Addr, msg any) {
+	if to == nil {
+		return // restore-parked client: no transport address yet
+	}
 	w.writer.Reset()
 	if err := protocol.Encode(&w.writer, msg); err != nil {
 		return

@@ -58,6 +58,12 @@ func (b *Baseline) Len() int { return len(b.states) }
 // Tag returns the baseline's continuity tag (0 when empty).
 func (b *Baseline) Tag() uint32 { return b.tag }
 
+// States returns the retained entity states backing the baseline. The
+// slice aliases internal storage: callers may only read it, and only
+// while the owning thread is quiescent (the DES durability capture reads
+// it at the frame barrier).
+func (b *Baseline) States() []protocol.EntityState { return b.states }
+
 // ReplyStats reports one FormSnapshot call's volume: datagram size,
 // buffer growths (zero in steady state), entities truncated by the
 // overload cap, the snapshot-formation work counters, and the wall time

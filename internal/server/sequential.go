@@ -77,6 +77,16 @@ func NewSequential(cfg Config) (*Sequential, error) {
 		stop:    make(chan struct{}),
 	}
 	s.shed.init(&s.cfg)
+	if rs := cfg.Restore; rs != nil {
+		// Resume a recovered session: frame numbering continues past the
+		// recovered frame (keeping checkpoint names monotonic), allocation
+		// counters pick up where the crashed server left off, and the
+		// survivors are parked for reconnection.
+		s.frames = rs.Frame + 1
+		s.joinIdx = rs.JoinIdx
+		parkRestoredClients(s.clients, rs, 1, time.Now())
+		s.bd.RecoveryNs = rs.RecoveryNs
+	}
 	return s, nil
 }
 
@@ -118,10 +128,12 @@ func (s *Sequential) Shutdown() {
 	s.Stop()
 	var wr protocol.Writer
 	s.clients.forEach(func(c *client) {
-		wr.Reset()
-		if protocol.Encode(&wr, &protocol.Disconnected{Reason: "server shutting down"}) == nil {
-			s.bytesOut.Add(int64(len(wr.Bytes())))
-			_ = s.conn.Send(c.addr, wr.Bytes())
+		if c.addr != nil {
+			wr.Reset()
+			if protocol.Encode(&wr, &protocol.Disconnected{Reason: "server shutting down"}) == nil {
+				s.bytesOut.Add(int64(len(wr.Bytes())))
+				_ = s.conn.Send(c.addr, wr.Bytes())
+			}
 		}
 		s.clients.remove(c)
 	})
@@ -242,8 +254,20 @@ func (s *Sequential) processPacket(data []byte, from transport.Addr) {
 		if c == nil {
 			return
 		}
-		if m.Seq != 0 && (seqOlder(m.Seq, c.lastSeq) || seqWild(m.Seq, c.lastSeq)) {
-			return // duplicate, reordered, or corrupted-sequence datagram
+		if m.Seq != 0 && (seqOlder(m.Seq, c.lastSeq) || seqWild(m.Seq, c.lastSeq)) &&
+			!c.seqResync.Load() {
+			// Duplicate, reordered, or corrupted-sequence datagram. A
+			// client resuming across a server restart (seqResync) is exempt
+			// once: its peer's seq space may have restarted below — or run
+			// ahead of — the recovered counter.
+			return
+		}
+		if c.addr == nil {
+			// Parked survivor whose first datagram arrived from its old
+			// address before any Connect: adopt the address (it matched the
+			// byAddr index to get here) and lift the parked state.
+			c.addr = from
+			c.awaitingResume.Store(false)
 		}
 		if m.Ack != 0 && c.repliedFrame.Load()-m.Ack > baselineGapFrames {
 			c.baseline.Invalidate() // delta continuity lost; resend full state
@@ -264,6 +288,7 @@ func (s *Sequential) processPacket(data []byte, from transport.Addr) {
 		s.frameEvents = append(s.frameEvents, wireEvents(res.Events)...)
 		c.replyPending = true
 		c.lastSeq = m.Seq
+		c.seqResync.Store(false)
 		c.touch(time.Now())
 		if r := s.cfg.Record; r != nil {
 			r.RecordMove(c.id, m.Seq, &m.Cmd)
@@ -295,11 +320,29 @@ func (s *Sequential) handleConnect(m *protocol.Connect, from transport.Addr) {
 		return
 	}
 	if existing := s.clients.lookup(from); existing != nil {
+		if existing.awaitingResume.Load() {
+			// Survivor of a restart reconnecting from its old address:
+			// resume the parked identity instead of admitting a new player.
+			resumeClient(s.clients, existing, from, time.Now())
+		}
 		// Reconnect: the client has no memory of the baseline's states.
 		existing.baseline.Invalidate()
 		s.send(from, &protocol.Accept{
 			ClientID: existing.id,
 			EntityID: int32(existing.entID),
+			MapName:  s.world.Map.Name,
+			Addr:     s.conn.LocalAddr().String(),
+		})
+		return
+	}
+	if resume := s.clients.lookupResume(m.Name); resume != nil {
+		// Survivor reconnecting from a new address (NAT rebind across the
+		// restart): match by name, rebind in place.
+		resumeClient(s.clients, resume, from, time.Now())
+		resume.baseline.Invalidate()
+		s.send(from, &protocol.Accept{
+			ClientID: resume.id,
+			EntityID: int32(resume.entID),
 			MapName:  s.world.Map.Name,
 			Addr:     s.conn.LocalAddr().String(),
 		})
@@ -428,10 +471,20 @@ func (s *Sequential) endFrame(frameT0 time.Time) {
 		r.RecordShed(int(s.shed.current()))
 		r.RecordFrameEnd(s.frames)
 	}
+	if wr := s.cfg.Checkpoint; wr != nil && wr.Due(s.frames) {
+		// Reply barrier: every reply for this frame has been sent and no
+		// request is in flight, so the world is frame-stable. Runs after
+		// the record taps so the checkpoint's redo-log cut covers them.
+		s.clientBuf = captureCheckpoint(wr, s.world, s.clients, s.clientBuf,
+			s.cfg.Record, s.frames, s.joinIdx, &s.bd)
+	}
 	s.frames++
 }
 
 func (s *Sequential) send(to transport.Addr, msg any) {
+	if to == nil {
+		return // parked restored client: no peer to notify yet
+	}
 	s.writer.Reset()
 	if err := protocol.Encode(&s.writer, msg); err != nil {
 		return

@@ -464,7 +464,8 @@ func (s *Parallel) execPoolEntry(w *worker, e poolEntry) (parked bool) {
 	if c.gone.Load() || c.quarantined.Load() {
 		return false
 	}
-	if m.Seq != 0 && (seqOlder(m.Seq, c.lastSeq) || seqWild(m.Seq, c.lastSeq)) {
+	if m.Seq != 0 && (seqOlder(m.Seq, c.lastSeq) || seqWild(m.Seq, c.lastSeq)) &&
+		!c.seqResync.Load() {
 		return false
 	}
 	if m.Ack != 0 && c.repliedFrame.Load()-m.Ack > baselineGapFrames {
@@ -546,6 +547,7 @@ func (s *Parallel) executePoolMoveGuarded(w *worker, e poolEntry, ent *entity.En
 	c := e.c
 	c.replyPending = true
 	c.lastSeq = e.m.Seq
+	c.seqResync.Store(false)
 	c.touch(time.Now())
 	if r := s.cfg.Record; r != nil {
 		// Tap at the commit, never on a park: parked entries re-execute

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"qserve/internal/balance"
+	"qserve/internal/checkpoint"
 	"qserve/internal/costmodel"
 	"qserve/internal/game"
 	"qserve/internal/locking"
@@ -21,6 +22,11 @@ import (
 
 // Config parameterizes one simulated run.
 type Config struct {
+	// World, when non-nil, is used directly instead of being constructed
+	// from Map/MapConfig — the crash-recovery path feeds a restored world
+	// (checkpoint.RestoreWorld) here so a DES run can resume a recovered
+	// session. The caller is responsible for sizing its entity table.
+	World *game.World
 	// Map, when non-nil, is used directly (e.g. an arena from
 	// worldmap.GenerateArena); otherwise MapConfig generates the world.
 	Map *worldmap.Map
@@ -125,6 +131,13 @@ type Config struct {
 	// as the live engines' Config.Record does, so DES sessions can be
 	// captured and replayed too.
 	Record server.Recorder
+
+	// Checkpoint, when non-nil, captures durable world checkpoints at the
+	// frame barrier exactly as the live engines' server.Config.Checkpoint
+	// does (DESIGN.md §12). The barrier-side serialization is charged to
+	// the master's frame time via Model.CheckpointCost; the file write is
+	// off-thread in the live engines and free here.
+	Checkpoint *checkpoint.Writer
 
 	// Stealing enables the conflict-aware work-stealing request
 	// scheduler: workers pool their clients' move commands per frame,

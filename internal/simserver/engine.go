@@ -7,6 +7,7 @@ import (
 
 	"qserve/internal/balance"
 	"qserve/internal/botclient"
+	"qserve/internal/checkpoint"
 	"qserve/internal/costmodel"
 	"qserve/internal/entity"
 	"qserve/internal/game"
@@ -192,19 +193,23 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	m := cfg.Map
-	if m == nil {
-		m = worldmap.MustGenerate(cfg.MapConfig)
-	}
-	maxEnts := len(m.Items) + len(m.Teleporters) + cfg.Players*4 + 64
-	world, err := game.NewWorld(game.Config{
-		Map:           m,
-		AreanodeDepth: cfg.AreanodeDepth,
-		MaxEntities:   maxEnts,
-		Seed:          cfg.Seed,
-	})
-	if err != nil {
-		return nil, err
+	world := cfg.World
+	if world == nil {
+		m := cfg.Map
+		if m == nil {
+			m = worldmap.MustGenerate(cfg.MapConfig)
+		}
+		maxEnts := len(m.Items) + len(m.Teleporters) + cfg.Players*4 + 64
+		var err error
+		world, err = game.NewWorld(game.Config{
+			Map:           m,
+			AreanodeDepth: cfg.AreanodeDepth,
+			MaxEntities:   maxEnts,
+			Seed:          cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	smt := 1.0
@@ -713,6 +718,55 @@ func (e *engine) masterCleanup(p *sim.Proc) {
 	e.frameLog.Append(rec)
 	if r := e.cfg.Record; r != nil {
 		r.RecordFrameEnd(e.fc.frame)
+	}
+	if wr := e.cfg.Checkpoint; wr != nil && wr.Due(e.fc.frame) {
+		e.captureCheckpoint(p, wr)
+	}
+}
+
+// captureCheckpoint mirrors the live engines' barrier capture on the
+// simulated machine: the same Begin/AddClient/Commit cycle against the
+// frame-stable world, after the frame's record taps so the redo-log cut
+// names exactly the state the snapshot contains, with the serialization
+// charged to the master's frame time by the cost model. Clients are
+// visited in idx order, satisfying the format's ID-ascending rule.
+func (e *engine) captureCheckpoint(p *sim.Proc, wr *checkpoint.Writer) {
+	bd := &e.bds[p.ID]
+	items := 0
+	if ri, ok := e.cfg.Record.(interface{ Items() int }); ok {
+		items = ri.Items()
+	}
+	meta := checkpoint.Meta{
+		Frame:        e.fc.frame,
+		RecItems:     uint64(items),
+		JoinIdx:      len(e.clients),
+		NextClientID: uint16(len(e.clients)),
+	}
+	if !wr.Begin(e.world, meta) {
+		bd.CheckpointSkips++
+		return
+	}
+	for _, c := range e.clients {
+		wr.AddClient(checkpoint.ClientRec{
+			ID:           uint16(c.idx),
+			EntID:        int32(c.ent.ID),
+			Thread:       uint8(c.thread),
+			RepliedFrame: uint32(c.replied),
+			LoadNs:       c.loadNs,
+			BaselineTag:  c.baseline.Tag(),
+			Baseline:     c.baseline.States(),
+		})
+	}
+	st := wr.Commit()
+	t0 := p.Now()
+	p.Advance(e.model.CheckpointCost(st.Entities, st.Bytes))
+	bd.Checkpoints++
+	bd.CheckpointNs += p.Now() - t0
+	bd.CheckpointBytes += int64(st.Bytes)
+	if st.Full {
+		bd.CheckpointFullBytes += int64(st.Bytes)
+	} else {
+		bd.CheckpointDeltaBytes += int64(st.Bytes)
 	}
 }
 
