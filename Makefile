@@ -100,4 +100,14 @@ lint:
 	@! grep -E '^(require|replace)' go.mod || \
 		{ echo 'lint: root go.mod must stay dependency-free (tool deps live in tools/go.mod)'; exit 1; }
 
-ci: vet build lint race bench conformance chaos replay durability
+# instancing runs the match-manager acceptance set: cross-instance
+# digest isolation and panic eviction under -race, the fleet tail gate
+# (1000 idle + 8 active matches, active p99 bounded, shared scratch
+# pool bounded), the dispatch 0 allocs/op gate, and the scheduler
+# benchmark.
+instancing:
+	$(GO) test -race -run 'TestCrossInstanceDigestIsolation|TestEvictionIsolation|TestLobbyRoutesAndAssigns|TestIdleMatchesShareScratch|TestPokeSchedulesPromptly' ./internal/match/
+	$(GO) test -v -run 'TestSchedulerDispatchZeroAllocs|TestMatchManagerTailGate' ./internal/match/
+	$(GO) test -run=NONE -bench=BenchmarkMatchManager -benchmem -benchtime=10000x ./internal/match/
+
+ci: vet build lint race bench conformance chaos replay durability instancing

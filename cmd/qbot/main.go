@@ -31,6 +31,7 @@ func main() {
 	mapPath := flag.String("map", "", "map file; empty regenerates from -mapseed")
 	mapSeed := flag.Int64("mapseed", 1, "seed matching the server's map")
 	frameMs := flag.Int("framems", 33, "client frame duration (ms)")
+	matchName := flag.String("match", "", "match to join on an instancing server (-matches); empty lets the lobby assign one")
 	flag.Parse()
 
 	m, err := loadMap(*mapPath, *mapSeed)
@@ -55,6 +56,7 @@ func main() {
 			Map:     m,
 			FrameMs: *frameMs,
 			Seed:    int64(i + 1),
+			Match:   *matchName,
 		})
 		if err != nil {
 			fatal(err)

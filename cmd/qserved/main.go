@@ -28,6 +28,7 @@ import (
 	"qserve/internal/checkpoint"
 	"qserve/internal/game"
 	"qserve/internal/locking"
+	"qserve/internal/match"
 	"qserve/internal/metrics"
 	"qserve/internal/replay"
 	"qserve/internal/server"
@@ -59,7 +60,24 @@ func main() {
 	ckptDelta := flag.Int("checkpoint-delta", checkpoint.DefaultDeltaEvery, "delta checkpoints between full images (0 = every checkpoint full)")
 	restore := flag.Bool("restore", false, "cold-start from the newest valid checkpoint in -checkpoint; survivors reconnect onto their entities")
 	restoreLog := flag.String("restore-log", "", "redo log (.qrl) from the crashed run, replayed past the checkpoint to the exact pre-crash frame")
+	matches := flag.Int("matches", 0, "instancing mode: host N concurrent matches (m0..mN-1) on a shared worker pool behind one lobby socket")
+	matchWorkers := flag.Int("match-workers", 0, "scheduler workers for -matches (0 = GOMAXPROCS)")
+	matchActive := flag.Duration("match-active", 0, "frame cadence of a match with clients (-matches; 0 = 15ms default)")
+	matchIdle := flag.Duration("match-idle", 0, "tick cadence of an empty match (-matches; 0 = 250ms default)")
 	flag.Parse()
+
+	if *matches > 0 {
+		if *restore || *recordPath != "" || *ckptDir != "" || *threads > 1 {
+			fatal(fmt.Errorf("-matches hosts sequential engines and does not compose with -threads/-record/-checkpoint/-restore"))
+		}
+		m, err := loadMap(*mapPath, *mapSeed)
+		if err != nil {
+			fatal(err)
+		}
+		runMatches(m, *mapSeed, *addr, *matches, *matchWorkers, *maxClients,
+			*matchActive, *matchIdle, *statsEvery)
+		return
+	}
 
 	var (
 		m         *worldmap.Map
@@ -233,6 +251,93 @@ func main() {
 				eng.BytesIn()/1024, eng.BytesOut()/1024)
 		}
 	}
+}
+
+// runMatches is the instancing daemon: N sequential-engine matches
+// multiplexed over one UDP socket and a shared worker pool. Clients
+// join a specific match by naming it in their Connect datagram
+// (qbot -match m3) or let the lobby assign one round-robin.
+func runMatches(m *worldmap.Map, seed int64, addr string, n, workers, maxClients int, active, idle, statsEvery time.Duration) {
+	conn, err := transport.ListenUDP(addr)
+	if err != nil {
+		fatal(err)
+	}
+	mgr := match.NewManager(match.Config{
+		Workers:        workers,
+		ActiveInterval: active,
+		IdleInterval:   idle,
+	})
+	lobby := match.NewLobby(mgr, conn)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("m%d", i)
+		if _, err := lobby.CreateMatch(name, func(c transport.Conn) (*server.Sequential, error) {
+			w, err := game.NewWorld(game.Config{Map: m, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return server.NewSequential(server.Config{
+				World:      w,
+				Conns:      []transport.Conn{c},
+				MaxClients: maxClients,
+				Shared:     mgr.Shared(),
+			})
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	mgr.Start()
+	fmt.Printf("qserved: instancing: %d matches (m0..m%d) behind lobby %s, map %q\n",
+		n, n-1, conn.LocalAddr(), m.Name)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(time.Hour)
+	ticker.Stop()
+	if statsEvery > 0 {
+		ticker = time.NewTicker(statsEvery)
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-sig:
+			fmt.Println("\nshutting down ...")
+			lobby.Close()
+			mgr.Stop()
+			printMatchRollups(mgr, lobby)
+			return
+		case <-ticker.C:
+			// Live ticks read only scheduler/lobby state; engine counters
+			// are unstable while matches may be mid-step.
+			fmt.Printf("matches=%d evictions=%d routed=%d rejects=%d scratch=%d\n",
+				mgr.Len(), mgr.Evictions(), lobby.Routed(), lobby.Rejects(),
+				mgr.Shared().Made())
+		}
+	}
+}
+
+// printMatchRollups prints one line per match that saw clients plus the
+// manager-level aggregate. Idle matches only appear in the aggregate.
+func printMatchRollups(mgr *match.Manager, lobby *match.Lobby) {
+	for _, st := range mgr.Stats() {
+		if st.Clients == 0 && st.Replies == 0 {
+			continue
+		}
+		status := ""
+		if st.Evicted {
+			status = " EVICTED"
+		}
+		fmt.Printf("match %s: clients=%d frames=%d replies=%d step p50=%.3fms p99=%.3fms late p99=%.3fms in=%dKB out=%dKB%s\n",
+			st.Name, st.Clients, st.Frames, st.Replies,
+			st.StepP50Ms, st.StepP99Ms, st.LateP99Ms,
+			st.BytesIn/1024, st.BytesOut/1024, status)
+	}
+	ag := mgr.AggregateStats()
+	fmt.Printf("aggregate: matches=%d live=%d active=%d evicted=%d frames=%d replies=%d clients=%d\n",
+		ag.Matches, ag.Live, ag.ActiveM, ag.Evicted, ag.Frames, ag.Replies, ag.Clients)
+	fmt.Printf("aggregate: routed=%d rejects=%d scratch sets=%d\n",
+		lobby.Routed(), lobby.Rejects(), ag.ScratchMade)
+	fmt.Printf("aggregate step: %s\n", ag.StepHist.String())
+	fmt.Printf("aggregate breakdown: %s\n", ag.Breakdown.String())
 }
 
 func loadMap(path string, seed int64) (*worldmap.Map, error) {

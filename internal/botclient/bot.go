@@ -38,6 +38,10 @@ type Config struct {
 	FireProb float64
 	// ConnectTimeout bounds the connection handshake. Default 5s.
 	ConnectTimeout time.Duration
+	// Match names the instance to join on a match-manager server
+	// (DESIGN.md §13). Empty asks the lobby to assign one; solo servers
+	// ignore it.
+	Match string
 }
 
 // Bot is one automatic player.
@@ -116,6 +120,7 @@ func (b *Bot) Connect() error {
 			Name:        b.cfg.Name,
 			FrameMs:     uint8(b.cfg.FrameMs),
 			ProtocolVer: protocol.Version,
+			Match:       b.cfg.Match,
 		})
 		limit := time.Now().Add(200 * time.Millisecond)
 		for time.Now().Before(limit) {
@@ -316,6 +321,7 @@ func (b *Bot) resync() {
 		Name:        b.cfg.Name,
 		FrameMs:     uint8(b.cfg.FrameMs),
 		ProtocolVer: protocol.Version,
+		Match:       b.cfg.Match,
 	})
 }
 

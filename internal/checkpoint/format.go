@@ -56,6 +56,7 @@ const (
 // FormatVersion is the current checkpoint format version.
 const FormatVersion = 1
 
+//qvet:allow=globalstate written-once format magic, never mutated
 var ckMagic = [4]byte{'Q', 'C', 'K', 'P'}
 
 // Decode errors. All are wrapped with position context; none of the

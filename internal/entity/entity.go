@@ -60,14 +60,14 @@ func (c Class) String() string {
 // Player dimensions are the engine's: 32 wide, 56 tall, origin 24 above
 // the feet.
 var (
-	PlayerMins = geom.V(-16, -16, -24)
-	PlayerMaxs = geom.V(16, 16, 32)
+	PlayerMins = geom.V(-16, -16, -24) //qvet:allow=globalstate hull constant, immutable by convention
+	PlayerMaxs = geom.V(16, 16, 32)    //qvet:allow=globalstate hull constant, immutable by convention
 
-	ItemMins = geom.V(-12, -12, -16)
-	ItemMaxs = geom.V(12, 12, 16)
+	ItemMins = geom.V(-12, -12, -16) //qvet:allow=globalstate hull constant, immutable by convention
+	ItemMaxs = geom.V(12, 12, 16)    //qvet:allow=globalstate hull constant, immutable by convention
 
-	ProjectileMins = geom.V(-4, -4, -4)
-	ProjectileMaxs = geom.V(4, 4, 4)
+	ProjectileMins = geom.V(-4, -4, -4) //qvet:allow=globalstate hull constant, immutable by convention
+	ProjectileMaxs = geom.V(4, 4, 4)    //qvet:allow=globalstate hull constant, immutable by convention
 )
 
 // Entity is one dynamic game object. All fields are owned by whichever

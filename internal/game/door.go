@@ -121,7 +121,7 @@ func (w *World) doorBlocked(e *entity.Entity) bool {
 
 // errTableFull is returned when the entity table cannot hold the map's
 // static population.
-var errTableFull = &tableFullError{}
+var errTableFull error = &tableFullError{}
 
 type tableFullError struct{}
 

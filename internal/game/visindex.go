@@ -65,6 +65,11 @@ type VisIndex struct {
 // Len returns the number of cached (snapshot-eligible) entities.
 func (vi *VisIndex) Len() int { return len(vi.ids) }
 
+// Detach drops the index's world reference. A pooled index shared
+// across match instances (DESIGN.md §13) is detached when parked so it
+// cannot keep an evicted match's world reachable.
+func (vi *VisIndex) Detach() { vi.w = nil }
+
 // Begin runs the serial collect pass: it snapshots the eligible entity
 // set from the table's active-ID index and assigns each entry a bucket —
 // the entity's room for fresh rooms, nRooms for room-unknown entries,

@@ -1,0 +1,218 @@
+package match
+
+import (
+	"log"
+	"runtime"
+	"time"
+)
+
+// The frame scheduler: a deadline-ordered min-heap of matches served by
+// a fixed pool of workers. Each worker pops the earliest due match,
+// steps exactly one frame, computes the next deadline from the step's
+// activity verdict, and requeues. Lateness never compounds: the next
+// deadline is now+interval, not deadline+interval, so a backlogged
+// scheduler coalesces missed idle ticks instead of replaying them.
+//
+// The dispatch path — pop, step, requeue — is allocation-free in steady
+// state: the heap is a preallocated slice of pointers, the histograms
+// are fixed arrays, and the engines' own per-frame paths hold the
+// repo-wide 0 allocs/op line. Only match admission allocates.
+
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		mt, wait, ok := m.next()
+		if !ok {
+			return
+		}
+		if mt != nil {
+			m.step(mt)
+			continue
+		}
+		// Nothing due: sleep until the earliest deadline (or a kick —
+		// admission, Poke, or a requeue that created an earlier top).
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		if wait >= 0 {
+			timer.Reset(wait)
+			select {
+			case <-m.stopc:
+				return
+			case <-m.kick:
+			case <-timer.C:
+			}
+		} else {
+			select {
+			case <-m.stopc:
+				return
+			case <-m.kick:
+			}
+		}
+	}
+}
+
+// next pops the earliest due match, or reports how long until one is
+// due (wait < 0: heap empty). ok=false means the manager stopped.
+func (m *Manager) next() (mt *Match, wait time.Duration, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return nil, 0, false
+	}
+	if len(m.heap) == 0 {
+		return nil, -1, true
+	}
+	top := m.heap[0]
+	now := time.Now()
+	if d := top.deadline.Sub(now); d > 0 {
+		return nil, d, true
+	}
+	m.heapPop()
+	top.running = true
+	top.lateHist.Record(now.Sub(top.deadline).Seconds())
+	return top, 0, true
+}
+
+// step runs one frame of a popped match and requeues it. A panic that
+// escapes the engine's own containment (which already absorbs request
+// and reply phase panics per client) condemns only this match: it is
+// evicted, every other match keeps its cadence.
+func (m *Manager) step(mt *Match) {
+	t0 := time.Now()
+	active, panicked := m.safeStep(mt)
+	dur := time.Since(t0)
+
+	m.mu.Lock()
+	mt.running = false
+	mt.frames++
+	mt.active = active
+	mt.stepHist.Record(dur.Seconds())
+	if panicked {
+		m.evictLocked(mt)
+		m.mu.Unlock()
+		return
+	}
+	interval := m.cfg.IdleInterval
+	if active {
+		interval = m.cfg.ActiveInterval
+	}
+	if mt.poked {
+		mt.poked = false
+		interval = 0
+	}
+	mt.deadline = time.Now().Add(interval)
+	m.heapPush(mt)
+	if m.heap[0] == mt && len(m.heap) > 1 {
+		// We created a new earliest deadline; a worker may be sleeping
+		// toward a later one.
+		m.kickLocked()
+	}
+	m.mu.Unlock()
+}
+
+func (m *Manager) safeStep(mt *Match) (active, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			log.Printf("match: %q panicked mid-frame, evicting (others unaffected): %v", mt.name, r)
+		}
+	}()
+	if h := m.cfg.Hooks.PreStep; h != nil {
+		h(mt.name)
+	}
+	return mt.eng.StepFrame(), false
+}
+
+// dispatchOne is a worker's inner loop body without the sleeping: pop
+// the earliest due match, step it, requeue. It returns false when
+// nothing is due right now (or the manager stopped). The benchmark and
+// allocation gates drive the scheduler through this, so they measure
+// exactly the per-frame dispatch path a worker executes.
+func (m *Manager) dispatchOne() bool {
+	mt, _, ok := m.next()
+	if !ok || mt == nil {
+		return false
+	}
+	m.step(mt)
+	return true
+}
+
+// Deadline min-heap over m.heap, hand-rolled (no container/heap
+// interface) so dispatch stays monomorphic and allocation-free.
+// Callers hold m.mu.
+
+func (m *Manager) heapPush(mt *Match) {
+	mt.heapIdx = len(m.heap)
+	m.heap = append(m.heap, mt)
+	m.siftUp(mt.heapIdx)
+}
+
+func (m *Manager) heapPop() *Match {
+	top := m.heap[0]
+	last := len(m.heap) - 1
+	m.heap[0] = m.heap[last]
+	m.heap[0].heapIdx = 0
+	m.heap[last] = nil
+	m.heap = m.heap[:last]
+	if last > 0 {
+		m.siftDown(0)
+	}
+	top.heapIdx = -1
+	return top
+}
+
+// heapFix restores heap order after mt's deadline changed in place.
+func (m *Manager) heapFix(mt *Match) {
+	m.siftUp(mt.heapIdx)
+	m.siftDown(mt.heapIdx)
+}
+
+func (m *Manager) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !m.heap[i].deadline.Before(m.heap[p].deadline) {
+			return
+		}
+		m.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (m *Manager) siftDown(i int) {
+	n := len(m.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && m.heap[l].deadline.Before(m.heap[min].deadline) {
+			min = l
+		}
+		if r < n && m.heap[r].deadline.Before(m.heap[min].deadline) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		m.heapSwap(i, min)
+		i = min
+	}
+}
+
+func (m *Manager) heapSwap(i, j int) {
+	m.heap[i], m.heap[j] = m.heap[j], m.heap[i]
+	m.heap[i].heapIdx = i
+	m.heap[j].heapIdx = j
+}

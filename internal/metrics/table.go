@@ -87,3 +87,6 @@ func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
 
 // F2 formats a float with two decimal places.
 func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// F3 formats a float with three decimals (sub-millisecond latencies).
+func F3(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -99,6 +99,10 @@ type Connect struct {
 	Name        string
 	FrameMs     uint8 // client frame duration (30-40ms per the paper)
 	ProtocolVer uint8
+	// Match names the instance the client wants to join when the server
+	// runs a match manager (DESIGN.md §13). Empty means "assign me": the
+	// lobby picks a match. Single-match servers ignore it.
+	Match string
 }
 
 // Move wraps a MoveCmd with sequencing.
@@ -217,6 +221,7 @@ func Encode(w *Writer, msg any) error {
 		w.String(m.Name)
 		w.U8(m.FrameMs)
 		w.U8(m.ProtocolVer)
+		w.String(m.Match)
 	case *Move:
 		w.U8(uint8(TMove))
 		w.U32(m.Seq)
@@ -286,6 +291,7 @@ func Decode(data []byte) (any, error) {
 		m.Name = r.String()
 		m.FrameMs = r.U8()
 		m.ProtocolVer = r.U8()
+		m.Match = r.String()
 		msg = m
 	case TMove:
 		m := &Move{}

@@ -49,6 +49,7 @@ const (
 // FormatVersion is the current log format version.
 const FormatVersion = 1
 
+//qvet:allow=globalstate written-once format magic, never mutated
 var logMagic = [4]byte{'Q', 'R', 'P', 'L'}
 
 // Decode errors. All are wrapped with position context; none of the

@@ -119,6 +119,15 @@ type Config struct {
 	// using the real clock.
 	Clock func() time.Time
 
+	// Shared, when non-nil, is the cross-instance frame-scratch pool
+	// (DESIGN.md §13): the engine borrows its per-frame buffers (receive
+	// buffer, reply scratch, visibility index, sweep buffers) from the
+	// pool while active and parks them when idle, so a process running
+	// thousands of mostly idle matches holds warm buffers only for the
+	// active ones. Nil keeps the classic behavior: the engine owns its
+	// buffers for life.
+	Shared *SharedBufs
+
 	// Hooks are test seams; nil in production.
 	Hooks Hooks
 }

@@ -44,6 +44,9 @@ type Sequential struct {
 	// clientBuf is the reused snapshot scratch for per-frame client
 	// sweeps (sendReplies, event flush); single-threaded, never nested.
 	clientBuf []*client
+	// scratch, in stepped mode with Config.Shared set, is the pooled
+	// buffer set currently backing the fields above; nil while idle.
+	scratch *frameScratch
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -73,8 +76,12 @@ func NewSequential(cfg Config) (*Sequential, error) {
 		world:   cfg.World,
 		conn:    cfg.Conns[0],
 		clients: newClientTable(cfg.MaxClients),
-		recvBuf: make([]byte, transport.MaxDatagram),
 		stop:    make(chan struct{}),
+	}
+	if cfg.Shared == nil {
+		// Classic mode owns its buffers for life; stepped mode with a
+		// shared pool borrows them per activity burst (step.go).
+		s.recvBuf = make([]byte, transport.MaxDatagram)
 	}
 	s.shed.init(&s.cfg)
 	if rs := cfg.Restore; rs != nil {
@@ -94,6 +101,11 @@ func NewSequential(cfg Config) (*Sequential, error) {
 func (s *Sequential) Start() {
 	s.started = time.Now()
 	s.last = s.cfg.timeNow()
+	if s.cfg.Shared != nil && s.scratch == nil {
+		// The threaded loop blocks in Recv and can't park buffers at idle
+		// points; borrow a scratch set once and keep it for the run.
+		s.attachScratch(s.cfg.Shared.get())
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()

@@ -255,11 +255,10 @@ func TestPoolScanBlocksClientOnFailedClaim(t *testing.T) {
 
 	// An earlier request of this client is in flight on another worker.
 	c.claim.Store(99)
-	poolScanClaimHook = func(hc *client) {
+	p.scanClaimHook = func(hc *client) {
 		// ... and it completes immediately after the scan sees the claim.
 		hc.claim.Store(0)
 	}
-	defer func() { poolScanClaimHook = nil }()
 
 	// A thief's take is a single scan: the failed CAS at idx 0 must
 	// block the client outright, never fall through to idx 1.
@@ -281,7 +280,7 @@ func TestPoolScanBlocksClientOnFailedClaim(t *testing.T) {
 		t.Fatalf("scan claimed idx=%d ahead of the client's oldest entry", e.idx)
 	}
 	c.claim.Store(0)
-	poolScanClaimHook = nil
+	p.scanClaimHook = nil
 	if e, ok := p.take(w, false, 0); !ok || e.idx != 1 {
 		t.Fatalf("remaining entry = (%v, idx=%d), want idx=1", ok, e.idx)
 	}

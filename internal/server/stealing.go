@@ -61,6 +61,16 @@ type stealPool struct {
 	// shifting the slice, and push compacts when the pool empties, so the
 	// steady-state frame loop does not allocate.
 	head int
+
+	// scanClaimHook, when non-nil, runs after a scan observes a claim
+	// CAS failure. Test-only seam: the FIFO regression test uses it to
+	// release the claim at exactly that point — the mid-scan completion
+	// window the blocked memo exists to cover — which wall-clock timing
+	// cannot force deterministically. A field rather than a package var
+	// so the seam is per-instance: two engines in one process (match
+	// manager, DESIGN.md §13) must not see each other's test hooks.
+	// Always nil in production.
+	scanClaimHook func(c *client)
 }
 
 // push appends an entry at the tail (owner only, during receive drain).
@@ -136,13 +146,6 @@ func (p *stealPool) take(self *worker, asThief bool, avoid uint64) (poolEntry, b
 	return p.takeScan(self, false, avoid)
 }
 
-// poolScanClaimHook, when non-nil, runs after a scan observes a claim
-// CAS failure. Test-only seam: the FIFO regression test uses it to
-// release the claim at exactly that point — the mid-scan completion
-// window the blocked memo exists to cover — which wall-clock timing
-// cannot force deterministically. Always nil in production.
-var poolScanClaimHook func(c *client)
-
 // takeScan is one pass of take, run under the pool mutex.
 //
 //qvet:noalloc
@@ -167,8 +170,8 @@ scan:
 			continue
 		}
 		if !e.c.claim.CompareAndSwap(0, int32(self.id)+1) {
-			if poolScanClaimHook != nil {
-				poolScanClaimHook(e.c)
+			if p.scanClaimHook != nil {
+				p.scanClaimHook(e.c)
 			}
 			// The claim is in flight elsewhere. Block the client for the
 			// rest of the scan: the holder may release mid-scan (claim

@@ -81,17 +81,38 @@ func NewMux(conns []Conn) *Mux {
 }
 
 // Port returns the routable Conn for worker i.
-func (m *Mux) Port(i int) *MuxPort { return m.ports[i] }
+func (m *Mux) Port(i int) *MuxPort {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ports[i]
+}
+
+// AddPort appends a new routable port at runtime and returns its index
+// and Conn. The port sends through the first underlying endpoint (a
+// match-manager deployment runs one socket shared by every match), and
+// receives whatever the routing table directs at it. Safe to call
+// concurrently with pumps; existing port indices never change.
+func (m *Mux) AddPort() (int, *MuxPort) {
+	p := &MuxPort{
+		mux:   m,
+		inner: m.conns[0],
+		queue: make(chan memPacket, muxQueueLen),
+	}
+	m.mu.Lock()
+	idx := len(m.ports)
+	m.ports = append(m.ports, p)
+	m.mu.Unlock()
+	return idx, p
+}
 
 // Route directs future datagrams from addr to the given port. Safe to
 // call concurrently with pumps (connect handling) and from the frame
 // master (migration).
 func (m *Mux) Route(addr Addr, port int) {
-	if port < 0 || port >= len(m.ports) {
-		return
-	}
 	m.mu.Lock()
-	m.route[addr.String()] = port
+	if port >= 0 && port < len(m.ports) {
+		m.route[addr.String()] = port
+	}
 	m.mu.Unlock()
 }
 
@@ -109,12 +130,18 @@ func (m *Mux) Unroute(addr Addr) {
 // datagram for a migrated client arrives before the client's routing
 // update takes effect. The data is copied; the caller may reuse it.
 func (m *Mux) Forward(port int, data []byte, from Addr) {
-	if port < 0 || port >= len(m.ports) {
+	m.mu.Lock()
+	var dst *MuxPort
+	if port >= 0 && port < len(m.ports) {
+		dst = m.ports[port]
+	}
+	m.mu.Unlock()
+	if dst == nil {
 		return
 	}
 	pb := pktPool.Get().(*pktBuf)
 	pb.b = append(pb.b[:0], data...)
-	m.ports[port].enqueue(memPacket{buf: pb, from: MemAddr(from.String())})
+	dst.enqueue(memPacket{buf: pb, from: MemAddr(from.String())})
 }
 
 // Close stops the pump goroutines and wakes any blocked port Recv. The
@@ -149,13 +176,20 @@ func (m *Mux) pump(i int) {
 		}
 		m.mu.Lock()
 		port, ok := m.route[from.String()]
-		m.mu.Unlock()
 		if !ok {
 			port = i // unknown sender: static behavior, arrival endpoint's thread
 		}
+		var dst *MuxPort
+		if port >= 0 && port < len(m.ports) {
+			dst = m.ports[port]
+		}
+		m.mu.Unlock()
+		if dst == nil {
+			continue
+		}
 		pb := pktPool.Get().(*pktBuf)
 		pb.b = append(pb.b[:0], buf[:n]...)
-		m.ports[port].enqueue(memPacket{buf: pb, from: MemAddr(from.String())})
+		dst.enqueue(memPacket{buf: pb, from: MemAddr(from.String())})
 	}
 }
 

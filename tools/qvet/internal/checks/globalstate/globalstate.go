@@ -1,0 +1,136 @@
+// Package globalstate enforces the instancing contract of DESIGN.md
+// §13: engine packages declare no package-level mutable state, so any
+// number of server instances can share one process without observing
+// each other. A package-level `var` of pointer, map, slice, array,
+// chan, func, struct, or (non-error) interface type is shared by every
+// instance in the process — exactly the kind of seam that made the
+// pre-instancing test hooks leak across engines.
+//
+// Structural exemptions:
+//   - error-typed vars: sentinel errors are immutable by convention and
+//     package-level by necessity (errors.Is identity).
+//   - the blank identifier: `var _ Iface = (*T)(nil)` assertions hold
+//     no state.
+//   - basic-typed vars (ints, strings, bools): out of the issue's
+//     blast radius; constants should be used, but they cannot alias
+//     cross-instance structures.
+//
+// Intentional shared state — true process-wide pools and immutable
+// tables that merely lack a const form — carries
+// //qvet:allow=globalstate with the isolation argument as its reason.
+package globalstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"qserve/tools/qvet/internal/core"
+)
+
+// Analyzer is the globalstate check.
+var Analyzer = &core.Analyzer{
+	Name: "globalstate",
+	Doc:  "engine packages hold no package-level mutable state, keeping instances isolatable",
+	Run:  run,
+}
+
+// engineSuffixes names the packages the isolation contract covers: the
+// transitive state of one match instance. Driver tiers (cmd/*,
+// experiments, botclient, conformance) legitimately hold process-wide
+// state and are out of scope.
+var engineSuffixes = []string{
+	"/internal/server",
+	"/internal/game",
+	"/internal/entity",
+	"/internal/areanode",
+	"/internal/transport",
+	"/internal/metrics",
+	"/internal/locking",
+	"/internal/physics",
+	"/internal/collide",
+	"/internal/protocol",
+	"/internal/geom",
+	"/internal/balance",
+	"/internal/match",
+	"/internal/checkpoint",
+	"/internal/worldmap",
+	"/internal/replay",
+	"/internal/simserver",
+}
+
+func inScope(path string) bool {
+	for _, s := range engineSuffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *core.Pass) error {
+	if !inScope(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					obj := pass.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if kind := mutableKind(obj.Type()); kind != "" {
+						pass.Reportf(name.Pos(),
+							"package-level var %s (%s type) is state shared by every engine instance in the process; move it onto the server/world/pool instance, or annotate //qvet:allow=globalstate with the isolation argument",
+							name.Name, kind)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// mutableKind classifies a type as instance-leaking shared state,
+// returning "" for the structurally exempt kinds.
+func mutableKind(t types.Type) string {
+	if isErrorType(t) {
+		return ""
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer:
+		return "pointer"
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	case *types.Array:
+		return "array"
+	case *types.Chan:
+		return "chan"
+	case *types.Signature:
+		return "func"
+	case *types.Struct:
+		return "struct"
+	case *types.Interface:
+		return "interface"
+	}
+	return ""
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

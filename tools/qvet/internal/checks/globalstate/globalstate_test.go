@@ -1,0 +1,13 @@
+package globalstate_test
+
+import (
+	"testing"
+
+	"qserve/tools/qvet/internal/analysistest"
+	"qserve/tools/qvet/internal/checks/globalstate"
+	"qserve/tools/qvet/internal/core"
+)
+
+func TestGlobalState(t *testing.T) {
+	analysistest.Run(t, "testdata/globalfix", []*core.Analyzer{globalstate.Analyzer})
+}

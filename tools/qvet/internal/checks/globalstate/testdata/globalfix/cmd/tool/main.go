@@ -1,0 +1,12 @@
+// Package main is outside the engine scope (no /internal/<engine-pkg>
+// suffix): process-wide state in driver tiers is legitimate and must
+// not be flagged.
+package main
+
+var registry = map[string]func(){}
+var defaults = []string{"a", "b"}
+
+func main() {
+	_ = registry
+	_ = defaults
+}

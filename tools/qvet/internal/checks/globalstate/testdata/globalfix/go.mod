@@ -1,0 +1,3 @@
+module globalfix
+
+go 1.22

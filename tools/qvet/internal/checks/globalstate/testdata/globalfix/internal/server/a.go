@@ -1,0 +1,58 @@
+// Package server is an engine-scoped fixture: its import path ends in
+// /internal/server, so every mutable package-level var here is a
+// finding.
+package server
+
+import "errors"
+
+type pool struct {
+	free [][]byte
+}
+
+type Engine interface {
+	Step() bool
+}
+
+type eng struct{}
+
+func (eng) Step() bool { return true }
+
+// Mutable kinds: all flagged.
+var sharedPool pool               // want "package-level var sharedPool \\(struct type\\) is state shared by every engine instance"
+var byName = map[string]int{}     // want "package-level var byName \\(map type\\) is state shared by every engine instance"
+var scratch []byte                // want "package-level var scratch \\(slice type\\) is state shared by every engine instance"
+var current *pool                 // want "package-level var current \\(pointer type\\) is state shared by every engine instance"
+var hook func(int)                // want "package-level var hook \\(func type\\) is state shared by every engine instance"
+var wake = make(chan struct{}, 1) // want "package-level var wake \\(chan type\\) is state shared by every engine instance"
+var table [16]uint64              // want "package-level var table \\(array type\\) is state shared by every engine instance"
+var active Engine                 // want "package-level var active \\(interface type\\) is state shared by every engine instance"
+var a, b *pool                    // want "package-level var a \\(pointer type\\) is state shared by every engine instance" "package-level var b \\(pointer type\\) is state shared by every engine instance"
+
+// Structurally exempt: sentinel errors, interface assertions, scalars.
+var errFull = errors.New("full")
+var _ Engine = eng{}
+var defaultBudget = 64
+var buildTag string
+var verbose bool
+
+// Annotated shared state is suppressed like any other check.
+//
+//qvet:allow=globalstate process-wide pool by design; holds no game state
+var blessedPool pool
+
+func use() {
+	_ = sharedPool
+	_ = byName
+	_ = scratch
+	_ = current
+	_ = hook
+	_ = wake
+	_ = table
+	_ = active
+	_, _ = a, b
+	_ = errFull
+	_ = defaultBudget
+	_ = buildTag
+	_ = verbose
+	_ = blessedPool
+}

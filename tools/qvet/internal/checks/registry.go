@@ -4,6 +4,7 @@ package checks
 import (
 	"qserve/tools/qvet/internal/checks/annotcheck"
 	"qserve/tools/qvet/internal/checks/atomicfield"
+	"qserve/tools/qvet/internal/checks/globalstate"
 	"qserve/tools/qvet/internal/checks/lockguard"
 	"qserve/tools/qvet/internal/checks/noalloc"
 	"qserve/tools/qvet/internal/checks/phasecheck"
@@ -18,6 +19,7 @@ func All() []*core.Analyzer {
 		atomicfield.Analyzer,
 		phasecheck.Analyzer,
 		noalloc.Analyzer,
+		globalstate.Analyzer,
 	}
 }
 

@@ -133,7 +133,7 @@ func (ix *Index) directive(fset *token.FileSet, c *ast.Comment, owner *ast.FuncD
 			}
 		}
 		if !validChecks[check] {
-			ix.problem(fset, c.Pos(), "//qvet:allow references unknown check %q (valid: lockguard, phasecheck, atomicfield, noalloc)", check)
+			ix.problem(fset, c.Pos(), "//qvet:allow references unknown check %q (valid: lockguard, phasecheck, atomicfield, noalloc, globalstate)", check)
 			return
 		}
 		ix.allow(fset.Position(c.Pos()).Filename, fset.Position(c.Pos()).Line, check)
