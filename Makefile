@@ -96,6 +96,9 @@ cover:
 # engine's go.mod.
 lint:
 	$(GO) build -C tools -o bin/qvet ./qvet
+	@n=$$(./tools/bin/qvet -list | wc -l); \
+		[ "$$n" -eq 9 ] || \
+		{ echo "lint: qvet suite has $$n analyzers, expected 9 (did a registry edit drop one?)"; exit 1; }
 	./tools/bin/qvet ./...
 	@! grep -E '^(require|replace)' go.mod || \
 		{ echo 'lint: root go.mod must stay dependency-free (tool deps live in tools/go.mod)'; exit 1; }

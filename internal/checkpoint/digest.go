@@ -65,6 +65,8 @@ func (h fnv64) foldEntity(e *EntityRec) fnv64 {
 // ascending ID order, as the Entities section is stored) into the world
 // digest — equal to replay.TableDigest of the world those records
 // restore.
+//
+//qvet:det
 func DigestEntities(worldTime float64, ents []EntityRec) uint64 {
 	h := fnv64Offset
 	h = h.f64(worldTime)

@@ -54,6 +54,8 @@ const (
 )
 
 // FormatVersion is the current checkpoint format version.
+//
+//qvet:wire=qckp version
 const FormatVersion = 1
 
 //qvet:allow=globalstate written-once format magic, never mutated
@@ -78,6 +80,8 @@ var (
 // contract is bit-identity of the restored table (replay.TableDigest).
 // The struct is flat and comparable: the delta capture diffs records
 // with ==, and the writer's retained base image packs into one slice.
+//
+//qvet:wire=qckp
 type EntityRec struct {
 	ID    uint32
 	Class uint8
@@ -119,6 +123,8 @@ const (
 // reconnect matching keys, the owning thread (the balance assignment),
 // sequence/reply counters, the balancer's load estimate, and the delta
 // baseline in the wire's quantized form.
+//
+//qvet:wire=qckp
 type ClientRec struct {
 	ID           uint16
 	EntID        int32
@@ -133,6 +139,8 @@ type ClientRec struct {
 }
 
 // Checkpoint is a fully decoded checkpoint.
+//
+//qvet:wire=qckp
 type Checkpoint struct {
 	WorldSeed int64
 	ProtoVer  uint8
@@ -415,6 +423,9 @@ const freeChunk = 8192
 // Encode serializes the checkpoint. The inverse of Decode; the map blob
 // is carried verbatim, so Encode∘Decode is the identity on the byte
 // level.
+//
+//qvet:det
+//qvet:wire=qckp encode
 func (ck *Checkpoint) Encode() ([]byte, error) {
 	mapJSON := ck.mapJSON
 	if mapJSON == nil {
@@ -486,6 +497,8 @@ func (ck *Checkpoint) Encode() ([]byte, error) {
 // Decode parses a complete checkpoint. It is total: any input —
 // truncated, bit-flipped, reordered, or adversarial — yields an error,
 // never a panic, and on error the returned Checkpoint is nil.
+//
+//qvet:wire=qckp decode
 func Decode(data []byte) (*Checkpoint, error) {
 	if len(data) < len(ckMagic)+2 {
 		return nil, ErrTruncated

@@ -16,6 +16,7 @@ import (
 // synchronization in the first stage").
 //
 //qvet:phase=physics
+//qvet:det
 func (w *World) RunWorldFrame(dt float64) MoveResult {
 	var res MoveResult
 	if dt <= 0 {

@@ -151,6 +151,7 @@ const maxCandidates = 128
 //     expanded/directional/whole-map region locks.
 //
 //qvet:phase=exec
+//qvet:det
 func (w *World) ExecuteMove(e *entity.Entity, cmd *protocol.MoveCmd, lc *LockContext) MoveResult {
 	var res MoveResult
 	if e == nil {

@@ -23,7 +23,8 @@ import (
 // sequence number or a corrupted-but-consistent Snapshot would
 // otherwise poison per-client state silently).
 const (
-	Magic   uint8 = 0xA5
+	Magic uint8 = 0xA5
+	//qvet:wire=wire3 version
 	Version uint8 = 3
 )
 

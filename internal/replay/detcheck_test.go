@@ -1,126 +1,37 @@
 package replay
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"os"
+	"os/exec"
 	"path/filepath"
-	"strconv"
-	"strings"
 	"testing"
 )
 
-// TestDeterminismAudit statically enforces the record/replay determinism
-// contract (DESIGN.md §11) on the world-evolution core: the packages
-// whose code runs under ExecuteMove/RunWorldFrame must be pure functions
-// of (world state, inputs, seed).
+// TestDeterminismAudit enforces the record/replay determinism contract
+// (DESIGN.md §11) by shelling out to qvet's detcore analyzer, which
+// walks the static call closure of every //qvet:det root — ExecuteMove,
+// RunWorldFrame, the checkpoint/replay encoders, and the digest folds —
+// and rejects wall-clock reads, process-global math/rand draws, and
+// order-sensitive map iteration (DESIGN.md §9).
 //
-//   - No math/rand import at all in the core: randomness must come from
-//     the world's seeded source, or not exist.
-//   - No wall-clock reads (time.Now / time.Since / time.After / the
-//     argless time.Tick family): frame logic gets dt as a parameter; the
-//     engines read the clock once per frame through Config.Clock, which
-//     the replayer virtualizes.
-//   - worldmap may use math/rand (generation is seeded and the generated
-//     map is embedded in every log), but only through explicit sources —
-//     rand.New(rand.NewSource(seed)) — never the process-global one.
-//
-// Map-iteration order, the third classic nondeterminism source, is
-// enforced dynamically: bit-identical digests across repeated replays
-// (TestReplayIsRepeatable) diverge within a frame or two if any frame
-// path ranges over a map.
+// This used to be a hand-rolled AST audit over a hard-coded package
+// list; detcore subsumes it with a real type-checked callgraph, so the
+// audited set now follows the code (any function the det roots reach)
+// instead of a directory list that could silently go stale. Map order,
+// which the old audit left to the dynamic digest comparison in
+// TestReplayIsRepeatable, is now checked statically too.
 func TestDeterminismAudit(t *testing.T) {
-	root := "../.."
-	core := []string{"game", "physics", "collide", "entity", "areanode", "geom"}
-	for _, pkg := range core {
-		auditDir(t, filepath.Join(root, "internal", pkg), auditRules{
-			banRandImport: true,
-			banWallClock:  true,
-		})
+	if testing.Short() {
+		t.Skip("shells out to go run")
 	}
-	auditDir(t, filepath.Join(root, "internal", "worldmap"), auditRules{
-		banWallClock:  true,
-		banGlobalRand: true,
-		// New/NewSource build explicit seeded sources; Rand/Source are
-		// type names in signatures, not draws from the global source.
-		allowRandIdents: map[string]bool{"New": true, "NewSource": true, "Rand": true, "Source": true},
-	})
-}
-
-type auditRules struct {
-	banRandImport   bool
-	banWallClock    bool
-	banGlobalRand   bool
-	allowRandIdents map[string]bool
-}
-
-var wallClockCalls = map[string]bool{
-	"Now": true, "Since": true, "Until": true, "After": true,
-	"Tick": true, "NewTicker": true, "NewTimer": true, "AfterFunc": true,
-}
-
-func auditDir(t *testing.T, dir string, rules auditRules) {
-	t.Helper()
-	entries, err := os.ReadDir(dir)
+	toolsDir, err := filepath.Abs(filepath.Join("..", "..", "tools"))
 	if err != nil {
-		t.Fatalf("%s: %v", dir, err)
+		t.Fatal(err)
 	}
-	fset := token.NewFileSet()
-	for _, ent := range entries {
-		name := ent.Name()
-		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		path := filepath.Join(dir, name)
-		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
-		if err != nil {
-			t.Fatalf("%s: %v", path, err)
-		}
-		// Track the local names the forbidden packages are imported
-		// under, so aliased imports can't dodge the selector checks.
-		timeNames := map[string]bool{}
-		randNames := map[string]bool{}
-		for _, imp := range f.Imports {
-			p, _ := strconv.Unquote(imp.Path.Value)
-			local := ""
-			if imp.Name != nil {
-				local = imp.Name.Name
-			}
-			switch p {
-			case "math/rand", "math/rand/v2":
-				if rules.banRandImport {
-					t.Errorf("%s: imports %s — the deterministic core must draw randomness from the world seed", path, p)
-				}
-				if local == "" {
-					local = "rand"
-				}
-				randNames[local] = true
-			case "time":
-				if local == "" {
-					local = "time"
-				}
-				timeNames[local] = true
-			}
-		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			id, ok := sel.X.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			if rules.banWallClock && timeNames[id.Name] && wallClockCalls[sel.Sel.Name] {
-				t.Errorf("%s: %s: calls %s.%s — frame logic must take dt as input (Config.Clock is the only clock read)",
-					path, fset.Position(sel.Pos()), id.Name, sel.Sel.Name)
-			}
-			if rules.banGlobalRand && randNames[id.Name] && !rules.allowRandIdents[sel.Sel.Name] {
-				t.Errorf("%s: %s: calls %s.%s — only explicit seeded sources (rand.New(rand.NewSource(seed))) are allowed",
-					path, fset.Position(sel.Pos()), id.Name, sel.Sel.Name)
-			}
-			return true
-		})
+	repoRoot := filepath.Dir(toolsDir)
+	cmd := exec.Command("go", "run", "./qvet", "-C", repoRoot, "-checks=detcore", "./...")
+	cmd.Dir = toolsDir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("qvet -checks=detcore ./... failed:\n%s\nerror: %v", out, err)
 	}
 }

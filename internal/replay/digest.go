@@ -55,6 +55,8 @@ func (h fnv64) bytes(b []byte) fnv64 {
 // value. Two worlds with equal digests went through the same evolution
 // bit for bit: positions and velocities are folded as raw float64 bits,
 // so even a ULP of drift between engines is caught.
+//
+//qvet:det
 func TableDigest(w *game.World) uint64 {
 	h := fnv64Offset
 	h = h.f64(w.Time)

@@ -47,6 +47,8 @@ const (
 )
 
 // FormatVersion is the current log format version.
+//
+//qvet:wire=qrpl version
 const FormatVersion = 1
 
 //qvet:allow=globalstate written-once format magic, never mutated
@@ -68,6 +70,8 @@ var (
 // Item is one decoded log record. Kind selects which fields are
 // meaningful; the struct is flat (no interface, no pointer) so a log's
 // items pack into one slice and the recorder appends without allocating.
+//
+//qvet:wire=qrpl
 type Item struct {
 	Kind   uint8
 	Client uint16
@@ -84,6 +88,8 @@ type Item struct {
 }
 
 // Log is a fully decoded replay log.
+//
+//qvet:wire=qrpl
 type Log struct {
 	WorldSeed int64
 	ProtoVer  uint8
@@ -150,6 +156,9 @@ const maxMapJSON = 64 << 20
 
 // Encode serializes the log. The inverse of Decode; Encode∘Decode is
 // the identity on the byte level (the map blob is carried verbatim).
+//
+//qvet:det
+//qvet:wire=qrpl encode
 func (lg *Log) Encode() ([]byte, error) {
 	mapJSON := lg.mapJSON
 	if mapJSON == nil {
@@ -266,6 +275,8 @@ func decodeCmd(r *protocol.Reader, c *protocol.MoveCmd) {
 // bit-flipped, reordered, or adversarial — yields an error, never a
 // panic, and never a partially-poisoned Log (on error the returned Log
 // is nil).
+//
+//qvet:wire=qrpl decode
 func Decode(data []byte) (*Log, error) {
 	if len(data) < len(logMagic)+2 {
 		return nil, ErrTruncated

@@ -1,0 +1,13 @@
+package detcore_test
+
+import (
+	"testing"
+
+	"qserve/tools/qvet/internal/analysistest"
+	"qserve/tools/qvet/internal/checks/detcore"
+	"qserve/tools/qvet/internal/core"
+)
+
+func TestDetcore(t *testing.T) {
+	analysistest.Run(t, "testdata/detfix", []*core.Analyzer{detcore.Analyzer})
+}

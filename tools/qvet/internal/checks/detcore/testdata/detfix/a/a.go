@@ -1,0 +1,102 @@
+// Package a seeds determinism violations: wall-clock reads and global
+// math/rand reached through helpers, plus order-sensitive map ranges.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- seeded violations -------------------------------------------------
+
+// Step is a determinism root; its closure reaches the wall clock two
+// helpers deep and the process-global rand one helper deep.
+//
+//qvet:det
+func Step(state map[int]int) {
+	tickHelper()
+	jitter()
+	for k, v := range state { // want "range over map map\\[int\\]int in Step is order-sensitive"
+		if v > 0 {
+			sink = k
+		}
+	}
+}
+
+var sink int
+
+func tickHelper() {
+	stamp()
+}
+
+func stamp() {
+	now = time.Now() // want "determinism root Step reaches time.Now via tickHelper -> stamp"
+}
+
+var now time.Time
+
+func jitter() {
+	sink = rand.Intn(8) // want "determinism root Step reaches math/rand.Intn \\(process-global math/rand\\) via jitter"
+}
+
+// Elapsed is itself a root: the banned call sits directly in the root.
+//
+//qvet:det
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "determinism root Elapsed reaches time.Since"
+}
+
+// --- correct patterns: must stay silent --------------------------------
+
+// Settle ranges over maps in every accepted order-insensitive shape.
+//
+//qvet:det
+func Settle(pending map[int]int, dead map[int]bool) int {
+	// Writes keyed through a map index plus integer accumulation.
+	total := 0
+	next := make(map[int]int, len(pending))
+	for id, v := range pending {
+		if v == 0 {
+			delete(pending, id)
+			continue
+		}
+		next[id] = v - 1
+		total += v
+	}
+	// Appends feeding a sort before use.
+	ids := make([]int, 0, len(dead))
+	for id := range dead {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		total -= id
+	}
+	return total
+}
+
+// Seeded uses an explicitly seeded source: the documented worldmap
+// mechanism, allowed by detcore.
+//
+//qvet:det
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(100)
+}
+
+// Waived carries the escape hatch with a reason.
+//
+//qvet:det
+func Waived(m map[string]chan int) {
+	//qvet:allow=maporder all receivers get the same value; delivery order is not replayed
+	for _, ch := range m {
+		ch <- 1
+	}
+}
+
+// Clock is NOT det-annotated and not reached from any root: free to
+// read the wall clock.
+func Clock() time.Time {
+	return time.Now()
+}

@@ -4,10 +4,13 @@ package checks
 import (
 	"qserve/tools/qvet/internal/checks/annotcheck"
 	"qserve/tools/qvet/internal/checks/atomicfield"
+	"qserve/tools/qvet/internal/checks/detcore"
 	"qserve/tools/qvet/internal/checks/globalstate"
 	"qserve/tools/qvet/internal/checks/lockguard"
 	"qserve/tools/qvet/internal/checks/noalloc"
 	"qserve/tools/qvet/internal/checks/phasecheck"
+	"qserve/tools/qvet/internal/checks/stealcheck"
+	"qserve/tools/qvet/internal/checks/wirecheck"
 	"qserve/tools/qvet/internal/core"
 )
 
@@ -20,14 +23,19 @@ func All() []*core.Analyzer {
 		phasecheck.Analyzer,
 		noalloc.Analyzer,
 		globalstate.Analyzer,
+		detcore.Analyzer,
+		wirecheck.Analyzer,
+		stealcheck.Analyzer,
 	}
 }
 
 // ValidChecks is the closed set of names //qvet:allow may reference.
 // The annot meta-check is excluded on purpose: allow must not be able
-// to suppress annotation-rot reports.
+// to suppress annotation-rot reports. "maporder" is a pseudo-check:
+// it never reports on its own; detcore consults it on map-range
+// findings so the waiver vocabulary names the hazard, not the tool.
 func ValidChecks() map[string]bool {
-	m := make(map[string]bool)
+	m := map[string]bool{"maporder": true}
 	for _, a := range All() {
 		if a.Name == "annot" {
 			continue

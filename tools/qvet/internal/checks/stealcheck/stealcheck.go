@@ -1,0 +1,467 @@
+// Package stealcheck verifies the conflict-aware stealing protocol's
+// hint discipline (DESIGN.md §10). Pool scans avoid conflicting steals
+// by consulting the leaf-region masks other workers publish in
+// worker.activeHint while they execute a pooled request; the protocol
+// is only sound if every publisher
+//
+//  1. publishes before the first region acquisition it performs (an
+//     unpublished execution is invisible to activeRegionHints, so a
+//     thief can claim a conflicting entry and park on the guard wall
+//     the scheduler exists to avoid);
+//  2. clears the hint (activeHint.Store(0)) on every exit path — a
+//     stale nonzero mask makes every healthy worker defer against an
+//     execution that no longer exists;
+//  3. is panic-covered: either the publisher itself arms
+//     `defer activeHint.Store(0)`, or every exec-phase caller arms one
+//     before the call (the safeExecPoolEntry / execPoolEntry split in
+//     the live tree), so an unwinding request cannot strand the mask.
+//
+// The analysis is the same shape as lockguard's all-paths-release: an
+// abstract interpretation of each publishing function in the exec-phase
+// closure (functions annotated //qvet:phase=exec plus everything they
+// statically reach), tracking published/unpublished through branches
+// and loops. "May acquire" means a call whose result is a locking.Guard
+// or a call to a function whose own closure acquires one.
+//
+// client.leafHint is deliberately out of scope: it is a monotonic cache
+// of the last committed move's mask, read as a scan seed — staleness is
+// tolerated by design, so it has no clear-on-exit discipline.
+//
+// Soundness gap (documented): acquisitions behind interfaces, function
+// values (cfg.Hooks), and reflection are invisible, and a function that
+// acquires without publishing at all is only caught when it is itself a
+// publisher — the interprocedural publish context of plain helpers is
+// not tracked.
+package stealcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"qserve/tools/qvet/internal/core"
+)
+
+// Analyzer is the stealcheck check.
+var Analyzer = &core.Analyzer{
+	Name:       "stealcheck",
+	Doc:        "activeHint published before first region acquire, cleared on every exit path including panic",
+	RunProgram: runProgram,
+}
+
+func runProgram(prog *core.Program, report core.Reporter) error {
+	g := prog.EnsureGraph()
+	scope := execClosure(g)
+	acquirers := acquirerClosure(g)
+
+	var keys []string
+	for k := range scope {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, k := range keys {
+		fi := scope[k]
+		c := &checker{prog: prog, g: g, fi: fi, scope: scope, acquirers: acquirers, report: report}
+		c.check()
+	}
+	return nil
+}
+
+// execClosure is every function statically reachable from a
+// //qvet:phase=exec annotation.
+func execClosure(g *core.Graph) map[string]*core.FuncInfo {
+	scope := make(map[string]*core.FuncInfo)
+	var queue []*core.FuncInfo
+	for _, fi := range g.Funcs {
+		if fi.Annot != nil && fi.Annot.Phase == core.PhaseExec {
+			scope[fi.Key] = fi
+			queue = append(queue, fi)
+		}
+	}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		for _, call := range fi.Calls {
+			callee := g.Funcs[call.CalleeKey]
+			if callee == nil || scope[callee.Key] != nil {
+				continue
+			}
+			scope[callee.Key] = callee
+			queue = append(queue, callee)
+		}
+	}
+	return scope
+}
+
+// acquirerClosure marks every function whose body (transitively) makes
+// a call producing a locking.Guard.
+func acquirerClosure(g *core.Graph) map[string]bool {
+	acq := make(map[string]bool)
+	for _, fi := range g.Funcs {
+		info := fi.Pkg.Info
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok && producesGuard(info, call) {
+				acq[fi.Key] = true
+				return false
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range g.Funcs {
+			if acq[fi.Key] {
+				continue
+			}
+			for _, call := range fi.Calls {
+				if acq[call.CalleeKey] {
+					acq[fi.Key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return acq
+}
+
+// producesGuard reports whether the call's result (or any element of a
+// tuple result, covering TryAcquire's (Guard, bool)) is a locking.Guard.
+func producesGuard(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isGuardType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isGuardType(tv.Type)
+}
+
+// isGuardType matches the named type Guard from a package named
+// "locking" — by package name, not import path, so the analysistest
+// fixtures can stub their own mini locking package (same trick as
+// lockguard).
+func isGuardType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Guard" && obj.Pkg() != nil && obj.Pkg().Name() == "locking"
+}
+
+// state is the abstract hint state at a program point. Both bits can be
+// set after a branch merge.
+type state struct {
+	mayPub     bool // some path reaches here with the hint published
+	mayUnpub   bool // some path reaches here with the hint clear
+	deferClear bool // a deferred clear is armed on every path to here
+}
+
+type checker struct {
+	prog      *core.Program
+	g         *core.Graph
+	fi        *core.FuncInfo
+	scope     map[string]*core.FuncInfo
+	acquirers map[string]bool
+	report    core.Reporter
+
+	publishes []token.Pos
+	ownDefer  bool
+}
+
+func (c *checker) check() {
+	if !c.isPublisher() {
+		return
+	}
+	st := &state{mayUnpub: true}
+	c.stmts(c.fi.Decl.Body.List, st)
+	c.exit(st, c.fi.Decl.Body.End())
+	c.panicCover()
+}
+
+// isPublisher pre-scans the body for a non-literal-zero activeHint
+// store outside defer statements.
+func (c *checker) isPublisher() bool {
+	found := false
+	ast.Inspect(c.fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if hintStore(n) && !zeroArg(n) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hintStore matches <expr>.activeHint.Store(arg).
+func hintStore(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Store" {
+		return false
+	}
+	field, ok := sel.X.(*ast.SelectorExpr)
+	return ok && field.Sel.Name == "activeHint"
+}
+
+func zeroArg(call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+func (c *checker) stmts(list []ast.Stmt, st *state) {
+	for _, s := range list {
+		c.stmt(s, st)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, st *state) {
+	switch s := s.(type) {
+	case *ast.DeferStmt:
+		if c.deferClears(s) {
+			st.deferClear = true
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.expr(r, st)
+		}
+		c.exit(st, s.Pos())
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.expr(s.Cond, st)
+		then := *st
+		c.stmts(s.Body.List, &then)
+		alt := *st
+		if s.Else != nil {
+			c.stmt(s.Else, &alt)
+		}
+		merge(st, &then, &alt)
+	case *ast.BlockStmt:
+		c.stmts(s.List, st)
+	case *ast.ForStmt:
+		c.loop(s.Init, s.Cond, s.Post, s.Body, st)
+	case *ast.RangeStmt:
+		c.expr(s.X, st)
+		c.loop(nil, nil, nil, s.Body, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag, st)
+		}
+		c.cases(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.cases(s.Body, st)
+	case *ast.SelectStmt:
+		c.cases(s.Body, st)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, st)
+	default:
+		// Assignments, expression statements, sends, go, inc/dec:
+		// process the calls they contain in lexical order.
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				c.call(n, st)
+			}
+			return true
+		})
+	}
+}
+
+func (c *checker) expr(e ast.Expr, st *state) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			c.call(n, st)
+		}
+		return true
+	})
+}
+
+// loop interprets a loop body twice over the same state (so a publish in
+// iteration one meets iteration two's statements) and then restores the
+// zero-iteration possibility by union with the pre-loop state.
+func (c *checker) loop(init ast.Stmt, cond ast.Expr, post ast.Stmt, body *ast.BlockStmt, st *state) {
+	if init != nil {
+		c.stmt(init, st)
+	}
+	pre := *st
+	for i := 0; i < 2; i++ {
+		c.expr(cond, st)
+		c.stmts(body.List, st)
+		if post != nil {
+			c.stmt(post, st)
+		}
+	}
+	merge(st, st, &pre)
+}
+
+func (c *checker) cases(body *ast.BlockStmt, st *state) {
+	pre := *st
+	out := *st // zero matching cases is impossible, but default may be absent
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			stmts = cl.Body
+		case *ast.CommClause:
+			stmts = cl.Body
+		}
+		branch := pre
+		c.stmts(stmts, &branch)
+		merge(&out, &out, &branch)
+	}
+	*st = out
+}
+
+func merge(dst, a, b *state) {
+	*dst = state{
+		mayPub:     a.mayPub || b.mayPub,
+		mayUnpub:   a.mayUnpub || b.mayUnpub,
+		deferClear: a.deferClear && b.deferClear,
+	}
+}
+
+// call applies one call's effect to the state: clear, publish, or a
+// possible region acquisition while unpublished (rule 1).
+func (c *checker) call(call *ast.CallExpr, st *state) {
+	if hintStore(call) {
+		if zeroArg(call) {
+			st.mayPub = false
+			st.mayUnpub = true
+		} else {
+			st.mayPub = true
+			st.mayUnpub = false
+			c.publishes = append(c.publishes, call.Pos())
+		}
+		return
+	}
+	if st.mayUnpub && c.mayAcquire(call) {
+		c.report(call.Pos(), "exec-phase function %s may acquire a region before publishing activeHint; pool scans cannot see the held leaves, so a conflicting steal blocks instead of deferring", c.fi.Name)
+	}
+}
+
+func (c *checker) mayAcquire(call *ast.CallExpr) bool {
+	if producesGuard(c.fi.Pkg.Info, call) {
+		return true
+	}
+	callee := core.CalleeOf(c.fi.Pkg.Info, call)
+	return callee != nil && c.acquirers[core.FuncKey(callee)]
+}
+
+// exit fires rule 2 at a return point reached with the hint possibly
+// still published and no deferred clear armed.
+func (c *checker) exit(st *state, pos token.Pos) {
+	if st.mayPub && !st.deferClear {
+		c.report(pos, "exit path leaves activeHint published in %s; clear it (activeHint.Store(0)) on every return or a stale mask makes other workers defer forever", c.fi.Name)
+	}
+}
+
+// deferClears matches `defer x.activeHint.Store(0)` and
+// `defer func() { ...; x.activeHint.Store(0); ... }()`.
+func (c *checker) deferClears(d *ast.DeferStmt) bool {
+	if hintStore(d.Call) && zeroArg(d.Call) {
+		c.ownDefer = true
+		return true
+	}
+	if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && hintStore(call) && zeroArg(call) {
+				found = true
+			}
+			return true
+		})
+		if found {
+			c.ownDefer = true
+		}
+		return found
+	}
+	return false
+}
+
+// panicCover fires rule 3: a publisher with no deferred clear of its own
+// must have every in-scope call site lexically preceded by a caller-side
+// deferred clear, so a panicking request cannot strand the mask.
+func (c *checker) panicCover() {
+	if c.ownDefer || len(c.publishes) == 0 {
+		return
+	}
+	covered := false
+	uncoveredCallers := 0
+	for _, caller := range c.scope {
+		for _, call := range caller.Calls {
+			if call.CalleeKey != c.fi.Key {
+				continue
+			}
+			if callerDeferBefore(caller, call.Pos) {
+				covered = true
+			} else {
+				uncoveredCallers++
+				c.report(call.Pos, "call into activeHint publisher %s is not panic-covered; arm defer activeHint.Store(0) before this call (or inside %s itself)", c.fi.Name, c.fi.Name)
+			}
+		}
+	}
+	if !covered && uncoveredCallers == 0 {
+		c.report(c.publishes[0], "activeHint publish in %s is not panic-covered; arm defer activeHint.Store(0) here or in every exec-phase caller", c.fi.Name)
+	}
+}
+
+// callerDeferBefore reports whether caller arms a deferred hint clear
+// lexically before pos.
+func callerDeferBefore(caller *core.FuncInfo, pos token.Pos) bool {
+	found := false
+	ast.Inspect(caller.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok || d.Pos() >= pos {
+			return true
+		}
+		if hintStore(d.Call) && zeroArg(d.Call) {
+			found = true
+			return false
+		}
+		if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && hintStore(call) && zeroArg(call) {
+					found = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,13 @@
+package stealcheck_test
+
+import (
+	"testing"
+
+	"qserve/tools/qvet/internal/analysistest"
+	"qserve/tools/qvet/internal/checks/stealcheck"
+	"qserve/tools/qvet/internal/core"
+)
+
+func TestStealcheck(t *testing.T) {
+	analysistest.Run(t, "testdata/stealfix", []*core.Analyzer{stealcheck.Analyzer})
+}

@@ -1,0 +1,3 @@
+module stealfix
+
+go 1.22

@@ -1,0 +1,29 @@
+// Package locking is a miniature stub of the engine's region-locking
+// package: stealcheck (like lockguard) matches the Guard type by
+// package *name*, so fixtures carry their own.
+package locking
+
+// Region is a lockable leaf region.
+type Region struct{ held bool }
+
+// Guard is a held region.
+type Guard struct{ r *Region }
+
+// Acquire locks the region.
+func (r *Region) Acquire() Guard { r.held = true; return Guard{r} }
+
+// TryAcquire locks the region if free.
+func (r *Region) TryAcquire() (Guard, bool) {
+	if r.held {
+		return Guard{}, false
+	}
+	r.held = true
+	return Guard{r}, true
+}
+
+// Release unlocks the region.
+func (g Guard) Release() {
+	if g.r != nil {
+		g.r.held = false
+	}
+}

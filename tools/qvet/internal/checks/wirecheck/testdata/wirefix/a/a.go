@@ -1,0 +1,74 @@
+// Package a seeds wire-schema coverage violations for the "demo"
+// format: a struct that grew a field the encoder handles but the
+// decoder forgot, and one the encoder never learned about.
+package a
+
+import "encoding/binary"
+
+// FormatVersion is demo's version constant.
+//
+//qvet:wire=demo version
+const FormatVersion = 2
+
+// Header is demo's frame header.
+//
+//qvet:wire=demo
+type Header struct {
+	Magic uint32
+	Seq   uint32
+	// Grew later: encoded below but never decoded — the seeded bug.
+	Flags uint16 // want "field a.Header.Flags is not written by any demo decoder"
+	// Never wired at all: both sides missing.
+	Pad uint16 // want "field a.Header.Pad is not read by any demo encoder" "field a.Header.Pad is not written by any demo decoder"
+	// Derived at runtime, deliberately off the wire.
+	//qvet:allow=wirecheck recomputed from payload length on receipt
+	Size int
+}
+
+// Body is fully covered through helpers on both sides: silent.
+//
+//qvet:wire=demo
+type Body struct {
+	ID   uint64
+	Name string
+}
+
+// Encode is demo's encoder root.
+//
+//qvet:wire=demo encode
+func Encode(h *Header, b *Body) []byte {
+	var out []byte
+	out = binary.BigEndian.AppendUint32(out, h.Magic)
+	out = binary.BigEndian.AppendUint32(out, h.Seq)
+	out = binary.BigEndian.AppendUint16(out, h.Flags)
+	return appendBody(out, b)
+}
+
+// appendBody reads Body fields one helper deep in the encode closure.
+func appendBody(out []byte, b *Body) []byte {
+	out = binary.BigEndian.AppendUint64(out, b.ID)
+	out = append(out, byte(len(b.Name)))
+	return append(out, b.Name...)
+}
+
+// Decode is demo's decoder root. Header.Flags is missing on purpose.
+//
+//qvet:wire=demo decode
+func Decode(buf []byte) (*Header, *Body) {
+	h := &Header{
+		Magic: binary.BigEndian.Uint32(buf),
+		Seq:   binary.BigEndian.Uint32(buf[4:]),
+	}
+	h.Size = len(buf)
+	var b Body
+	readBody(buf[10:], &b)
+	return h, &b
+}
+
+// readBody writes Body fields via an address-taken out-param, the
+// fill-helper shape the real decoders use.
+func readBody(buf []byte, b *Body) {
+	b.ID = binary.BigEndian.Uint64(buf)
+	n := int(buf[8])
+	b.Name = string(buf[9 : 9+n])
+}

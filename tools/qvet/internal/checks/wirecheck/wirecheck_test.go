@@ -1,0 +1,13 @@
+package wirecheck_test
+
+import (
+	"testing"
+
+	"qserve/tools/qvet/internal/analysistest"
+	"qserve/tools/qvet/internal/checks/wirecheck"
+	"qserve/tools/qvet/internal/core"
+)
+
+func TestWirecheck(t *testing.T) {
+	analysistest.Run(t, "testdata/wirefix", []*core.Analyzer{wirecheck.Analyzer})
+}

@@ -4,6 +4,7 @@
 package driver
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,8 +26,9 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 	dir := fs.String("C", ".", "run as if launched from this directory")
 	only := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := fs.Bool("list", false, "list available checks and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of file:line text")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: qvet [-C dir] [-checks name,...] [packages]\n\nChecks qserve's concurrency and hot-path invariants (see DESIGN.md §9).\n\n")
+		fmt.Fprintf(stderr, "usage: qvet [-C dir] [-checks name,...] [-json] [packages]\n\nChecks qserve's concurrency and hot-path invariants (see DESIGN.md §9).\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -84,22 +86,55 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	// Annotation-rot problems are appended unfiltered: a broken
-	// directive must not be able to allow itself away.
+	// directive must not be able to allow itself away. The final order
+	// is (file, line, check, column, message) — fully deterministic so
+	// CI diffs never churn with package-load order.
 	diags = append(diags, prog.Annots.Problems...)
 	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
-		return a.Pos.Line < b.Pos.Line
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
 	})
 
-	for _, d := range diags {
-		file := d.Pos.Filename
+	relFile := func(file string) string {
 		if rel, err := filepath.Rel(prog.Dir, file); err == nil && !strings.HasPrefix(rel, "..") {
-			file = rel
+			return rel
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		return file
+	}
+	if *asJSON {
+		type finding struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{relFile(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "qvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", relFile(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		return 1

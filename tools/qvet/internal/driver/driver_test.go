@@ -2,6 +2,8 @@ package driver_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"testing"
 
 	"qserve/tools/qvet/internal/analysistest"
@@ -54,5 +56,43 @@ func TestDriverList(t *testing.T) {
 	if code := driver.Main([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list: exit %d", code)
 	}
-	analysistest.MustFind(t, stdout.String(), "lockguard", "phasecheck", "atomicfield", "noalloc", "annot")
+	analysistest.MustFind(t, stdout.String(), "lockguard", "phasecheck", "atomicfield", "noalloc", "annot",
+		"globalstate", "detcore", "wirecheck", "stealcheck")
+}
+
+// TestDriverJSON emits the same findings as machine-readable JSON, in
+// the same deterministic order.
+func TestDriverJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := driver.Main([]string{"-C", "testdata/rotfix", "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var findings []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Column  int    `json:"column"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("expected findings, got an empty array")
+	}
+	for i, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Check == "" || f.Message == "" {
+			t.Errorf("finding %d has empty fields: %+v", i, f)
+		}
+	}
+	// Deterministic order: (file, line, check) ascending.
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		ka := fmt.Sprintf("%s\x00%08d\x00%s", a.File, a.Line, a.Check)
+		kb := fmt.Sprintf("%s\x00%08d\x00%s", b.File, b.Line, b.Check)
+		if ka > kb {
+			t.Errorf("findings out of order: %v before %v", a, b)
+		}
+	}
 }
